@@ -1,0 +1,281 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 7). Each Benchmark* function corresponds to one artifact:
+//
+//	BenchmarkFig6a7_*   — Figure 6a (sensitivities) and Figure 7 (runtimes):
+//	                      per-query TSens / Elastic / evaluation timings
+//	BenchmarkFig6b      — Figure 6b: per-relation most sensitive tuple of q3
+//	BenchmarkTable1_*   — Table 1: the four Facebook queries
+//	BenchmarkTable2_*   — Table 2: TSensDP vs PrivSQL per query
+//	BenchmarkParamStudy — Section 7.3's ℓ parameter study
+//	BenchmarkAblation_* — design-choice ablations called out in DESIGN.md
+//
+// The absolute numbers (fixture scales 1e-4…1e-2) are laptop-sized; the
+// full sweeps live in cmd/experiments.
+package tsens
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/elastic"
+	"tsens/internal/experiments"
+	"tsens/internal/mechanism"
+	"tsens/internal/workload"
+	"tsens/internal/yannakakis"
+)
+
+const benchSeed = 20200409 // arXiv date of the paper
+
+var (
+	benchTPCH     = map[float64]*Database{}
+	benchFacebook *Database
+)
+
+func tpchDB(scale float64) *Database {
+	if db, ok := benchTPCH[scale]; ok {
+		return db
+	}
+	db := workload.TPCHData(scale, benchSeed)
+	benchTPCH[scale] = db
+	return db
+}
+
+func facebookDB() *Database {
+	if benchFacebook == nil {
+		benchFacebook = workload.FacebookDataSized(120, 1200, 250, benchSeed)
+	}
+	return benchFacebook
+}
+
+// benchSpecTSens measures one TSens run per iteration.
+func benchSpecTSens(b *testing.B, s *workload.Spec, db *Database) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.LocalSensitivity(s.Query, db, s.Options())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LS < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func benchSpecElastic(b *testing.B, s *workload.Spec, db *Database) {
+	b.Helper()
+	an, err := elastic.NewAnalyzer(s.Query, db) // preprocessing untimed, as in the paper
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := an.LocalSensitivity(s.JoinOrder); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSpecEval(b *testing.B, s *workload.Spec, db *Database) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if s.Decomp != nil {
+			_, err = yannakakis.CountGHD(s.Query, db, s.Decomp)
+		} else {
+			_, err = yannakakis.Count(s.Query, db)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figures 6a and 7: q1, q2, q3 across scales × {TSens, Elastic, evaluation}.
+func BenchmarkFig6a7(b *testing.B) {
+	scales := []float64{0.0001, 0.001}
+	for _, scale := range scales {
+		db := tpchDB(scale)
+		for _, s := range workload.TPCH() {
+			if s.Name == "q3" && scale > experiments.MaxQ3Scale {
+				continue
+			}
+			spec := s
+			b.Run(fmt.Sprintf("%s/scale=%g/TSens", spec.Name, scale), func(b *testing.B) {
+				benchSpecTSens(b, spec, db)
+			})
+			b.Run(fmt.Sprintf("%s/scale=%g/Elastic", spec.Name, scale), func(b *testing.B) {
+				benchSpecElastic(b, spec, db)
+			})
+			b.Run(fmt.Sprintf("%s/scale=%g/Eval", spec.Name, scale), func(b *testing.B) {
+				benchSpecEval(b, spec, db)
+			})
+		}
+	}
+}
+
+// Figure 6b: most sensitive tuple of every q3 relation.
+func BenchmarkFig6b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6b(0.001, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Table 1: the four Facebook queries × {TSens, Elastic, evaluation}.
+func BenchmarkTable1(b *testing.B) {
+	db := facebookDB()
+	for _, s := range workload.Facebook() {
+		spec := s
+		b.Run(spec.Name+"/TSens", func(b *testing.B) { benchSpecTSens(b, spec, db) })
+		b.Run(spec.Name+"/Elastic", func(b *testing.B) { benchSpecElastic(b, spec, db) })
+		b.Run(spec.Name+"/Eval", func(b *testing.B) { benchSpecEval(b, spec, db) })
+	}
+}
+
+// Table 2: the two DP mechanisms per query.
+func BenchmarkTable2(b *testing.B) {
+	for _, s := range workload.All() {
+		spec := s
+		var db *Database
+		if spec.Name == "q1" || spec.Name == "q2" || spec.Name == "q3" {
+			db = tpchDB(0.001)
+		} else {
+			db = facebookDB()
+		}
+		b.Run(spec.Name+"/TSensDP", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(benchSeed + int64(i)))
+				_, err := mechanism.TSensDP(spec.Query, db, spec.Options(), spec.PrimaryPrivate,
+					mechanism.TSensDPConfig{Epsilon: 1, Bound: spec.SensBound}, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(spec.Name+"/PrivSQL", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(benchSeed + int64(i)))
+				_, err := mechanism.PrivSQL(spec.Query, db, spec.Options(), spec.PrimaryPrivate,
+					spec.Policy, spec.JoinOrder, mechanism.PrivSQLConfig{Epsilon: 1}, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Section 7.3 parameter study: TSensDP on q* across ℓ values.
+func BenchmarkParamStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.ParamStudy([]int64{1, 10, 100}, 3,
+			experiments.FacebookSize{Nodes: 60, Edges: 400, Circles: 80}, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: Algorithm 1 (path specialization) vs Algorithm 2 (general tree)
+// on the same path query — the constant-factor benefit DESIGN.md notes.
+func BenchmarkAblation_PathVsTree(b *testing.B) {
+	db := tpchDB(0.001)
+	s := workload.Q1()
+	b.Run("Algorithm1_Path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.PathLocalSensitivity(s.Query, db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Algorithm2_Tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LocalSensitivity(s.Query, db, s.Options()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Ablation: exact vs top-k-approximate top/botjoins on the path query
+// (Section 5.4 "Efficient approximations").
+func BenchmarkAblation_TopK(b *testing.B) {
+	db := tpchDB(0.001)
+	s := workload.Q1()
+	for _, k := range []int{0, 16, 256} {
+		k := k
+		name := "exact"
+		if k > 0 {
+			name = fmt.Sprintf("top%d", k)
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := s.Options()
+			opts.TopK = k
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LocalSensitivity(s.Query, db, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: TSens vs the naive Theorem 3.1 oracle, the comparison of
+// Sections 4.1 and 5.2 (the oracle re-evaluates per candidate).
+func BenchmarkAblation_TSensVsNaive(b *testing.B) {
+	db := workload.TPCHData(0.00002, benchSeed) // tiny: the oracle is quadratic+
+	s := workload.Q1()
+	b.Run("TSens", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LocalSensitivity(s.Query, db, s.Options()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NaiveLocalSensitivity(s.Query, db, core.NaiveOptions{MaxCandidates: 5000000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Section 8 claim: elastic sensitivity ignores selections while TSens
+// tracks them (the selection study of EXPERIMENTS.md).
+func BenchmarkAblation_SelectionStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SelectionStudy(0.0005, benchSeed, []float64{1, 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Section 5.4's top-k approximation across k values.
+func BenchmarkAblation_TopKStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TopKStudy(0.0005, benchSeed, []int{0, 4, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmark: the TupleSensitivities evaluator TSensDP depends on.
+func BenchmarkTupleSensitivities(b *testing.B) {
+	db := tpchDB(0.001)
+	s := workload.Q1()
+	fn, err := core.TupleSensitivities(s.Query, db, "CUSTOMER", s.Options())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := db.Relation("CUSTOMER").Rows
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fn(rows[i%len(rows)])
+	}
+}

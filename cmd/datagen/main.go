@@ -1,0 +1,64 @@
+// Command datagen emits the synthetic datasets of the evaluation as CSV
+// directories: the TPC-H-like database (dbgen substitute) and the
+// Facebook-ego-network-like database (SNAP substitute).
+//
+// Usage:
+//
+//	datagen -kind tpch -scale 0.001 -out ./tpch-0.001
+//	datagen -kind facebook -nodes 225 -edges 3192 -circles 567 -out ./fb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tsens/internal/csvio"
+	"tsens/internal/snapgen"
+	"tsens/internal/tpch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind    = flag.String("kind", "tpch", "dataset kind: tpch or facebook")
+		out     = flag.String("out", "", "output directory for CSV files")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		scale   = flag.Float64("scale", 0.001, "TPC-H scale factor")
+		skew    = flag.Float64("skew", 0, "TPC-H: Zipf exponent for foreign keys (>1; 0 = uniform, like dbgen)")
+		nodes   = flag.Int("nodes", 225, "facebook: node count")
+		edges   = flag.Int("edges", 3192, "facebook: undirected edge count")
+		circles = flag.Int("circles", 567, "facebook: circle count")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		return fmt.Errorf("-out is required")
+	}
+
+	loader := csvio.NewLoader()
+	switch *kind {
+	case "tpch":
+		db := tpch.Generate(tpch.Config{Scale: *scale, Seed: *seed, Skew: *skew})
+		if err := loader.SaveDatabase(db, *out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote TPC-H scale %g (%d tuples) to %s\n", *scale, db.Size(), *out)
+	case "facebook":
+		net := snapgen.Generate(snapgen.Config{Nodes: *nodes, Edges: *edges, Circles: *circles, Seed: *seed})
+		if err := loader.SaveDatabase(net.DB, *out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote ego-network (%d nodes, %d edges, %d tuples) to %s\n",
+			*nodes, *edges, net.DB.Size(), *out)
+	default:
+		return fmt.Errorf("unknown -kind %q (want tpch or facebook)", *kind)
+	}
+	return nil
+}

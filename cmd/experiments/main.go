@@ -1,0 +1,127 @@
+// Command experiments regenerates the paper's evaluation artifacts
+// (Section 7): Figures 6a, 6b, 7 and Tables 1, 2 plus the ℓ parameter
+// study, printing each in the paper's layout.
+//
+// Usage:
+//
+//	experiments                       # everything at default sizes
+//	experiments -only fig6a,table2    # a subset (also: selection, topk studies)
+//	experiments -scales 0.0001,0.001,0.01 -runs 20 -seed 42
+//
+// Scales are TPC-H scale factors; q3 (the cyclic query) is capped at
+// -maxq3 because its hypertree bags grow super-linearly, mirroring the
+// paper's own memory cutoff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tsens/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		only      = flag.String("only", "", "comma list of artifacts: fig6a, fig6b, fig7, table1, table2, param, selection, topk (empty = all)")
+		scalesStr = flag.String("scales", "", "TPC-H scales for fig6a/fig7 (default 0.0001,0.0003,0.001,0.003,0.01)")
+		fig6bAt   = flag.Float64("fig6b-scale", 0.001, "TPC-H scale for fig6b")
+		runs      = flag.Int("runs", 20, "repetitions per mechanism for table2/param")
+		seed      = flag.Int64("seed", 42, "generator and mechanism seed")
+		nodes     = flag.Int("fb-nodes", 120, "facebook nodes")
+		edges     = flag.Int("fb-edges", 1200, "facebook undirected edges")
+		circles   = flag.Int("fb-circles", 250, "facebook circles")
+		tpchScale = flag.Float64("table2-scale", 0.001, "TPC-H scale for table2")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only == "" {
+		for _, k := range []string{"fig6a", "fig6b", "fig7", "table1", "table2", "param", "selection", "topk"} {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+	scales := experiments.DefaultTPCHScales
+	if *scalesStr != "" {
+		scales = nil
+		for _, s := range strings.Split(*scalesStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad scale %q", s)
+			}
+			scales = append(scales, v)
+		}
+	}
+	fbSize := experiments.FacebookSize{Nodes: *nodes, Edges: *edges, Circles: *circles}
+
+	if want["fig6a"] || want["fig7"] {
+		rows, err := experiments.Fig6a7(scales, *seed)
+		if err != nil {
+			return err
+		}
+		if want["fig6a"] {
+			fmt.Println(experiments.RenderFig6a(rows))
+		}
+		if want["fig7"] {
+			fmt.Println(experiments.RenderFig7(rows))
+		}
+	}
+	if want["fig6b"] {
+		rows, err := experiments.Fig6b(*fig6bAt, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFig6b(rows, *fig6bAt))
+	}
+	if want["table1"] {
+		rows, err := experiments.Table1(fbSize, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable1(rows))
+	}
+	if want["table2"] {
+		rows, err := experiments.Table2(experiments.Table2Config{
+			Runs: *runs, TPCHScale: *tpchScale, Facebook: fbSize, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if want["param"] {
+		rows, err := experiments.ParamStudy(nil, *runs, fbSize, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderParamStudy(rows))
+	}
+	if want["selection"] {
+		rows, err := experiments.SelectionStudy(*tpchScale, *seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderSelectionStudy(rows))
+	}
+	if want["topk"] {
+		rows, err := experiments.TopKStudy(*tpchScale, *seed, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTopKStudy(rows))
+	}
+	return nil
+}

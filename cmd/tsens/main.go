@@ -1,0 +1,233 @@
+// Command tsens computes the local sensitivity of a conjunctive counting
+// query over CSV relations.
+//
+// Usage:
+//
+//	tsens -data ./mydata -query "R1(A,B), R2(B,C) where R2.C >= 5" [flags]
+//
+// The data directory holds one <RelationName>.csv file per relation, first
+// row being the column names. Values may be integers or arbitrary strings
+// (dictionary-encoded internally). Cyclic queries need -bags, e.g.
+// -bags "0,1;2" to put atoms 0 and 1 in one GHD bag and atom 2 in another.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tsens/internal/core"
+	"tsens/internal/csvio"
+	"tsens/internal/elastic"
+	"tsens/internal/ghd"
+	"tsens/internal/parser"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tsens:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataDir   = flag.String("data", "", "directory of <Relation>.csv files")
+		queryText = flag.String("query", "", `query body, e.g. "R1(A,B), R2(B,C) where R2.C >= 5"`)
+		bagsSpec  = flag.String("bags", "", `GHD bags for cyclic queries: atom indexes, ";"-separated bags, e.g. "0,1;2"`)
+		skip      = flag.String("skip", "", "comma-separated relations to skip (known tuple sensitivity ≤ 1)")
+		topK      = flag.Int("topk", 0, "top-k approximation of top/botjoins (0 = exact)")
+		naive     = flag.Bool("naive", false, "also run the naive Theorem 3.1 oracle (slow; small data only)")
+		showElas  = flag.Bool("elastic", false, "also report the elastic-sensitivity upper bound")
+		perRel    = flag.Bool("per-relation", false, "print the most sensitive tuple of every relation")
+		downward  = flag.Bool("downward", false, "also report the deletion-only (downward) local sensitivity")
+		explain   = flag.Bool("explain", false, "print the join tree (or GHD bag tree) the algorithm runs on")
+		tupleSpec = flag.String("tuple", "", `evaluate δ of one tuple: "Relation:v1,v2,..." (values as in the CSVs)`)
+	)
+	flag.Parse()
+	if *dataDir == "" || *queryText == "" {
+		flag.Usage()
+		return fmt.Errorf("-data and -query are required")
+	}
+
+	loader := csvio.NewLoader()
+	db, err := loader.LoadDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	q, err := parser.Parse("q", *queryText)
+	if err != nil {
+		return err
+	}
+
+	opts := core.Options{TopK: *topK}
+	if *skip != "" {
+		opts.SkipRelations = strings.Split(*skip, ",")
+	}
+	if *bagsSpec != "" {
+		bags, err := parseBags(*bagsSpec)
+		if err != nil {
+			return err
+		}
+		opts.Decomposition, err = ghd.FromBags(q, bags)
+		if err != nil {
+			return err
+		}
+	} else if !query.IsAcyclic(q.Atoms) {
+		d, err := ghd.Search(q, 0)
+		if err != nil {
+			return fmt.Errorf("query is cyclic and no -bags given; automatic search failed: %w", err)
+		}
+		opts.Decomposition = d
+		fmt.Printf("query is cyclic; using searched GHD bags %v\n", d.Bags)
+	}
+
+	if *explain {
+		atoms := q.Atoms
+		if opts.Decomposition != nil {
+			atoms = opts.Decomposition.BagAtoms(q)
+		}
+		tree, err := query.BuildJoinTree(atoms)
+		if err != nil {
+			return err
+		}
+		fmt.Println("join tree:")
+		fmt.Print(tree.Render())
+		fmt.Printf("doubly acyclic: %v\n\n", tree.IsDoublyAcyclic())
+	}
+
+	res, err := core.LocalSensitivity(q, db, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query            : %s\n", q)
+	fmt.Printf("|Q(D)|           : %d\n", res.Count)
+	fmt.Printf("local sensitivity: %d%s\n", res.LS, approxMark(res.Approximate))
+	fmt.Printf("doubly acyclic   : %v (max join-tree degree %d)\n", res.DoublyAcyclic, res.MaxDegree)
+	if res.Best != nil {
+		fmt.Printf("most sensitive   : %s\n", renderTuple(loader, res.Best))
+	}
+	if *perRel {
+		fmt.Println("\nper-relation most sensitive tuples:")
+		for _, a := range q.Atoms {
+			tr, ok := res.PerRelation[a.Relation]
+			if !ok {
+				fmt.Printf("  %-12s skipped\n", a.Relation)
+				continue
+			}
+			fmt.Printf("  %-12s δ=%-8d %s\n", a.Relation, tr.Sensitivity, renderTuple(loader, tr))
+		}
+	}
+	if *showElas {
+		an, err := elastic.NewAnalyzer(q, db)
+		if err != nil {
+			return err
+		}
+		bound, err := an.LocalSensitivity(elastic.DefaultOrder(q))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("elastic bound    : %d\n", bound)
+	}
+	if *naive {
+		nres, err := core.NaiveLocalSensitivity(q, db, core.NaiveOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("naive oracle     : %d (agrees: %v)\n", nres.LS, nres.LS == res.LS)
+	}
+	if *downward {
+		dres, err := core.DownwardLocalSensitivity(q, db, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("downward LS      : %d", dres.LS)
+		if dres.Best != nil && dres.Best.Values != nil {
+			fmt.Printf("  via %s", renderTuple(loader, dres.Best))
+		}
+		fmt.Println()
+	}
+	if *tupleSpec != "" {
+		rel, vals, err := parseTuple(loader, *tupleSpec)
+		if err != nil {
+			return err
+		}
+		fn, err := core.TupleSensitivities(q, db, rel, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("δ(%s) = %d\n", *tupleSpec, fn(vals))
+	}
+	return nil
+}
+
+// parseTuple decodes "Relation:v1,v2,..." with the loader's dictionary, so
+// string values written in the CSVs resolve to the same codes.
+func parseTuple(loader *csvio.Loader, spec string) (string, relation.Tuple, error) {
+	colon := strings.Index(spec, ":")
+	if colon < 0 {
+		return "", nil, fmt.Errorf(`-tuple must be "Relation:v1,v2,..."`)
+	}
+	rel := strings.TrimSpace(spec[:colon])
+	var vals relation.Tuple
+	for _, f := range strings.Split(spec[colon+1:], ",") {
+		v, err := loader.Encode(strings.TrimSpace(f))
+		if err != nil {
+			return "", nil, err
+		}
+		vals = append(vals, v)
+	}
+	return rel, vals, nil
+}
+
+func approxMark(approx bool) string {
+	if approx {
+		return " (upper bound: top-k approximation)"
+	}
+	return ""
+}
+
+func renderTuple(loader *csvio.Loader, tr *core.TupleResult) string {
+	if tr.Values == nil {
+		return fmt.Sprintf("%s: none (sensitivity 0)", tr.Relation)
+	}
+	parts := make([]string, len(tr.Vars))
+	for i := range tr.Vars {
+		if tr.Wildcard[i] {
+			parts[i] = fmt.Sprintf("%s=*", tr.Vars[i])
+		} else {
+			parts[i] = fmt.Sprintf("%s=%s", tr.Vars[i], loader.Decode(tr.Values[i]))
+		}
+	}
+	mode := "insert"
+	if tr.InDatabase {
+		mode = "in database (delete or insert)"
+	}
+	return fmt.Sprintf("%s(%s)  δ=%d  [%s]", tr.Relation, strings.Join(parts, ", "), tr.Sensitivity, mode)
+}
+
+func parseBags(spec string) ([][]int, error) {
+	var bags [][]int
+	for _, bagStr := range strings.Split(spec, ";") {
+		var bag []int
+		for _, f := range strings.Split(bagStr, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("bad atom index %q in -bags", f)
+			}
+			bag = append(bag, v)
+		}
+		if len(bag) > 0 {
+			bags = append(bags, bag)
+		}
+	}
+	return bags, nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/csvio"
+	"tsens/internal/relation"
+)
+
+func TestParseBags(t *testing.T) {
+	bags, err := parseBags("0,1;2;3,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {2}, {3, 4}}
+	if !reflect.DeepEqual(bags, want) {
+		t.Fatalf("parseBags=%v", bags)
+	}
+	if _, err := parseBags("0,x"); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	bags, err = parseBags("0, 1 ; 2")
+	if err != nil || len(bags) != 2 {
+		t.Fatalf("whitespace handling: %v %v", bags, err)
+	}
+}
+
+func TestParseTuple(t *testing.T) {
+	loader := csvio.NewLoader()
+	rel, vals, err := parseTuple(loader, "R2:1,foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "R2" || len(vals) != 2 || vals[0] != 1 {
+		t.Fatalf("parseTuple=(%s,%v)", rel, vals)
+	}
+	// The string must land on the same dictionary code as loading would.
+	code, _ := loader.Encode("foo")
+	if vals[1] != code {
+		t.Fatal("string value encoded inconsistently")
+	}
+	if _, _, err := parseTuple(loader, "no-colon"); err == nil {
+		t.Fatal("missing colon accepted")
+	}
+}
+
+func TestRenderTuple(t *testing.T) {
+	loader := csvio.NewLoader()
+	tr := &core.TupleResult{
+		Relation:    "R1",
+		Vars:        []string{"A", "B"},
+		Values:      relation.Tuple{1, 2},
+		Wildcard:    []bool{false, true},
+		Sensitivity: 7,
+		InDatabase:  true,
+	}
+	s := renderTuple(loader, tr)
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+	empty := &core.TupleResult{Relation: "R1"}
+	if renderTuple(loader, empty) == "" {
+		t.Fatal("empty tuple rendering")
+	}
+}
+
+func TestApproxMark(t *testing.T) {
+	if approxMark(false) != "" || approxMark(true) == "" {
+		t.Fatal("approxMark wrong")
+	}
+}

@@ -1,0 +1,27 @@
+package tsens
+
+import (
+	"tsens/internal/snapgen"
+	"tsens/internal/tpch"
+)
+
+// TPCHConfig parameterizes the synthetic TPC-H-like generator (the dbgen
+// substitute used in the evaluation; only join-key columns are generated).
+type TPCHConfig = tpch.Config
+
+// GenerateTPCH builds a TPC-H-like database with the paper's relation sizes
+// scaled by cfg.Scale.
+func GenerateTPCH(cfg TPCHConfig) *Database {
+	return tpch.Generate(cfg)
+}
+
+// EgoNetConfig parameterizes the synthetic ego-network generator (the SNAP
+// Facebook substitute). Zero values default to the scale of the paper's
+// ego-network of user 348.
+type EgoNetConfig = snapgen.Config
+
+// GenerateEgoNetwork builds an ego-network database with circle-partitioned
+// edge tables R1..R4 and the triangle table RTRI.
+func GenerateEgoNetwork(cfg EgoNetConfig) *Database {
+	return snapgen.Generate(cfg).DB
+}

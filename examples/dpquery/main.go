@@ -1,0 +1,112 @@
+// DP query answering: the Section 6 application. A counting join query
+// over a TPC-H-like database is answered with ε-differential privacy for
+// the CUSTOMER relation three ways:
+//
+//  1. Laplace noise scaled to the elastic-sensitivity static bound — the
+//     pre-TSens state of the art, whose noise dwarfs the answer;
+//  2. TSensDP — truncation at an SVT-learned tuple-sensitivity threshold
+//     (Theorem 6.1), whose error is a few percent;
+//  3. the PrivSQL-style baseline for comparison.
+//
+// Run with: go run ./examples/dpquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"tsens"
+)
+
+func main() {
+	// Scale 0.01 gives |Q(D)| ≈ 60000, matching the paper's Table 2 row
+	// for q1 (60175).
+	const (
+		epsilon = 1.0
+		scale   = 0.01
+		runs    = 15
+	)
+	db := tsens.GenerateTPCH(tsens.TPCHConfig{Scale: scale, Seed: 11})
+	q, err := tsens.ParseQuery("q1",
+		"REGION(RK), NATION(RK,NK), CUSTOMER(NK,CK), ORDERS(CK,OK), LINEITEM(OK,LSK,LPK)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trueCount, err := tsens.Count(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("|Q(D)| = %d   (ε = %g, %d runs, median relative error)\n\n", trueCount, epsilon, runs)
+
+	// 1. Plain Laplace at the elastic bound.
+	elasticGS, err := tsens.ElasticSensitivity(q, db, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elasticErr := medianAbs(runs, func(rng *rand.Rand) float64 {
+		noise := lap(rng, float64(elasticGS)/epsilon)
+		return math.Abs(noise) / float64(trueCount)
+	})
+	fmt.Printf("Laplace @ elastic bound: GS=%-10d median error %7.1f%%\n", elasticGS, elasticErr*100)
+
+	// 2. TSensDP.
+	var tsensGS int64
+	tsensErr := medianAbs(runs, func(rng *rand.Rand) float64 {
+		run, err := tsens.TSensDP(q, db, tsens.Options{}, "CUSTOMER",
+			tsens.TSensDPConfig{Epsilon: epsilon, Bound: 100}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tsensGS = run.GlobalSens
+		return run.Error
+	})
+	fmt.Printf("TSensDP:                 GS=%-10d median error %7.1f%%\n", tsensGS, tsensErr*100)
+
+	// 3. PrivSQL-style baseline with the FK policy of the paper.
+	policy := []tsens.Truncation{
+		{Relation: "ORDERS", KeyVars: []string{"CK"}},
+		{Relation: "LINEITEM", KeyVars: []string{"OK"}},
+	}
+	var privGS int64
+	privErr := medianAbs(runs, func(rng *rand.Rand) float64 {
+		run, err := tsens.PrivSQL(q, db, tsens.Options{}, "CUSTOMER", policy, nil,
+			tsens.PrivSQLConfig{Epsilon: epsilon}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		privGS = run.GlobalSens
+		return run.Error
+	})
+	fmt.Printf("PrivSQL baseline:        GS=%-10d median error %7.1f%%\n", privGS, privErr*100)
+
+	fmt.Println("\nBoth truncation mechanisms answer this simple path query within a few")
+	fmt.Println("percent (on q1 the paper's Table 2 also has PrivSQL slightly ahead:")
+	fmt.Println("1.34% vs 3.56%), while noise at the static elastic bound is useless.")
+	fmt.Println("The gap reverses dramatically on complex queries — run")
+	fmt.Println("`go run ./cmd/experiments -only table2` to see PrivSQL exceed 99%")
+	fmt.Println("error on q2/q3/q◦/q* while TSensDP stays in single digits.")
+}
+
+func lap(rng *rand.Rand, scale float64) float64 {
+	u := rng.Float64() - 0.5
+	if u < 0 {
+		return scale * math.Log(1-2*(-u))
+	}
+	return -scale * math.Log(1-2*u)
+}
+
+func medianAbs(runs int, f func(*rand.Rand) float64) float64 {
+	vals := make([]float64, runs)
+	for i := range vals {
+		vals[i] = f(rand.New(rand.NewSource(int64(100 + i))))
+	}
+	// Insertion sort: tiny n.
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}

@@ -1,0 +1,81 @@
+// Outlier detection: which relationship in a social network is most
+// structurally important? Using the triangle query q△ over an ego-network
+// (Section 7.1's Facebook workload), the most sensitive tuple is the edge —
+// existing or missing — whose insertion or deletion changes the triangle
+// count the most: a direct "critical link" / outlier-influence analysis.
+//
+// The triangle query is cyclic, so this example also demonstrates the
+// generalized-hypertree-decomposition path (Section 5.4): the bags
+// {R1,R2}, {R3} of Figure 5b, found automatically here.
+//
+// Run with: go run ./examples/outlier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsens"
+)
+
+func main() {
+	db := tsens.GenerateEgoNetwork(tsens.EgoNetConfig{
+		Nodes: 80, Edges: 500, Circles: 120, Seed: 3,
+	})
+	q, err := tsens.ParseQuery("triangles", "R1(A,B), R2(B,C), R3(C,A)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s is acyclic: %v\n", q.Name, tsens.IsAcyclic(q))
+
+	// Cyclic: find a minimal-width GHD automatically (the paper specifies
+	// {R1,R2},{R3} — the search recovers width 2).
+	d, err := tsens.FindDecomposition(q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hypertree decomposition bags: %v (width %d)\n\n", d.Bags, d.Width())
+
+	opts := tsens.Options{Decomposition: d}
+	res, err := tsens.LocalSensitivity(q, db, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triangle count |Q(D)| = %d\n", res.Count)
+	fmt.Printf("local sensitivity     = %d\n", res.LS)
+	b := res.Best
+	kind := "adding the missing edge"
+	if b.InDatabase {
+		kind = "removing the existing edge"
+	}
+	fmt.Printf("most influential link : %s(%d → %d) in table %s — %s changes %d triangles\n\n",
+		b.Relation, b.Values[0], b.Values[1], b.Relation, kind, b.Sensitivity)
+
+	// Rank the top existing edges of R2 by influence: the tuple-sensitivity
+	// evaluator scores each edge in O(1) after one preprocessing pass.
+	fn, err := tsens.TupleSensitivities(q, db, "R2", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type scored struct {
+		u, v int64
+		s    int64
+	}
+	var top []scored
+	for _, row := range db.Relation("R2").Rows {
+		top = append(top, scored{row[0], row[1], fn(row)})
+	}
+	for i := 1; i < len(top); i++ { // insertion sort by influence
+		for j := i; j > 0 && top[j].s > top[j-1].s; j-- {
+			top[j], top[j-1] = top[j-1], top[j]
+		}
+	}
+	fmt.Println("top-5 most influential existing edges in R2:")
+	n := 5
+	if len(top) < n {
+		n = len(top)
+	}
+	for _, e := range top[:n] {
+		fmt.Printf("  edge %3d → %-3d participates in %d triangle joins\n", e.u, e.v, e.s)
+	}
+}

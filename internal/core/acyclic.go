@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// LocalSensitivity computes LS(Q, D) and the most sensitive tuple for a
+// full conjunctive query without self-joins (Definition 2.3). Acyclic
+// queries run directly on their GYO join tree (Algorithm 2); cyclic queries
+// require Options.Decomposition (Section 5.4).
+func LocalSensitivity(q *query.Query, db *relation.Database, opts Options) (*Result, error) {
+	s, err := newSolver(q, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PerRelation:   make(map[string]*TupleResult),
+		Count:         s.count(),
+		DoublyAcyclic: s.tree.IsDoublyAcyclic(),
+		MaxDegree:     s.tree.MaxDegree(),
+		Approximate:   opts.TopK > 0,
+	}
+	for ui := range s.units {
+		for _, md := range s.units[ui].members {
+			if md.skip {
+				continue
+			}
+			tr, err := s.mostSensitive(ui, md, db)
+			if err != nil {
+				return nil, err
+			}
+			res.PerRelation[md.atom.Relation] = tr
+			if tr.Sensitivity > res.LS {
+				res.LS = tr.Sensitivity
+				res.Best = tr
+			}
+		}
+	}
+	return res, nil
+}
+
+// pieces gathers the operands of the multiplicity-table join for a member
+// of unit ui: the unit's topjoin, the botjoins of its children, and — for
+// GHD bags — the base relations of the other members of the same bag
+// (Equation 6 extended per Section 5.4).
+func (s *solver) pieces(ui int, md *member) []*relation.Counted {
+	node := s.tree.Nodes[ui]
+	var out []*relation.Counted
+	if node.Parent != nil {
+		out = append(out, s.top[ui])
+	}
+	for _, c := range node.Children {
+		out = append(out, s.bot[c.Index])
+	}
+	for _, m2 := range s.units[ui].members {
+		if m2 != md {
+			out = append(out, m2.base)
+		}
+	}
+	return out
+}
+
+// groupPieces partitions pieces into connected components by shared
+// attributes. Within a component the join must be materialized; across
+// components the join is a cross product, so maxima multiply — the
+// factorization that makes doubly-acyclic queries near-linear (Section 5.3).
+func groupPieces(pieces []*relation.Counted) [][]*relation.Counted {
+	n := len(pieces)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if len(relation.Intersect(pieces[i].Attrs, pieces[j].Attrs)) > 0 {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	buckets := make(map[int][]*relation.Counted)
+	var order []int
+	for i, p := range pieces {
+		r := find(i)
+		if _, ok := buckets[r]; !ok {
+			order = append(order, r)
+		}
+		buckets[r] = append(buckets[r], p)
+	}
+	out := make([][]*relation.Counted, 0, len(order))
+	for _, r := range order {
+		out = append(out, buckets[r])
+	}
+	return out
+}
+
+// joinGroup joins the pieces of one connected group. Exact pieces are
+// joined first in greedy connected order; approximate (top-k truncated)
+// pieces are folded in last and must have attributes contained in the
+// accumulated join so their Default applies as a sound lookup (see
+// relation.Join).
+func joinGroup(group []*relation.Counted) (*relation.Counted, error) {
+	var exact, approx []*relation.Counted
+	for _, p := range group {
+		if p.Default > 0 {
+			approx = append(approx, p)
+		} else {
+			exact = append(exact, p)
+		}
+	}
+	if len(exact) == 0 {
+		if len(approx) == 1 {
+			return approx[0], nil
+		}
+		return nil, fmt.Errorf("core: top-k approximation cannot join %d approximate pieces", len(approx))
+	}
+	acc := exact[0]
+	rest := exact[1:]
+	for len(rest) > 0 {
+		pick := -1
+		for i, p := range rest {
+			if len(relation.Intersect(acc.Attrs, p.Attrs)) > 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // only possible within a group via approx bridges; cross product is still correct
+		}
+		j, err := relation.Join(acc, rest[pick])
+		if err != nil {
+			return nil, err
+		}
+		acc = j
+		rest = append(rest[:pick], rest[pick+1:]...)
+	}
+	for _, p := range approx {
+		if !relation.ContainsAll(acc.Attrs, p.Attrs) {
+			return nil, fmt.Errorf("core: top-k approximation not applicable: piece over %v not covered by %v", p.Attrs, acc.Attrs)
+		}
+		j, err := relation.Join(acc, p)
+		if err != nil {
+			return nil, err
+		}
+		acc = j
+	}
+	return acc, nil
+}
+
+// groupTable reduces one joined group to its contribution to the
+// multiplicity table of a target with variables targetVars: group by the
+// target variables it covers, summing the rest away.
+func groupTable(group []*relation.Counted, targetVars []string) (*relation.Counted, error) {
+	joined, err := joinGroup(group)
+	if err != nil {
+		return nil, err
+	}
+	keep := relation.Intersect(joined.Attrs, targetVars)
+	if joined.Default > 0 && len(keep) != len(joined.Attrs) {
+		return nil, fmt.Errorf("core: top-k approximation not applicable: cannot sum a truncated join over %v", relation.Minus(joined.Attrs, keep))
+	}
+	return joined.GroupBy(keep)
+}
+
+// predsOn returns the predicates of md restricted to variables in attrs,
+// with positions resolved against attrs.
+func predsOn(md *member, attrs []string) []struct {
+	pos int
+	op  query.Op
+	val int64
+} {
+	var out []struct {
+		pos int
+		op  query.Op
+		val int64
+	}
+	for _, p := range md.preds {
+		for i, a := range attrs {
+			if a == p.Var {
+				out = append(out, struct {
+					pos int
+					op  query.Op
+					val int64
+				}{i, p.Op, p.Value})
+			}
+		}
+	}
+	return out
+}
+
+// filterByPreds drops rows violating md's selection predicates on the
+// covered attributes (Section 5.4: tuples failing a selection have zero
+// sensitivity).
+func filterByPreds(c *relation.Counted, md *member) *relation.Counted {
+	bounds := predsOn(md, c.Attrs)
+	if len(bounds) == 0 {
+		return c
+	}
+	return c.Filter(func(t relation.Tuple) bool {
+		for _, b := range bounds {
+			if !b.op.Eval(t[b.pos], b.val) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// mostSensitive builds the (factorized) multiplicity table T^i for one
+// member and returns its most sensitive tuple.
+func (s *solver) mostSensitive(ui int, md *member, db *relation.Database) (*TupleResult, error) {
+	scale := s.scaleFor(ui)
+	tr := &TupleResult{Relation: md.atom.Relation, Vars: append([]string(nil), md.atom.Vars...)}
+
+	pieces := s.pieces(ui, md)
+	sens := scale
+	covered := make(map[string]int64)
+	wild := make(map[string]bool)
+	for _, v := range md.atom.Vars {
+		wild[v] = true
+	}
+	for _, group := range groupPieces(pieces) {
+		gt, err := groupTable(group, md.effVars)
+		if err != nil {
+			return nil, err
+		}
+		gt = filterByPreds(gt, md)
+		row, cnt := gt.MaxRow()
+		sens = relation.MulSat(sens, cnt)
+		if cnt == 0 {
+			sens = 0
+			break
+		}
+		for i, a := range gt.Attrs {
+			if row != nil {
+				covered[a] = row[i]
+				wild[a] = false
+			}
+			// row == nil: the truncation Default won; the attribute stays a
+			// wildcard and the bound still holds.
+		}
+	}
+	tr.Sensitivity = sens
+	if sens == 0 {
+		return tr, nil
+	}
+
+	// Assemble the candidate tuple in atom-variable order, picking values
+	// for wildcard variables that satisfy any selection predicates.
+	values := make(relation.Tuple, len(md.atom.Vars))
+	wildcard := make([]bool, len(md.atom.Vars))
+	for i, v := range md.atom.Vars {
+		if !wild[v] {
+			values[i] = covered[v]
+			continue
+		}
+		wildcard[i] = true
+		val, ok := pickValue(predsFor(md, v))
+		if !ok {
+			// Contradictory predicates: no insertable tuple exists and the
+			// filtered base is empty, so nothing achieves this sensitivity.
+			tr.Sensitivity = 0
+			return tr, nil
+		}
+		values[i] = val
+	}
+	tr.Values = values
+	tr.Wildcard = wildcard
+	tr.InDatabase = inDatabase(s.q, md, db, values, wildcard, &tr.Values)
+	return tr, nil
+}
+
+// predsFor returns md's predicates over exactly the variable v.
+func predsFor(md *member, v string) []query.Predicate {
+	var out []query.Predicate
+	for _, p := range md.preds {
+		if p.Var == v {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pickValue finds an int64 satisfying a conjunction of comparison
+// predicates, or reports that none exists.
+func pickValue(preds []query.Predicate) (int64, bool) {
+	const span = 1 << 40 // practical bounds well inside int64
+	lo, hi := int64(-span), int64(span)
+	ne := make(map[int64]bool)
+	for _, p := range preds {
+		switch p.Op {
+		case query.Eq:
+			if p.Value < lo || p.Value > hi {
+				return 0, false
+			}
+			lo, hi = p.Value, p.Value
+		case query.Ne:
+			ne[p.Value] = true
+		case query.Lt:
+			if p.Value-1 < hi {
+				hi = p.Value - 1
+			}
+		case query.Le:
+			if p.Value < hi {
+				hi = p.Value
+			}
+		case query.Gt:
+			if p.Value+1 > lo {
+				lo = p.Value + 1
+			}
+		case query.Ge:
+			if p.Value > lo {
+				lo = p.Value
+			}
+		}
+	}
+	for v := lo; v <= hi; v++ {
+		if !ne[v] {
+			return v, true
+		}
+		if v == hi {
+			break
+		}
+	}
+	return 0, false
+}

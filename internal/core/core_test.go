@@ -1,0 +1,421 @@
+package core
+
+import (
+	"testing"
+
+	"tsens/internal/ghd"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// figure1DB is the database instance of Figure 1 with values a1=1, a2=2,
+// b1=1, b2=2, c1=1, d1=1, d2=2, e1=1, e2=2, f1=1, f2=2.
+func figure1DB() *relation.Database {
+	return relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"A", "B", "C"}, []relation.Tuple{{1, 1, 1}, {1, 2, 1}, {2, 1, 1}}),
+		relation.MustNew("R2", []string{"A", "B", "D"}, []relation.Tuple{{1, 1, 1}, {2, 2, 2}}),
+		relation.MustNew("R3", []string{"A", "E"}, []relation.Tuple{{1, 1}, {2, 1}, {2, 2}}),
+		relation.MustNew("R4", []string{"B", "F"}, []relation.Tuple{{1, 1}, {2, 1}, {2, 2}}),
+	)
+}
+
+func figure1Query() *query.Query {
+	return query.MustNew("q", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B", "C"}},
+		{Relation: "R2", Vars: []string{"A", "B", "D"}},
+		{Relation: "R3", Vars: []string{"A", "E"}},
+		{Relation: "R4", Vars: []string{"B", "F"}},
+	}, nil)
+}
+
+// Example 2.1: the local sensitivity of the Figure 1 query is 4, achieved
+// by inserting (a2, b2, c1) into R1.
+func TestFigure1Example21(t *testing.T) {
+	res, err := LocalSensitivity(figure1Query(), figure1DB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LS != 4 {
+		t.Fatalf("LS=%d, want 4", res.LS)
+	}
+	if res.Best == nil || res.Best.Relation != "R1" {
+		t.Fatalf("Best=%+v, want a tuple of R1", res.Best)
+	}
+	// Most sensitive tuple (a2,b2,c1): A=2, B=2 covered; C is a
+	// single-occurrence variable (wildcard).
+	if res.Best.Values[0] != 2 || res.Best.Values[1] != 2 {
+		t.Fatalf("Best tuple=%v, want (2,2,*)", res.Best.Values)
+	}
+	if !res.Best.Wildcard[2] || res.Best.Wildcard[0] || res.Best.Wildcard[1] {
+		t.Fatalf("wildcards=%v, want only C free", res.Best.Wildcard)
+	}
+	if res.Best.InDatabase {
+		t.Fatal("(a2,b2,*) is not in R1; InDatabase must be false")
+	}
+	if res.Count != 1 {
+		t.Fatalf("Count=%d, want 1 (Figure 1b)", res.Count)
+	}
+	// Per-relation table: R1's own entry achieves 4; removing (a1,b1,c1)
+	// changes the single output, so R2's best is at least 1.
+	if res.PerRelation["R1"].Sensitivity != 4 {
+		t.Fatalf("R1 sensitivity=%d", res.PerRelation["R1"].Sensitivity)
+	}
+	if res.PerRelation["R2"].Sensitivity < 1 {
+		t.Fatalf("R2 sensitivity=%d", res.PerRelation["R2"].Sensitivity)
+	}
+}
+
+// figure3DB is the path-query example of Figure 3.
+func figure3DB() *relation.Database {
+	return relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"A", "B"}, []relation.Tuple{{1, 1}, {1, 2}, {2, 2}, {2, 2}}),
+		relation.MustNew("R2", []string{"B", "C"}, []relation.Tuple{{1, 1}, {1, 2}, {2, 1}, {2, 1}}),
+		relation.MustNew("R3", []string{"C", "D"}, []relation.Tuple{{1, 1}, {1, 1}, {2, 1}, {2, 2}}),
+		relation.MustNew("R4", []string{"D", "E"}, []relation.Tuple{{1, 1}, {1, 2}, {1, 3}, {2, 4}}),
+	)
+}
+
+func figure3Query() *query.Query {
+	return query.MustNew("qpath4", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "D"}},
+		{Relation: "R4", Vars: []string{"D", "E"}},
+	}, nil)
+}
+
+// Figure 3's multiplicity table for R2 is exactly
+// {(b1,c1):6, (b1,c2):4, (b2,c1):18, (b2,c2):12} — ⊤ gives b1↦1, b2↦3 and
+// ⊥(R3) gives c1↦6, c2↦4. The per-relation maxima are R1:12, R2:18, R3:21,
+// R4:15, so LS = 21 via inserting (c1,d1) into R3.
+func TestFigure3PathExample(t *testing.T) {
+	for _, algo := range []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"acyclic", func() (*Result, error) { return LocalSensitivity(figure3Query(), figure3DB(), Options{}) }},
+		{"path", func() (*Result, error) { return PathLocalSensitivity(figure3Query(), figure3DB()) }},
+	} {
+		res, err := algo.run()
+		if err != nil {
+			t.Fatalf("%s: %v", algo.name, err)
+		}
+		if res.PerRelation["R2"].Sensitivity != 18 {
+			t.Fatalf("%s: T² max=%d, want 18", algo.name, res.PerRelation["R2"].Sensitivity)
+		}
+		// (b2, c1): B=2, C=1.
+		r2 := res.PerRelation["R2"]
+		if r2.Values[0] != 2 || r2.Values[1] != 1 {
+			t.Fatalf("%s: R2 best=%v, want (2,1)", algo.name, r2.Values)
+		}
+		if res.LS != 21 || res.Best.Relation != "R3" {
+			t.Fatalf("%s: LS=%d via %s, want 21 via R3", algo.name, res.LS, res.Best.Relation)
+		}
+		if res.PerRelation["R1"].Sensitivity != 12 {
+			t.Fatalf("%s: T¹ max=%d, want 12", algo.name, res.PerRelation["R1"].Sensitivity)
+		}
+		if res.PerRelation["R3"].Sensitivity != 21 {
+			t.Fatalf("%s: T³ max=%d, want 21", algo.name, res.PerRelation["R3"].Sensitivity)
+		}
+		if res.PerRelation["R4"].Sensitivity != 15 {
+			t.Fatalf("%s: T⁴ max=%d, want 15", algo.name, res.PerRelation["R4"].Sensitivity)
+		}
+	}
+}
+
+// Example 4.1: removing R2(b1,c1) removes 4 output tuples; the tuple
+// sensitivity evaluator must report exactly that.
+func TestFigure3TupleSensitivities(t *testing.T) {
+	fn, err := TupleSensitivities(figure3Query(), figure3DB(), "R2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fn(relation.Tuple{1, 1}); got != 6 {
+		t.Fatalf("δ(b1,c1)=%d, want 6", got)
+	}
+	if got := fn(relation.Tuple{2, 1}); got != 18 {
+		t.Fatalf("δ(b2,c1)=%d, want 18", got)
+	}
+	if got := fn(relation.Tuple{9, 9}); got != 0 {
+		t.Fatalf("δ(missing)=%d, want 0", got)
+	}
+	if got := fn(relation.Tuple{1}); got != 0 {
+		t.Fatalf("δ(bad arity)=%d, want 0", got)
+	}
+}
+
+func TestSingleRelationQuery(t *testing.T) {
+	db := relation.MustNewDatabase(
+		relation.MustNew("R", []string{"A", "B"}, []relation.Tuple{{1, 2}, {3, 4}}),
+	)
+	q := query.MustNew("q", []query.Atom{{Relation: "R", Vars: []string{"A", "B"}}}, nil)
+	res, err := LocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LS != 1 {
+		t.Fatalf("LS=%d, want 1 (single relation, Section 2.1)", res.LS)
+	}
+	if res.Count != 2 {
+		t.Fatalf("Count=%d", res.Count)
+	}
+	if res.Best == nil || !res.Best.Wildcard[0] || !res.Best.Wildcard[1] {
+		t.Fatalf("single-relation best should be all wildcards: %+v", res.Best)
+	}
+}
+
+func TestEmptyJoinPartner(t *testing.T) {
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"A", "B"}, []relation.Tuple{{1, 1}}),
+		relation.MustNew("R2", []string{"B", "C"}, nil),
+	)
+	q := query.MustNew("q", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}, nil)
+	res, err := LocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding (1, c) to R2 creates one output; R1 tuples are worth 0.
+	if res.LS != 1 || res.Best.Relation != "R2" {
+		t.Fatalf("LS=%d via %v", res.LS, res.Best)
+	}
+	if res.PerRelation["R1"].Sensitivity != 0 {
+		t.Fatalf("R1 sensitivity=%d, want 0", res.PerRelation["R1"].Sensitivity)
+	}
+	if res.Count != 0 {
+		t.Fatalf("Count=%d", res.Count)
+	}
+}
+
+func TestDisconnectedComponentsScale(t *testing.T) {
+	// Q :- R1(A), R2(B): adding a value to R1 creates |R2| outputs.
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"A"}, []relation.Tuple{{1}, {2}}),
+		relation.MustNew("R2", []string{"B"}, []relation.Tuple{{7}, {8}, {9}}),
+	)
+	q := query.MustNew("q", []query.Atom{
+		{Relation: "R1", Vars: []string{"A"}},
+		{Relation: "R2", Vars: []string{"B"}},
+	}, nil)
+	res, err := LocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LS != 3 || res.Best.Relation != "R1" {
+		t.Fatalf("LS=%d via %s, want 3 via R1", res.LS, res.Best.Relation)
+	}
+	if res.PerRelation["R2"].Sensitivity != 2 {
+		t.Fatalf("R2 sensitivity=%d, want 2", res.PerRelation["R2"].Sensitivity)
+	}
+	if res.Count != 6 {
+		t.Fatalf("Count=%d, want 6", res.Count)
+	}
+}
+
+func TestSkipRelations(t *testing.T) {
+	res, err := LocalSensitivity(figure3Query(), figure3DB(), Options{SkipRelations: []string{"R3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.PerRelation["R3"]; ok {
+		t.Fatal("skipped relation still reported")
+	}
+	// Without R3's 21, the max is T²'s 18.
+	if res.LS != 18 {
+		t.Fatalf("LS=%d, want 18 when R3 is skipped", res.LS)
+	}
+}
+
+func TestSelectionsFilterCandidates(t *testing.T) {
+	// Same path query, but restrict R2 to C=2: removing the C=1 tuples from
+	// play changes the sensitivities.
+	q := query.MustNew("qsel", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "D"}},
+		{Relation: "R4", Vars: []string{"D", "E"}},
+	}, map[string][]query.Predicate{
+		"R2": {{Var: "C", Op: query.Eq, Value: 2}},
+	})
+	res, err := LocalSensitivity(q, figure3DB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveLocalSensitivity(q, figure3DB(), NaiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LS != naive.LS {
+		t.Fatalf("TSens LS=%d naive LS=%d", res.LS, naive.LS)
+	}
+	// The R2 candidate must satisfy C=2.
+	if r2 := res.PerRelation["R2"]; r2.Sensitivity > 0 && r2.Values[1] != 2 {
+		t.Fatalf("R2 candidate %v violates selection C=2", r2.Values)
+	}
+	// Path algorithm agrees too.
+	p, err := PathLocalSensitivity(q, figure3DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LS != res.LS {
+		t.Fatalf("path LS=%d acyclic LS=%d", p.LS, res.LS)
+	}
+}
+
+func TestInfeasibleSelection(t *testing.T) {
+	q := query.MustNew("qbad", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}, map[string][]query.Predicate{
+		"R2": {{Var: "C", Op: query.Lt, Value: 0}, {Var: "C", Op: query.Gt, Value: 0}},
+	})
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"A", "B"}, []relation.Tuple{{1, 1}}),
+		relation.MustNew("R2", []string{"B", "C"}, []relation.Tuple{{1, 1}}),
+	)
+	res, err := LocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerRelation["R2"].Sensitivity != 0 {
+		t.Fatalf("infeasible selection should zero R2, got %d", res.PerRelation["R2"].Sensitivity)
+	}
+	if res.Count != 0 {
+		t.Fatalf("Count=%d", res.Count)
+	}
+}
+
+// Triangle query through the paper's GHD {R1,R2},{R3} (Figure 5b, q△).
+func TestTriangleGHD(t *testing.T) {
+	edges := []relation.Tuple{{1, 2}, {2, 3}, {3, 1}, {2, 1}, {3, 2}, {1, 3}}
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"x", "y"}, edges),
+		relation.MustNew("R2", []string{"x", "y"}, edges),
+		relation.MustNew("R3", []string{"x", "y"}, edges),
+	)
+	tri := query.MustNew("tri", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "A"}},
+	}, nil)
+	d := ghd.MustFromBags(tri, [][]int{{0, 1}, {2}})
+	res, err := LocalSensitivity(tri, db, Options{Decomposition: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NaiveLocalSensitivity(tri, db, NaiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LS != naive.LS {
+		t.Fatalf("GHD LS=%d naive LS=%d", res.LS, naive.LS)
+	}
+	if res.Count != 6 {
+		t.Fatalf("Count=%d, want 6", res.Count)
+	}
+	// Every relation's per-relation maximum must match the oracle.
+	for rel, tr := range res.PerRelation {
+		if tr.Sensitivity != naive.PerRelation[rel].Sensitivity {
+			t.Fatalf("%s: GHD=%d naive=%d", rel, tr.Sensitivity, naive.PerRelation[rel].Sensitivity)
+		}
+	}
+}
+
+func TestCyclicWithoutDecompositionFails(t *testing.T) {
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"x", "y"}, nil),
+		relation.MustNew("R2", []string{"x", "y"}, nil),
+		relation.MustNew("R3", []string{"x", "y"}, nil),
+	)
+	tri := query.MustNew("tri", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "A"}},
+	}, nil)
+	if _, err := LocalSensitivity(tri, db, Options{}); err == nil {
+		t.Fatal("cyclic query without decomposition accepted")
+	}
+}
+
+// The reported most sensitive tuple must actually achieve the reported
+// sensitivity: inserting it increases the count by LS (or deleting it when
+// InDatabase decreases by LS).
+func TestReportedTupleAchievesSensitivity(t *testing.T) {
+	q := figure3Query()
+	db := figure3DB()
+	res, err := LocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAchieves(t, q, db, res.Best)
+	for _, tr := range res.PerRelation {
+		checkAchieves(t, q, db, tr)
+	}
+}
+
+func checkAchieves(t *testing.T, q *query.Query, db *relation.Database, tr *TupleResult) {
+	t.Helper()
+	if tr == nil || tr.Sensitivity == 0 {
+		return
+	}
+	naive, err := NaiveLocalSensitivity(q, db, NaiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := naive.Count
+	mod := db.Clone()
+	r := mod.Relation(tr.Relation)
+	r.Rows = append(r.Rows, tr.Values.Clone())
+	cnt, err := naiveCount(q, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt-base != tr.Sensitivity {
+		t.Fatalf("%s: inserting %v changed count by %d, reported sensitivity %d",
+			tr.Relation, tr.Values, cnt-base, tr.Sensitivity)
+	}
+}
+
+func TestDoublyAcyclicFlag(t *testing.T) {
+	res, err := LocalSensitivity(figure3Query(), figure3DB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DoublyAcyclic {
+		t.Fatal("path query must be doubly acyclic")
+	}
+	if res.MaxDegree > 2 {
+		t.Fatalf("path max degree=%d", res.MaxDegree)
+	}
+}
+
+func TestTupleSensitivitiesRejectsTopK(t *testing.T) {
+	if _, err := TupleSensitivities(figure3Query(), figure3DB(), "R2", Options{TopK: 2}); err == nil {
+		t.Fatal("TopK accepted by TupleSensitivities")
+	}
+	if _, err := TupleSensitivities(figure3Query(), figure3DB(), "Nope", Options{}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}
+
+func TestEvaluateMatchesCount(t *testing.T) {
+	got, err := Evaluate(figure3Query(), figure3DB(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := naiveCount(figure3Query(), figure3DB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Evaluate=%d brute=%d", got, want)
+	}
+}
+
+func TestPathRejectsNonPath(t *testing.T) {
+	if _, err := PathLocalSensitivity(figure1Query(), figure1DB()); err == nil {
+		t.Fatal("non-path query accepted by Algorithm 1")
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// DownwardLocalSensitivity computes max_t δ⁻(t, Q, D): the largest drop in
+// |Q(D)| achievable by deleting one existing tuple (Definition 2.1's
+// downward direction). This is the deletion-propagation question of the
+// introduction — "identify the critical part in the production to minimize
+// the number of orders affected" — restricted to tuples actually present.
+//
+// The upward direction needs no separate entry point: candidates may come
+// from the whole representative domain, so max_t δ⁺ equals the overall
+// LocalSensitivity.
+func DownwardLocalSensitivity(q *query.Query, db *relation.Database, opts Options) (*Result, error) {
+	if opts.TopK > 0 {
+		// Tuple sensitivities must be exact for per-row scoring.
+		opts.TopK = 0
+	}
+	res := &Result{PerRelation: make(map[string]*TupleResult)}
+	first := true
+	for _, a := range q.Atoms {
+		if opts.skipped(a.Relation) {
+			continue
+		}
+		fn, err := TupleSensitivities(q, db, a.Relation, opts)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			// Count once; it is relation-independent.
+			res.Count, err = Evaluate(q, db, opts)
+			if err != nil {
+				return nil, err
+			}
+			first = false
+		}
+		tr := &TupleResult{Relation: a.Relation, Vars: append([]string(nil), a.Vars...)}
+		for _, row := range db.Relation(a.Relation).Rows {
+			if s := fn(row); s > tr.Sensitivity {
+				tr.Sensitivity = s
+				tr.Values = row.Clone()
+				tr.Wildcard = make([]bool, len(row))
+				tr.InDatabase = true
+			}
+		}
+		res.PerRelation[a.Relation] = tr
+		if tr.Sensitivity > res.LS {
+			res.LS = tr.Sensitivity
+			res.Best = tr
+		}
+	}
+	return res, nil
+}

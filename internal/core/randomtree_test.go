@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tsens/internal/ghd"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// randomTreeQuery builds a random acyclic query by drawing a random tree
+// over m atoms: each non-root atom shares a connector (one or two
+// variables) with its parent, and atoms may carry extra single-occurrence
+// variables. This covers arbitrary join-tree shapes and degrees, far
+// beyond the fixed path/star/Figure-1 shapes of the other property tests.
+func randomTreeQuery(rng *rand.Rand, m int) ([]query.Atom, []*relation.Relation) {
+	type nodeInfo struct {
+		vars []string
+	}
+	nodes := make([]nodeInfo, m)
+	fresh := 0
+	newVar := func() string {
+		fresh++
+		return fmt.Sprintf("X%d", fresh)
+	}
+	for i := 1; i < m; i++ {
+		p := rng.Intn(i)
+		// Connector of size 1 or 2 between i and p.
+		conn := []string{newVar()}
+		if rng.Intn(3) == 0 {
+			conn = append(conn, newVar())
+		}
+		nodes[p].vars = append(nodes[p].vars, conn...)
+		nodes[i].vars = append(nodes[i].vars, conn...)
+	}
+	var atoms []query.Atom
+	var rels []*relation.Relation
+	for i := range nodes {
+		vars := nodes[i].vars
+		// Occasionally add a private (single-occurrence) variable.
+		if rng.Intn(2) == 0 {
+			vars = append(vars, newVar())
+		}
+		if len(vars) == 0 {
+			vars = []string{newVar()} // isolated single-atom component
+		}
+		name := fmt.Sprintf("R%d", i)
+		attrs := make([]string, len(vars))
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("c%d", j)
+		}
+		n := rng.Intn(5)
+		rows := make([]relation.Tuple, n)
+		for r := range rows {
+			t := make(relation.Tuple, len(vars))
+			for j := range t {
+				t[j] = int64(rng.Intn(2))
+			}
+			rows[r] = t
+		}
+		atoms = append(atoms, query.Atom{Relation: name, Vars: vars})
+		rels = append(rels, relation.MustNew(name, attrs, rows))
+	}
+	return atoms, rels
+}
+
+func TestPropertyRandomJoinTreesAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(4) // 2..5 atoms
+		atoms, rels := randomTreeQuery(rng, m)
+		q := query.MustNew("q", atoms, nil)
+		db := relation.MustNewDatabase(rels...)
+		if !query.IsAcyclic(atoms) {
+			t.Fatalf("trial %d: tree construction produced a cyclic query: %s", trial, q)
+		}
+		checkAgainstNaive(t, trial, q, db, Options{})
+	}
+}
+
+// The same random trees with one atom's connector duplicated into a width-2
+// GHD bag: the bag machinery must not change exact results on acyclic
+// inputs.
+func TestPropertyRandomTreesWithRedundantBags(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 30; trial++ {
+		m := 3 + rng.Intn(2)
+		atoms, rels := randomTreeQuery(rng, m)
+		q := query.MustNew("q", atoms, nil)
+		db := relation.MustNewDatabase(rels...)
+
+		// Try merging two adjacent atoms into one bag; if the resulting
+		// bag hypergraph is somehow rejected, skip the trial.
+		bags := [][]int{{0, 1}}
+		for i := 2; i < m; i++ {
+			bags = append(bags, []int{i})
+		}
+		d, err := ghd.FromBags(q, bags)
+		if err != nil {
+			continue
+		}
+		exact, err := LocalSensitivity(q, db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bagged, err := LocalSensitivity(q, db, Options{Decomposition: d})
+		if err != nil {
+			t.Fatalf("trial %d: bagged run failed: %v\n%s", trial, err, q)
+		}
+		if exact.LS != bagged.LS || exact.Count != bagged.Count {
+			t.Fatalf("trial %d: bagging changed results: LS %d vs %d, count %d vs %d\n%s",
+				trial, exact.LS, bagged.LS, exact.Count, bagged.Count, q)
+		}
+		for rel, tr := range exact.PerRelation {
+			if bt := bagged.PerRelation[rel]; bt.Sensitivity != tr.Sensitivity {
+				t.Fatalf("trial %d: %s: %d vs %d", trial, rel, tr.Sensitivity, bt.Sensitivity)
+			}
+		}
+	}
+}

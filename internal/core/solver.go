@@ -1,0 +1,310 @@
+// Package core implements TSens, the local-sensitivity algorithms of Tao et
+// al. (SIGMOD 2020):
+//
+//   - Algorithm 1 (Section 4): path join queries in O(n log n);
+//   - Algorithm 2 (Section 5): full acyclic conjunctive queries via join
+//     trees, computing topjoins ⊤(R), botjoins ⊥(R), and per-relation
+//     multiplicity tables T^i whose maximum entry is the local sensitivity;
+//   - the GHD extension (Section 5.4) for non-acyclic queries;
+//   - the extensions of Section 5.4: selections, disconnected join forests,
+//     single-occurrence variable extrapolation, skip-relations (FK–PK
+//     joins), and the top-k approximation;
+//   - the naive polynomial-data-complexity oracle of Theorem 3.1, used to
+//     cross-validate everything on small instances.
+package core
+
+import (
+	"fmt"
+
+	"tsens/internal/ghd"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+	"tsens/internal/yannakakis"
+)
+
+// Options configures a sensitivity computation.
+type Options struct {
+	// Decomposition assigns atoms to GHD bags for cyclic queries. Nil means
+	// the query must be acyclic (singleton bags).
+	Decomposition *ghd.Decomposition
+	// SkipRelations lists relations whose multiplicity table is not
+	// computed, following the paper's treatment of FK–PK-joined tables
+	// whose tuple sensitivity is known to be at most one (Section 7.2).
+	// Skipped relations do not contribute to the reported LS.
+	SkipRelations []string
+	// TopK, when positive, truncates every topjoin and botjoin to its k
+	// most frequent rows, clamping the remainder to the k-th count
+	// (Section 5.4, "Efficient approximations"). The result becomes an
+	// upper bound and Result.Approximate is set.
+	TopK int
+}
+
+func (o Options) skipped(rel string) bool {
+	for _, s := range o.SkipRelations {
+		if s == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// TupleResult describes the most sensitive tuple found for one relation.
+type TupleResult struct {
+	Relation string
+	// Vars and Values give the full candidate tuple in the relation's
+	// column order (via the atom's variable renaming). Values is nil when
+	// Sensitivity is zero (no tuple can change the output).
+	Vars   []string
+	Values relation.Tuple
+	// Wildcard[i] is true when variable i is unconstrained — any domain
+	// value achieves the same sensitivity (single-occurrence variables,
+	// Section 5.4 "Other", and endpoints of path queries).
+	Wildcard []bool
+	// Sensitivity is δ(t*, Q, D), an upper bound when Approximate.
+	Sensitivity int64
+	// InDatabase reports whether the candidate currently exists in the
+	// relation (so the sensitivity is achieved by deletion as well as by
+	// insertion).
+	InDatabase bool
+}
+
+// Result is the outcome of a local-sensitivity computation.
+type Result struct {
+	// LS = max over non-skipped relations of the tuple sensitivity.
+	LS int64
+	// Best is the most sensitive tuple achieving LS; nil when LS is zero.
+	Best *TupleResult
+	// PerRelation maps each non-skipped relation to its most sensitive
+	// tuple (Figure 6b reports these).
+	PerRelation map[string]*TupleResult
+	// Count is |Q(D)|, a byproduct of the botjoin pass (upper bound when
+	// Approximate).
+	Count int64
+	// DoublyAcyclic reports whether the join tree witnessed the
+	// doubly-acyclic property of Section 5.3.
+	DoublyAcyclic bool
+	// MaxDegree is the maximum join-tree degree d of Theorem 5.1.
+	MaxDegree int
+	// Approximate is set when TopK truncation was applied anywhere.
+	Approximate bool
+}
+
+// member is one base atom assigned to a unit (bag).
+type member struct {
+	atom    query.Atom
+	effVars []string          // variables kept (occurring in ≥2 atoms)
+	base    *relation.Counted // counted base relation over effVars
+	preds   []query.Predicate // per-tuple selection predicates
+	skip    bool
+}
+
+// unit is one node of the (bag) join tree the algorithm runs on. For an
+// acyclic query every unit holds exactly one member and rel is that
+// member's base; for GHD bags rel is the materialized join of the members.
+type unit struct {
+	vars    []string
+	rel     *relation.Counted
+	members []*member
+}
+
+// solver carries the preprocessed state shared by LocalSensitivity and
+// TupleSensitivities.
+type solver struct {
+	q     *query.Query
+	opts  Options
+	units []*unit
+	tree  *query.Tree // nodes index into units
+	bot   []*relation.Counted
+	top   []*relation.Counted
+	// comp[i] is the component id (root node index) of unit i; totals maps
+	// component id to that component's |Q_component(D)|.
+	comp   []int
+	totals map[int]int64
+}
+
+// newSolver binds the query, applies selections, drops single-occurrence
+// variables, materializes GHD bags, builds the unit join forest, and runs
+// the botjoin/topjoin passes.
+func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, error) {
+	if _, err := q.Bind(db); err != nil {
+		return nil, err
+	}
+	occ := q.VarOccurrences()
+
+	// Per-atom preprocessing.
+	members := make([]*member, len(q.Atoms))
+	for i, a := range q.Atoms {
+		var eff []string
+		for _, v := range a.Vars {
+			if occ[v] > 1 {
+				eff = append(eff, v)
+			}
+		}
+		base, err := yannakakis.BaseCounted(q, db, a)
+		if err != nil {
+			return nil, err
+		}
+		proj, err := base.GroupBy(eff)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = &member{
+			atom:    a,
+			effVars: eff,
+			base:    proj,
+			preds:   q.Selections[a.Relation],
+			skip:    opts.skipped(a.Relation),
+		}
+	}
+
+	// Bag assignment.
+	d := opts.Decomposition
+	if d == nil {
+		var err error
+		d, err = ghd.Trivial(q)
+		if err != nil {
+			return nil, fmt.Errorf("core: query is cyclic; provide a GHD decomposition: %w", err)
+		}
+	} else if _, err := ghd.FromBags(q, d.Bags); err != nil {
+		return nil, err
+	}
+
+	s := &solver{q: q, opts: opts}
+	unitAtoms := make([]query.Atom, len(d.Bags))
+	for bi, bag := range d.Bags {
+		u := &unit{}
+		var bases []*relation.Counted
+		for _, ai := range bag {
+			u.members = append(u.members, members[ai])
+			u.vars = relation.Union(u.vars, members[ai].effVars)
+			bases = append(bases, members[ai].base)
+		}
+		if len(bases) == 1 {
+			u.rel = bases[0]
+		} else {
+			m, err := ghd.Materialize(bases)
+			if err != nil {
+				return nil, err
+			}
+			g, err := m.GroupBy(u.vars)
+			if err != nil {
+				return nil, err
+			}
+			u.rel = g
+		}
+		s.units = append(s.units, u)
+		unitAtoms[bi] = query.Atom{Relation: fmt.Sprintf("unit%d", bi), Vars: u.vars}
+	}
+
+	tree, err := query.BuildJoinTree(unitAtoms)
+	if err != nil {
+		return nil, fmt.Errorf("core: bag hypergraph unexpectedly cyclic: %w", err)
+	}
+	s.tree = tree
+
+	if err := s.passes(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// passes computes botjoins (post-order), topjoins (pre-order), component
+// membership and per-component totals, implementing steps I and II of
+// Algorithm 2.
+func (s *solver) passes() error {
+	n := len(s.units)
+	s.bot = make([]*relation.Counted, n)
+	s.top = make([]*relation.Counted, n)
+	s.comp = make([]int, n)
+	s.totals = make(map[int]int64)
+
+	// Botjoins, leaf to root: ⊥(Ri) = γ_{Ai∩Ap}( r⋈(Ri, {⊥(Rj): children}) ).
+	for _, node := range s.tree.PostOrder() {
+		acc := s.units[node.Index].rel
+		for _, c := range node.Children {
+			j, err := relation.Join(acc, s.bot[c.Index])
+			if err != nil {
+				return err
+			}
+			acc = j
+		}
+		g, err := acc.GroupBy(node.ConnectorVars())
+		if err != nil {
+			return err
+		}
+		if s.opts.TopK > 0 {
+			g = g.TopK(s.opts.TopK)
+		}
+		s.bot[node.Index] = g
+	}
+
+	// Topjoins, root to leaf:
+	// ⊤(Ri) = γ_{Ai∩Ap}( r⋈(p(Ri), ⊤(p(Ri)), {⊥(Rj): siblings}) ).
+	for _, node := range s.tree.PreOrder() {
+		if node.Parent == nil {
+			s.top[node.Index] = nil
+			continue
+		}
+		acc := s.units[node.Parent.Index].rel
+		if t := s.top[node.Parent.Index]; t != nil {
+			j, err := relation.Join(acc, t)
+			if err != nil {
+				return err
+			}
+			acc = j
+		}
+		for _, sib := range node.Siblings() {
+			j, err := relation.Join(acc, s.bot[sib.Index])
+			if err != nil {
+				return err
+			}
+			acc = j
+		}
+		g, err := acc.GroupBy(node.ConnectorVars())
+		if err != nil {
+			return err
+		}
+		if s.opts.TopK > 0 {
+			g = g.TopK(s.opts.TopK)
+		}
+		s.top[node.Index] = g
+	}
+
+	// Components and totals. The botjoin of a root is grouped by the empty
+	// connector, so its SumCnt is the component's output count.
+	for _, root := range s.tree.Roots {
+		var mark func(n *query.Node)
+		mark = func(n *query.Node) {
+			s.comp[n.Index] = root.Index
+			for _, c := range n.Children {
+				mark(c)
+			}
+		}
+		mark(root)
+		s.totals[root.Index] = s.bot[root.Index].SumCnt()
+	}
+	return nil
+}
+
+// scaleFor returns the product of the output counts of every component
+// other than the one containing unit ui (Section 5.4, "Disconnected join
+// trees").
+func (s *solver) scaleFor(ui int) int64 {
+	scale := int64(1)
+	for root, total := range s.totals {
+		if root == s.comp[ui] {
+			continue
+		}
+		scale = relation.MulSat(scale, total)
+	}
+	return scale
+}
+
+// count returns |Q(D)| as the product of component totals.
+func (s *solver) count() int64 {
+	total := int64(1)
+	for _, t := range s.totals {
+		total = relation.MulSat(total, t)
+	}
+	return total
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// SensitivityFn evaluates δ(t, Q, D) for a tuple of one fixed relation,
+// given in that relation's column order. It answers in O(#groups) hash
+// lookups per call.
+type SensitivityFn func(t relation.Tuple) int64
+
+// TupleSensitivities prepares a fast tuple-sensitivity evaluator for the
+// named relation, the primitive TSensDP needs to truncate a primary private
+// relation (Section 6.2): the factorized multiplicity table is indexed by
+// the target variables so every tuple's sensitivity is a product of group
+// lookups times the cross-component scale.
+//
+// The evaluator is exact; Options.TopK is rejected here because the
+// mechanism requires true sensitivities for its bias accounting.
+func TupleSensitivities(q *query.Query, db *relation.Database, relName string, opts Options) (SensitivityFn, error) {
+	if opts.TopK > 0 {
+		return nil, fmt.Errorf("core: TupleSensitivities requires exact mode (TopK=0)")
+	}
+	s, err := newSolver(q, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	ui, md := -1, (*member)(nil)
+	for i, u := range s.units {
+		for _, m := range u.members {
+			if m.atom.Relation == relName {
+				ui, md = i, m
+			}
+		}
+	}
+	if md == nil {
+		return nil, fmt.Errorf("core: query has no atom over relation %s", relName)
+	}
+	scale := s.scaleFor(ui)
+
+	// Build one hash index per piece group, keyed by the group's covered
+	// target variables.
+	type groupIndex struct {
+		varPos []int // positions within the atom's variable list
+		counts map[string]int64
+	}
+	varPos := make(map[string]int, len(md.atom.Vars))
+	for i, v := range md.atom.Vars {
+		varPos[v] = i
+	}
+	var indexes []groupIndex
+	for _, group := range groupPieces(s.pieces(ui, md)) {
+		gt, err := groupTable(group, md.effVars)
+		if err != nil {
+			return nil, err
+		}
+		gi := groupIndex{counts: make(map[string]int64, len(gt.Rows))}
+		for _, a := range gt.Attrs {
+			gi.varPos = append(gi.varPos, varPos[a])
+		}
+		var buf []byte
+		for i, row := range gt.Rows {
+			buf = buf[:0]
+			for _, v := range row {
+				buf = appendVal(buf, v)
+			}
+			gi.counts[string(buf)] = gt.Cnt[i]
+		}
+		indexes = append(indexes, gi)
+	}
+
+	keep := q.ApplySelections(md.atom)
+	return func(t relation.Tuple) int64 {
+		if len(t) != len(md.atom.Vars) {
+			return 0
+		}
+		if keep != nil && !keep(t) {
+			return 0 // tuples failing the selection have zero sensitivity
+		}
+		sens := scale
+		var buf []byte
+		for _, gi := range indexes {
+			buf = buf[:0]
+			for _, p := range gi.varPos {
+				buf = appendVal(buf, t[p])
+			}
+			c, ok := gi.counts[string(buf)]
+			if !ok {
+				return 0
+			}
+			sens = relation.MulSat(sens, c)
+		}
+		return sens
+	}, nil
+}
+
+func appendVal(dst []byte, v int64) []byte {
+	u := uint64(v)
+	return append(dst,
+		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// Evaluate returns |Q(D)| using the botjoin pass of the solver, matching
+// Yannakakis-style counting. Exposed for the mechanism layer, which needs
+// counts and sensitivities from one consistent engine.
+func Evaluate(q *query.Query, db *relation.Database, opts Options) (int64, error) {
+	s, err := newSolver(q, db, opts)
+	if err != nil {
+		return 0, err
+	}
+	return s.count(), nil
+}

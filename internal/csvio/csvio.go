@@ -1,0 +1,177 @@
+// Package csvio reads and writes relations as CSV files. The first row is
+// the header (attribute names); values that parse as integers are stored
+// directly and any other string is dictionary-encoded via a Loader-wide
+// relation.Dict, so mixed datasets round-trip losslessly.
+//
+// Integer values are offset into a reserved range so that dictionary codes
+// (small non-negative ints) can never collide with integer data.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tsens/internal/relation"
+)
+
+// stringBase separates dictionary codes from literal integers: codes are
+// stored as stringBase + code. Literal integers must stay below it.
+const stringBase = int64(1) << 48
+
+// Loader decodes CSV relations with a shared string dictionary.
+type Loader struct {
+	dict *relation.Dict
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	return &Loader{dict: relation.NewDict()}
+}
+
+// Encode turns a textual field into its stored int64 value, interning
+// strings in the shared dictionary. Exposed so tools can encode values the
+// same way the CSVs were loaded.
+func (l *Loader) Encode(field string) (int64, error) {
+	return l.encode(field)
+}
+
+// encode turns a CSV field into an int64 value.
+func (l *Loader) encode(field string) (int64, error) {
+	if v, err := strconv.ParseInt(field, 10, 64); err == nil {
+		if v >= stringBase || v <= -stringBase {
+			return 0, fmt.Errorf("csvio: integer %d out of the supported range (±2^48)", v)
+		}
+		return v, nil
+	}
+	return stringBase + l.dict.Encode(field), nil
+}
+
+// Decode renders a stored value back to its textual form.
+func (l *Loader) Decode(v int64) string {
+	if v >= stringBase {
+		return l.dict.Decode(v - stringBase)
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+// ReadRelation parses one CSV stream into a named relation.
+func (l *Loader) ReadRelation(name string, r io.Reader) (*relation.Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %s: reading header: %w", name, err)
+	}
+	var rows []relation.Tuple
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: %s: %w", name, err)
+		}
+		t := make(relation.Tuple, len(rec))
+		for i, f := range rec {
+			t[i], err = l.encode(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("csvio: %s: %w", name, err)
+			}
+		}
+		rows = append(rows, t)
+	}
+	return relation.New(name, header, rows)
+}
+
+// LoadFile reads path into a relation named after the file's base name
+// (without extension).
+func (l *Loader) LoadFile(path string) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return l.ReadRelation(name, f)
+}
+
+// LoadDir loads every *.csv file of a directory into a database.
+func (l *Loader) LoadDir(dir string) (*relation.Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".csv") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("csvio: no .csv files in %s", dir)
+	}
+	db, err := relation.NewDatabase()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		r, err := l.LoadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// WriteRelation emits a relation as CSV, decoding values through the
+// loader's dictionary.
+func (l *Loader) WriteRelation(r *relation.Relation, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Attrs); err != nil {
+		return err
+	}
+	rec := make([]string, len(r.Attrs))
+	for _, t := range r.Rows {
+		for i, v := range t {
+			rec[i] = l.Decode(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveFile writes a relation to path as CSV.
+func (l *Loader) SaveFile(r *relation.Relation, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return l.WriteRelation(r, f)
+}
+
+// SaveDatabase writes every relation of db into dir as <name>.csv.
+func (l *Loader) SaveDatabase(db *relation.Database, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range db.Names() {
+		if err := l.SaveFile(db.Relation(name), filepath.Join(dir, name+".csv")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

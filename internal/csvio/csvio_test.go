@@ -1,0 +1,125 @@
+package csvio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsens/internal/relation"
+)
+
+func TestReadRelationIntegersAndStrings(t *testing.T) {
+	l := NewLoader()
+	in := "A,B\n1,foo\n2,bar\n1,foo\n"
+	r, err := l.ReadRelation("R", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 || len(r.Attrs) != 2 {
+		t.Fatalf("relation=%v", r)
+	}
+	if r.Rows[0][0] != 1 {
+		t.Fatalf("integer not stored literally: %d", r.Rows[0][0])
+	}
+	if r.Rows[0][1] == r.Rows[1][1] {
+		t.Fatal("distinct strings share codes")
+	}
+	if r.Rows[0][1] != r.Rows[2][1] {
+		t.Fatal("equal strings encode differently")
+	}
+	if got := l.Decode(r.Rows[0][1]); got != "foo" {
+		t.Fatalf("Decode=%q", got)
+	}
+	if got := l.Decode(r.Rows[0][0]); got != "1" {
+		t.Fatalf("integer Decode=%q", got)
+	}
+}
+
+func TestIntegerRangeGuard(t *testing.T) {
+	l := NewLoader()
+	in := "A\n999999999999999999\n"
+	if _, err := l.ReadRelation("R", strings.NewReader(in)); err == nil {
+		t.Fatal("huge integer accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	l := NewLoader()
+	in := "A,B\n1,foo\n-2,bar\n"
+	r, err := l.ReadRelation("R", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteRelation(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != in {
+		t.Fatalf("round trip:\n%q\nwant\n%q", got, in)
+	}
+}
+
+func TestLoadSaveDir(t *testing.T) {
+	dir := t.TempDir()
+	l := NewLoader()
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"A"}, []relation.Tuple{{1}, {2}}),
+		relation.MustNew("R2", []string{"B"}, []relation.Tuple{{7}}),
+	)
+	if err := l.SaveDatabase(db, dir); err != nil {
+		t.Fatal(err)
+	}
+	l2 := NewLoader()
+	got, err := l2.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 3 {
+		t.Fatalf("Size=%d", got.Size())
+	}
+	if got.Relation("R1") == nil || got.Relation("R2") == nil {
+		t.Fatalf("names=%v", got.Names())
+	}
+}
+
+func TestLoadDirEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := NewLoader().LoadDir(dir); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := NewLoader().LoadDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestLoadFileNameFromBase(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ORDERS.csv")
+	if err := os.WriteFile(path, []byte("CK,OK\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewLoader().LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "ORDERS" {
+		t.Fatalf("name=%q", r.Name)
+	}
+}
+
+func TestSharedDictAcrossRelations(t *testing.T) {
+	l := NewLoader()
+	r1, err := l.ReadRelation("R1", strings.NewReader("A\nfoo\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.ReadRelation("R2", strings.NewReader("B\nfoo\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows[0][0] != r2.Rows[0][0] {
+		t.Fatal("same string encodes differently across relations — joins would break")
+	}
+}

@@ -1,0 +1,56 @@
+// Package dp provides the differential-privacy primitives used by the
+// TSensDP and PrivSQL mechanisms of Section 6: a seeded Laplace sampler and
+// the sparse vector technique (SVT / AboveThreshold, following Lyu, Su, Li:
+// "Understanding the sparse vector technique for differential privacy").
+package dp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Lap draws from the Laplace distribution with mean 0 and the given scale
+// b: density ∝ exp(−|x|/b). A non-positive scale returns 0, the ε→∞ limit.
+func Lap(rng *rand.Rand, scale float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	u := rng.Float64() - 0.5
+	// Inverse CDF: x = −b·sign(u)·ln(1−2|u|).
+	if u < 0 {
+		return scale * math.Log(1-2*(-u))
+	}
+	return -scale * math.Log(1-2*u)
+}
+
+// LaplaceMechanism releases value + Lap(sensitivity/epsilon), the
+// ε-differentially-private answer for a query with the given global
+// sensitivity (Definition 6.3).
+func LaplaceMechanism(rng *rand.Rand, value float64, sensitivity, epsilon float64) (float64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("dp: epsilon must be positive, got %g", epsilon)
+	}
+	if sensitivity < 0 {
+		return 0, fmt.Errorf("dp: sensitivity must be non-negative, got %g", sensitivity)
+	}
+	return value + Lap(rng, sensitivity/epsilon), nil
+}
+
+// AboveThreshold runs the standard SVT: it scans queries of global
+// sensitivity 1 and returns the index of the first whose noisy value
+// exceeds the noisy threshold, or -1 when none does. The total privacy cost
+// is epsilon regardless of the number of queries scanned.
+func AboveThreshold(rng *rand.Rand, epsilon float64, threshold float64, queries []float64) (int, error) {
+	if epsilon <= 0 {
+		return -1, fmt.Errorf("dp: epsilon must be positive, got %g", epsilon)
+	}
+	rho := Lap(rng, 2/epsilon)
+	for i, q := range queries {
+		nu := Lap(rng, 4/epsilon)
+		if q+nu >= threshold+rho {
+			return i, nil
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,120 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLapZeroScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if Lap(rng, 0) != 0 || Lap(rng, -1) != 0 {
+		t.Fatal("non-positive scale must return 0")
+	}
+}
+
+func TestLapMomentsAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 200000
+	const scale = 3.0
+	var sum, sumAbs float64
+	for i := 0; i < n; i++ {
+		x := Lap(rng, scale)
+		sum += x
+		sumAbs += math.Abs(x)
+	}
+	mean := sum / n
+	meanAbs := sumAbs / n
+	if math.Abs(mean) > 0.05*scale {
+		t.Fatalf("mean=%g, want ≈0", mean)
+	}
+	// E|X| = b for Laplace(b).
+	if math.Abs(meanAbs-scale) > 0.05*scale {
+		t.Fatalf("E|X|=%g, want ≈%g", meanAbs, scale)
+	}
+}
+
+func TestLapTailProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 100000
+	const scale = 1.0
+	count := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(Lap(rng, scale)) > 2*scale {
+			count++
+		}
+	}
+	// P(|X| > 2b) = e^{-2} ≈ 0.1353.
+	p := float64(count) / n
+	if math.Abs(p-math.Exp(-2)) > 0.01 {
+		t.Fatalf("tail probability=%g, want ≈%g", p, math.Exp(-2))
+	}
+}
+
+func TestLaplaceMechanism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v, err := LaplaceMechanism(rng, 100, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 100 {
+		t.Fatalf("zero sensitivity must be noiseless, got %g", v)
+	}
+	if _, err := LaplaceMechanism(rng, 1, 1, 0); err == nil {
+		t.Fatal("epsilon=0 accepted")
+	}
+	if _, err := LaplaceMechanism(rng, 1, -1, 1); err == nil {
+		t.Fatal("negative sensitivity accepted")
+	}
+	// With high epsilon the noise is tiny.
+	v, err = LaplaceMechanism(rng, 100, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-100) > 1e-3 {
+		t.Fatalf("high-epsilon answer=%g", v)
+	}
+}
+
+func TestAboveThresholdFindsClearSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Queries far below threshold, then one far above.
+	qs := []float64{-1000, -1000, -1000, 1000, -1000}
+	hits := 0
+	for trial := 0; trial < 100; trial++ {
+		i, err := AboveThreshold(rng, 1.0, 0, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			hits++
+		}
+	}
+	if hits < 95 {
+		t.Fatalf("clear signal found only %d/100 times", hits)
+	}
+}
+
+func TestAboveThresholdNone(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	qs := []float64{-1000, -1000}
+	i, err := AboveThreshold(rng, 1.0, 0, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != -1 {
+		t.Fatalf("got %d, want -1", i)
+	}
+	if _, err := AboveThreshold(rng, 0, 0, qs); err == nil {
+		t.Fatal("epsilon=0 accepted")
+	}
+}
+
+func TestAboveThresholdDeterministicWithSeed(t *testing.T) {
+	qs := []float64{-5, 2, 8, -1}
+	a, _ := AboveThreshold(rand.New(rand.NewSource(7)), 1.0, 0, qs)
+	b, _ := AboveThreshold(rand.New(rand.NewSource(7)), 1.0, 0, qs)
+	if a != b {
+		t.Fatal("same seed gave different SVT outcomes")
+	}
+}

@@ -1,0 +1,198 @@
+// Package elastic reimplements the elastic-sensitivity analysis of Flex
+// (Johnson, Near, Song: "Towards practical differential privacy for SQL
+// queries"), the baseline the paper compares against in Section 7.2. At
+// distance 0 the elastic sensitivity is a static upper bound on the local
+// sensitivity of a counting join query, derived only from per-attribute
+// maximum frequencies and table sizes.
+//
+// Two extensions from the paper's experimental setup (Section 7.2) are
+// included: cross products use the operand's table size as the maximum
+// frequency of the empty join-attribute set, and the analysis follows a
+// caller-provided join plan so the join order matches TSens's.
+package elastic
+
+import (
+	"fmt"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// Analyzer holds the per-relation metadata elastic sensitivity is computed
+// from: row counts and per-variable maximum frequencies. The metadata pass
+// corresponds to the preprocessing step the paper grants Elastic before
+// timing it.
+type Analyzer struct {
+	q    *query.Query
+	rows map[string]int64            // relation → row count
+	mf   map[string]map[string]int64 // relation → variable → max frequency
+}
+
+// NewAnalyzer precomputes max frequencies for every atom variable.
+// Selections are deliberately ignored, matching the static nature of the
+// analysis (Section 8 notes elastic sensitivity outputs the same value with
+// or without selections).
+func NewAnalyzer(q *query.Query, db *relation.Database) (*Analyzer, error) {
+	if _, err := q.Bind(db); err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		q:    q,
+		rows: make(map[string]int64),
+		mf:   make(map[string]map[string]int64),
+	}
+	for _, atom := range q.Atoms {
+		r := db.Relation(atom.Relation)
+		a.rows[atom.Relation] = int64(len(r.Rows))
+		m := make(map[string]int64, len(atom.Vars))
+		for i, v := range atom.Vars {
+			m[v] = maxFrequency(r, i)
+		}
+		a.mf[atom.Relation] = m
+	}
+	return a, nil
+}
+
+func maxFrequency(r *relation.Relation, col int) int64 {
+	counts := make(map[int64]int64)
+	var max int64
+	for _, t := range r.Rows {
+		counts[t[col]]++
+		if counts[t[col]] > max {
+			max = counts[t[col]]
+		}
+	}
+	return max
+}
+
+// stats tracks the static metadata of a (sub)plan during the recursion.
+type stats struct {
+	vars []string
+	rows int64
+	mf   map[string]int64
+	sens int64
+}
+
+// leaf builds the stats of a base relation, with sensitivity 1 when it is
+// the relation whose tuples may change.
+func (a *Analyzer) leaf(rel string, sensitive string) (*stats, error) {
+	atom, ok := a.q.Atom(rel)
+	if !ok {
+		return nil, fmt.Errorf("elastic: query has no atom %s", rel)
+	}
+	s := &stats{
+		vars: append([]string(nil), atom.Vars...),
+		rows: a.rows[rel],
+		mf:   make(map[string]int64, len(atom.Vars)),
+	}
+	for v, f := range a.mf[rel] {
+		s.mf[v] = f
+	}
+	if rel == sensitive {
+		s.sens = 1
+	}
+	return s, nil
+}
+
+// joinKeyMF is the max frequency of the composite join key: the minimum of
+// the per-variable max frequencies, or the row bound for an empty key
+// (cross product — the paper's extension).
+func (s *stats) joinKeyMF(shared []string) int64 {
+	if len(shared) == 0 {
+		return s.rows
+	}
+	mf := int64(-1)
+	for _, v := range shared {
+		f := s.mf[v]
+		if mf < 0 || f < mf {
+			mf = f
+		}
+	}
+	if mf < 0 {
+		mf = 0
+	}
+	return mf
+}
+
+// join combines two subplans with the Flex distance-0 recursion:
+//
+//	Ŝ(q1 ⋈ q2) = max( mf(A,q1)·Ŝ(q2), mf(A,q2)·Ŝ(q1) )
+//
+// with row-bound and max-frequency propagation.
+func join(s1, s2 *stats) *stats {
+	shared := relation.Intersect(s1.vars, s2.vars)
+	mf1 := s1.joinKeyMF(shared)
+	mf2 := s2.joinKeyMF(shared)
+	out := &stats{
+		vars: relation.Union(s1.vars, s2.vars),
+		mf:   make(map[string]int64, len(s1.mf)+len(s2.mf)),
+	}
+	out.sens = relation.MulSat(mf1, s2.sens)
+	if x := relation.MulSat(mf2, s1.sens); x > out.sens {
+		out.sens = x
+	}
+	r1 := relation.MulSat(s1.rows, mf2)
+	r2 := relation.MulSat(s2.rows, mf1)
+	if r1 < r2 {
+		out.rows = r1
+	} else {
+		out.rows = r2
+	}
+	for v, f := range s1.mf {
+		out.mf[v] = relation.MulSat(f, mf2)
+	}
+	for v, f := range s2.mf {
+		p := relation.MulSat(f, mf1)
+		if cur, ok := out.mf[v]; !ok || p < cur {
+			out.mf[v] = p
+		}
+	}
+	return out
+}
+
+// Sensitivity computes the elastic sensitivity of the counting query along
+// a left-deep join plan over the given relation order, treating exactly one
+// relation as sensitive.
+func (a *Analyzer) Sensitivity(order []string, sensitive string) (int64, error) {
+	if len(order) == 0 {
+		return 0, fmt.Errorf("elastic: empty join order")
+	}
+	acc, err := a.leaf(order[0], sensitive)
+	if err != nil {
+		return 0, err
+	}
+	for _, rel := range order[1:] {
+		leaf, err := a.leaf(rel, sensitive)
+		if err != nil {
+			return 0, err
+		}
+		acc = join(acc, leaf)
+	}
+	return acc.sens, nil
+}
+
+// LocalSensitivity is the elastic upper bound on LS(Q,D): the maximum of
+// the per-relation elastic sensitivities.
+func (a *Analyzer) LocalSensitivity(order []string) (int64, error) {
+	var max int64
+	for _, atom := range a.q.Atoms {
+		s, err := a.Sensitivity(order, atom.Relation)
+		if err != nil {
+			return 0, err
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max, nil
+}
+
+// DefaultOrder returns the atom order of the query body, the fallback join
+// plan when a workload does not specify one.
+func DefaultOrder(q *query.Query) []string {
+	out := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		out[i] = a.Relation
+	}
+	return out
+}

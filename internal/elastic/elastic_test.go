@@ -1,0 +1,179 @@
+package elastic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+func twoJoin() (*query.Query, *relation.Database) {
+	q := query.MustNew("q", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}, nil)
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"x", "y"}, []relation.Tuple{{1, 1}, {2, 1}, {3, 2}}),
+		relation.MustNew("R2", []string{"x", "y"}, []relation.Tuple{{1, 7}, {1, 8}, {1, 9}, {2, 7}}),
+	)
+	return q, db
+}
+
+func TestMaxFrequency(t *testing.T) {
+	r := relation.MustNew("R", []string{"A"}, []relation.Tuple{{1}, {1}, {2}})
+	if got := maxFrequency(r, 0); got != 2 {
+		t.Fatalf("maxFrequency=%d", got)
+	}
+	empty := relation.MustNew("E", []string{"A"}, nil)
+	if got := maxFrequency(empty, 0); got != 0 {
+		t.Fatalf("empty maxFrequency=%d", got)
+	}
+}
+
+func TestTwoWayJoinSensitivity(t *testing.T) {
+	q, db := twoJoin()
+	a, err := NewAnalyzer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mf(B,R1)=2 (value 1 twice), mf(B,R2)=3 (value 1 thrice).
+	// Sensitive R1: Ŝ = mf(B,R2)·1 = 3. Sensitive R2: Ŝ = mf(B,R1)·1 = 2.
+	s1, err := a.Sensitivity([]string{"R1", "R2"}, "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 3 {
+		t.Fatalf("Ŝ(R1)=%d, want 3", s1)
+	}
+	s2, err := a.Sensitivity([]string{"R1", "R2"}, "R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2 != 2 {
+		t.Fatalf("Ŝ(R2)=%d, want 2", s2)
+	}
+	ls, err := a.LocalSensitivity([]string{"R1", "R2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls != 3 {
+		t.Fatalf("elastic LS=%d, want 3", ls)
+	}
+}
+
+func TestCrossProductExtension(t *testing.T) {
+	q := query.MustNew("q", []query.Atom{
+		{Relation: "R1", Vars: []string{"A"}},
+		{Relation: "R2", Vars: []string{"B"}},
+	}, nil)
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"x"}, []relation.Tuple{{1}, {2}}),
+		relation.MustNew("R2", []string{"x"}, []relation.Tuple{{1}, {2}, {3}}),
+	)
+	a, err := NewAnalyzer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adding a tuple to R1 creates |R2| = 3 outputs; the cross-product rule
+	// uses the table size as the empty-key max frequency.
+	s, err := a.Sensitivity([]string{"R1", "R2"}, "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 3 {
+		t.Fatalf("cross-product Ŝ(R1)=%d, want 3", s)
+	}
+}
+
+func TestAnalyzerErrors(t *testing.T) {
+	q, db := twoJoin()
+	a, err := NewAnalyzer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Sensitivity(nil, "R1"); err == nil {
+		t.Fatal("empty order accepted")
+	}
+	if _, err := a.Sensitivity([]string{"Nope"}, "R1"); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+	qBad := query.MustNew("q", []query.Atom{{Relation: "Missing", Vars: []string{"A"}}}, nil)
+	if _, err := NewAnalyzer(qBad, db); err == nil {
+		t.Fatal("unbound query accepted")
+	}
+}
+
+func TestDefaultOrder(t *testing.T) {
+	q, _ := twoJoin()
+	got := DefaultOrder(q)
+	if len(got) != 2 || got[0] != "R1" || got[1] != "R2" {
+		t.Fatalf("DefaultOrder=%v", got)
+	}
+}
+
+// Elastic sensitivity is a static upper bound: on random path instances it
+// must dominate the exact local sensitivity computed by TSens.
+func TestPropertyElasticUpperBoundsExactLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(3)
+		var atoms []query.Atom
+		var rels []*relation.Relation
+		for i := 0; i < m; i++ {
+			name := fmt.Sprintf("R%d", i)
+			atoms = append(atoms, query.Atom{Relation: name, Vars: []string{fmt.Sprintf("V%d", i), fmt.Sprintf("V%d", i+1)}})
+			n := 1 + rng.Intn(8)
+			rows := make([]relation.Tuple, n)
+			for j := range rows {
+				rows[j] = relation.Tuple{int64(rng.Intn(3)), int64(rng.Intn(3))}
+			}
+			rels = append(rels, relation.MustNew(name, []string{"x", "y"}, rows))
+		}
+		q := query.MustNew("q", atoms, nil)
+		db := relation.MustNewDatabase(rels...)
+		exact, err := core.LocalSensitivity(q, db, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := NewAnalyzer(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := a.LocalSensitivity(DefaultOrder(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound < exact.LS {
+			t.Fatalf("trial %d: elastic %d < exact %d", trial, bound, exact.LS)
+		}
+		// Per-relation dominance as well (Figure 6b's comparison).
+		for _, atom := range atoms {
+			s, err := a.Sensitivity(DefaultOrder(q), atom.Relation)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr := exact.PerRelation[atom.Relation]; s < tr.Sensitivity {
+				t.Fatalf("trial %d: relation %s elastic %d < exact %d", trial, atom.Relation, s, tr.Sensitivity)
+			}
+		}
+	}
+}
+
+func TestJoinRowBound(t *testing.T) {
+	s1 := &stats{vars: []string{"A", "B"}, rows: 10, mf: map[string]int64{"A": 2, "B": 3}}
+	s2 := &stats{vars: []string{"B", "C"}, rows: 4, mf: map[string]int64{"B": 2, "C": 4}, sens: 1}
+	out := join(s1, s2)
+	// rows ≤ min(10·2, 4·3) = 12; sens = mf(B,s1)·1 = 3.
+	if out.rows != 12 {
+		t.Fatalf("rows=%d, want 12", out.rows)
+	}
+	if out.sens != 3 {
+		t.Fatalf("sens=%d, want 3", out.sens)
+	}
+	if out.mf["C"] != 4*3 {
+		t.Fatalf("mf(C)=%d, want 12", out.mf["C"])
+	}
+}

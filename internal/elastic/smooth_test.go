@@ -1,0 +1,146 @@
+package elastic
+
+import (
+	"math"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+func TestSensitivityAtMonotoneInDistance(t *testing.T) {
+	q, db := twoJoin()
+	a, err := NewAnalyzer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := DefaultOrder(q)
+	prev := int64(-1)
+	for k := int64(0); k <= 5; k++ {
+		s, err := a.SensitivityAt(order, "R1", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev {
+			t.Fatalf("Ŝ_%d=%d below Ŝ_%d=%d", k, s, k-1, prev)
+		}
+		prev = s
+	}
+}
+
+func TestSensitivityAtZeroMatchesSensitivity(t *testing.T) {
+	q, db := twoJoin()
+	a, err := NewAnalyzer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := DefaultOrder(q)
+	for _, rel := range []string{"R1", "R2"} {
+		s0, err := a.SensitivityAt(order, rel, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := a.Sensitivity(order, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s0 != s {
+			t.Fatalf("%s: Ŝ_0=%d but Ŝ=%d", rel, s0, s)
+		}
+	}
+}
+
+func TestSensitivityAtValidation(t *testing.T) {
+	q, db := twoJoin()
+	a, _ := NewAnalyzer(q, db)
+	if _, err := a.SensitivityAt(nil, "R1", 0); err == nil {
+		t.Fatal("empty order accepted")
+	}
+	if _, err := a.SensitivityAt(DefaultOrder(q), "R1", -1); err == nil {
+		t.Fatal("negative distance accepted")
+	}
+}
+
+// Smooth sensitivity upper-bounds the distance-0 bound and hence the exact
+// local sensitivity; it is also at most the worst Ŝ_k it scans.
+func TestSmoothSensitivityBounds(t *testing.T) {
+	q, db := twoJoin()
+	a, err := NewAnalyzer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := DefaultOrder(q)
+	smooth, err := a.SmoothSensitivity(order, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := a.LocalSensitivity(order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth < float64(s0) {
+		t.Fatalf("smooth %g below Ŝ_0 %d", smooth, s0)
+	}
+	exact, err := core.LocalSensitivity(q, db, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth < float64(exact.LS) {
+		t.Fatalf("smooth %g below exact LS %d", smooth, exact.LS)
+	}
+	if _, err := a.SmoothSensitivity(order, 0); err == nil {
+		t.Fatal("beta=0 accepted")
+	}
+}
+
+// With a very large beta the discount kills k ≥ 1 and smooth ≈ Ŝ_0.
+func TestSmoothSensitivityLargeBeta(t *testing.T) {
+	q, db := twoJoin()
+	a, _ := NewAnalyzer(q, db)
+	order := DefaultOrder(q)
+	smooth, err := a.SmoothSensitivity(order, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, _ := a.LocalSensitivity(order)
+	if math.Abs(smooth-float64(s0)) > 1e-6 {
+		t.Fatalf("smooth=%g, want ≈ Ŝ_0=%d at huge beta", smooth, s0)
+	}
+}
+
+// A sensitive relation whose neighbors at distance k can stack a heavy key:
+// Ŝ_k must grow once k exceeds the current max frequency gap.
+func TestSensitivityAtGrowsOnEmptyRelation(t *testing.T) {
+	q := query.MustNew("q", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}, nil)
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"x", "y"}, nil), // empty
+		relation.MustNew("R2", []string{"x", "y"}, []relation.Tuple{{1, 1}}),
+	)
+	a, err := NewAnalyzer(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := DefaultOrder(q)
+	// At distance 0, adding a tuple to R2 joins an empty R1: Ŝ(R2) = 0.
+	s0, err := a.SensitivityAt(order, "R2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 != 0 {
+		t.Fatalf("Ŝ_0(R2)=%d, want 0", s0)
+	}
+	// At distance 1, a neighboring database can hold one R1 tuple...
+	// but only the *sensitive* relation's metadata grows in the Flex
+	// recursion; with R1 sensitive its own mf grows instead:
+	s1, err := a.SensitivityAt(order, "R1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 < 1 {
+		t.Fatalf("Ŝ_1(R1)=%d, want ≥ 1", s1)
+	}
+}

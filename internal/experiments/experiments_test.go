@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig6a7SmallScales(t *testing.T) {
+	rows, err := Fig6a7([]float64{0.0001, 0.0005}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q1, q2, q3 at two scales (q3 under the cap): 6 rows.
+	if len(rows) != 6 {
+		t.Fatalf("rows=%d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.TSensLS <= 0 {
+			t.Fatalf("%s@%g: TSens LS=%d", r.Query, r.Scale, r.TSensLS)
+		}
+		if r.ElasticLS < r.TSensLS {
+			t.Fatalf("%s@%g: elastic %d < TSens %d (must upper-bound)", r.Query, r.Scale, r.ElasticLS, r.TSensLS)
+		}
+	}
+	// The datasets at different scales are independent draws, so LS is not
+	// strictly monotone; the elastic bound, however, must track table sizes
+	// and grow with scale for the path query q1.
+	var q1 []ScaleRow
+	for _, r := range rows {
+		if r.Query == "q1" {
+			q1 = append(q1, r)
+		}
+	}
+	if len(q1) == 2 && q1[1].ElasticLS < q1[0].ElasticLS {
+		t.Fatalf("q1 elastic bound decreased with scale: %d -> %d", q1[0].ElasticLS, q1[1].ElasticLS)
+	}
+}
+
+func TestFig6a7SkipsQ3AboveCap(t *testing.T) {
+	rows, err := Fig6a7([]float64{MaxQ3Scale * 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Query == "q3" {
+			t.Fatal("q3 should be skipped above the memory cap")
+		}
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d, want 2 (q1, q2)", len(rows))
+	}
+}
+
+func TestFig6b(t *testing.T) {
+	rows, err := Fig6b(0.0005, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows=%d, want 8 relations", len(rows))
+	}
+	skips := 0
+	for _, r := range rows {
+		if r.Skipped {
+			skips++
+			if !strings.Contains(r.Tuple, "skip") {
+				t.Fatalf("skipped row not labeled: %+v", r)
+			}
+			continue
+		}
+		if r.ElasticSens < r.TupleSens {
+			t.Fatalf("%s: elastic %d < tuple sens %d", r.Relation, r.ElasticSens, r.TupleSens)
+		}
+	}
+	if skips != 1 {
+		t.Fatalf("skips=%d, want 1 (LINEITEM)", skips)
+	}
+}
+
+func TestTable1Small(t *testing.T) {
+	rows, err := Table1(FacebookSize{Nodes: 40, Edges: 150, Circles: 40}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows=%d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.ElasticLS < r.TSensLS {
+			t.Fatalf("%s: elastic %d < TSens %d", r.Query, r.ElasticLS, r.TSensLS)
+		}
+	}
+}
+
+func TestTable2Small(t *testing.T) {
+	cfg := Table2Config{
+		Runs:      3,
+		TPCHScale: 0.0003,
+		Facebook:  FacebookSize{Nodes: 40, Edges: 150, Circles: 40},
+		Seed:      5,
+	}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("rows=%d, want 7 queries × 2 algorithms", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		ts, ps := rows[i], rows[i+1]
+		if ts.Algorithm != "TSensDP" || ps.Algorithm != "PrivSQL" {
+			t.Fatalf("row order wrong: %s/%s", ts.Algorithm, ps.Algorithm)
+		}
+		if ts.Query != ps.Query {
+			t.Fatalf("query mismatch: %s vs %s", ts.Query, ps.Query)
+		}
+		if ts.GlobalSens < 1 || ps.GlobalSens < 1 {
+			t.Fatalf("%s: GS ts=%d ps=%d", ts.Query, ts.GlobalSens, ps.GlobalSens)
+		}
+	}
+}
+
+func TestParamStudy(t *testing.T) {
+	rows, err := ParamStudy([]int64{1, 10, 100}, 3, FacebookSize{Nodes: 40, Edges: 150, Circles: 40}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// ℓ=1 forces GS=1.
+	if rows[0].GlobalSens != 1 {
+		t.Fatalf("ℓ=1 GS=%d", rows[0].GlobalSens)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	sr := []ScaleRow{{Query: "q1", Scale: 0.001, TSensLS: 10, ElasticLS: 100,
+		TSensTime: time.Millisecond, ElasticTime: time.Microsecond, EvalTime: 2 * time.Millisecond}}
+	if out := RenderFig6a(sr); !strings.Contains(out, "q1") || !strings.Contains(out, "10.0x") {
+		t.Fatalf("RenderFig6a:\n%s", out)
+	}
+	if out := RenderFig7(sr); !strings.Contains(out, "1.00ms") {
+		t.Fatalf("RenderFig7:\n%s", out)
+	}
+	fb := []Fig6bRow{{Relation: "REGION", Tuple: "RK(1)", TupleSens: 5, ElasticSens: 10}}
+	if out := RenderFig6b(fb, 0.01); !strings.Contains(out, "REGION") {
+		t.Fatalf("RenderFig6b:\n%s", out)
+	}
+	t1 := []Table1Row{{Query: "q4", TSensLS: 87, ElasticLS: 7524}}
+	if out := RenderTable1(t1); !strings.Contains(out, "7524") {
+		t.Fatalf("RenderTable1:\n%s", out)
+	}
+	t2 := []Table2Row{{Query: "q1", Count: 100, Algorithm: "TSensDP", Error: 0.0356, Bias: 0.0344, GlobalSens: 119}}
+	if out := RenderTable2(t2); !strings.Contains(out, "3.56%") {
+		t.Fatalf("RenderTable2:\n%s", out)
+	}
+	pr := []ParamRow{{Bound: 10, GlobalSens: 13, Bias: 0.01, Error: 0.04}}
+	if out := RenderParamStudy(pr); !strings.Contains(out, "13") {
+		t.Fatalf("RenderParamStudy:\n%s", out)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.5µs",
+		2500 * time.Microsecond: "2.50ms",
+		1500 * time.Millisecond: "1.500s",
+	}
+	for d, want := range cases {
+		if got := fmtDur(d); got != want {
+			t.Errorf("fmtDur(%v)=%q, want %q", d, got, want)
+		}
+	}
+}

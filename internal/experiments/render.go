@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderFig6a formats the sensitivity-vs-scale series of Figure 6a.
+func RenderFig6a(rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6a — local sensitivity, TSens vs Elastic (TPC-H)\n")
+	fmt.Fprintf(&b, "%-8s %-6s %15s %15s %9s\n", "scale", "query", "TSens", "Elastic", "ratio")
+	for _, r := range rows {
+		ratio := "-"
+		if r.TSensLS > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(r.ElasticLS)/float64(r.TSensLS))
+		}
+		fmt.Fprintf(&b, "%-8g %-6s %15d %15d %9s\n", r.Scale, r.Query, r.TSensLS, r.ElasticLS, ratio)
+	}
+	return b.String()
+}
+
+// RenderFig7 formats the runtime series of Figure 7.
+func RenderFig7(rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7 — runtime, TSens vs Elastic vs query evaluation (TPC-H)\n")
+	fmt.Fprintf(&b, "%-8s %-6s %12s %12s %12s\n", "scale", "query", "TSens", "Elastic", "evaluation")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8g %-6s %12s %12s %12s\n",
+			r.Scale, r.Query, fmtDur(r.TSensTime), fmtDur(r.ElasticTime), fmtDur(r.EvalTime))
+	}
+	return b.String()
+}
+
+// RenderFig6b formats the per-relation table of Figure 6b.
+func RenderFig6b(rows []Fig6bRow, scale float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6b — most sensitive tuples of q3 at scale %g\n", scale)
+	fmt.Fprintf(&b, "%-10s %-45s %15s %18s\n", "relation", "most sensitive tuple", "tuple sens", "elastic sens")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-45s %15d %18d\n", r.Relation, r.Tuple, r.TupleSens, r.ElasticSens)
+	}
+	return b.String()
+}
+
+// RenderTable1 formats Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 — Facebook queries: local sensitivity and runtime\n")
+	fmt.Fprintf(&b, "%-7s %15s %15s %12s %12s %12s\n", "query", "TSens", "Elastic", "TSens t", "Elastic t", "eval t")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %15d %15d %12s %12s %12s\n",
+			r.Query, r.TSensLS, r.ElasticLS, fmtDur(r.TSensTime), fmtDur(r.ElasticTime), fmtDur(r.EvalTime))
+	}
+	return b.String()
+}
+
+// RenderTable2 formats Table 2.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2 — DP query answering: TSensDP vs PrivSQL (medians)\n")
+	fmt.Fprintf(&b, "%-7s %10s %-9s %10s %10s %12s %10s\n", "query", "|Q(D)|", "algo", "error", "bias", "global sens", "time")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-7s %10d %-9s %9.2f%% %9.2f%% %12d %10s\n",
+			r.Query, r.Count, r.Algorithm, r.Error*100, r.Bias*100, r.GlobalSens, fmtDur(r.Time))
+	}
+	return b.String()
+}
+
+// RenderParamStudy formats the ℓ parameter study of Section 7.3.
+func RenderParamStudy(rows []ParamRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parameter study — TSensDP on q* varying the bound ℓ (medians)\n")
+	fmt.Fprintf(&b, "%-8s %12s %10s %10s\n", "ℓ", "global sens", "bias", "error")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %12d %9.2f%% %9.2f%%\n", r.Bound, r.GlobalSens, r.Bias*100, r.Error*100)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

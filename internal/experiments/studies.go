@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"tsens/internal/core"
+	"tsens/internal/elastic"
+	"tsens/internal/query"
+	"tsens/internal/workload"
+)
+
+// SelectionRow is one selectivity setting of the selection study.
+type SelectionRow struct {
+	Fraction  float64 // fraction of ORDERS kept by the predicate
+	Count     int64
+	TSensLS   int64
+	ElasticLS int64
+}
+
+// SelectionStudy reproduces the claim of Section 8: "even if the local
+// sensitivity for a query with a selection operator is small, the elastic
+// sensitivity algorithm will output the same value as for a query without
+// the selection operators." It runs q1 with a predicate ORDERS.OK < c for
+// decreasing selectivities: TSens tracks the shrinking instance while the
+// static elastic bound does not move.
+func SelectionStudy(scale float64, seed int64, fractions []float64) ([]SelectionRow, error) {
+	if len(fractions) == 0 {
+		fractions = []float64{1.0, 0.5, 0.1, 0.01}
+	}
+	db := workload.TPCHData(scale, seed)
+	base := workload.Q1()
+	nOrders := int64(len(db.Relation("ORDERS").Rows))
+	var rows []SelectionRow
+	for _, f := range fractions {
+		cut := int64(float64(nOrders) * f)
+		var sel map[string][]query.Predicate
+		if f < 1.0 {
+			sel = map[string][]query.Predicate{
+				"ORDERS": {{Var: "OK", Op: query.Lt, Value: cut}},
+			}
+		}
+		q, err := query.New(fmt.Sprintf("q1sel%g", f), base.Query.Atoms, sel)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.LocalSensitivity(q, db, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		an, err := elastic.NewAnalyzer(q, db)
+		if err != nil {
+			return nil, err
+		}
+		bound, err := an.LocalSensitivity(base.JoinOrder)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SelectionRow{Fraction: f, Count: res.Count, TSensLS: res.LS, ElasticLS: bound})
+	}
+	return rows, nil
+}
+
+// RenderSelectionStudy formats the selection study.
+func RenderSelectionStudy(rows []SelectionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Selection study — q1 with ORDERS.OK < c (Section 8's elastic-vs-selection claim)\n")
+	fmt.Fprintf(&b, "%-10s %12s %12s %15s\n", "kept", "|Q(D)|", "TSens", "Elastic")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%9.1f%% %12d %12d %15d\n", r.Fraction*100, r.Count, r.TSensLS, r.ElasticLS)
+	}
+	return b.String()
+}
+
+// TopKRow is one k setting of the top-k approximation ablation.
+type TopKRow struct {
+	K       int // 0 = exact
+	LS      int64
+	Elapsed time.Duration
+}
+
+// TopKStudy runs the Section 5.4 approximation on the path query q1:
+// truncated top/botjoins give an upper bound that tightens as k grows.
+func TopKStudy(scale float64, seed int64, ks []int) ([]TopKRow, error) {
+	if len(ks) == 0 {
+		ks = []int{0, 1, 4, 16, 64, 256}
+	}
+	db := workload.TPCHData(scale, seed)
+	s := workload.Q1()
+	var rows []TopKRow
+	for _, k := range ks {
+		opts := s.Options()
+		opts.TopK = k
+		start := time.Now()
+		res, err := core.LocalSensitivity(s.Query, db, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TopKRow{K: k, LS: res.LS, Elapsed: time.Since(start)})
+	}
+	return rows, nil
+}
+
+// RenderTopKStudy formats the top-k ablation.
+func RenderTopKStudy(rows []TopKRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Top-k approximation study — q1 (Section 5.4 'Efficient approximations')\n")
+	fmt.Fprintf(&b, "%-8s %15s %12s\n", "k", "LS bound", "time")
+	for _, r := range rows {
+		k := fmt.Sprint(r.K)
+		if r.K == 0 {
+			k = "exact"
+		}
+		fmt.Fprintf(&b, "%-8s %15d %12s\n", k, r.LS, fmtDur(r.Elapsed))
+	}
+	return b.String()
+}

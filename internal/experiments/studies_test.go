@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelectionStudyShape(t *testing.T) {
+	rows, err := SelectionStudy(0.0005, 42, []float64{1.0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	full, tenth := rows[0], rows[1]
+	// The instance shrinks...
+	if tenth.Count >= full.Count {
+		t.Fatalf("selection did not shrink the count: %d vs %d", tenth.Count, full.Count)
+	}
+	// ...TSens tracks it...
+	if tenth.TSensLS > full.TSensLS {
+		t.Fatalf("TSens LS grew under selection: %d vs %d", tenth.TSensLS, full.TSensLS)
+	}
+	// ...while the static elastic bound does not move (the Section 8 claim).
+	if tenth.ElasticLS != full.ElasticLS {
+		t.Fatalf("elastic bound moved under selection: %d vs %d", tenth.ElasticLS, full.ElasticLS)
+	}
+	out := RenderSelectionStudy(rows)
+	if !strings.Contains(out, "Elastic") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTopKStudyUpperBounds(t *testing.T) {
+	rows, err := TopKStudy(0.0005, 42, []int{0, 1, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := rows[0].LS
+	if rows[1].LS < exact {
+		t.Fatalf("k=1 bound %d below exact %d", rows[1].LS, exact)
+	}
+	if rows[2].LS != exact {
+		t.Fatalf("k=1000 bound %d should equal exact %d", rows[2].LS, exact)
+	}
+	out := RenderTopKStudy(rows)
+	if !strings.Contains(out, "exact") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,208 @@
+// Package ghd implements the generalized-hypertree-decomposition extension
+// of Section 5.4 ("General joins"): a cyclic conjunctive query is handled by
+// assigning each relation to exactly one bag of a decomposition whose bag
+// hypergraph is acyclic; each bag is materialized as the (possibly cyclic)
+// join of its member relations and the acyclic machinery then runs over the
+// bag tree. The time complexity becomes O(m^p · d · n^{p·d} · log n) where p
+// is the maximum number of relations per bag.
+//
+// The decompositions for the paper's cyclic queries (q3, q△=q4, q◦) are
+// given explicitly in internal/workload, following Figure 5; Search provides
+// an exhaustive minimal-width search for small queries.
+package ghd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// Decomposition assigns every atom of a query to exactly one bag. Bags are
+// given as lists of atom indexes into the query's Atoms slice.
+type Decomposition struct {
+	Bags [][]int
+}
+
+// FromBags validates that bags form a partition of the query's atoms and
+// that the bag hypergraph (one hyperedge per bag, spanning the union of its
+// members' variables) is acyclic, so that a join tree over bags exists.
+func FromBags(q *query.Query, bags [][]int) (*Decomposition, error) {
+	seen := make([]bool, len(q.Atoms))
+	for bi, bag := range bags {
+		if len(bag) == 0 {
+			return nil, fmt.Errorf("ghd: bag %d is empty", bi)
+		}
+		for _, ai := range bag {
+			if ai < 0 || ai >= len(q.Atoms) {
+				return nil, fmt.Errorf("ghd: bag %d references atom %d out of range", bi, ai)
+			}
+			if seen[ai] {
+				return nil, fmt.Errorf("ghd: atom %d (%s) assigned to two bags", ai, q.Atoms[ai])
+			}
+			seen[ai] = true
+		}
+	}
+	for ai, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("ghd: atom %d (%s) not assigned to any bag", ai, q.Atoms[ai])
+		}
+	}
+	d := &Decomposition{Bags: bags}
+	if !query.IsAcyclic(d.BagAtoms(q)) {
+		return nil, fmt.Errorf("ghd: bag hypergraph is cyclic")
+	}
+	return d, nil
+}
+
+// MustFromBags is FromBags but panics on error; for static workload tables.
+func MustFromBags(q *query.Query, bags [][]int) *Decomposition {
+	d, err := FromBags(q, bags)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Trivial returns the decomposition with one singleton bag per atom, valid
+// exactly when the query is acyclic.
+func Trivial(q *query.Query) (*Decomposition, error) {
+	bags := make([][]int, len(q.Atoms))
+	for i := range bags {
+		bags[i] = []int{i}
+	}
+	return FromBags(q, bags)
+}
+
+// Width returns the maximum number of relations per bag (the parameter p).
+func (d *Decomposition) Width() int {
+	w := 0
+	for _, b := range d.Bags {
+		if len(b) > w {
+			w = len(b)
+		}
+	}
+	return w
+}
+
+// BagVars returns, per bag, the union of the member atoms' variables in
+// first-occurrence order.
+func (d *Decomposition) BagVars(q *query.Query) [][]string {
+	out := make([][]string, len(d.Bags))
+	for i, bag := range d.Bags {
+		var vars []string
+		for _, ai := range bag {
+			vars = relation.Union(vars, q.Atoms[ai].Vars)
+		}
+		out[i] = vars
+	}
+	return out
+}
+
+// BagAtoms renders each bag as a pseudo-atom over its variable union, the
+// input to GYO for building the bag join tree.
+func (d *Decomposition) BagAtoms(q *query.Query) []query.Atom {
+	vars := d.BagVars(q)
+	out := make([]query.Atom, len(d.Bags))
+	for i := range d.Bags {
+		out[i] = query.Atom{Relation: fmt.Sprintf("bag%d", i), Vars: vars[i]}
+	}
+	return out
+}
+
+// Materialize joins the member relations of one bag into a single counted
+// relation. Members are joined greedily, preferring operands sharing
+// variables with the accumulated result so cross products happen only when
+// unavoidable.
+func Materialize(members []*relation.Counted) (*relation.Counted, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ghd: materialize with no members")
+	}
+	remaining := append([]*relation.Counted(nil), members...)
+	// Start with the member with the most rows? Start with the first for
+	// determinism; join order does not affect the result.
+	acc := remaining[0]
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		pick := -1
+		for i, m := range remaining {
+			if len(relation.Intersect(acc.Attrs, m.Attrs)) > 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cross product fallback
+		}
+		j, err := relation.Join(acc, remaining[pick])
+		if err != nil {
+			return nil, err
+		}
+		acc = j
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return acc, nil
+}
+
+// Search exhaustively looks for a decomposition minimizing (width, number of
+// bags) among partitions of the atoms with bag size at most maxBagSize. It
+// is exponential in the number of atoms and guarded to small queries; the
+// paper's workloads use hand-specified decompositions instead.
+func Search(q *query.Query, maxBagSize int) (*Decomposition, error) {
+	const maxAtoms = 10
+	n := len(q.Atoms)
+	if n > maxAtoms {
+		return nil, fmt.Errorf("ghd: search limited to %d atoms, query has %d", maxAtoms, n)
+	}
+	if maxBagSize <= 0 {
+		maxBagSize = n
+	}
+	var best *Decomposition
+	bestKey := [2]int{math.MaxInt, math.MaxInt}
+	var bags [][]int
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == n {
+			cand, err := FromBags(q, cloneBags(bags))
+			if err != nil {
+				return
+			}
+			key := [2]int{cand.Width(), len(cand.Bags)}
+			if key[0] < bestKey[0] || (key[0] == bestKey[0] && key[1] < bestKey[1]) {
+				best, bestKey = cand, key
+			}
+			return
+		}
+		for b := range bags {
+			if len(bags[b]) >= maxBagSize {
+				continue
+			}
+			bags[b] = append(bags[b], i)
+			recurse(i + 1)
+			bags[b] = bags[b][:len(bags[b])-1]
+		}
+		bags = append(bags, []int{i})
+		recurse(i + 1)
+		bags = bags[:len(bags)-1]
+	}
+	recurse(0)
+	if best == nil {
+		return nil, fmt.Errorf("ghd: no decomposition with bag size ≤ %d", maxBagSize)
+	}
+	// Normalize bag order for reproducibility.
+	for _, b := range best.Bags {
+		sort.Ints(b)
+	}
+	sort.Slice(best.Bags, func(x, y int) bool { return best.Bags[x][0] < best.Bags[y][0] })
+	return best, nil
+}
+
+func cloneBags(b [][]int) [][]int {
+	out := make([][]int, len(b))
+	for i, x := range b {
+		out[i] = append([]int(nil), x...)
+	}
+	return out
+}

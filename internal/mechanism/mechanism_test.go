@@ -1,0 +1,233 @@
+package mechanism
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// chainDB builds a 3-way path query instance with a known skew: customer 0
+// owns many orders.
+func chainDB(nCust, nOrders, fanout int) (*query.Query, *relation.Database) {
+	var cust, orders, items []relation.Tuple
+	for c := 0; c < nCust; c++ {
+		cust = append(cust, relation.Tuple{int64(c)})
+	}
+	oid := int64(0)
+	for c := 0; c < nCust; c++ {
+		k := 1
+		if c == 0 {
+			k = fanout
+		}
+		for j := 0; j < k && int(oid) < nOrders; j++ {
+			orders = append(orders, relation.Tuple{int64(c), oid})
+			items = append(items, relation.Tuple{oid, int64(j)})
+			items = append(items, relation.Tuple{oid, int64(j + 1000)})
+			oid++
+		}
+	}
+	db := relation.MustNewDatabase(
+		relation.MustNew("C", []string{"ck"}, cust),
+		relation.MustNew("O", []string{"ck", "ok"}, orders),
+		relation.MustNew("L", []string{"ok", "lk"}, items),
+	)
+	q := query.MustNew("q", []query.Atom{
+		{Relation: "C", Vars: []string{"CK"}},
+		{Relation: "O", Vars: []string{"CK", "OK"}},
+		{Relation: "L", Vars: []string{"OK", "LK"}},
+	}, nil)
+	return q, db
+}
+
+func TestTSensDPHighEpsilonIsAccurate(t *testing.T) {
+	q, db := chainDB(20, 100, 30)
+	trueCount, err := core.Evaluate(q, db, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := TSensDP(q, db, core.Options{}, "C", TSensDPConfig{Epsilon: 1e6, Bound: 100}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.True != trueCount {
+		t.Fatalf("True=%d, engine says %d", run.True, trueCount)
+	}
+	// With effectively infinite budget the SVT finds a threshold at (or
+	// just above) the max tuple sensitivity, so bias ≈ 0 and error ≈ 0.
+	if run.Bias > 0.01 {
+		t.Fatalf("bias=%g at ε=1e6", run.Bias)
+	}
+	if run.Error > 0.01 {
+		t.Fatalf("error=%g at ε=1e6", run.Error)
+	}
+	// The learned global sensitivity should be near the true local
+	// sensitivity of the private relation, far below the bound 100.
+	ls, err := core.LocalSensitivity(q, db, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxC := ls.PerRelation["C"].Sensitivity
+	if run.GlobalSens < maxC || run.GlobalSens > maxC*2+2 {
+		t.Fatalf("learned τ=%d, true max tuple sensitivity=%d", run.GlobalSens, maxC)
+	}
+}
+
+func TestTSensDPValidation(t *testing.T) {
+	q, db := chainDB(5, 10, 2)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := TSensDP(q, db, core.Options{}, "C", TSensDPConfig{Epsilon: 0, Bound: 10}, rng); err == nil {
+		t.Fatal("epsilon=0 accepted")
+	}
+	if _, err := TSensDP(q, db, core.Options{}, "C", TSensDPConfig{Epsilon: 1, Bound: 0}, rng); err == nil {
+		t.Fatal("bound=0 accepted")
+	}
+	if _, err := TSensDP(q, db, core.Options{}, "C", TSensDPConfig{Epsilon: 1, EpsilonSens: 2, Bound: 10}, rng); err == nil {
+		t.Fatal("ε_sens ≥ ε accepted")
+	}
+	if _, err := TSensDP(q, db, core.Options{}, "Nope", TSensDPConfig{Epsilon: 1, Bound: 10}, rng); err == nil {
+		t.Fatal("unknown private relation accepted")
+	}
+}
+
+func TestTSensDPTrueCountMatchesEngine(t *testing.T) {
+	// Σ_t δ(t) over the private relation must equal |Q(D)| for every choice
+	// of private relation.
+	q, db := chainDB(8, 30, 5)
+	want, err := core.Evaluate(q, db, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range []string{"C", "O", "L"} {
+		run, err := TSensDP(q, db, core.Options{}, pr, TSensDPConfig{Epsilon: 1, Bound: 50}, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.True != want {
+			t.Fatalf("private=%s: True=%d, want %d", pr, run.True, want)
+		}
+	}
+}
+
+func TestTSensDPLowBoundForcesBias(t *testing.T) {
+	q, db := chainDB(20, 100, 30)
+	// ℓ=1 truncates every tuple with sensitivity > 1: heavy bias, as in the
+	// parameter study of Section 7.3.
+	run, err := TSensDP(q, db, core.Options{}, "C", TSensDPConfig{Epsilon: 1e6, Bound: 1}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Bias == 0 {
+		t.Fatal("ℓ=1 should truncate the heavy customer")
+	}
+	if run.GlobalSens != 1 {
+		t.Fatalf("GS=%d, want 1", run.GlobalSens)
+	}
+}
+
+func TestPrivSQLNoPolicyZeroBias(t *testing.T) {
+	q, db := chainDB(10, 40, 8)
+	run, err := PrivSQL(q, db, core.Options{}, "C", nil, nil, PrivSQLConfig{Epsilon: 1e6}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Bias != 0 {
+		t.Fatalf("no policy must give zero bias, got %g", run.Bias)
+	}
+	if run.GlobalSens < 1 {
+		t.Fatalf("GS=%d", run.GlobalSens)
+	}
+}
+
+func TestPrivSQLTruncatesHeavyKeys(t *testing.T) {
+	q, db := chainDB(20, 100, 50)
+	policy := []Truncation{{Relation: "O", KeyVars: []string{"CK"}}}
+	run, err := PrivSQL(q, db, core.Options{}, "C", policy, nil, PrivSQLConfig{Epsilon: 1e6, MaxCap: 8}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Customer 0 has 50 orders; with MaxCap 8 its orders must be dropped.
+	if run.Truncated >= run.True {
+		t.Fatalf("Truncated=%d, True=%d: heavy key not truncated", run.Truncated, run.True)
+	}
+	if run.Bias == 0 {
+		t.Fatal("expected non-zero bias from truncation")
+	}
+}
+
+func TestPrivSQLGlobalSensDominatesTSensDP(t *testing.T) {
+	// The paper's key comparison: PrivSQL's static GS is much larger than
+	// the τ TSensDP learns when the per-relation max frequencies occur at
+	// different keys — the static product 30·50 = 1500 is loose while no
+	// single customer touches more than 50 outputs.
+	var cust, orders, items []relation.Tuple
+	cust = append(cust, relation.Tuple{0}, relation.Tuple{1})
+	for j := int64(0); j < 30; j++ { // customer 0: 30 orders, 1 item each
+		orders = append(orders, relation.Tuple{0, j})
+		items = append(items, relation.Tuple{j, 0})
+	}
+	orders = append(orders, relation.Tuple{1, 100}) // customer 1: 1 order, 50 items
+	for j := int64(0); j < 50; j++ {
+		items = append(items, relation.Tuple{100, j})
+	}
+	db := relation.MustNewDatabase(
+		relation.MustNew("C", []string{"ck"}, cust),
+		relation.MustNew("O", []string{"ck", "ok"}, orders),
+		relation.MustNew("L", []string{"ok", "lk"}, items),
+	)
+	q := query.MustNew("q", []query.Atom{
+		{Relation: "C", Vars: []string{"CK"}},
+		{Relation: "O", Vars: []string{"CK", "OK"}},
+		{Relation: "L", Vars: []string{"OK", "LK"}},
+	}, nil)
+	rng := rand.New(rand.NewSource(7))
+	ts, err := TSensDP(q, db, core.Options{}, "C", TSensDPConfig{Epsilon: 1e6, Bound: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := PrivSQL(q, db, core.Options{}, "C", nil, nil, PrivSQLConfig{Epsilon: 1e6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.GlobalSens != 1500 {
+		t.Fatalf("PrivSQL static GS=%d, want 30·50=1500", ps.GlobalSens)
+	}
+	if ts.GlobalSens >= ps.GlobalSens/10 {
+		t.Fatalf("TSensDP τ=%d should be far below PrivSQL GS=%d", ts.GlobalSens, ps.GlobalSens)
+	}
+}
+
+func TestPrivSQLValidation(t *testing.T) {
+	q, db := chainDB(5, 10, 2)
+	rng := rand.New(rand.NewSource(8))
+	if _, err := PrivSQL(q, db, core.Options{}, "C", nil, nil, PrivSQLConfig{Epsilon: 0}, rng); err == nil {
+		t.Fatal("epsilon=0 accepted")
+	}
+	bad := []Truncation{{Relation: "Nope", KeyVars: []string{"CK"}}}
+	if _, err := PrivSQL(q, db, core.Options{}, "C", bad, nil, PrivSQLConfig{Epsilon: 1}, rng); err == nil {
+		t.Fatal("policy on unknown relation accepted")
+	}
+	bad2 := []Truncation{{Relation: "O", KeyVars: []string{"ZZ"}}}
+	if _, err := PrivSQL(q, db, core.Options{}, "C", bad2, nil, PrivSQLConfig{Epsilon: 1}, rng); err == nil {
+		t.Fatal("policy on unknown key accepted")
+	}
+}
+
+func TestRunFinalizeClampsNegative(t *testing.T) {
+	r := &Run{True: 100, Truncated: 100, Noisy: -5}
+	r.finalize()
+	if r.Noisy != 0 {
+		t.Fatalf("Noisy=%g, want clamped 0", r.Noisy)
+	}
+	if math.Abs(r.Error-1.0) > 1e-9 {
+		t.Fatalf("Error=%g, want 1", r.Error)
+	}
+	zero := &Run{True: 0, Truncated: 0, Noisy: 0}
+	zero.finalize() // must not divide by zero
+	if zero.Error != 0 || zero.Bias != 0 {
+		t.Fatalf("zero-count run: bias=%g error=%g", zero.Bias, zero.Error)
+	}
+}

@@ -1,0 +1,121 @@
+// Package parser parses the textual query format used by cmd/tsens:
+//
+//	R1(A,B), R2(B,C), R3(C,D) where R2.C >= 5, R1.A = 3
+//
+// An optional datalog-style head ("q(...) :-" or "q :-") is accepted and
+// ignored. Atoms list relation names with variable renamings; the optional
+// where-clause holds per-relation selection predicates over single
+// variables with integer constants (the selection class of Section 5.4).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tsens/internal/query"
+)
+
+// Parse turns the textual form into a validated query named name.
+func Parse(name, text string) (*query.Query, error) {
+	body := text
+	if i := strings.Index(text, ":-"); i >= 0 {
+		body = text[i+2:]
+	}
+	var predPart string
+	if i := strings.Index(strings.ToLower(body), "where"); i >= 0 {
+		predPart = body[i+len("where"):]
+		body = body[:i]
+	}
+	atoms, err := parseAtoms(body)
+	if err != nil {
+		return nil, err
+	}
+	sels, err := parsePredicates(predPart)
+	if err != nil {
+		return nil, err
+	}
+	return query.New(name, atoms, sels)
+}
+
+func parseAtoms(s string) ([]query.Atom, error) {
+	var atoms []query.Atom
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		open := strings.Index(rest, "(")
+		if open < 0 {
+			return nil, fmt.Errorf("parser: expected '(' in %q", rest)
+		}
+		name := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest[:open]), ","))
+		name = strings.TrimSpace(strings.TrimPrefix(name, ","))
+		if name == "" {
+			return nil, fmt.Errorf("parser: atom with empty relation name near %q", rest)
+		}
+		closeIdx := strings.Index(rest, ")")
+		if closeIdx < open {
+			return nil, fmt.Errorf("parser: unbalanced parentheses in %q", rest)
+		}
+		var vars []string
+		for _, v := range strings.Split(rest[open+1:closeIdx], ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return nil, fmt.Errorf("parser: empty variable in atom %s", name)
+			}
+			vars = append(vars, v)
+		}
+		atoms = append(atoms, query.Atom{Relation: name, Vars: vars})
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, ","))
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("parser: no atoms")
+	}
+	return atoms, nil
+}
+
+var ops = []struct {
+	text string
+	op   query.Op
+}{
+	// Longest first so "<=" is not parsed as "<".
+	{"!=", query.Ne}, {"<>", query.Ne}, {"<=", query.Le}, {">=", query.Ge},
+	{"=", query.Eq}, {"<", query.Lt}, {">", query.Gt},
+}
+
+func parsePredicates(s string) (map[string][]query.Predicate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string][]query.Predicate)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		opIdx, opLen := -1, 0
+		var op query.Op
+		for _, cand := range ops {
+			if i := strings.Index(part, cand.text); i >= 0 {
+				opIdx, opLen, op = i, len(cand.text), cand.op
+				break
+			}
+		}
+		if opIdx < 0 {
+			return nil, fmt.Errorf("parser: no comparison operator in %q", part)
+		}
+		lhs := strings.TrimSpace(part[:opIdx])
+		rhs := strings.TrimSpace(part[opIdx+opLen:])
+		dot := strings.Index(lhs, ".")
+		if dot < 0 {
+			return nil, fmt.Errorf("parser: predicate %q must use Relation.Var", part)
+		}
+		rel, v := strings.TrimSpace(lhs[:dot]), strings.TrimSpace(lhs[dot+1:])
+		val, err := strconv.ParseInt(rhs, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parser: predicate %q: constant %q is not an integer", part, rhs)
+		}
+		out[rel] = append(out[rel], query.Predicate{Var: v, Op: op, Value: val})
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package parser
+
+import (
+	"testing"
+
+	"tsens/internal/query"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse("q", "R1(A,B), R2(B,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 || q.Atoms[0].Relation != "R1" || q.Atoms[1].Vars[1] != "C" {
+		t.Fatalf("atoms=%v", q.Atoms)
+	}
+}
+
+func TestParseWithHead(t *testing.T) {
+	q, err := Parse("q", "q(A,B,C) :- R1(A,B), R2(B,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms=%v", q.Atoms)
+	}
+}
+
+func TestParseWithPredicates(t *testing.T) {
+	q, err := Parse("q", "R1(A,B), R2(B,C) where R2.C >= 5, R1.A = 3, R2.B != 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selections["R2"]) != 2 || len(q.Selections["R1"]) != 1 {
+		t.Fatalf("selections=%v", q.Selections)
+	}
+	p := q.Selections["R2"][0]
+	if p.Var != "C" || p.Op != query.Ge || p.Value != 5 {
+		t.Fatalf("predicate=%v", p)
+	}
+	if q.Selections["R2"][1].Op != query.Ne {
+		t.Fatalf("predicate=%v", q.Selections["R2"][1])
+	}
+}
+
+func TestParseOperatorVariants(t *testing.T) {
+	cases := map[string]query.Op{
+		"R1.A = 1":  query.Eq,
+		"R1.A != 1": query.Ne,
+		"R1.A <> 1": query.Ne,
+		"R1.A < 1":  query.Lt,
+		"R1.A <= 1": query.Le,
+		"R1.A > 1":  query.Gt,
+		"R1.A >= 1": query.Ge,
+	}
+	for pred, want := range cases {
+		q, err := Parse("q", "R1(A,B), R2(B,C) where "+pred)
+		if err != nil {
+			t.Fatalf("%q: %v", pred, err)
+		}
+		if got := q.Selections["R1"][0].Op; got != want {
+			t.Fatalf("%q parsed as %v, want %v", pred, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"R1",
+		"R1(A,B), R1(B,C)",              // self-join
+		"(A,B)",                         // missing relation name
+		"R1(A,)",                        // empty variable
+		"R1(A,B) where C >= 5",          // predicate without relation
+		"R1(A,B) where R1.A ~ 5",        // bad operator
+		"R1(A,B) where R1.A = five",     // bad constant
+		"R1(A,B) where R9.A = 5",        // unknown relation
+		"R1(A,B), R2(B,C) where R1.Z=1", // unknown variable
+	}
+	for _, text := range bad {
+		if _, err := Parse("q", text); err == nil {
+			t.Errorf("accepted %q", text)
+		}
+	}
+}
+
+func TestParseNegativeConstant(t *testing.T) {
+	q, err := Parse("q", "R1(A,B), R2(B,C) where R1.A = -5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Selections["R1"][0].Value != -5 {
+		t.Fatalf("value=%d", q.Selections["R1"][0].Value)
+	}
+}

@@ -1,0 +1,263 @@
+package query
+
+import "fmt"
+
+// GYO runs the Graham–Yu–Özsoyoğlu decomposition (Section 2.2) on the
+// query's hypergraph: vertices are variables, hyperedges are atoms. It
+// repeatedly removes ears — hyperedges whose vertices are either exclusive
+// to that edge or fully contained in a single other edge — recording for
+// each removed ear its witness edge, which becomes its parent in the join
+// tree.
+//
+// It returns parent[i] = index of atom i's parent (-1 for roots; a
+// disconnected hypergraph yields one root per component) and whether the
+// query is acyclic (the decomposition emptied the hypergraph).
+//
+// Ties are broken deterministically: the lowest-index removable ear is
+// removed first and its lowest-index witness is chosen, so repeated runs on
+// the same query produce the same tree.
+func GYO(atoms []Atom) (parent []int, acyclic bool) {
+	n := len(atoms)
+	parent = make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	remaining := n
+
+	// occurrences[v] = number of alive edges containing v.
+	occ := make(map[string]int)
+	for _, a := range atoms {
+		for _, v := range a.Vars {
+			occ[v]++
+		}
+	}
+
+	for remaining > 0 {
+		removed := false
+		for i := 0; i < n && !removed; i++ {
+			if !alive[i] {
+				continue
+			}
+			// Collect the vertices of i that also occur elsewhere.
+			var shared []string
+			for _, v := range atoms[i].Vars {
+				if occ[v] > 1 {
+					shared = append(shared, v)
+				}
+			}
+			if len(shared) == 0 {
+				// All vertices exclusive: i is an isolated ear (root of its
+				// component, or the final edge).
+				removeEdge(atoms, alive, occ, i)
+				remaining--
+				removed = true
+				break
+			}
+			// Find a witness containing all shared vertices.
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				if containsVars(atoms[j].Vars, shared) {
+					parent[i] = j
+					removeEdge(atoms, alive, occ, i)
+					remaining--
+					removed = true
+					break
+				}
+			}
+		}
+		if !removed {
+			return parent, false // stuck: cyclic hypergraph
+		}
+	}
+	return parent, true
+}
+
+func removeEdge(atoms []Atom, alive []bool, occ map[string]int, i int) {
+	alive[i] = false
+	for _, v := range atoms[i].Vars {
+		occ[v]--
+	}
+}
+
+func containsVars(super []string, sub []string) bool {
+	in := make(map[string]bool, len(super))
+	for _, v := range super {
+		in[v] = true
+	}
+	for _, v := range sub {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAcyclic reports whether the query hypergraph is α-acyclic under GYO.
+func IsAcyclic(atoms []Atom) bool {
+	_, ok := GYO(atoms)
+	return ok
+}
+
+// Node is one vertex of a join tree/forest; it corresponds to one atom.
+type Node struct {
+	Atom     Atom
+	Index    int // index into the query's atom list
+	Parent   *Node
+	Children []*Node
+}
+
+// Siblings returns the node's neighbors N(R) = C(p(R)) \ {R} (Section 5.1).
+func (n *Node) Siblings() []*Node {
+	if n.Parent == nil {
+		return nil
+	}
+	var out []*Node
+	for _, c := range n.Parent.Children {
+		if c != n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Degree returns the max-degree contribution of this node: number of
+// children plus one for the parent when present (Theorem 5.1).
+func (n *Node) Degree() int {
+	d := len(n.Children)
+	if n.Parent != nil {
+		d++
+	}
+	return d
+}
+
+// Tree is a join forest built from a GYO decomposition. For a connected
+// acyclic query it has a single root; a disconnected query yields one root
+// per connected component (Section 5.4, "Disconnected join trees").
+type Tree struct {
+	Nodes []*Node
+	Roots []*Node
+}
+
+// BuildJoinTree runs GYO and materializes the join forest. It fails when
+// the query is cyclic; use the ghd package for those.
+func BuildJoinTree(atoms []Atom) (*Tree, error) {
+	parent, ok := GYO(atoms)
+	if !ok {
+		return nil, fmt.Errorf("query is cyclic: no GYO decomposition exists")
+	}
+	t := &Tree{Nodes: make([]*Node, len(atoms))}
+	for i, a := range atoms {
+		t.Nodes[i] = &Node{Atom: a, Index: i}
+	}
+	for i, p := range parent {
+		if p < 0 {
+			t.Roots = append(t.Roots, t.Nodes[i])
+			continue
+		}
+		t.Nodes[i].Parent = t.Nodes[p]
+		t.Nodes[p].Children = append(t.Nodes[p].Children, t.Nodes[i])
+	}
+	return t, nil
+}
+
+// MaxDegree returns the maximum degree d over nodes, the parameter of the
+// O(m·d·n^d·log n) bound in Theorem 5.1.
+func (t *Tree) MaxDegree() int {
+	d := 0
+	for _, n := range t.Nodes {
+		if x := n.Degree(); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+// PostOrder returns the nodes of the forest children-first (the order in
+// which botjoins are computed).
+func (t *Tree) PostOrder() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		out = append(out, n)
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// PreOrder returns the nodes parents-first (the order in which topjoins are
+// computed).
+func (t *Tree) PreOrder() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		out = append(out, n)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// ConnectorVars returns the variables a node shares with its parent,
+// A_i ∩ A_p(i); nil for roots.
+func (n *Node) ConnectorVars() []string {
+	if n.Parent == nil {
+		return nil
+	}
+	return intersectVars(n.Atom.Vars, n.Parent.Atom.Vars)
+}
+
+func intersectVars(a, b []string) []string {
+	in := make(map[string]bool, len(b))
+	for _, v := range b {
+		in[v] = true
+	}
+	var out []string
+	for _, v := range a {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// IsDoublyAcyclic reports whether the join tree witnesses the doubly-acyclic
+// property of Section 5.3: for every node, the hypergraph formed by the
+// connector variable sets of its parent edge and child edges is itself
+// acyclic, so the multiplicity-table join T^i is an acyclic join.
+func (t *Tree) IsDoublyAcyclic() bool {
+	for _, n := range t.Nodes {
+		var pseudo []Atom
+		if n.Parent != nil {
+			if conn := n.ConnectorVars(); len(conn) > 0 {
+				pseudo = append(pseudo, Atom{Relation: "parent", Vars: conn})
+			}
+		}
+		for i, c := range n.Children {
+			if conn := c.ConnectorVars(); len(conn) > 0 {
+				pseudo = append(pseudo, Atom{Relation: fmt.Sprintf("child%d", i), Vars: conn})
+			}
+		}
+		if len(pseudo) <= 1 {
+			continue
+		}
+		if !IsAcyclic(pseudo) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package query
+
+// PathOrder detects whether the query is a path join query in the sense of
+// Section 4 — after merging multi-variable connectors, the body can be
+// ordered R1(A0,A1), R2(A1,A2), …, Rm(Am-1,Am) — and if so returns the atom
+// indexes in path order.
+//
+// The structural conditions checked are:
+//   - every variable occurs in at most two atoms;
+//   - the atom-adjacency graph (atoms sharing a variable) is a simple path;
+//   - shared variables only connect atoms adjacent on that path (implied by
+//     the first two conditions).
+//
+// A single-atom query counts as a (trivial) path. The returned order starts
+// at the endpoint with the lowest atom index, making the output
+// deterministic.
+func PathOrder(atoms []Atom) ([]int, bool) {
+	n := len(atoms)
+	if n == 0 {
+		return nil, false
+	}
+	if n == 1 {
+		return []int{0}, true
+	}
+	// Variables may appear in at most two atoms.
+	occ := make(map[string][]int)
+	for i, a := range atoms {
+		for _, v := range a.Vars {
+			occ[v] = append(occ[v], i)
+		}
+	}
+	adj := make([][]int, n)
+	addEdge := func(i, j int) {
+		for _, x := range adj[i] {
+			if x == j {
+				return
+			}
+		}
+		adj[i] = append(adj[i], j)
+		adj[j] = append(adj[j], i)
+	}
+	for _, ids := range occ {
+		if len(ids) > 2 {
+			return nil, false
+		}
+		if len(ids) == 2 {
+			addEdge(ids[0], ids[1])
+		}
+	}
+	// Degree check: exactly two endpoints of degree 1, rest degree 2.
+	endpoints := 0
+	first := -1
+	for i := range adj {
+		switch len(adj[i]) {
+		case 1:
+			endpoints++
+			if first < 0 {
+				first = i
+			}
+		case 2:
+		default:
+			return nil, false
+		}
+	}
+	if endpoints != 2 {
+		return nil, false
+	}
+	// Walk the path from the lowest-index endpoint.
+	order := make([]int, 0, n)
+	prev, cur := -1, first
+	for {
+		order = append(order, cur)
+		next := -1
+		for _, x := range adj[cur] {
+			if x != prev {
+				next = x
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		prev, cur = cur, next
+	}
+	if len(order) != n {
+		return nil, false // disconnected
+	}
+	return order, true
+}

@@ -1,0 +1,53 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the join forest as an indented tree with connector
+// annotations, e.g.
+//
+//	R1(A,B,C)
+//	├── R2(A,B,D)  [A B]
+//	├── R3(A,E)  [A]
+//	└── R4(B,F)  [B]
+//
+// used by cmd/tsens -explain and in test failure messages.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	for i, root := range t.Roots {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		renderNode(&b, root, "", true, i == len(t.Roots)-1)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, prefix string, isRoot, isLast bool) {
+	label := n.Atom.String()
+	if conn := n.ConnectorVars(); len(conn) > 0 {
+		label += fmt.Sprintf("  [%s]", strings.Join(conn, " "))
+	}
+	if isRoot {
+		fmt.Fprintf(b, "%s\n", label)
+	} else {
+		branch := "├── "
+		if isLast {
+			branch = "└── "
+		}
+		fmt.Fprintf(b, "%s%s%s\n", prefix, branch, label)
+	}
+	childPrefix := prefix
+	if !isRoot {
+		if isLast {
+			childPrefix += "    "
+		} else {
+			childPrefix += "│   "
+		}
+	}
+	for i, c := range n.Children {
+		renderNode(b, c, childPrefix, false, i == len(n.Children)-1)
+	}
+}

@@ -1,0 +1,66 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTree(t *testing.T) {
+	tree, err := BuildJoinTree(figure1Atoms())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Render()
+	for _, rel := range []string{"R1", "R2", "R3", "R4"} {
+		if !strings.Contains(out, rel) {
+			t.Fatalf("rendering missing %s:\n%s", rel, out)
+		}
+	}
+	// Non-root nodes are annotated with their connectors.
+	if !strings.Contains(out, "[") {
+		t.Fatalf("no connector annotations:\n%s", out)
+	}
+	// Exactly one root line (no branch glyph).
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	rootLines := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "── ") {
+			rootLines++
+		}
+	}
+	if rootLines != 1 {
+		t.Fatalf("root lines=%d:\n%s", rootLines, out)
+	}
+}
+
+func TestRenderForest(t *testing.T) {
+	atoms := []Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B"}},
+		{Relation: "R3", Vars: []string{"X"}},
+	}
+	tree, err := BuildJoinTree(atoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Render()
+	if !strings.Contains(out, "R3(X)") {
+		t.Fatalf("second component missing:\n%s", out)
+	}
+}
+
+func TestRenderDeepNesting(t *testing.T) {
+	path := []Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "D"}},
+	}
+	tree, err := BuildJoinTree(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Render()
+	if strings.Count(out, "└── ") < 2 {
+		t.Fatalf("expected nested last-child branches:\n%s", out)
+	}
+}

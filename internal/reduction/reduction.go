@@ -1,0 +1,196 @@
+// Package reduction implements the NP-hardness construction of Theorem 3.2
+// (Appendix A.2): a 3SAT formula φ with s clauses and ℓ variables maps to
+// an acyclic conjunctive query Q and database D such that LS(Q, D) > 0 if
+// and only if φ is satisfiable. One relation R_i per clause holds the seven
+// satisfying Boolean triples; an empty relation R0 spans all variables, so
+// the only way to raise the count above zero is to insert a satisfying
+// assignment into R0.
+package reduction
+
+import (
+	"fmt"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// Literal is a 3SAT literal: variable index (0-based) and polarity.
+type Literal struct {
+	Var     int
+	Negated bool
+}
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Literal
+
+// Formula is a 3SAT instance over NumVars variables.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks variable indexes.
+func (f *Formula) Validate() error {
+	if f.NumVars <= 0 {
+		return fmt.Errorf("reduction: formula needs at least one variable")
+	}
+	for i, c := range f.Clauses {
+		for _, l := range c {
+			if l.Var < 0 || l.Var >= f.NumVars {
+				return fmt.Errorf("reduction: clause %d references variable %d out of range", i, l.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// Satisfied reports whether assignment (one bool per variable) satisfies f.
+func (f *Formula) Satisfied(assignment []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assignment[l.Var] != l.Negated {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// BruteForceSAT searches all 2^n assignments; usable for the small test
+// instances that cross-validate the reduction.
+func (f *Formula) BruteForceSAT() (assignment []bool, satisfiable bool) {
+	n := f.NumVars
+	if n > 24 {
+		return nil, false
+	}
+	a := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			a[i] = mask&(1<<i) != 0
+		}
+		if f.Satisfied(a) {
+			return append([]bool(nil), a...), true
+		}
+	}
+	return nil, false
+}
+
+// Build constructs the sensitivity instance (Q, D) of Theorem 3.2.
+func Build(f *Formula) (*query.Query, *relation.Database, error) {
+	if err := f.Validate(); err != nil {
+		return nil, nil, err
+	}
+	varName := func(i int) string { return fmt.Sprintf("A%d", i) }
+
+	// R0 spans every variable and is empty.
+	allVars := make([]string, f.NumVars)
+	r0Attrs := make([]string, f.NumVars)
+	for i := range allVars {
+		allVars[i] = varName(i)
+		r0Attrs[i] = fmt.Sprintf("c%d", i)
+	}
+	atoms := []query.Atom{{Relation: "R0", Vars: allVars}}
+	rels := []*relation.Relation{relation.MustNew("R0", r0Attrs, nil)}
+
+	// One relation per clause with the seven satisfying triples.
+	for ci, c := range f.Clauses {
+		name := fmt.Sprintf("R%d", ci+1)
+		vars := []string{varName(c[0].Var), varName(c[1].Var), varName(c[2].Var)}
+		// Clauses like (x ∨ x ∨ y) repeat a variable; collapse duplicates,
+		// since an atom may not repeat a variable.
+		vars, cols := dedupeVars(vars)
+		var rows []relation.Tuple
+		for mask := 0; mask < 1<<3; mask++ {
+			triple := [3]bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+			// Consistency for collapsed duplicates.
+			consistent := true
+			vals := map[int]bool{}
+			for li, l := range c {
+				if prev, seen := vals[l.Var]; seen && prev != triple[li] {
+					consistent = false
+					break
+				}
+				vals[l.Var] = triple[li]
+			}
+			if !consistent {
+				continue
+			}
+			sat := false
+			for li, l := range c {
+				if triple[li] != l.Negated {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				continue
+			}
+			row := make(relation.Tuple, len(vars))
+			for vi := range vars {
+				if triple[cols[vi]] {
+					row[vi] = 1
+				}
+			}
+			rows = append(rows, row)
+		}
+		rows = dedupeRows(rows)
+		attrs := make([]string, len(vars))
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("c%d", i)
+		}
+		atoms = append(atoms, query.Atom{Relation: name, Vars: vars})
+		rels = append(rels, relation.MustNew(name, attrs, rows))
+	}
+
+	q, err := query.New("sat", atoms, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := relation.NewDatabase(rels...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, db, nil
+}
+
+// dedupeVars collapses repeated variables, returning the distinct variable
+// list and, per kept variable, the index of its first literal position.
+func dedupeVars(vars []string) ([]string, []int) {
+	var out []string
+	var cols []int
+	seen := map[string]bool{}
+	for i, v := range vars {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+		cols = append(cols, i)
+	}
+	return out, cols
+}
+
+func dedupeRows(rows []relation.Tuple) []relation.Tuple {
+	var out []relation.Tuple
+	seen := map[string]bool{}
+	for _, r := range rows {
+		k := fmt.Sprint(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// IsAcyclicInstance confirms the constructed query is acyclic, the point of
+// the theorem (hardness already at acyclic queries).
+func IsAcyclicInstance(q *query.Query) bool {
+	return query.IsAcyclic(q.Atoms)
+}

@@ -1,0 +1,130 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsens/internal/core"
+)
+
+func lit(v int, neg bool) Literal { return Literal{Var: v, Negated: neg} }
+
+func TestValidate(t *testing.T) {
+	bad := &Formula{NumVars: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero variables accepted")
+	}
+	bad2 := &Formula{NumVars: 2, Clauses: []Clause{{lit(0, false), lit(5, false), lit(1, false)}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+}
+
+func TestSatisfiedAndBruteForce(t *testing.T) {
+	// (x0 ∨ x1 ∨ x2) ∧ (¬x0 ∨ ¬x1 ∨ ¬x2)
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{lit(0, false), lit(1, false), lit(2, false)},
+		{lit(0, true), lit(1, true), lit(2, true)},
+	}}
+	a, ok := f.BruteForceSAT()
+	if !ok {
+		t.Fatal("satisfiable formula reported unsat")
+	}
+	if !f.Satisfied(a) {
+		t.Fatal("returned assignment does not satisfy")
+	}
+	// x ∧ ¬x encoded as two unit-ish clauses.
+	unsat := &Formula{NumVars: 1, Clauses: []Clause{
+		{lit(0, false), lit(0, false), lit(0, false)},
+		{lit(0, true), lit(0, true), lit(0, true)},
+	}}
+	if _, ok := unsat.BruteForceSAT(); ok {
+		t.Fatal("unsatisfiable formula reported sat")
+	}
+}
+
+func TestBuildProducesAcyclicInstance(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{
+		{lit(0, false), lit(1, true), lit(2, false)},
+	}}
+	q, db, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsAcyclicInstance(q) {
+		t.Fatal("reduction instance must be acyclic (Theorem 3.2)")
+	}
+	if len(db.Relation("R0").Rows) != 0 {
+		t.Fatal("R0 must be empty")
+	}
+	// Clause relation has 7 satisfying triples.
+	if got := len(db.Relation("R1").Rows); got != 7 {
+		t.Fatalf("clause relation has %d rows, want 7", got)
+	}
+}
+
+func TestBuildRepeatedVariableClause(t *testing.T) {
+	// (x0 ∨ x0 ∨ x1): collapses to two variables.
+	f := &Formula{NumVars: 2, Clauses: []Clause{
+		{lit(0, false), lit(0, false), lit(1, false)},
+	}}
+	q, db, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := db.Relation("R1")
+	if len(r1.Attrs) != 2 {
+		t.Fatalf("collapsed clause relation has %d attrs", len(r1.Attrs))
+	}
+	// Satisfying pairs of (x0, x1): all but (0,0) → 3 rows.
+	if len(r1.Rows) != 3 {
+		t.Fatalf("rows=%d, want 3", len(r1.Rows))
+	}
+	if !IsAcyclicInstance(q) {
+		t.Fatal("instance must stay acyclic")
+	}
+}
+
+// The heart of Theorem 3.2: LS(Q,D) > 0 ⇔ φ satisfiable, checked on random
+// small formulas against brute-force SAT.
+func TestReductionSoundAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(3) // 2..4 variables
+		s := 1 + rng.Intn(4) // 1..4 clauses
+		f := &Formula{NumVars: n}
+		for c := 0; c < s; c++ {
+			var cl Clause
+			for i := range cl {
+				cl[i] = Literal{Var: rng.Intn(n), Negated: rng.Intn(2) == 1}
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		_, sat := f.BruteForceSAT()
+		q, db, err := Build(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.LocalSensitivity(q, db, core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, q)
+		}
+		if (res.LS > 0) != sat {
+			t.Fatalf("trial %d: LS=%d but satisfiable=%v\nformula: %+v", trial, res.LS, sat, f)
+		}
+		// When satisfiable, the most sensitive tuple must be inserted into
+		// R0 and encode a satisfying assignment.
+		if sat {
+			if res.Best.Relation != "R0" {
+				t.Fatalf("trial %d: best relation=%s, want R0", trial, res.Best.Relation)
+			}
+			assignment := make([]bool, n)
+			for i, v := range res.Best.Values {
+				assignment[i] = v == 1
+			}
+			if !f.Satisfied(assignment) {
+				t.Fatalf("trial %d: extracted assignment %v does not satisfy %+v", trial, assignment, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counted is an intermediate relation carrying an explicit multiplicity
+// (cnt) column, exactly the representation the paper's r-join and group-by
+// operators manipulate (Section 4.2).
+//
+// Default, when positive, is the count assumed for any key value not
+// explicitly present. It implements the top-k approximation of Section 5.4:
+// after truncating a group-by to its k most frequent rows, the remaining
+// active-domain values are clamped to the k-th largest count. A Counted with
+// Default == 0 is exact.
+type Counted struct {
+	Attrs   []string
+	Rows    []Tuple
+	Cnt     []int64
+	Default int64
+}
+
+// FromRelation groups a base relation by all of its attributes, producing
+// the deduplicated counted form with per-row multiplicities.
+func FromRelation(r *Relation) *Counted {
+	c := &Counted{Attrs: append([]string(nil), r.Attrs...)}
+	idx := make(map[string]int, len(r.Rows))
+	var buf []byte
+	for _, t := range r.Rows {
+		buf = encodeTuple(buf[:0], t)
+		k := string(buf)
+		if j, ok := idx[k]; ok {
+			c.Cnt[j] = AddSat(c.Cnt[j], 1)
+			continue
+		}
+		idx[k] = len(c.Rows)
+		c.Rows = append(c.Rows, t.Clone())
+		c.Cnt = append(c.Cnt, 1)
+	}
+	return c
+}
+
+// Constant returns a zero-attribute Counted holding a single row with the
+// given count. It is the identity element of Join.
+func Constant(cnt int64) *Counted {
+	return &Counted{Attrs: nil, Rows: []Tuple{{}}, Cnt: []int64{cnt}}
+}
+
+// AttrIndex returns the position of attribute a, or -1.
+func (c *Counted) AttrIndex(a string) int {
+	for i, x := range c.Attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// attrIndexes maps attribute names to column positions, failing if any is
+// missing.
+func (c *Counted) attrIndexes(attrs []string) ([]int, error) {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		j := c.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("counted relation: no attribute %q in %v", a, c.Attrs)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// encodeTuple appends a fixed-width binary encoding of t to dst. It is used
+// as a hash key for joins and group-bys.
+func encodeTuple(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		u := uint64(v)
+		dst = append(dst,
+			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return dst
+}
+
+// encodeAt appends the encoding of t restricted to the given column indexes.
+func encodeAt(dst []byte, t Tuple, idxs []int) []byte {
+	for _, i := range idxs {
+		u := uint64(t[i])
+		dst = append(dst,
+			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return dst
+}
+
+// GroupBy implements γ_A(c): project onto attrs and sum counts per group
+// (the paper's group-by-with-count-sum operator). A Default on c is
+// propagated only when the projection keeps all attributes; otherwise the
+// result is exact over the projected active domain and callers must treat it
+// as an upper bound (this matches the top-k approximation contract).
+func (c *Counted) GroupBy(attrs []string) (*Counted, error) {
+	idxs, err := c.attrIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Counted{Attrs: append([]string(nil), attrs...)}
+	if len(attrs) == len(c.Attrs) {
+		out.Default = c.Default
+	}
+	groups := make(map[string]int, len(c.Rows))
+	var buf []byte
+	for i, t := range c.Rows {
+		buf = encodeAt(buf[:0], t, idxs)
+		k := string(buf)
+		if j, ok := groups[k]; ok {
+			out.Cnt[j] = AddSat(out.Cnt[j], c.Cnt[i])
+			continue
+		}
+		groups[k] = len(out.Rows)
+		row := make(Tuple, len(idxs))
+		for x, ix := range idxs {
+			row[x] = t[ix]
+		}
+		out.Rows = append(out.Rows, row)
+		out.Cnt = append(out.Cnt, c.Cnt[i])
+	}
+	return out, nil
+}
+
+// Join implements the natural join r⋈ of the paper: match on shared
+// attributes and multiply multiplicities. If the two inputs share no
+// attributes the result is the cross product.
+//
+// If b carries a Default (top-k approximation), b's attributes must be a
+// subset of a's: rows of a whose key is absent from b then join with count
+// Default, preserving the upper-bound property.
+func Join(a, b *Counted) (*Counted, error) {
+	shared := Intersect(a.Attrs, b.Attrs)
+	if b.Default > 0 && !ContainsAll(a.Attrs, b.Attrs) {
+		return nil, fmt.Errorf("join: approximate operand with attrs %v not contained in %v", b.Attrs, a.Attrs)
+	}
+	if a.Default > 0 {
+		return nil, fmt.Errorf("join: left operand must be exact (Default=%d)", a.Default)
+	}
+	aIdx, err := a.attrIndexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	bIdx, err := b.attrIndexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	extra := Minus(b.Attrs, shared)
+	extraIdx, err := b.attrIndexes(extra)
+	if err != nil {
+		return nil, err
+	}
+	out := &Counted{Attrs: Union(a.Attrs, b.Attrs)}
+
+	// Build hash index on the smaller side conceptually; we always index b
+	// because Default semantics require probing from a.
+	index := make(map[string][]int, len(b.Rows))
+	var buf []byte
+	for i, t := range b.Rows {
+		buf = encodeAt(buf[:0], t, bIdx)
+		index[string(buf)] = append(index[string(buf)], i)
+	}
+	for i, t := range a.Rows {
+		buf = encodeAt(buf[:0], t, aIdx)
+		matches, ok := index[string(buf)]
+		if !ok {
+			if b.Default > 0 {
+				out.Rows = append(out.Rows, t.Clone())
+				out.Cnt = append(out.Cnt, MulSat(a.Cnt[i], b.Default))
+			}
+			continue
+		}
+		for _, j := range matches {
+			row := make(Tuple, 0, len(out.Attrs))
+			row = append(row, t...)
+			for _, ix := range extraIdx {
+				row = append(row, b.Rows[j][ix])
+			}
+			out.Rows = append(out.Rows, row)
+			out.Cnt = append(out.Cnt, MulSat(a.Cnt[i], b.Cnt[j]))
+		}
+	}
+	return out, nil
+}
+
+// JoinGroup is the composite γ_attrs(r⋈(a, b)) used on every edge of the
+// top/botjoin recursions; fusing the two avoids materializing wide rows.
+func JoinGroup(a, b *Counted, attrs []string) (*Counted, error) {
+	j, err := Join(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return j.GroupBy(attrs)
+}
+
+// Semijoin keeps the rows of a whose shared-attribute key appears in b.
+func Semijoin(a, b *Counted) (*Counted, error) {
+	shared := Intersect(a.Attrs, b.Attrs)
+	aIdx, err := a.attrIndexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	bIdx, err := b.attrIndexes(shared)
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[string]bool, len(b.Rows))
+	var buf []byte
+	for _, t := range b.Rows {
+		buf = encodeAt(buf[:0], t, bIdx)
+		keys[string(buf)] = true
+	}
+	out := &Counted{Attrs: append([]string(nil), a.Attrs...), Default: a.Default}
+	for i, t := range a.Rows {
+		buf = encodeAt(buf[:0], t, aIdx)
+		if keys[string(buf)] {
+			out.Rows = append(out.Rows, t)
+			out.Cnt = append(out.Cnt, a.Cnt[i])
+		}
+	}
+	return out, nil
+}
+
+// Filter returns the rows of c for which keep is true.
+func (c *Counted) Filter(keep func(Tuple) bool) *Counted {
+	out := &Counted{Attrs: append([]string(nil), c.Attrs...), Default: c.Default}
+	for i, t := range c.Rows {
+		if keep(t) {
+			out.Rows = append(out.Rows, t)
+			out.Cnt = append(out.Cnt, c.Cnt[i])
+		}
+	}
+	return out
+}
+
+// SumCnt returns the total multiplicity, i.e. |Q(D)| when c is a full join
+// result.
+func (c *Counted) SumCnt() int64 {
+	var s int64
+	for _, v := range c.Cnt {
+		s = AddSat(s, v)
+	}
+	return s
+}
+
+// MaxRow returns the row with the largest count and that count. The second
+// return is 0 (with a nil row) when c is empty. When c carries a Default
+// larger than every explicit count, the Default wins and the returned row is
+// nil, signaling "any unlisted value".
+func (c *Counted) MaxRow() (Tuple, int64) {
+	var best Tuple
+	bestCnt := int64(0)
+	for i, v := range c.Cnt {
+		if v > bestCnt {
+			bestCnt = v
+			best = c.Rows[i]
+		}
+	}
+	if c.Default > bestCnt {
+		return nil, c.Default
+	}
+	return best, bestCnt
+}
+
+// TopK truncates c to its k most frequent rows and records the k-th count as
+// the Default for all other values (Section 5.4, "Efficient
+// approximations"). If c has at most k rows it is returned unchanged.
+func (c *Counted) TopK(k int) *Counted {
+	if k <= 0 || len(c.Rows) <= k {
+		return c
+	}
+	order := make([]int, len(c.Rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return c.Cnt[order[x]] > c.Cnt[order[y]] })
+	out := &Counted{Attrs: append([]string(nil), c.Attrs...)}
+	for _, i := range order[:k] {
+		out.Rows = append(out.Rows, c.Rows[i])
+		out.Cnt = append(out.Cnt, c.Cnt[i])
+	}
+	out.Default = c.Cnt[order[k-1]]
+	if c.Default > out.Default {
+		out.Default = c.Default
+	}
+	return out
+}
+
+// Lookup returns the count of the row matching key values over the given
+// attributes (which must cover all of c's attributes in any order). Missing
+// keys return the Default.
+func (c *Counted) Lookup(attrs []string, vals Tuple) (int64, error) {
+	if len(attrs) != len(vals) {
+		return 0, fmt.Errorf("lookup: %d attrs but %d values", len(attrs), len(vals))
+	}
+	pos := make(map[string]int64, len(attrs))
+	for i, a := range attrs {
+		pos[a] = vals[i]
+	}
+	want := make(Tuple, len(c.Attrs))
+	for i, a := range c.Attrs {
+		v, ok := pos[a]
+		if !ok {
+			return 0, fmt.Errorf("lookup: attribute %q not provided", a)
+		}
+		want[i] = v
+	}
+	for i, t := range c.Rows {
+		if t.Equal(want) {
+			return c.Cnt[i], nil
+		}
+	}
+	return c.Default, nil
+}
+
+// Clone deep-copies c.
+func (c *Counted) Clone() *Counted {
+	out := &Counted{
+		Attrs:   append([]string(nil), c.Attrs...),
+		Cnt:     append([]int64(nil), c.Cnt...),
+		Default: c.Default,
+	}
+	out.Rows = make([]Tuple, len(c.Rows))
+	for i, t := range c.Rows {
+		out.Rows[i] = t.Clone()
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package relation
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRelationDedup(t *testing.T) {
+	r := MustNew("R", []string{"A", "B"}, []Tuple{{1, 1}, {1, 1}, {2, 1}})
+	c := FromRelation(r)
+	if len(c.Rows) != 2 {
+		t.Fatalf("got %d distinct rows", len(c.Rows))
+	}
+	if c.SumCnt() != 3 {
+		t.Fatalf("SumCnt=%d", c.SumCnt())
+	}
+	cnt, err := c.Lookup([]string{"A", "B"}, Tuple{1, 1})
+	if err != nil || cnt != 2 {
+		t.Fatalf("Lookup=(%d,%v)", cnt, err)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	c := &Counted{
+		Attrs: []string{"A", "B"},
+		Rows:  []Tuple{{1, 1}, {1, 2}, {2, 1}},
+		Cnt:   []int64{2, 3, 4},
+	}
+	g, err := c.GroupBy([]string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 2 {
+		t.Fatalf("groups=%d", len(g.Rows))
+	}
+	cnt, err := g.Lookup([]string{"A"}, Tuple{1})
+	if err != nil || cnt != 5 {
+		t.Fatalf("group A=1 cnt=%d err=%v", cnt, err)
+	}
+	if _, err := c.GroupBy([]string{"Z"}); err == nil {
+		t.Fatal("group by missing attribute accepted")
+	}
+}
+
+func TestJoinNatural(t *testing.T) {
+	a := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 1}, {1, 2}}, Cnt: []int64{2, 1}}
+	b := &Counted{Attrs: []string{"B", "C"}, Rows: []Tuple{{1, 7}, {1, 8}, {3, 9}}, Cnt: []int64{5, 1, 1}}
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,1) joins (1,7) and (1,8): counts 10 and 2; (1,2) joins nothing.
+	if j.SumCnt() != 12 {
+		t.Fatalf("SumCnt=%d", j.SumCnt())
+	}
+	wantAttrs := []string{"A", "B", "C"}
+	for i, x := range wantAttrs {
+		if j.Attrs[i] != x {
+			t.Fatalf("Attrs=%v", j.Attrs)
+		}
+	}
+}
+
+func TestJoinCrossProduct(t *testing.T) {
+	a := &Counted{Attrs: []string{"A"}, Rows: []Tuple{{1}, {2}}, Cnt: []int64{2, 3}}
+	b := &Counted{Attrs: []string{"B"}, Rows: []Tuple{{7}}, Cnt: []int64{4}}
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Rows) != 2 || j.SumCnt() != 20 {
+		t.Fatalf("cross product rows=%d sum=%d", len(j.Rows), j.SumCnt())
+	}
+}
+
+func TestJoinIdentity(t *testing.T) {
+	a := &Counted{Attrs: []string{"A"}, Rows: []Tuple{{1}}, Cnt: []int64{5}}
+	j, err := Join(a, Constant(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.SumCnt() != 5 || len(j.Rows) != 1 {
+		t.Fatalf("identity join changed the relation: %v", j)
+	}
+}
+
+func TestJoinWithDefault(t *testing.T) {
+	a := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 1}, {2, 2}}, Cnt: []int64{1, 1}}
+	b := &Counted{Attrs: []string{"B"}, Rows: []Tuple{{1}}, Cnt: []int64{10}, Default: 3}
+	j, err := Join(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,1) matches cnt 10; (2,2) misses and gets Default 3.
+	if j.SumCnt() != 13 {
+		t.Fatalf("SumCnt=%d", j.SumCnt())
+	}
+	// Default operand with attrs outside a must be rejected.
+	c := &Counted{Attrs: []string{"C"}, Rows: []Tuple{{1}}, Cnt: []int64{1}, Default: 2}
+	if _, err := Join(a, c); err == nil {
+		t.Fatal("approximate operand with new attrs accepted")
+	}
+	if _, err := Join(b, a); err == nil {
+		t.Fatal("approximate left operand accepted")
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	a := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 1}, {2, 2}}, Cnt: []int64{1, 5}}
+	b := &Counted{Attrs: []string{"B", "C"}, Rows: []Tuple{{2, 9}}, Cnt: []int64{1}}
+	s, err := Semijoin(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 1 || s.Cnt[0] != 5 {
+		t.Fatalf("semijoin=%v %v", s.Rows, s.Cnt)
+	}
+}
+
+func TestMaxRow(t *testing.T) {
+	c := &Counted{Attrs: []string{"A"}, Rows: []Tuple{{1}, {2}}, Cnt: []int64{3, 9}}
+	row, cnt := c.MaxRow()
+	if cnt != 9 || !row.Equal(Tuple{2}) {
+		t.Fatalf("MaxRow=(%v,%d)", row, cnt)
+	}
+	empty := &Counted{Attrs: []string{"A"}}
+	if row, cnt := empty.MaxRow(); row != nil || cnt != 0 {
+		t.Fatalf("empty MaxRow=(%v,%d)", row, cnt)
+	}
+	c.Default = 100
+	row, cnt = c.MaxRow()
+	if row != nil || cnt != 100 {
+		t.Fatalf("default MaxRow=(%v,%d)", row, cnt)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	c := &Counted{
+		Attrs: []string{"A"},
+		Rows:  []Tuple{{1}, {2}, {3}, {4}},
+		Cnt:   []int64{10, 7, 5, 1},
+	}
+	k := c.TopK(2)
+	if len(k.Rows) != 2 || k.Default != 7 {
+		t.Fatalf("TopK rows=%d default=%d", len(k.Rows), k.Default)
+	}
+	// Unaffected when already small.
+	if got := c.TopK(10); got != c {
+		t.Fatal("TopK should return the receiver when len<=k")
+	}
+	if got := c.TopK(0); got != c {
+		t.Fatal("TopK(0) should disable truncation")
+	}
+}
+
+func TestJoinGroupFusion(t *testing.T) {
+	a := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 1}, {2, 1}}, Cnt: []int64{1, 1}}
+	b := &Counted{Attrs: []string{"B", "C"}, Rows: []Tuple{{1, 5}, {1, 6}}, Cnt: []int64{2, 3}}
+	g, err := JoinGroup(a, b, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 2 {
+		t.Fatalf("groups=%d", len(g.Rows))
+	}
+	for i := range g.Rows {
+		if g.Cnt[i] != 5 {
+			t.Fatalf("row %v cnt=%d want 5", g.Rows[i], g.Cnt[i])
+		}
+	}
+}
+
+func TestFilterCounted(t *testing.T) {
+	c := &Counted{Attrs: []string{"A"}, Rows: []Tuple{{1}, {2}}, Cnt: []int64{1, 2}}
+	f := c.Filter(func(t Tuple) bool { return t[0] == 2 })
+	if len(f.Rows) != 1 || f.Cnt[0] != 2 {
+		t.Fatalf("filter=%v %v", f.Rows, f.Cnt)
+	}
+}
+
+func TestSaturatingMath(t *testing.T) {
+	if AddSat(math.MaxInt64, 1) != math.MaxInt64 {
+		t.Fatal("AddSat overflow not saturated")
+	}
+	if MulSat(math.MaxInt64, 2) != math.MaxInt64 {
+		t.Fatal("MulSat overflow not saturated")
+	}
+	if MulSat(0, math.MaxInt64) != 0 || MulSat(math.MaxInt64, 0) != 0 {
+		t.Fatal("MulSat zero wrong")
+	}
+	if AddSat(2, 3) != 5 || MulSat(4, 5) != 20 {
+		t.Fatal("basic arithmetic wrong")
+	}
+}
+
+// Property: Join is commutative in total count for exact operands.
+func TestJoinCommutativeCount(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		a := &Counted{Attrs: []string{"A", "B"}}
+		for _, v := range av {
+			a.Rows = append(a.Rows, Tuple{int64(v % 4), int64(v % 3)})
+			a.Cnt = append(a.Cnt, int64(v%5)+1)
+		}
+		b := &Counted{Attrs: []string{"B", "C"}}
+		for _, v := range bv {
+			b.Rows = append(b.Rows, Tuple{int64(v % 3), int64(v % 7)})
+			b.Cnt = append(b.Cnt, int64(v%5)+1)
+		}
+		x, err1 := Join(a, b)
+		y, err2 := Join(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return x.SumCnt() == y.SumCnt()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GroupBy preserves the total count.
+func TestGroupByPreservesTotal(t *testing.T) {
+	f := func(vals []uint8) bool {
+		c := &Counted{Attrs: []string{"A", "B"}}
+		for _, v := range vals {
+			c.Rows = append(c.Rows, Tuple{int64(v % 5), int64(v % 2)})
+			c.Cnt = append(c.Cnt, int64(v%7)+1)
+		}
+		g, err := c.GroupBy([]string{"A"})
+		if err != nil {
+			return false
+		}
+		return g.SumCnt() == c.SumCnt()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopK yields an upper bound on every lookup.
+func TestTopKUpperBound(t *testing.T) {
+	f := func(vals []uint8, kRaw uint8) bool {
+		c := &Counted{Attrs: []string{"A"}}
+		seen := map[int64]int{}
+		for _, v := range vals {
+			key := int64(v % 9)
+			if j, ok := seen[key]; ok {
+				c.Cnt[j]++
+				continue
+			}
+			seen[key] = len(c.Rows)
+			c.Rows = append(c.Rows, Tuple{key})
+			c.Cnt = append(c.Cnt, 1)
+		}
+		k := int(kRaw%5) + 1
+		approx := c.TopK(k)
+		for i, row := range c.Rows {
+			got, err := approx.Lookup([]string{"A"}, row)
+			if err != nil || got < c.Cnt[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountedClone(t *testing.T) {
+	c := &Counted{Attrs: []string{"A"}, Rows: []Tuple{{1}}, Cnt: []int64{2}, Default: 1}
+	d := c.Clone()
+	d.Rows[0][0] = 9
+	d.Cnt[0] = 9
+	if c.Rows[0][0] == 9 || c.Cnt[0] == 9 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(7)
+	if len(c.Rows) != 1 || c.SumCnt() != 7 || len(c.Attrs) != 0 {
+		t.Fatalf("Constant=%v", c)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	c := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 2}}, Cnt: []int64{1}}
+	if _, err := c.Lookup([]string{"A"}, Tuple{1, 2}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := c.Lookup([]string{"A", "Z"}, Tuple{1, 2}); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+	// Order-insensitive lookup.
+	cnt, err := c.Lookup([]string{"B", "A"}, Tuple{2, 1})
+	if err != nil || cnt != 1 {
+		t.Fatalf("reordered lookup=(%d,%v)", cnt, err)
+	}
+}
+
+func TestGroupByDeterministicIndependentOfRowOrder(t *testing.T) {
+	build := func(perm []int) *Counted {
+		base := []Tuple{{1, 1}, {1, 2}, {2, 2}}
+		cnts := []int64{1, 2, 3}
+		c := &Counted{Attrs: []string{"A", "B"}}
+		for _, i := range perm {
+			c.Rows = append(c.Rows, base[i])
+			c.Cnt = append(c.Cnt, cnts[i])
+		}
+		return c
+	}
+	g1, _ := build([]int{0, 1, 2}).GroupBy([]string{"A"})
+	g2, _ := build([]int{2, 1, 0}).GroupBy([]string{"A"})
+	type pair struct {
+		k int64
+		c int64
+	}
+	collect := func(g *Counted) []pair {
+		var out []pair
+		for i := range g.Rows {
+			out = append(out, pair{g.Rows[i][0], g.Cnt[i]})
+		}
+		sort.Slice(out, func(x, y int) bool { return out[x].k < out[y].k })
+		return out
+	}
+	p1, p2 := collect(g1), collect(g2)
+	if len(p1) != len(p2) {
+		t.Fatal("different group counts")
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("group mismatch %v vs %v", p1[i], p2[i])
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package relation
+
+// Dict is a bidirectional dictionary encoder mapping strings to dense int64
+// codes. The engine stores only int64 values; tools that ingest textual data
+// (CSV, the query CLI) use a Dict to encode on the way in and decode on the
+// way out. The zero value is not usable; call NewDict.
+type Dict struct {
+	toID map[string]int64
+	toS  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{toID: make(map[string]int64)}
+}
+
+// Encode interns s and returns its code, assigning the next dense code on
+// first sight.
+func (d *Dict) Encode(s string) int64 {
+	if id, ok := d.toID[s]; ok {
+		return id
+	}
+	id := int64(len(d.toS))
+	d.toID[s] = id
+	d.toS = append(d.toS, s)
+	return id
+}
+
+// Decode returns the string for a code, or "" if the code was never issued.
+func (d *Dict) Decode(id int64) string {
+	if id < 0 || id >= int64(len(d.toS)) {
+		return ""
+	}
+	return d.toS[id]
+}
+
+// Len reports the number of interned strings.
+func (d *Dict) Len() int { return len(d.toS) }

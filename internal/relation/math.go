@@ -1,0 +1,24 @@
+package relation
+
+import "math"
+
+// AddSat returns a+b, saturating at math.MaxInt64. Counts are non-negative
+// throughout the engine, so only positive overflow is handled.
+func AddSat(a, b int64) int64 {
+	s := a + b
+	if s < a || s < b {
+		return math.MaxInt64
+	}
+	return s
+}
+
+// MulSat returns a*b, saturating at math.MaxInt64 for non-negative inputs.
+func MulSat(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}

@@ -1,0 +1,291 @@
+// Package relation implements a small in-memory relational engine with bag
+// semantics. It provides the two data representations used throughout the
+// repository:
+//
+//   - Relation: a named base table whose rows are tuples of int64 values
+//     (string data is dictionary-encoded via Dict), each row counting once.
+//   - Counted: an intermediate result that carries an explicit multiplicity
+//     column, as produced by the r-join and group-by operators of the paper
+//     (Tao et al., SIGMOD 2020, Section 4.2).
+//
+// All join and aggregation operators use saturating int64 arithmetic so that
+// sensitivity bounds degrade gracefully to math.MaxInt64 instead of
+// overflowing (elastic-sensitivity bounds grow multiplicatively and overflow
+// otherwise).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a single row of attribute values.
+type Tuple []int64
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether t and u hold the same values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Relation is a named base table. Every row counts with multiplicity one;
+// duplicate rows are allowed (bag semantics).
+type Relation struct {
+	Name  string
+	Attrs []string
+	Rows  []Tuple
+}
+
+// New constructs a Relation after validating that attribute names are
+// non-empty and unique and that every row has the right arity.
+func New(name string, attrs []string, rows []Tuple) (*Relation, error) {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relation %s: empty attribute name", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relation %s: duplicate attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	for i, r := range rows {
+		if len(r) != len(attrs) {
+			return nil, fmt.Errorf("relation %s: row %d has %d values, want %d", name, i, len(r), len(attrs))
+		}
+	}
+	return &Relation{Name: name, Attrs: attrs, Rows: rows}, nil
+}
+
+// MustNew is New but panics on error; intended for tests and literals.
+func MustNew(name string, attrs []string, rows []Tuple) *Relation {
+	r, err := New(name, attrs, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Clone returns a deep copy of r.
+func (r *Relation) Clone() *Relation {
+	rows := make([]Tuple, len(r.Rows))
+	for i, t := range r.Rows {
+		rows[i] = t.Clone()
+	}
+	return &Relation{Name: r.Name, Attrs: append([]string(nil), r.Attrs...), Rows: rows}
+}
+
+// AttrIndex returns the position of attribute a, or -1 if absent.
+func (r *Relation) AttrIndex(a string) int {
+	for i, x := range r.Attrs {
+		if x == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns the values of t at the named attributes of r.
+func (r *Relation) Project(t Tuple, attrs []string) (Tuple, error) {
+	out := make(Tuple, len(attrs))
+	for i, a := range attrs {
+		j := r.AttrIndex(a)
+		if j < 0 {
+			return nil, fmt.Errorf("relation %s: no attribute %q", r.Name, a)
+		}
+		out[i] = t[j]
+	}
+	return out, nil
+}
+
+// Filter returns a copy of r keeping only rows for which keep returns true.
+func (r *Relation) Filter(keep func(Tuple) bool) *Relation {
+	out := &Relation{Name: r.Name, Attrs: append([]string(nil), r.Attrs...)}
+	for _, t := range r.Rows {
+		if keep(t) {
+			out.Rows = append(out.Rows, t)
+		}
+	}
+	return out
+}
+
+// ActiveDomain returns the sorted distinct values of attribute a in r.
+func (r *Relation) ActiveDomain(a string) ([]int64, error) {
+	i := r.AttrIndex(a)
+	if i < 0 {
+		return nil, fmt.Errorf("relation %s: no attribute %q", r.Name, a)
+	}
+	set := make(map[int64]bool)
+	for _, t := range r.Rows {
+		set[t[i]] = true
+	}
+	vals := make([]int64, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(x, y int) bool { return vals[x] < vals[y] })
+	return vals, nil
+}
+
+// String renders a compact textual form, mainly for debugging and tests.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s)[%d rows]", r.Name, strings.Join(r.Attrs, ","), len(r.Rows))
+	return b.String()
+}
+
+// Database is a set of relations addressed by name, with a deterministic
+// iteration order (the insertion order).
+type Database struct {
+	order []string
+	rels  map[string]*Relation
+}
+
+// NewDatabase builds a Database from the given relations.
+// Relation names must be unique.
+func NewDatabase(rels ...*Relation) (*Database, error) {
+	db := &Database{rels: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		if err := db.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// MustNewDatabase is NewDatabase but panics on error.
+func MustNewDatabase(rels ...*Relation) *Database {
+	db, err := NewDatabase(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Add inserts a relation, rejecting duplicate names.
+func (db *Database) Add(r *Relation) error {
+	if _, ok := db.rels[r.Name]; ok {
+		return fmt.Errorf("database: duplicate relation %q", r.Name)
+	}
+	db.order = append(db.order, r.Name)
+	db.rels[r.Name] = r
+	return nil
+}
+
+// Relation returns the named relation, or nil if absent.
+func (db *Database) Relation(name string) *Relation {
+	return db.rels[name]
+}
+
+// Names returns relation names in insertion order.
+func (db *Database) Names() []string {
+	return append([]string(nil), db.order...)
+}
+
+// Size returns the total number of tuples across all relations.
+func (db *Database) Size() int {
+	n := 0
+	for _, name := range db.order {
+		n += len(db.rels[name].Rows)
+	}
+	return n
+}
+
+// Clone deep-copies the database.
+func (db *Database) Clone() *Database {
+	out := &Database{rels: make(map[string]*Relation, len(db.rels))}
+	for _, name := range db.order {
+		out.order = append(out.order, name)
+		out.rels[name] = db.rels[name].Clone()
+	}
+	return out
+}
+
+// Replace swaps in a relation with the same name, used by truncation
+// operators that rewrite one table.
+func (db *Database) Replace(r *Relation) error {
+	if _, ok := db.rels[r.Name]; !ok {
+		return fmt.Errorf("database: no relation %q to replace", r.Name)
+	}
+	db.rels[r.Name] = r
+	return nil
+}
+
+// Intersect returns the attributes present in both a and b, preserving the
+// order of a.
+func Intersect(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Union returns a ∪ b preserving first-seen order.
+func Union(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, x := range a {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, x := range b {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Minus returns the attributes of a not present in b, preserving order.
+func Minus(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if !inB[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ContainsAll reports whether every attribute of sub occurs in super.
+func ContainsAll(super, sub []string) bool {
+	inS := make(map[string]bool, len(super))
+	for _, x := range super {
+		inS[x] = true
+	}
+	for _, x := range sub {
+		if !inS[x] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package relation
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("R", []string{"A", "A"}, nil); err == nil {
+		t.Fatal("duplicate attribute accepted")
+	}
+	if _, err := New("R", []string{""}, nil); err == nil {
+		t.Fatal("empty attribute accepted")
+	}
+	if _, err := New("R", []string{"A", "B"}, []Tuple{{1}}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	r, err := New("R", []string{"A", "B"}, []Tuple{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("got %d rows", len(r.Rows))
+	}
+}
+
+func TestAttrIndexAndProject(t *testing.T) {
+	r := MustNew("R", []string{"A", "B", "C"}, []Tuple{{1, 2, 3}})
+	if got := r.AttrIndex("B"); got != 1 {
+		t.Fatalf("AttrIndex(B)=%d", got)
+	}
+	if got := r.AttrIndex("Z"); got != -1 {
+		t.Fatalf("AttrIndex(Z)=%d", got)
+	}
+	p, err := r.Project(r.Rows[0], []string{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(Tuple{3, 1}) {
+		t.Fatalf("Project=%v", p)
+	}
+	if _, err := r.Project(r.Rows[0], []string{"Z"}); err == nil {
+		t.Fatal("projection on missing attribute accepted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := MustNew("R", []string{"A"}, []Tuple{{1}, {2}, {3}})
+	f := r.Filter(func(t Tuple) bool { return t[0] >= 2 })
+	if len(f.Rows) != 2 {
+		t.Fatalf("got %d rows", len(f.Rows))
+	}
+	if len(r.Rows) != 3 {
+		t.Fatal("filter mutated the input")
+	}
+}
+
+func TestActiveDomain(t *testing.T) {
+	r := MustNew("R", []string{"A", "B"}, []Tuple{{3, 0}, {1, 0}, {3, 0}, {2, 0}})
+	d, err := r.ActiveDomain("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, []int64{1, 2, 3}) {
+		t.Fatalf("ActiveDomain=%v", d)
+	}
+	if _, err := r.ActiveDomain("Z"); err == nil {
+		t.Fatal("missing attribute accepted")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	a := MustNew("A", []string{"X"}, []Tuple{{1}})
+	b := MustNew("B", []string{"Y"}, []Tuple{{1}, {2}})
+	db, err := NewDatabase(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Size() != 3 {
+		t.Fatalf("Size=%d", db.Size())
+	}
+	if !reflect.DeepEqual(db.Names(), []string{"A", "B"}) {
+		t.Fatalf("Names=%v", db.Names())
+	}
+	if db.Relation("A") != a {
+		t.Fatal("lookup failed")
+	}
+	if err := db.Add(MustNew("A", []string{"X"}, nil)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	clone := db.Clone()
+	clone.Relation("A").Rows[0][0] = 99
+	if db.Relation("A").Rows[0][0] == 99 {
+		t.Fatal("Clone shares row storage")
+	}
+	if err := db.Replace(MustNew("B", []string{"Y"}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Relation("B").Rows) != 0 {
+		t.Fatal("Replace did not take effect")
+	}
+	if err := db.Replace(MustNew("Z", []string{"Y"}, nil)); err == nil {
+		t.Fatal("Replace of unknown relation accepted")
+	}
+}
+
+func TestAttrSetOps(t *testing.T) {
+	a := []string{"A", "B", "C"}
+	b := []string{"B", "D", "A"}
+	if got := Intersect(a, b); !reflect.DeepEqual(got, []string{"A", "B"}) {
+		t.Fatalf("Intersect=%v", got)
+	}
+	if got := Union(a, b); !reflect.DeepEqual(got, []string{"A", "B", "C", "D"}) {
+		t.Fatalf("Union=%v", got)
+	}
+	if got := Minus(a, b); !reflect.DeepEqual(got, []string{"C"}) {
+		t.Fatalf("Minus=%v", got)
+	}
+	if !ContainsAll(a, []string{"C", "A"}) || ContainsAll(a, []string{"D"}) {
+		t.Fatal("ContainsAll wrong")
+	}
+}
+
+func TestTupleCloneEqual(t *testing.T) {
+	a := Tuple{1, 2}
+	c := a.Clone()
+	c[0] = 9
+	if a[0] == 9 {
+		t.Fatal("Clone shares storage")
+	}
+	if !a.Equal(Tuple{1, 2}) || a.Equal(Tuple{1}) || a.Equal(Tuple{1, 3}) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	x := d.Encode("foo")
+	y := d.Encode("bar")
+	if x == y {
+		t.Fatal("distinct strings share a code")
+	}
+	if d.Encode("foo") != x {
+		t.Fatal("Encode not idempotent")
+	}
+	if d.Decode(x) != "foo" || d.Decode(y) != "bar" {
+		t.Fatal("Decode wrong")
+	}
+	if d.Decode(99) != "" || d.Decode(-1) != "" {
+		t.Fatal("out-of-range Decode should be empty")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+}

@@ -1,0 +1,196 @@
+// Package snapgen generates synthetic ego-networks substituting for the
+// SNAP Facebook dataset the paper uses (Section 7.1, ego-network of user
+// 348: 225 nodes, 6384 directed edges, 567 circles). The generator follows
+// the paper's construction exactly:
+//
+//   - a seeded social graph with community structure and preferential
+//     attachment (so degree and circle-size distributions are skewed, the
+//     property the sensitivity comparison depends on);
+//   - per-circle edge tables E_i containing the edges with both endpoints
+//     in circle i;
+//   - circle tables sorted by size descending and distributed round-robin
+//     into R1..R4 by rank mod 4;
+//   - all edges bidirected;
+//   - a triangle table RTRI(x,y,z) :- R4(x,y), R4(y,z), R4(z,x).
+package snapgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"tsens/internal/relation"
+)
+
+// Config sizes the synthetic ego-network. The zero values default to the
+// paper's ego-network scale (225 nodes, 3192 undirected edges → 6384
+// directed, 567 circles).
+type Config struct {
+	Nodes   int
+	Edges   int // undirected edge count; each is stored in both directions
+	Circles int
+	Seed    int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 225
+	}
+	if c.Edges == 0 {
+		c.Edges = 3192
+	}
+	if c.Circles == 0 {
+		c.Circles = 567
+	}
+	return c
+}
+
+// EgoNet is the generated network with the four circle-partition edge
+// tables and the triangle table, ready for the Facebook workload queries.
+type EgoNet struct {
+	DB *relation.Database
+	// Undirected edge list (u < v), before circle partitioning.
+	EdgeList [][2]int64
+}
+
+// Generate builds the ego-network database with relations R1..R4 (columns
+// x,y) and RTRI (columns x,y,z).
+func Generate(cfg Config) *EgoNet {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Circles first: skewed sizes (few large communities, many small
+	// ones), members drawn uniformly. Real social circles are dense friend
+	// groups, so most edges are then placed *within* circles; the overlap
+	// of circles produces hub nodes with skewed degrees.
+	circles := make([][]int64, cfg.Circles)
+	for i := range circles {
+		size := 2 + int(rng.ExpFloat64()*6)
+		if size > cfg.Nodes {
+			size = cfg.Nodes
+		}
+		memb := make(map[int64]bool, size)
+		for len(memb) < size {
+			memb[int64(rng.Intn(cfg.Nodes))] = true
+		}
+		for n := range memb {
+			circles[i] = append(circles[i], n)
+		}
+		sort.Slice(circles[i], func(a, b int) bool { return circles[i][a] < circles[i][b] })
+	}
+	// Large circles attract proportionally more internal edges: weight by
+	// size so communities become dense (high triangle counts, like the
+	// SNAP ego-networks).
+	var weighted []int
+	for i, c := range circles {
+		for j := 0; j < len(c); j++ {
+			weighted = append(weighted, i)
+		}
+	}
+
+	type edge struct{ u, v int64 }
+	seen := make(map[edge]bool)
+	var edges [][2]int64
+	const withinCircleFrac = 0.9
+	attempts := 0
+	for len(edges) < cfg.Edges && attempts < cfg.Edges*200 {
+		attempts++
+		var u, v int64
+		if len(weighted) > 0 && rng.Float64() < withinCircleFrac {
+			c := circles[weighted[rng.Intn(len(weighted))]]
+			if len(c) < 2 {
+				continue
+			}
+			u = c[rng.Intn(len(c))]
+			v = c[rng.Intn(len(c))]
+		} else {
+			u = int64(rng.Intn(cfg.Nodes))
+			v = int64(rng.Intn(cfg.Nodes))
+		}
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := edge{u, v}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, [2]int64{u, v})
+	}
+
+	// Per-circle edge tables: edges with both endpoints inside the circle.
+	circleEdges := make([][][2]int64, cfg.Circles)
+	for i, memb := range circles {
+		in := make(map[int64]bool, len(memb))
+		for _, n := range memb {
+			in[n] = true
+		}
+		for _, e := range edges {
+			if in[e[0]] && in[e[1]] {
+				circleEdges[i] = append(circleEdges[i], e)
+			}
+		}
+	}
+	// Sort circles by edge-table size descending (stable on index for
+	// determinism), then distribute into R1..R4 by rank mod 4.
+	rank := make([]int, cfg.Circles)
+	for i := range rank {
+		rank[i] = i
+	}
+	sort.SliceStable(rank, func(a, b int) bool {
+		return len(circleEdges[rank[a]]) > len(circleEdges[rank[b]])
+	})
+	tables := make([][]relation.Tuple, 4)
+	for r, ci := range rank {
+		t := r % 4
+		for _, e := range circleEdges[ci] {
+			tables[t] = append(tables[t], relation.Tuple{e[0], e[1]}, relation.Tuple{e[1], e[0]})
+		}
+	}
+
+	// Triangle table over the distinct edges of R4:
+	// RTRI(x,y,z) :- R4(x,y), R4(y,z), R4(z,x).
+	adj := make(map[int64]map[int64]bool)
+	addAdj := func(a, b int64) {
+		if adj[a] == nil {
+			adj[a] = make(map[int64]bool)
+		}
+		adj[a][b] = true
+	}
+	distinct := make(map[[2]int64]bool)
+	for _, t := range tables[3] {
+		e := [2]int64{t[0], t[1]}
+		if !distinct[e] {
+			distinct[e] = true
+			addAdj(t[0], t[1])
+		}
+	}
+	var tri []relation.Tuple
+	for e := range distinct {
+		x, y := e[0], e[1]
+		for z := range adj[y] {
+			if adj[z][x] {
+				tri = append(tri, relation.Tuple{x, y, z})
+			}
+		}
+	}
+	sort.Slice(tri, func(a, b int) bool {
+		for k := 0; k < 3; k++ {
+			if tri[a][k] != tri[b][k] {
+				return tri[a][k] < tri[b][k]
+			}
+		}
+		return false
+	})
+
+	db := relation.MustNewDatabase(
+		relation.MustNew("R1", []string{"x", "y"}, tables[0]),
+		relation.MustNew("R2", []string{"x", "y"}, tables[1]),
+		relation.MustNew("R3", []string{"x", "y"}, tables[2]),
+		relation.MustNew("R4", []string{"x", "y"}, tables[3]),
+		relation.MustNew("RTRI", []string{"x", "y", "z"}, tri),
+	)
+	return &EgoNet{DB: db, EdgeList: edges}
+}

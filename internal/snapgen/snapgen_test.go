@@ -1,0 +1,112 @@
+package snapgen
+
+import (
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Nodes != 225 || c.Edges != 3192 || c.Circles != 567 {
+		t.Fatalf("defaults=%+v", c)
+	}
+}
+
+func small() Config { return Config{Nodes: 40, Edges: 120, Circles: 30, Seed: 11} }
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(small())
+	b := Generate(small())
+	for _, name := range a.DB.Names() {
+		ra, rb := a.DB.Relation(name), b.DB.Relation(name)
+		if len(ra.Rows) != len(rb.Rows) {
+			t.Fatalf("%s nondeterministic size: %d vs %d", name, len(ra.Rows), len(rb.Rows))
+		}
+		for i := range ra.Rows {
+			if !ra.Rows[i].Equal(rb.Rows[i]) {
+				t.Fatalf("%s row %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestEdgeTablesBidirected(t *testing.T) {
+	net := Generate(small())
+	for _, name := range []string{"R1", "R2", "R3", "R4"} {
+		r := net.DB.Relation(name)
+		set := make(map[[2]int64]int)
+		for _, row := range r.Rows {
+			set[[2]int64{row[0], row[1]}]++
+		}
+		for e, c := range set {
+			if set[[2]int64{e[1], e[0]}] != c {
+				t.Fatalf("%s: edge %v occurs %d times but reverse occurs %d",
+					name, e, c, set[[2]int64{e[1], e[0]}])
+			}
+		}
+	}
+}
+
+func TestNoSelfLoops(t *testing.T) {
+	net := Generate(small())
+	for _, name := range []string{"R1", "R2", "R3", "R4"} {
+		for _, row := range net.DB.Relation(name).Rows {
+			if row[0] == row[1] {
+				t.Fatalf("%s contains self-loop %v", name, row)
+			}
+		}
+	}
+}
+
+func TestTriangleTableConsistent(t *testing.T) {
+	net := Generate(small())
+	// Every RTRI tuple must satisfy R4(x,y), R4(y,z), R4(z,x) over the
+	// distinct edges of R4.
+	edges := make(map[[2]int64]bool)
+	for _, row := range net.DB.Relation("R4").Rows {
+		edges[[2]int64{row[0], row[1]}] = true
+	}
+	tri := net.DB.Relation("RTRI")
+	for _, row := range tri.Rows {
+		x, y, z := row[0], row[1], row[2]
+		if !edges[[2]int64{x, y}] || !edges[[2]int64{y, z}] || !edges[[2]int64{z, x}] {
+			t.Fatalf("triangle %v not supported by R4 edges", row)
+		}
+	}
+	// Closure: triangles appear with all rotations (the rule is symmetric
+	// under rotation since R4 is bidirected and the rule cycles x→y→z→x).
+	have := make(map[[3]int64]bool, len(tri.Rows))
+	for _, row := range tri.Rows {
+		have[[3]int64{row[0], row[1], row[2]}] = true
+	}
+	for k := range have {
+		if !have[[3]int64{k[1], k[2], k[0]}] {
+			t.Fatalf("rotation of %v missing", k)
+		}
+	}
+}
+
+func TestEdgeCountMatchesConfig(t *testing.T) {
+	net := Generate(small())
+	if len(net.EdgeList) != 120 {
+		t.Fatalf("edges=%d, want 120", len(net.EdgeList))
+	}
+	for _, e := range net.EdgeList {
+		if e[0] >= e[1] {
+			t.Fatalf("edge list not normalized: %v", e)
+		}
+		if e[0] < 0 || e[1] >= 40 {
+			t.Fatalf("edge endpoint out of range: %v", e)
+		}
+	}
+}
+
+func TestCirclePartitionNonEmptyTables(t *testing.T) {
+	net := Generate(small())
+	// With skewed circles the largest tables land in R1 first; all four
+	// tables should normally receive some edges at this size.
+	for _, name := range []string{"R1", "R2", "R3", "R4"} {
+		if len(net.DB.Relation(name).Rows) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package tpch
+
+import (
+	"testing"
+
+	"tsens/internal/relation"
+)
+
+func TestSizesAtScaleOne(t *testing.T) {
+	s := Config{Scale: 1}.Sizes()
+	want := map[string]int{
+		"REGION": 5, "NATION": 25, "SUPPLIER": 10000, "CUSTOMER": 150000,
+		"PART": 200000, "PARTSUPP": 800000, "ORDERS": 1500000, "LINEITEM": 6000000,
+	}
+	for k, v := range want {
+		if s[k] != v {
+			t.Errorf("%s=%d, want %d", k, s[k], v)
+		}
+	}
+}
+
+func TestSizesSmallScaleFloors(t *testing.T) {
+	s := Config{Scale: 0.00001}.Sizes()
+	if s["REGION"] != 5 || s["NATION"] != 25 {
+		t.Fatalf("fixed tables scaled: %v", s)
+	}
+	for _, k := range []string{"CUSTOMER", "ORDERS", "LINEITEM"} {
+		if s[k] < 1 {
+			t.Fatalf("%s=%d, want ≥1", k, s[k])
+		}
+	}
+}
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	cfg := Config{Scale: 0.001, Seed: 7}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	for _, name := range a.Names() {
+		ra, rb := a.Relation(name), b.Relation(name)
+		if len(ra.Rows) != len(rb.Rows) {
+			t.Fatalf("%s nondeterministic size", name)
+		}
+		for i := range ra.Rows {
+			if !ra.Rows[i].Equal(rb.Rows[i]) {
+				t.Fatalf("%s row %d differs", name, i)
+			}
+		}
+	}
+	sizes := cfg.Sizes()
+	for name, n := range sizes {
+		if got := len(a.Relation(name).Rows); got != n {
+			t.Fatalf("%s has %d rows, want %d", name, got, n)
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	db := Generate(Config{Scale: 0.001, Seed: 3})
+	inDomain := func(rel, attr string, lo, hi int64) {
+		r := db.Relation(rel)
+		i := r.AttrIndex(attr)
+		for _, row := range r.Rows {
+			if row[i] < lo || row[i] >= hi {
+				t.Fatalf("%s.%s value %d outside [%d,%d)", rel, attr, row[i], lo, hi)
+			}
+		}
+	}
+	inDomain("NATION", "RK", 0, 5)
+	inDomain("CUSTOMER", "NK", 0, 25)
+	inDomain("SUPPLIER", "NK", 0, 25)
+	nCust := int64(len(db.Relation("CUSTOMER").Rows))
+	inDomain("ORDERS", "CK", 0, nCust)
+	nOrders := int64(len(db.Relation("ORDERS").Rows))
+	inDomain("LINEITEM", "OK", 0, nOrders)
+
+	// Every lineitem (SK,PK) must be an existing partsupp pair.
+	ps := db.Relation("PARTSUPP")
+	pairs := make(map[[2]int64]bool, len(ps.Rows))
+	for _, row := range ps.Rows {
+		pairs[[2]int64{row[0], row[1]}] = true
+	}
+	li := db.Relation("LINEITEM")
+	for _, row := range li.Rows {
+		if !pairs[[2]int64{row[1], row[2]}] {
+			t.Fatalf("lineitem (SK=%d,PK=%d) not in partsupp", row[1], row[2])
+		}
+	}
+}
+
+func TestSkewProducesHeavyKeys(t *testing.T) {
+	skewed := Generate(Config{Scale: 0.01, Seed: 5, Skew: 1.5})
+	uniform := Generate(Config{Scale: 0.01, Seed: 5})
+	mf := func(db *relation.Database, rel string, col int) int64 {
+		counts := map[int64]int64{}
+		var max int64
+		for _, row := range db.Relation(rel).Rows {
+			counts[row[col]]++
+			if counts[row[col]] > max {
+				max = counts[row[col]]
+			}
+		}
+		return max
+	}
+	ms, mu := mf(skewed, "ORDERS", 0), mf(uniform, "ORDERS", 0)
+	if ms <= mu {
+		t.Fatalf("skewed max frequency %d not above uniform %d", ms, mu)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := Generate(Config{Scale: 0.001, Seed: 1})
+	b := Generate(Config{Scale: 0.001, Seed: 2})
+	same := true
+	ra, rb := a.Relation("ORDERS"), b.Relation("ORDERS")
+	for i := range ra.Rows {
+		if !ra.Rows[i].Equal(rb.Rows[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical ORDERS")
+	}
+}

@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/elastic"
+	"tsens/internal/query"
+	"tsens/internal/yannakakis"
+)
+
+func TestSpecsWellFormed(t *testing.T) {
+	for _, s := range All() {
+		if s.Query == nil || s.Name == "" || s.PrimaryPrivate == "" || s.SensBound < 1 {
+			t.Fatalf("spec %q incomplete: %+v", s.Name, s)
+		}
+		if len(s.JoinOrder) != len(s.Query.Atoms) {
+			t.Fatalf("spec %s: join order has %d entries for %d atoms", s.Name, len(s.JoinOrder), len(s.Query.Atoms))
+		}
+		// The primary private relation must appear in the query.
+		if _, ok := s.Query.Atom(s.PrimaryPrivate); !ok {
+			t.Fatalf("spec %s: private relation %s not in query", s.Name, s.PrimaryPrivate)
+		}
+		// Path flags must be consistent.
+		if _, isPath := query.PathOrder(s.Query.Atoms); isPath != s.IsPath {
+			t.Fatalf("spec %s: IsPath=%v but PathOrder says %v", s.Name, s.IsPath, isPath)
+		}
+		// Cyclic queries must carry a decomposition.
+		acyc := query.IsAcyclic(s.Query.Atoms)
+		if !acyc && s.Decomp == nil {
+			t.Fatalf("spec %s: cyclic without decomposition", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("q3") == nil || ByName("qstar") == nil {
+		t.Fatal("ByName lookup failed")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestTPCHSpecsRunEndToEnd(t *testing.T) {
+	db := TPCHData(0.0005, 42)
+	for _, s := range TPCH() {
+		res, err := core.LocalSensitivity(s.Query, db, s.Options())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if res.LS <= 0 {
+			t.Fatalf("%s: LS=%d, expected positive on generated data", s.Name, res.LS)
+		}
+		// Elastic must upper-bound TSens (q3's skip list only removes a
+		// relation whose sensitivity is ≤ 1).
+		an, err := elastic.NewAnalyzer(s.Query, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := an.LocalSensitivity(s.JoinOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound < res.LS {
+			t.Fatalf("%s: elastic %d < TSens %d", s.Name, bound, res.LS)
+		}
+	}
+}
+
+func TestQ1IsPathAndMatchesTreeAlgorithm(t *testing.T) {
+	db := TPCHData(0.0005, 7)
+	s := Q1()
+	p, err := core.PathLocalSensitivity(s.Query, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.LocalSensitivity(s.Query, db, s.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LS != a.LS || p.Count != a.Count {
+		t.Fatalf("path LS=%d/%d tree LS=%d/%d", p.LS, p.Count, a.LS, a.Count)
+	}
+}
+
+func TestQ3CountMatchesGHDEvaluation(t *testing.T) {
+	db := TPCHData(0.0005, 3)
+	s := Q3()
+	res, err := core.LocalSensitivity(s.Query, db, s.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := yannakakis.CountGHD(s.Query, db, s.Decomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != cnt {
+		t.Fatalf("TSens Count=%d, Yannakakis GHD count=%d", res.Count, cnt)
+	}
+}
+
+func TestFacebookSpecsRunEndToEnd(t *testing.T) {
+	db := FacebookDataSized(40, 150, 40, 9)
+	for _, s := range Facebook() {
+		res, err := core.LocalSensitivity(s.Query, db, s.Options())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		// Agreement with brute-force counting.
+		cnt, err := yannakakis.BruteCount(s.Query, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != cnt {
+			t.Fatalf("%s: Count=%d, brute=%d", s.Name, res.Count, cnt)
+		}
+		an, err := elastic.NewAnalyzer(s.Query, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := an.LocalSensitivity(s.JoinOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bound < res.LS {
+			t.Fatalf("%s: elastic %d < TSens %d", s.Name, bound, res.LS)
+		}
+	}
+}
+
+func TestFacebookSpecsAgainstOracleTiny(t *testing.T) {
+	// Tiny network so the naive oracle is feasible: full agreement check.
+	db := FacebookDataSized(12, 25, 10, 5)
+	for _, s := range Facebook() {
+		res, err := core.LocalSensitivity(s.Query, db, s.Options())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		naive, err := core.NaiveLocalSensitivity(s.Query, db, core.NaiveOptions{MaxCandidates: 2000000})
+		if err != nil {
+			t.Fatalf("%s: naive: %v", s.Name, err)
+		}
+		if res.LS != naive.LS {
+			t.Fatalf("%s: TSens LS=%d naive LS=%d", s.Name, res.LS, naive.LS)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package yannakakis
+
+import (
+	"fmt"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// Reduce applies Yannakakis's full reducer to the counted base relations of
+// an acyclic query: a bottom-up semijoin pass followed by a top-down pass.
+// Afterwards every remaining tuple participates in at least one output
+// tuple (no dangling tuples), which bounds all intermediate join sizes
+// during enumeration by the output size — the property that makes acyclic
+// evaluation output-polynomial (Section 2.2 of the paper, citing [46]).
+//
+// The returned slice is indexed like q.Atoms. The inputs are not modified.
+func Reduce(q *query.Query, db *relation.Database) ([]*relation.Counted, error) {
+	if _, err := q.Bind(db); err != nil {
+		return nil, err
+	}
+	tree, err := query.BuildJoinTree(q.Atoms)
+	if err != nil {
+		return nil, err
+	}
+	rels := make([]*relation.Counted, len(q.Atoms))
+	for i, a := range q.Atoms {
+		c, err := BaseCounted(q, db, a)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = c
+	}
+	// Bottom-up: each parent keeps only tuples joinable with every child.
+	for _, n := range tree.PostOrder() {
+		for _, c := range n.Children {
+			s, err := relation.Semijoin(rels[n.Index], rels[c.Index])
+			if err != nil {
+				return nil, err
+			}
+			rels[n.Index] = s
+		}
+	}
+	// Top-down: each child keeps only tuples joinable with its parent.
+	for _, n := range tree.PreOrder() {
+		if n.Parent == nil {
+			continue
+		}
+		s, err := relation.Semijoin(rels[n.Index], rels[n.Parent.Index])
+		if err != nil {
+			return nil, err
+		}
+		rels[n.Index] = s
+	}
+	return rels, nil
+}
+
+// Output materializes the full join result of an acyclic query over all
+// query variables, using the full reducer so intermediate results never
+// exceed input + output size. For counting only, Count is cheaper.
+func Output(q *query.Query, db *relation.Database) (*relation.Counted, error) {
+	rels, err := Reduce(q, db)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := query.BuildJoinTree(q.Atoms)
+	if err != nil {
+		return nil, err
+	}
+	// Join children into parents along the tree (post-order), then cross
+	// the component results.
+	acc := make([]*relation.Counted, len(rels))
+	copy(acc, rels)
+	for _, n := range tree.PostOrder() {
+		for _, c := range n.Children {
+			j, err := relation.Join(acc[n.Index], acc[c.Index])
+			if err != nil {
+				return nil, err
+			}
+			acc[n.Index] = j
+		}
+	}
+	var out *relation.Counted
+	for _, r := range tree.Roots {
+		if out == nil {
+			out = acc[r.Index]
+			continue
+		}
+		j, err := relation.Join(out, acc[r.Index])
+		if err != nil {
+			return nil, err
+		}
+		out = j
+	}
+	if out == nil {
+		return nil, fmt.Errorf("yannakakis: query has no atoms")
+	}
+	// Normalize the column order to the query's variable order (a pure
+	// permutation; counts are preserved).
+	return out.GroupBy(q.Vars())
+}

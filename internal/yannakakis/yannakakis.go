@@ -1,0 +1,153 @@
+// Package yannakakis evaluates counting queries: |Q(D)| under bag
+// semantics. Acyclic queries are counted in O(n log n) per Yannakakis's
+// algorithm (one bottom-up pass over a join tree tracking multiplicities);
+// cyclic queries are counted either through a generalized hypertree
+// decomposition (materialize each bag, then count over the acyclic bag
+// tree) or by brute-force join for small instances.
+//
+// The package is deliberately independent from internal/core so that the
+// sensitivity algorithms can be validated against a second implementation.
+package yannakakis
+
+import (
+	"fmt"
+
+	"tsens/internal/ghd"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// BaseCounted converts the bound, selection-filtered base relation of an
+// atom into counted form with columns renamed to the atom's variables.
+func BaseCounted(q *query.Query, db *relation.Database, a query.Atom) (*relation.Counted, error) {
+	r := db.Relation(a.Relation)
+	if r == nil {
+		return nil, fmt.Errorf("yannakakis: no relation %s", a.Relation)
+	}
+	if len(r.Attrs) != len(a.Vars) {
+		return nil, fmt.Errorf("yannakakis: atom %s arity %d vs relation arity %d", a, len(a.Vars), len(r.Attrs))
+	}
+	rows := r.Rows
+	if keep := q.ApplySelections(a); keep != nil {
+		rows = nil
+		for _, t := range r.Rows {
+			if keep(t) {
+				rows = append(rows, t)
+			}
+		}
+	}
+	renamed := &relation.Relation{Name: a.Relation, Attrs: a.Vars, Rows: rows}
+	return relation.FromRelation(renamed), nil
+}
+
+// Count returns |Q(D)| for an acyclic query (including disconnected ones,
+// whose component counts multiply).
+func Count(q *query.Query, db *relation.Database) (int64, error) {
+	if _, err := q.Bind(db); err != nil {
+		return 0, err
+	}
+	tree, err := query.BuildJoinTree(q.Atoms)
+	if err != nil {
+		return 0, err
+	}
+	rels := make([]*relation.Counted, len(q.Atoms))
+	for i, a := range q.Atoms {
+		c, err := BaseCounted(q, db, a)
+		if err != nil {
+			return 0, err
+		}
+		rels[i] = c
+	}
+	return countTree(tree, rels)
+}
+
+// countTree runs the bottom-up counting pass over a join forest whose node
+// i evaluates over rels[node.Index].
+func countTree(tree *query.Tree, rels []*relation.Counted) (int64, error) {
+	bot := make([]*relation.Counted, len(tree.Nodes))
+	for _, n := range tree.PostOrder() {
+		acc := rels[n.Index]
+		for _, c := range n.Children {
+			j, err := relation.Join(acc, bot[c.Index])
+			if err != nil {
+				return 0, err
+			}
+			acc = j
+		}
+		g, err := acc.GroupBy(n.ConnectorVars())
+		if err != nil {
+			return 0, err
+		}
+		bot[n.Index] = g
+	}
+	total := int64(1)
+	for _, r := range tree.Roots {
+		total = relation.MulSat(total, bot[r.Index].SumCnt())
+	}
+	return total, nil
+}
+
+// CountGHD counts a (possibly cyclic) query through a decomposition:
+// each bag is materialized as the join of its members, and the acyclic
+// counting pass runs over the bag tree.
+func CountGHD(q *query.Query, db *relation.Database, d *ghd.Decomposition) (int64, error) {
+	if _, err := q.Bind(db); err != nil {
+		return 0, err
+	}
+	bagAtoms := d.BagAtoms(q)
+	tree, err := query.BuildJoinTree(bagAtoms)
+	if err != nil {
+		return 0, err
+	}
+	rels := make([]*relation.Counted, len(d.Bags))
+	for bi, bag := range d.Bags {
+		members := make([]*relation.Counted, len(bag))
+		for i, ai := range bag {
+			c, err := BaseCounted(q, db, q.Atoms[ai])
+			if err != nil {
+				return 0, err
+			}
+			members[i] = c
+		}
+		m, err := ghd.Materialize(members)
+		if err != nil {
+			return 0, err
+		}
+		// Align to the bag atom's variable order via group-by (a pure
+		// column permutation; counts are preserved).
+		g, err := m.GroupBy(bagAtoms[bi].Vars)
+		if err != nil {
+			return 0, err
+		}
+		rels[bi] = g
+	}
+	return countTree(tree, rels)
+}
+
+// BruteForce joins all atoms of the query in a greedy connected order and
+// returns the full output as a counted relation over all variables. It is
+// exponential in general and intended for the naive-oracle tests and tiny
+// examples.
+func BruteForce(q *query.Query, db *relation.Database) (*relation.Counted, error) {
+	if _, err := q.Bind(db); err != nil {
+		return nil, err
+	}
+	members := make([]*relation.Counted, len(q.Atoms))
+	for i, a := range q.Atoms {
+		c, err := BaseCounted(q, db, a)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = c
+	}
+	return ghd.Materialize(members)
+}
+
+// BruteCount is |Q(D)| by brute force.
+func BruteCount(q *query.Query, db *relation.Database) (int64, error) {
+	out, err := BruteForce(q, db)
+	if err != nil {
+		return 0, err
+	}
+	return out.SumCnt(), nil
+}

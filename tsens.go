@@ -1,0 +1,259 @@
+// Package tsens is the public API of the TSens library, a Go implementation
+// of "Computing Local Sensitivities of Counting Queries with Joins" (Tao,
+// He, Machanavajjhala, Roy — SIGMOD 2020).
+//
+// Given a full conjunctive counting query Q without self-joins and a
+// database D, the library computes the local sensitivity LS(Q,D) — the
+// largest change in |Q(D)| caused by inserting or deleting one tuple
+// anywhere — together with the most sensitive tuple, in near-linear time
+// for path and doubly-acyclic queries (Algorithms 1 and 2 of the paper) and
+// through generalized hypertree decompositions for cyclic queries. On top
+// of the sensitivity engine it provides TSensDP, a truncation-based
+// ε-differentially-private mechanism for answering counting queries, plus
+// the baselines the paper compares against (elastic sensitivity, a
+// PrivSQL-style mechanism, and the naive re-evaluation oracle).
+//
+// Quick start:
+//
+//	r1, _ := tsens.NewRelation("R1", []string{"a", "b"}, rows1)
+//	r2, _ := tsens.NewRelation("R2", []string{"b", "c"}, rows2)
+//	db, _ := tsens.NewDatabase(r1, r2)
+//	q, _ := tsens.ParseQuery("q", "R1(A,B), R2(B,C)")
+//	res, _ := tsens.LocalSensitivity(q, db, tsens.Options{})
+//	fmt.Println(res.LS, res.Best)
+package tsens
+
+import (
+	"math/rand"
+
+	"tsens/internal/core"
+	"tsens/internal/elastic"
+	"tsens/internal/ghd"
+	"tsens/internal/mechanism"
+	"tsens/internal/parser"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+	"tsens/internal/yannakakis"
+)
+
+// Data model.
+type (
+	// Tuple is a row of int64 attribute values. Use Dict to encode strings.
+	Tuple = relation.Tuple
+	// Relation is a named base table under bag semantics.
+	Relation = relation.Relation
+	// Database is a set of relations addressed by name.
+	Database = relation.Database
+	// Dict dictionary-encodes strings to int64 values.
+	Dict = relation.Dict
+	// Counted is a relation with an explicit multiplicity column, the form
+	// returned by Materialize.
+	Counted = relation.Counted
+)
+
+// Query model.
+type (
+	// Query is a full conjunctive counting query without self-joins.
+	Query = query.Query
+	// Atom is one R(vars...) literal of a query body.
+	Atom = query.Atom
+	// Predicate is a per-tuple selection on one variable.
+	Predicate = query.Predicate
+	// Op is a predicate comparison operator.
+	Op = query.Op
+	// Decomposition assigns atoms to GHD bags for cyclic queries.
+	Decomposition = ghd.Decomposition
+)
+
+// Predicate operators.
+const (
+	Eq = query.Eq
+	Ne = query.Ne
+	Lt = query.Lt
+	Le = query.Le
+	Gt = query.Gt
+	Ge = query.Ge
+)
+
+// Sensitivity engine types.
+type (
+	// Options configures LocalSensitivity (decomposition, skip list, top-k).
+	Options = core.Options
+	// Result reports LS, the most sensitive tuple, and per-relation maxima.
+	Result = core.Result
+	// TupleResult is one relation's most sensitive tuple.
+	TupleResult = core.TupleResult
+	// SensitivityFn evaluates δ(t,Q,D) for tuples of one relation.
+	SensitivityFn = core.SensitivityFn
+	// NaiveOptions bounds the brute-force oracle.
+	NaiveOptions = core.NaiveOptions
+)
+
+// Mechanism types.
+type (
+	// DPRun is one differentially-private mechanism execution.
+	DPRun = mechanism.Run
+	// TSensDPConfig parameterizes the TSensDP mechanism.
+	TSensDPConfig = mechanism.TSensDPConfig
+	// PrivSQLConfig parameterizes the PrivSQL-style baseline.
+	PrivSQLConfig = mechanism.PrivSQLConfig
+	// Truncation is one relation/key pair of a PrivSQL policy.
+	Truncation = mechanism.Truncation
+)
+
+// NewRelation constructs a validated base relation.
+func NewRelation(name string, attrs []string, rows []Tuple) (*Relation, error) {
+	return relation.New(name, attrs, rows)
+}
+
+// NewDatabase builds a database from relations with unique names.
+func NewDatabase(rels ...*Relation) (*Database, error) {
+	return relation.NewDatabase(rels...)
+}
+
+// NewDict returns an empty string dictionary.
+func NewDict() *Dict { return relation.NewDict() }
+
+// NewQuery constructs and validates a conjunctive query.
+func NewQuery(name string, atoms []Atom, selections map[string][]Predicate) (*Query, error) {
+	return query.New(name, atoms, selections)
+}
+
+// ParseQuery parses the textual query form, e.g.
+// "R1(A,B), R2(B,C) where R2.C >= 5".
+func ParseQuery(name, text string) (*Query, error) {
+	return parser.Parse(name, text)
+}
+
+// NewDecomposition validates a GHD bag assignment (atom indexes per bag)
+// for a cyclic query.
+func NewDecomposition(q *Query, bags [][]int) (*Decomposition, error) {
+	return ghd.FromBags(q, bags)
+}
+
+// FindDecomposition searches exhaustively for a minimal-width GHD; only
+// feasible for small queries.
+func FindDecomposition(q *Query, maxBagSize int) (*Decomposition, error) {
+	return ghd.Search(q, maxBagSize)
+}
+
+// IsAcyclic reports whether the query hypergraph is α-acyclic.
+func IsAcyclic(q *Query) bool { return query.IsAcyclic(q.Atoms) }
+
+// IsPath reports whether Algorithm 1 (the O(n log n) path algorithm)
+// applies to the query.
+func IsPath(q *Query) bool {
+	_, ok := query.PathOrder(q.Atoms)
+	return ok
+}
+
+// LocalSensitivity computes LS(Q,D) and the most sensitive tuple with the
+// TSens join-tree algorithm (Algorithm 2 plus the Section 5.4 extensions).
+func LocalSensitivity(q *Query, db *Database, opts Options) (*Result, error) {
+	return core.LocalSensitivity(q, db, opts)
+}
+
+// PathLocalSensitivity runs Algorithm 1, the specialized path-query solver.
+func PathLocalSensitivity(q *Query, db *Database) (*Result, error) {
+	return core.PathLocalSensitivity(q, db)
+}
+
+// NaiveLocalSensitivity runs the polynomial-data-complexity oracle of
+// Theorem 3.1 (re-evaluation over the active and representative domains).
+// It is exponential in query size; use it for validation on small inputs.
+func NaiveLocalSensitivity(q *Query, db *Database, opts NaiveOptions) (*Result, error) {
+	return core.NaiveLocalSensitivity(q, db, opts)
+}
+
+// TupleSensitivities returns a fast evaluator of δ(t,Q,D) for tuples of the
+// named relation, the primitive behind sensitivity-based truncation.
+func TupleSensitivities(q *Query, db *Database, rel string, opts Options) (SensitivityFn, error) {
+	return core.TupleSensitivities(q, db, rel, opts)
+}
+
+// DownwardLocalSensitivity computes the deletion-only local sensitivity
+// max_t δ⁻(t,Q,D) over existing tuples (the deletion-propagation question).
+func DownwardLocalSensitivity(q *Query, db *Database, opts Options) (*Result, error) {
+	return core.DownwardLocalSensitivity(q, db, opts)
+}
+
+// Count evaluates |Q(D)| for an acyclic query with Yannakakis-style
+// counting.
+func Count(q *Query, db *Database) (int64, error) {
+	return yannakakis.Count(q, db)
+}
+
+// CountGHD evaluates |Q(D)| for a cyclic query through a decomposition.
+func CountGHD(q *Query, db *Database, d *Decomposition) (int64, error) {
+	return yannakakis.CountGHD(q, db, d)
+}
+
+// Materialize computes the full join output of an acyclic query over all
+// its variables, using Yannakakis's full reducer so intermediate results
+// stay bounded by input + output size.
+func Materialize(q *Query, db *Database) (*Counted, error) {
+	return yannakakis.Output(q, db)
+}
+
+// ElasticSensitivity computes the Flex static upper bound on LS(Q,D) along
+// a left-deep join plan (empty order uses the query's atom order).
+func ElasticSensitivity(q *Query, db *Database, order []string) (int64, error) {
+	an, err := elastic.NewAnalyzer(q, db)
+	if err != nil {
+		return 0, err
+	}
+	if len(order) == 0 {
+		order = elastic.DefaultOrder(q)
+	}
+	return an.LocalSensitivity(order)
+}
+
+// ElasticSensitivityAt computes the Flex bound at distance k: an upper
+// bound on the local sensitivity of any database within k tuple changes
+// of D, maximized over the choice of sensitive relation.
+func ElasticSensitivityAt(q *Query, db *Database, order []string, k int64) (int64, error) {
+	an, err := elastic.NewAnalyzer(q, db)
+	if err != nil {
+		return 0, err
+	}
+	if len(order) == 0 {
+		order = elastic.DefaultOrder(q)
+	}
+	var max int64
+	for _, atom := range q.Atoms {
+		s, err := an.SensitivityAt(order, atom.Relation, k)
+		if err != nil {
+			return 0, err
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max, nil
+}
+
+// SmoothElasticSensitivity computes the β-smooth elastic sensitivity
+// max_k e^{-βk}·Ŝ_k(Q,D), the smooth upper bound Flex calibrates noise to.
+func SmoothElasticSensitivity(q *Query, db *Database, order []string, beta float64) (float64, error) {
+	an, err := elastic.NewAnalyzer(q, db)
+	if err != nil {
+		return 0, err
+	}
+	if len(order) == 0 {
+		order = elastic.DefaultOrder(q)
+	}
+	return an.SmoothSensitivity(order, beta)
+}
+
+// TSensDP answers the counting query with ε-differential privacy by
+// truncating the primary private relation at an SVT-learned tuple
+// sensitivity threshold (Section 6.2, Theorem 6.1).
+func TSensDP(q *Query, db *Database, opts Options, private string, cfg TSensDPConfig, rng *rand.Rand) (*DPRun, error) {
+	return mechanism.TSensDP(q, db, opts, private, cfg, rng)
+}
+
+// PrivSQL answers the counting query with the PrivSQL-style baseline:
+// frequency-based truncation plus a static global-sensitivity bound.
+func PrivSQL(q *Query, db *Database, opts Options, private string, policy []Truncation, order []string, cfg PrivSQLConfig, rng *rand.Rand) (*DPRun, error) {
+	return mechanism.PrivSQL(q, db, opts, private, policy, order, cfg, rng)
+}

@@ -1,0 +1,199 @@
+package tsens
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// example21 builds the Figure 1 instance through the public API only.
+func example21(t *testing.T) (*Query, *Database) {
+	t.Helper()
+	r1, err := NewRelation("R1", []string{"a", "b", "c"}, []Tuple{{1, 1, 1}, {1, 2, 1}, {2, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRelation("R2", []string{"a", "b", "d"}, []Tuple{{1, 1, 1}, {2, 2, 2}})
+	r3, _ := NewRelation("R3", []string{"a", "e"}, []Tuple{{1, 1}, {2, 1}, {2, 2}})
+	r4, _ := NewRelation("R4", []string{"b", "f"}, []Tuple{{1, 1}, {2, 1}, {2, 2}})
+	db, err := NewDatabase(r1, r2, r3, r4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("q", "R1(A,B,C), R2(A,B,D), R3(A,E), R4(B,F)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, db
+}
+
+func TestPublicAPIExample21(t *testing.T) {
+	q, db := example21(t)
+	if !IsAcyclic(q) {
+		t.Fatal("Figure 1 query must be acyclic")
+	}
+	res, err := LocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LS != 4 {
+		t.Fatalf("LS=%d, want 4", res.LS)
+	}
+	cnt, err := Count(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 1 {
+		t.Fatalf("Count=%d, want 1", cnt)
+	}
+	naive, err := NaiveLocalSensitivity(q, db, NaiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.LS != res.LS {
+		t.Fatalf("naive LS=%d", naive.LS)
+	}
+	bound, err := ElasticSensitivity(q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound < res.LS {
+		t.Fatalf("elastic %d below exact %d", bound, res.LS)
+	}
+}
+
+func TestPublicAPIPathAndDict(t *testing.T) {
+	d := NewDict()
+	rows := []Tuple{
+		{d.Encode("SFO"), d.Encode("JFK")},
+		{d.Encode("SFO"), d.Encode("ORD")},
+	}
+	r1, err := NewRelation("Leg1", []string{"src", "dst"}, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRelation("Leg2", []string{"src", "dst"}, []Tuple{
+		{d.Encode("JFK"), d.Encode("LHR")},
+		{d.Encode("ORD"), d.Encode("LHR")},
+	})
+	db, _ := NewDatabase(r1, r2)
+	q, err := ParseQuery("trips", "Leg1(A,B), Leg2(B,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPath(q) {
+		t.Fatal("two-leg join must be a path")
+	}
+	res, err := PathLocalSensitivity(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LS != 1 {
+		t.Fatalf("LS=%d, want 1 (each value occurs once per side)", res.LS)
+	}
+}
+
+func TestPublicAPIGHDAndMechanisms(t *testing.T) {
+	edges := []Tuple{{1, 2}, {2, 3}, {3, 1}, {2, 1}, {3, 2}, {1, 3}}
+	r := func(name string) *Relation {
+		rel, _ := NewRelation(name, []string{"x", "y"}, edges)
+		return rel
+	}
+	db, _ := NewDatabase(r("R1"), r("R2"), r("R3"))
+	q, err := ParseQuery("tri", "R1(A,B), R2(B,C), R3(C,A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsAcyclic(q) {
+		t.Fatal("triangle reported acyclic")
+	}
+	d, err := FindDecomposition(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LocalSensitivity(q, db, Options{Decomposition: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := CountGHD(q, db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != cnt {
+		t.Fatalf("Count=%d vs %d", res.Count, cnt)
+	}
+	fn, err := TupleSensitivities(q, db, "R2", Options{Decomposition: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn(Tuple{1, 2}) <= 0 {
+		t.Fatal("existing edge has zero sensitivity")
+	}
+	run, err := TSensDP(q, db, Options{Decomposition: d}, "R2",
+		TSensDPConfig{Epsilon: 1e6, Bound: 10}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.True != cnt {
+		t.Fatalf("mechanism True=%d, want %d", run.True, cnt)
+	}
+	ps, err := PrivSQL(q, db, Options{Decomposition: d}, "R2", nil, nil,
+		PrivSQLConfig{Epsilon: 1e6}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Bias != 0 {
+		t.Fatalf("no-policy PrivSQL bias=%g", ps.Bias)
+	}
+}
+
+func TestPublicAPIDownwardAndSmooth(t *testing.T) {
+	q, db := example21(t)
+	down, err := DownwardLocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.LS != 1 {
+		t.Fatalf("downward LS=%d, want 1 (Figure 1 has one output tuple)", down.LS)
+	}
+	s0, err := ElasticSensitivityAt(q, db, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ElasticSensitivity(q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 != base {
+		t.Fatalf("Ŝ_0=%d vs Ŝ=%d", s0, base)
+	}
+	s5, err := ElasticSensitivityAt(q, db, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5 < s0 {
+		t.Fatalf("Ŝ_5=%d below Ŝ_0=%d", s5, s0)
+	}
+	smooth, err := SmoothElasticSensitivity(q, db, nil, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth < float64(s0) {
+		t.Fatalf("smooth=%g below Ŝ_0=%d", smooth, s0)
+	}
+}
+
+func TestPublicAPIQueryBuilder(t *testing.T) {
+	q, err := NewQuery("q", []Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}, map[string][]Predicate{"R2": {{Var: "C", Op: Ge, Value: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 {
+		t.Fatal("builder lost atoms")
+	}
+	if _, err := NewDecomposition(q, [][]int{{0}, {1}}); err != nil {
+		t.Fatalf("trivial decomposition of acyclic query rejected: %v", err)
+	}
+}
