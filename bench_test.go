@@ -52,6 +52,7 @@ func facebookDB() *Database {
 // benchSpecTSens measures one TSens run per iteration.
 func benchSpecTSens(b *testing.B, s *workload.Spec, db *Database) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := core.LocalSensitivity(s.Query, db, s.Options())
@@ -80,6 +81,7 @@ func benchSpecElastic(b *testing.B, s *workload.Spec, db *Database) {
 
 func benchSpecEval(b *testing.B, s *workload.Spec, db *Database) {
 	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -274,6 +276,7 @@ func BenchmarkTupleSensitivities(b *testing.B) {
 		b.Fatal(err)
 	}
 	rows := db.Relation("CUSTOMER").Rows
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = fn(rows[i%len(rows)])

@@ -1,0 +1,3 @@
+module tsens
+
+go 1.24

@@ -104,12 +104,13 @@ func groupPieces(pieces []*relation.Counted) [][]*relation.Counted {
 	return out
 }
 
-// joinGroup joins the pieces of one connected group. Exact pieces are
-// joined first in greedy connected order; approximate (top-k truncated)
-// pieces are folded in last and must have attributes contained in the
-// accumulated join so their Default applies as a sound lookup (see
-// relation.Join).
-func joinGroup(group []*relation.Counted) (*relation.Counted, error) {
+// orderPieces fixes the join order of one connected group: exact pieces
+// first, greedily preferring operands connected to the accumulated schema;
+// approximate (top-k truncated) pieces last, each checked to have its
+// attributes contained in the accumulated join so its Default applies as a
+// sound lookup (see relation.Join). The second return is the accumulated
+// attribute union, i.e. the schema of the joined group.
+func orderPieces(group []*relation.Counted) ([]*relation.Counted, []string, error) {
 	var exact, approx []*relation.Counted
 	for _, p := range group {
 		if p.Default > 0 {
@@ -120,56 +121,43 @@ func joinGroup(group []*relation.Counted) (*relation.Counted, error) {
 	}
 	if len(exact) == 0 {
 		if len(approx) == 1 {
-			return approx[0], nil
+			return approx, approx[0].Attrs, nil
 		}
-		return nil, fmt.Errorf("core: top-k approximation cannot join %d approximate pieces", len(approx))
+		return nil, nil, fmt.Errorf("core: top-k approximation cannot join %d approximate pieces", len(approx))
 	}
-	acc := exact[0]
-	rest := exact[1:]
-	for len(rest) > 0 {
-		pick := -1
-		for i, p := range rest {
-			if len(relation.Intersect(acc.Attrs, p.Attrs)) > 0 {
-				pick = i
-				break
-			}
-		}
-		if pick < 0 {
-			pick = 0 // only possible within a group via approx bridges; cross product is still correct
-		}
-		j, err := relation.Join(acc, rest[pick])
-		if err != nil {
-			return nil, err
-		}
-		acc = j
-		rest = append(rest[:pick], rest[pick+1:]...)
+	ordered := relation.GreedyJoinOrder(exact)
+	var attrs []string
+	for _, p := range ordered {
+		attrs = relation.Union(attrs, p.Attrs)
 	}
 	for _, p := range approx {
-		if !relation.ContainsAll(acc.Attrs, p.Attrs) {
-			return nil, fmt.Errorf("core: top-k approximation not applicable: piece over %v not covered by %v", p.Attrs, acc.Attrs)
+		if !relation.ContainsAll(attrs, p.Attrs) {
+			return nil, nil, fmt.Errorf("core: top-k approximation not applicable: piece over %v not covered by %v", p.Attrs, attrs)
 		}
-		j, err := relation.Join(acc, p)
-		if err != nil {
-			return nil, err
-		}
-		acc = j
+		ordered = append(ordered, p)
 	}
-	return acc, nil
+	return ordered, attrs, nil
 }
 
 // groupTable reduces one joined group to its contribution to the
 // multiplicity table of a target with variables targetVars: group by the
-// target variables it covers, summing the rest away.
+// target variables it covers, summing the rest away. The final join is
+// fused with the group-by, so the full-width group join is materialized
+// only up to the second-to-last operand.
 func groupTable(group []*relation.Counted, targetVars []string) (*relation.Counted, error) {
-	joined, err := joinGroup(group)
+	ordered, attrs, err := orderPieces(group)
 	if err != nil {
 		return nil, err
 	}
-	keep := relation.Intersect(joined.Attrs, targetVars)
-	if joined.Default > 0 && len(keep) != len(joined.Attrs) {
-		return nil, fmt.Errorf("core: top-k approximation not applicable: cannot sum a truncated join over %v", relation.Minus(joined.Attrs, keep))
+	keep := relation.Intersect(attrs, targetVars)
+	if len(ordered) == 1 {
+		joined := ordered[0]
+		if joined.Default > 0 && len(keep) != len(joined.Attrs) {
+			return nil, fmt.Errorf("core: top-k approximation not applicable: cannot sum a truncated join over %v", relation.Minus(joined.Attrs, keep))
+		}
+		return joined.GroupBy(keep)
 	}
-	return joined.GroupBy(keep)
+	return relation.JoinGroupChain(ordered[0], ordered[1:], keep)
 }
 
 // predsOn returns the predicates of md restricted to variables in attrs,

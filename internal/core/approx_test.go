@@ -87,15 +87,23 @@ func TestGroupPiecesPartitioning(t *testing.T) {
 	}
 }
 
-func TestJoinGroupApproxOnlyPair(t *testing.T) {
+func TestOrderPiecesApproxOnlyPair(t *testing.T) {
 	a := &relation.Counted{Attrs: []string{"A"}, Rows: []relation.Tuple{{1}}, Cnt: []int64{1}, Default: 2}
 	b := &relation.Counted{Attrs: []string{"A"}, Rows: []relation.Tuple{{1}}, Cnt: []int64{1}, Default: 2}
-	if _, err := joinGroup([]*relation.Counted{a, b}); err == nil {
+	if _, _, err := orderPieces([]*relation.Counted{a, b}); err == nil {
 		t.Fatal("two approximate pieces joined")
 	}
-	// A single approximate piece passes through unchanged.
-	out, err := joinGroup([]*relation.Counted{a})
-	if err != nil || out != a {
-		t.Fatalf("singleton approx group: %v %v", out, err)
+	if _, err := groupTable([]*relation.Counted{a, b}, []string{"A"}); err == nil {
+		t.Fatal("two approximate pieces grouped")
+	}
+	// A single approximate piece passes through unchanged (and its Default
+	// survives the identity group-by).
+	ordered, attrs, err := orderPieces([]*relation.Counted{a})
+	if err != nil || len(ordered) != 1 || ordered[0] != a || len(attrs) != 1 {
+		t.Fatalf("singleton approx group: %v %v %v", ordered, attrs, err)
+	}
+	gt, err := groupTable([]*relation.Counted{a}, []string{"A"})
+	if err != nil || gt.Default != 2 || len(gt.Rows) != 1 {
+		t.Fatalf("singleton approx groupTable: %+v %v", gt, err)
 	}
 }

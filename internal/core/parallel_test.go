@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// TestParallelismInvariance checks that the engine returns identical results
+// at every Parallelism setting, on the Figure 1 fixture and on randomized
+// star-join instances (several independent subtrees, exercising concurrent
+// botjoin/topjoin scheduling).
+func TestParallelismInvariance(t *testing.T) {
+	type instance struct {
+		name string
+		run  func(parallelism int) (*Result, error)
+	}
+	var instances []instance
+
+	instances = append(instances, instance{"figure1", func(p int) (*Result, error) {
+		return LocalSensitivity(figure1Query(), figure1DB(), Options{Parallelism: p})
+	}})
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 3; trial++ {
+		db, q := randomStar(rng, 4, 60)
+		trial := trial
+		instances = append(instances, instance{
+			fmt.Sprintf("star%d", trial),
+			func(p int) (*Result, error) { return LocalSensitivity(q, db, Options{Parallelism: p}) },
+		})
+	}
+
+	for _, inst := range instances {
+		base, err := inst.run(1)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", inst.name, err)
+		}
+		for _, p := range []int{0, 2, 8} {
+			got, err := inst.run(p)
+			if err != nil {
+				t.Fatalf("%s par=%d: %v", inst.name, p, err)
+			}
+			if got.LS != base.LS || got.Count != base.Count {
+				t.Fatalf("%s par=%d: (LS=%d,Count=%d) != sequential (LS=%d,Count=%d)",
+					inst.name, p, got.LS, got.Count, base.LS, base.Count)
+			}
+			for rel, tr := range base.PerRelation {
+				if got.PerRelation[rel].Sensitivity != tr.Sensitivity {
+					t.Fatalf("%s par=%d: relation %s sensitivity %d != %d",
+						inst.name, p, rel, got.PerRelation[rel].Sensitivity, tr.Sensitivity)
+				}
+			}
+		}
+	}
+}
+
+// randomStar builds a star join R0(X1..Xk) ⋈ S1(X1,Y1) ⋈ … ⋈ Sk(Xk,Yk):
+// the satellites are independent subtrees under the center.
+func randomStar(rng *rand.Rand, k, rows int) (*relation.Database, *query.Query) {
+	center := make([]relation.Tuple, 0, rows)
+	centerAttrs := make([]string, k)
+	for i := range centerAttrs {
+		centerAttrs[i] = fmt.Sprintf("X%d", i)
+	}
+	for i := 0; i < rows; i++ {
+		t := make(relation.Tuple, k)
+		for j := range t {
+			t[j] = int64(rng.Intn(5))
+		}
+		center = append(center, t)
+	}
+	rels := []*relation.Relation{relation.MustNew("R0", centerAttrs, center)}
+	atoms := []query.Atom{{Relation: "R0", Vars: centerAttrs}}
+	for j := 0; j < k; j++ {
+		var satRows []relation.Tuple
+		for i := 0; i < rows/2; i++ {
+			satRows = append(satRows, relation.Tuple{int64(rng.Intn(5)), int64(rng.Intn(4))})
+		}
+		name := fmt.Sprintf("S%d", j)
+		x, y := fmt.Sprintf("X%d", j), fmt.Sprintf("Y%d", j)
+		rels = append(rels, relation.MustNew(name, []string{x, y}, satRows))
+		atoms = append(atoms, query.Atom{Relation: name, Vars: []string{x, y}})
+	}
+	return relation.MustNewDatabase(rels...), query.MustNew("star", atoms, nil)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"tsens/internal/ghd"
+	"tsens/internal/par"
 	"tsens/internal/query"
 	"tsens/internal/relation"
 	"tsens/internal/yannakakis"
@@ -37,6 +38,12 @@ type Options struct {
 	// (Section 5.4, "Efficient approximations"). The result becomes an
 	// upper bound and Result.Approximate is set.
 	TopK int
+	// Parallelism bounds the worker goroutines used for per-atom
+	// preprocessing, GHD bag materialization, the botjoin/topjoin passes
+	// (independent subtrees run concurrently), and tuple-sensitivity
+	// scans. 0 means runtime.GOMAXPROCS(0); 1 forces sequential execution.
+	// Results are identical at any setting.
+	Parallelism int
 }
 
 func (o Options) skipped(rel string) bool {
@@ -131,22 +138,19 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 	}
 	occ := q.VarOccurrences()
 
-	// Per-atom preprocessing.
+	// Per-atom preprocessing, one independent task per atom.
 	members := make([]*member, len(q.Atoms))
-	for i, a := range q.Atoms {
+	err := par.Do(opts.Parallelism, len(q.Atoms), func(i int) error {
+		a := q.Atoms[i]
 		var eff []string
 		for _, v := range a.Vars {
 			if occ[v] > 1 {
 				eff = append(eff, v)
 			}
 		}
-		base, err := yannakakis.BaseCounted(q, db, a)
+		proj, err := yannakakis.BaseCountedProject(q, db, a, eff)
 		if err != nil {
-			return nil, err
-		}
-		proj, err := base.GroupBy(eff)
-		if err != nil {
-			return nil, err
+			return err
 		}
 		members[i] = &member{
 			atom:    a,
@@ -155,6 +159,10 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 			preds:   q.Selections[a.Relation],
 			skip:    opts.skipped(a.Relation),
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Bag assignment.
@@ -170,11 +178,12 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 	}
 
 	s := &solver{q: q, opts: opts}
+	s.units = make([]*unit, len(d.Bags))
 	unitAtoms := make([]query.Atom, len(d.Bags))
-	for bi, bag := range d.Bags {
+	err = par.Do(opts.Parallelism, len(d.Bags), func(bi int) error {
 		u := &unit{}
 		var bases []*relation.Counted
-		for _, ai := range bag {
+		for _, ai := range d.Bags[bi] {
 			u.members = append(u.members, members[ai])
 			u.vars = relation.Union(u.vars, members[ai].effVars)
 			bases = append(bases, members[ai].base)
@@ -182,18 +191,18 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 		if len(bases) == 1 {
 			u.rel = bases[0]
 		} else {
-			m, err := ghd.Materialize(bases)
+			g, err := ghd.MaterializeGrouped(bases, u.vars)
 			if err != nil {
-				return nil, err
-			}
-			g, err := m.GroupBy(u.vars)
-			if err != nil {
-				return nil, err
+				return err
 			}
 			u.rel = g
 		}
-		s.units = append(s.units, u)
+		s.units[bi] = u
 		unitAtoms[bi] = query.Atom{Relation: fmt.Sprintf("unit%d", bi), Vars: u.vars}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	tree, err := query.BuildJoinTree(unitAtoms)
@@ -210,7 +219,10 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 
 // passes computes botjoins (post-order), topjoins (pre-order), component
 // membership and per-component totals, implementing steps I and II of
-// Algorithm 2.
+// Algorithm 2. Each edge runs the fused join+group-by kernel, and nodes
+// whose dependencies are settled (children for botjoins, the parent for
+// topjoins) execute concurrently on a bounded worker pool, so independent
+// subtrees of the join forest proceed in parallel.
 func (s *solver) passes() error {
 	n := len(s.units)
 	s.bot = make([]*relation.Counted, n)
@@ -219,55 +231,65 @@ func (s *solver) passes() error {
 	s.totals = make(map[int]int64)
 
 	// Botjoins, leaf to root: ⊥(Ri) = γ_{Ai∩Ap}( r⋈(Ri, {⊥(Rj): children}) ).
-	for _, node := range s.tree.PostOrder() {
-		acc := s.units[node.Index].rel
+	botDeps := make([][]int, n)
+	for i, node := range s.tree.Nodes {
 		for _, c := range node.Children {
-			j, err := relation.Join(acc, s.bot[c.Index])
-			if err != nil {
-				return err
-			}
-			acc = j
+			botDeps[i] = append(botDeps[i], c.Index)
 		}
-		g, err := acc.GroupBy(node.ConnectorVars())
+	}
+	err := par.DAG(s.opts.Parallelism, botDeps, func(i int) error {
+		node := s.tree.Nodes[i]
+		bots := make([]*relation.Counted, len(node.Children))
+		for k, c := range node.Children {
+			bots[k] = s.bot[c.Index]
+		}
+		g, err := relation.JoinGroupChain(s.units[i].rel, bots, node.ConnectorVars())
 		if err != nil {
 			return err
 		}
 		if s.opts.TopK > 0 {
 			g = g.TopK(s.opts.TopK)
 		}
-		s.bot[node.Index] = g
+		s.bot[i] = g
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	// Topjoins, root to leaf:
 	// ⊤(Ri) = γ_{Ai∩Ap}( r⋈(p(Ri), ⊤(p(Ri)), {⊥(Rj): siblings}) ).
-	for _, node := range s.tree.PreOrder() {
-		if node.Parent == nil {
-			s.top[node.Index] = nil
-			continue
+	topDeps := make([][]int, n)
+	for i, node := range s.tree.Nodes {
+		if node.Parent != nil {
+			topDeps[i] = append(topDeps[i], node.Parent.Index)
 		}
-		acc := s.units[node.Parent.Index].rel
+	}
+	err = par.DAG(s.opts.Parallelism, topDeps, func(i int) error {
+		node := s.tree.Nodes[i]
+		if node.Parent == nil {
+			s.top[i] = nil
+			return nil
+		}
+		var operands []*relation.Counted
 		if t := s.top[node.Parent.Index]; t != nil {
-			j, err := relation.Join(acc, t)
-			if err != nil {
-				return err
-			}
-			acc = j
+			operands = append(operands, t)
 		}
 		for _, sib := range node.Siblings() {
-			j, err := relation.Join(acc, s.bot[sib.Index])
-			if err != nil {
-				return err
-			}
-			acc = j
+			operands = append(operands, s.bot[sib.Index])
 		}
-		g, err := acc.GroupBy(node.ConnectorVars())
+		g, err := relation.JoinGroupChain(s.units[node.Parent.Index].rel, operands, node.ConnectorVars())
 		if err != nil {
 			return err
 		}
 		if s.opts.TopK > 0 {
 			g = g.TopK(s.opts.TopK)
 		}
-		s.top[node.Index] = g
+		s.top[i] = g
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
 	// Components and totals. The botjoin of a root is grouped by the empty

@@ -41,11 +41,11 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 	}
 	scale := s.scaleFor(ui)
 
-	// Build one hash index per piece group, keyed by the group's covered
-	// target variables.
+	// One group table per piece group, probed through the Counted hash
+	// index (built eagerly so concurrent evaluator calls are lock-free).
 	type groupIndex struct {
 		varPos []int // positions within the atom's variable list
-		counts map[string]int64
+		table  *relation.Counted
 	}
 	varPos := make(map[string]int, len(md.atom.Vars))
 	for i, v := range md.atom.Vars {
@@ -57,17 +57,10 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 		if err != nil {
 			return nil, err
 		}
-		gi := groupIndex{counts: make(map[string]int64, len(gt.Rows))}
+		gt.BuildIndex()
+		gi := groupIndex{table: gt}
 		for _, a := range gt.Attrs {
 			gi.varPos = append(gi.varPos, varPos[a])
-		}
-		var buf []byte
-		for i, row := range gt.Rows {
-			buf = buf[:0]
-			for _, v := range row {
-				buf = appendVal(buf, v)
-			}
-			gi.counts[string(buf)] = gt.Cnt[i]
 		}
 		indexes = append(indexes, gi)
 	}
@@ -81,13 +74,18 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 			return 0 // tuples failing the selection have zero sensitivity
 		}
 		sens := scale
-		var buf []byte
+		var kbuf [8]int64
 		for _, gi := range indexes {
-			buf = buf[:0]
-			for _, p := range gi.varPos {
-				buf = appendVal(buf, t[p])
+			var key relation.Tuple
+			if len(gi.varPos) <= len(kbuf) {
+				key = kbuf[:len(gi.varPos)]
+			} else {
+				key = make(relation.Tuple, len(gi.varPos))
 			}
-			c, ok := gi.counts[string(buf)]
+			for k, p := range gi.varPos {
+				key[k] = t[p]
+			}
+			c, ok := gi.table.Probe(key)
 			if !ok {
 				return 0
 			}
@@ -95,13 +93,6 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 		}
 		return sens
 	}, nil
-}
-
-func appendVal(dst []byte, v int64) []byte {
-	u := uint64(v)
-	return append(dst,
-		byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
 }
 
 // Evaluate returns |Q(D)| using the botjoin pass of the solver, matching

@@ -113,37 +113,45 @@ func (d *Decomposition) BagAtoms(q *query.Query) []query.Atom {
 }
 
 // Materialize joins the member relations of one bag into a single counted
-// relation. Members are joined greedily, preferring operands sharing
-// variables with the accumulated result so cross products happen only when
-// unavoidable.
+// relation. Members are joined greedily, preferring connected operands
+// (sharing variables with the accumulated result) so cross products happen
+// only when unavoidable; among connected candidates the one with the fewest
+// rows goes first, keeping intermediate results small. The pick is
+// deterministic (ties break on position) and join order does not affect the
+// result.
 func Materialize(members []*relation.Counted) (*relation.Counted, error) {
+	ordered, err := joinOrder(members)
+	if err != nil {
+		return nil, err
+	}
+	acc := ordered[0]
+	for _, m := range ordered[1:] {
+		if acc, err = relation.Join(acc, m); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// MaterializeGrouped is Materialize followed by GroupBy(attrs), with the
+// final join fused into the group-by so the full-width bag join is never
+// materialized. attrs must be drawn from the union of the members'
+// attributes (for bags, typically a permutation of it).
+func MaterializeGrouped(members []*relation.Counted, attrs []string) (*relation.Counted, error) {
+	ordered, err := joinOrder(members)
+	if err != nil {
+		return nil, err
+	}
+	return relation.JoinGroupChain(ordered[0], ordered[1:], attrs)
+}
+
+// joinOrder fixes the greedy join order of a bag (see
+// relation.GreedyJoinOrder), rejecting empty bags.
+func joinOrder(members []*relation.Counted) ([]*relation.Counted, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("ghd: materialize with no members")
 	}
-	remaining := append([]*relation.Counted(nil), members...)
-	// Start with the member with the most rows? Start with the first for
-	// determinism; join order does not affect the result.
-	acc := remaining[0]
-	remaining = remaining[1:]
-	for len(remaining) > 0 {
-		pick := -1
-		for i, m := range remaining {
-			if len(relation.Intersect(acc.Attrs, m.Attrs)) > 0 {
-				pick = i
-				break
-			}
-		}
-		if pick < 0 {
-			pick = 0 // cross product fallback
-		}
-		j, err := relation.Join(acc, remaining[pick])
-		if err != nil {
-			return nil, err
-		}
-		acc = j
-		remaining = append(remaining[:pick], remaining[pick+1:]...)
-	}
-	return acc, nil
+	return relation.GreedyJoinOrder(members), nil
 }
 
 // Search exhaustively looks for a decomposition minimizing (width, number of

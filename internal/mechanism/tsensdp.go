@@ -13,6 +13,7 @@ import (
 
 	"tsens/internal/core"
 	"tsens/internal/dp"
+	"tsens/internal/par"
 	"tsens/internal/query"
 	"tsens/internal/relation"
 )
@@ -86,10 +87,15 @@ func TSensDP(q *query.Query, db *relation.Database, opts core.Options, private s
 		return nil, fmt.Errorf("mechanism: no relation %s", private)
 	}
 	// Every output tuple passes through exactly one private row (no self
-	// joins), so Q(D) = Σ_t δ(t) and Q(T(D,i)) = Σ_{δ(t)≤i} δ(t).
-	sens := make([]int64, 0, len(pr.Rows))
-	for _, t := range pr.Rows {
-		sens = append(sens, fn(t))
+	// joins), so Q(D) = Σ_t δ(t) and Q(T(D,i)) = Σ_{δ(t)≤i} δ(t). The
+	// evaluator is read-only after construction, so the scan fans out over
+	// the worker pool.
+	sens := make([]int64, len(pr.Rows))
+	if err := par.Do(opts.Parallelism, len(pr.Rows), func(i int) error {
+		sens[i] = fn(pr.Rows[i])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	sort.Slice(sens, func(i, j int) bool { return sens[i] < sens[j] })
 	prefix := make([]int64, len(sens)+1)

@@ -1,0 +1,172 @@
+// Package par provides the small bounded-parallelism primitives the
+// sensitivity engine runs on: an indexed worker pool (Do) and a
+// dependency-ordered scheduler (DAG) for the botjoin/topjoin passes over
+// join forests. A parallelism of 0 means runtime.GOMAXPROCS(0); 1 forces
+// fully sequential, deterministic execution. All scheduling is
+// work-conserving and allocates O(n) regardless of the worker count.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// N resolves a parallelism setting: values below 1 mean GOMAXPROCS.
+func N(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do runs fn(i) for every i in [0, n) on at most par workers (see N) and
+// returns the first error. On error, remaining indexes not yet started are
+// skipped; indexes already running complete.
+func Do(par, n int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	par = N(par)
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// DAG runs fn(i) for every node i of a dependency graph, starting a node
+// only after all of deps[i] have completed, with at most par concurrent
+// workers. After the first error no further fn calls start, but dependency
+// accounting continues so the call always returns. A cyclic graph is
+// reported as an error before any fn runs.
+func DAG(par int, deps [][]int, fn func(int) error) error {
+	n := len(deps)
+	if n == 0 {
+		return nil
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, ds := range deps {
+		indeg[i] = len(ds)
+		for _, d := range ds {
+			if d < 0 || d >= n {
+				return fmt.Errorf("par: dependency %d of node %d out of range", d, i)
+			}
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	// Kahn pre-pass: verify the graph is acyclic (and compute a sequential
+	// order as a byproduct).
+	order := make([]int, 0, n)
+	degree := append([]int(nil), indeg...)
+	for i, d := range degree {
+		if d == 0 {
+			order = append(order, i)
+		}
+	}
+	for head := 0; head < len(order); head++ {
+		for _, d := range dependents[order[head]] {
+			if degree[d]--; degree[d] == 0 {
+				order = append(order, d)
+			}
+		}
+	}
+	if len(order) != n {
+		return fmt.Errorf("par: dependency graph has a cycle")
+	}
+
+	par = N(par)
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for _, i := range order {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ready := make(chan int, n) // total sends are bounded by n: never blocks
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     int
+		wg       sync.WaitGroup
+	)
+	for i, d := range indeg {
+		if d == 0 {
+			ready <- i
+		}
+	}
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				mu.Lock()
+				skip := firstErr != nil
+				mu.Unlock()
+				var err error
+				if !skip {
+					err = fn(i)
+				}
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				done++
+				for _, d := range dependents[i] {
+					if indeg[d]--; indeg[d] == 0 {
+						ready <- d
+					}
+				}
+				if done == n {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

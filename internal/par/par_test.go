@@ -1,0 +1,117 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsAll(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 8} {
+		var hits [100]atomic.Int32
+		if err := Do(p, len(hits), func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("par=%d: index %d ran %d times", p, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	want := errors.New("boom")
+	for _, p := range []int{1, 4} {
+		err := Do(p, 50, func(i int) error {
+			if i == 17 {
+				return want
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("par=%d: err=%v", p, err)
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDAGRespectsDependencies runs a binary-tree-shaped graph and checks
+// every node starts only after its dependencies completed.
+func TestDAGRespectsDependencies(t *testing.T) {
+	n := 127
+	deps := make([][]int, n)
+	for i := 1; i < n; i++ {
+		deps[i] = []int{(i - 1) / 2} // parent first (a pre-order pass)
+	}
+	for _, p := range []int{0, 1, 3} {
+		var mu sync.Mutex
+		done := make([]bool, n)
+		err := DAG(p, deps, func(i int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, d := range deps[i] {
+				if !done[d] {
+					t.Errorf("par=%d: node %d ran before dependency %d", p, i, d)
+				}
+			}
+			done[i] = true
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range done {
+			if !d {
+				t.Fatalf("par=%d: node %d never ran", p, i)
+			}
+		}
+	}
+}
+
+func TestDAGPropagatesError(t *testing.T) {
+	want := errors.New("boom")
+	deps := [][]int{nil, {0}, {1}, {2}}
+	for _, p := range []int{1, 4} {
+		err := DAG(p, deps, func(i int) error {
+			if i == 1 {
+				return want
+			}
+			return nil
+		})
+		if !errors.Is(err, want) {
+			t.Fatalf("par=%d: err=%v", p, err)
+		}
+	}
+}
+
+func TestDAGCycle(t *testing.T) {
+	deps := [][]int{{1}, {0}}
+	if err := DAG(2, deps, func(int) error { t.Fatal("ran"); return nil }); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestDAGBadDependency(t *testing.T) {
+	if err := DAG(1, [][]int{{5}}, func(int) error { return nil }); err == nil {
+		t.Fatal("out-of-range dependency not detected")
+	}
+}
+
+func TestN(t *testing.T) {
+	if N(3) != 3 {
+		t.Fatal("explicit parallelism ignored")
+	}
+	if N(0) < 1 || N(-1) < 1 {
+		t.Fatal("default parallelism must be at least 1")
+	}
+}

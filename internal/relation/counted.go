@@ -3,6 +3,8 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Counted is an intermediate relation carrying an explicit multiplicity
@@ -14,31 +16,87 @@ import (
 // after truncating a group-by to its k most frequent rows, the remaining
 // active-domain values are clamped to the k-th largest count. A Counted with
 // Default == 0 is exact.
+//
+// Counted values must be used through pointers (they carry the lazy Lookup
+// index state). A Counted is safe for concurrent reads, including Probe and
+// Lookup, once BuildIndex has run; the operators never mutate their inputs.
 type Counted struct {
 	Attrs   []string
 	Rows    []Tuple
 	Cnt     []int64
 	Default int64
+
+	lookupMu  sync.Mutex
+	lookupIdx atomic.Pointer[lookupIndex]
+}
+
+// lookupIndex is the lazily built hash index behind Probe/Lookup: full-row
+// keys to the first row holding them.
+type lookupIndex struct {
+	tbl   *intTable
+	rowOf []int32 // id -> first row index
+	n     int     // len(Rows) when built, to detect staleness
 }
 
 // FromRelation groups a base relation by all of its attributes, producing
-// the deduplicated counted form with per-row multiplicities.
+// the deduplicated counted form with per-row multiplicities. Row storage is
+// batch-allocated in flat arenas rather than cloned per row.
 func FromRelation(r *Relation) *Counted {
-	c := &Counted{Attrs: append([]string(nil), r.Attrs...)}
-	idx := make(map[string]int, len(r.Rows))
-	var buf []byte
-	for _, t := range r.Rows {
-		buf = encodeTuple(buf[:0], t)
-		k := string(buf)
-		if j, ok := idx[k]; ok {
-			c.Cnt[j] = AddSat(c.Cnt[j], 1)
-			continue
-		}
-		idx[k] = len(c.Rows)
-		c.Rows = append(c.Rows, t.Clone())
-		c.Cnt = append(c.Cnt, 1)
+	idxs := make([]int, len(r.Attrs))
+	for i := range idxs {
+		idxs[i] = i
 	}
-	return c
+	return GroupRows(r.Attrs, r.Rows, idxs, nil)
+}
+
+// GroupRows aggregates raw unit-multiplicity rows by the key columns idxs in
+// a single pass, returning a Counted over attrs (attrs[i] names column
+// idxs[i] of the input rows). Rows failing keep (when non-nil) are dropped.
+// It is the kernel behind FromRelation and the base-relation projections of
+// the solver, which would otherwise deduplicate full-width rows only to
+// group them again.
+func GroupRows(attrs []string, rows []Tuple, idxs []int, keep func(Tuple) bool) *Counted {
+	out := &Counted{Attrs: append([]string(nil), attrs...)}
+	switch len(idxs) {
+	case 0:
+		var n int64
+		any := false
+		for _, t := range rows {
+			if keep != nil && !keep(t) {
+				continue
+			}
+			n = AddSat(n, 1)
+			any = true
+		}
+		if any {
+			out.Rows = []Tuple{{}}
+			out.Cnt = []int64{n}
+		}
+	case 1:
+		agg := newGroupAgg(1, len(rows))
+		x := idxs[0]
+		for _, t := range rows {
+			if keep != nil && !keep(t) {
+				continue
+			}
+			agg.add1(t[x], 1)
+		}
+		agg.emit(out)
+	default:
+		agg := newGroupAgg(len(idxs), len(rows))
+		scratch := make([]int64, len(idxs))
+		for _, t := range rows {
+			if keep != nil && !keep(t) {
+				continue
+			}
+			for k, ix := range idxs {
+				scratch[k] = t[ix]
+			}
+			agg.add(scratch, 1)
+		}
+		agg.emit(out)
+	}
+	return out
 }
 
 // Constant returns a zero-attribute Counted holding a single row with the
@@ -71,22 +129,12 @@ func (c *Counted) attrIndexes(attrs []string) ([]int, error) {
 	return out, nil
 }
 
-// encodeTuple appends a fixed-width binary encoding of t to dst. It is used
-// as a hash key for joins and group-bys.
+// encodeTuple appends a fixed-width binary encoding of t to dst. The hash
+// kernels no longer need it (they hash int64 columns directly); it remains
+// as an independent canonical form for differential tests.
 func encodeTuple(dst []byte, t Tuple) []byte {
 	for _, v := range t {
 		u := uint64(v)
-		dst = append(dst,
-			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
-	}
-	return dst
-}
-
-// encodeAt appends the encoding of t restricted to the given column indexes.
-func encodeAt(dst []byte, t Tuple, idxs []int) []byte {
-	for _, i := range idxs {
-		u := uint64(t[i])
 		dst = append(dst,
 			byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
 			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
@@ -99,6 +147,10 @@ func encodeAt(dst []byte, t Tuple, idxs []int) []byte {
 // propagated only when the projection keeps all attributes; otherwise the
 // result is exact over the projected active domain and callers must treat it
 // as an upper bound (this matches the top-k approximation contract).
+//
+// Single-column keys aggregate through a map[int64] with no byte encoding;
+// wider keys go through an open-addressing table whose key arena doubles as
+// the output row storage.
 func (c *Counted) GroupBy(attrs []string) (*Counted, error) {
 	idxs, err := c.attrIndexes(attrs)
 	if err != nil {
@@ -108,24 +160,63 @@ func (c *Counted) GroupBy(attrs []string) (*Counted, error) {
 	if len(attrs) == len(c.Attrs) {
 		out.Default = c.Default
 	}
-	groups := make(map[string]int, len(c.Rows))
-	var buf []byte
-	for i, t := range c.Rows {
-		buf = encodeAt(buf[:0], t, idxs)
-		k := string(buf)
-		if j, ok := groups[k]; ok {
-			out.Cnt[j] = AddSat(out.Cnt[j], c.Cnt[i])
-			continue
+	switch len(idxs) {
+	case 0:
+		if len(c.Rows) > 0 {
+			out.Rows = []Tuple{{}}
+			out.Cnt = []int64{c.SumCnt()}
 		}
-		groups[k] = len(out.Rows)
-		row := make(Tuple, len(idxs))
-		for x, ix := range idxs {
-			row[x] = t[ix]
+	case 1:
+		agg := newGroupAgg(1, len(c.Rows))
+		x := idxs[0]
+		for i, t := range c.Rows {
+			agg.add1(t[x], c.Cnt[i])
 		}
-		out.Rows = append(out.Rows, row)
-		out.Cnt = append(out.Cnt, c.Cnt[i])
+		agg.emit(out)
+	default:
+		agg := newGroupAgg(len(idxs), len(c.Rows))
+		scratch := make([]int64, len(idxs))
+		for i, t := range c.Rows {
+			for k, ix := range idxs {
+				scratch[k] = t[ix]
+			}
+			agg.add(scratch, c.Cnt[i])
+		}
+		agg.emit(out)
 	}
 	return out, nil
+}
+
+// joinPlan is the shared front half of Join and JoinGroup: operand
+// validation and key/extra column resolution.
+type joinPlan struct {
+	shared   []string
+	aIdx     []int
+	bIdx     []int
+	extra    []string
+	extraIdx []int
+}
+
+func planJoin(a, b *Counted) (*joinPlan, error) {
+	p := &joinPlan{shared: Intersect(a.Attrs, b.Attrs)}
+	if b.Default > 0 && !ContainsAll(a.Attrs, b.Attrs) {
+		return nil, fmt.Errorf("join: approximate operand with attrs %v not contained in %v", b.Attrs, a.Attrs)
+	}
+	if a.Default > 0 {
+		return nil, fmt.Errorf("join: left operand must be exact (Default=%d)", a.Default)
+	}
+	var err error
+	if p.aIdx, err = a.attrIndexes(p.shared); err != nil {
+		return nil, err
+	}
+	if p.bIdx, err = b.attrIndexes(p.shared); err != nil {
+		return nil, err
+	}
+	p.extra = Minus(b.Attrs, p.shared)
+	if p.extraIdx, err = b.attrIndexes(p.extra); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Join implements the natural join r⋈ of the paper: match on shared
@@ -135,52 +226,61 @@ func (c *Counted) GroupBy(attrs []string) (*Counted, error) {
 // If b carries a Default (top-k approximation), b's attributes must be a
 // subset of a's: rows of a whose key is absent from b then join with count
 // Default, preserving the upper-bound property.
+//
+// The hash index on b keys int64 columns directly (map[int64] for a single
+// shared column, open addressing above that); output rows are carved from
+// flat arena chunks.
 func Join(a, b *Counted) (*Counted, error) {
-	shared := Intersect(a.Attrs, b.Attrs)
-	if b.Default > 0 && !ContainsAll(a.Attrs, b.Attrs) {
-		return nil, fmt.Errorf("join: approximate operand with attrs %v not contained in %v", b.Attrs, a.Attrs)
-	}
-	if a.Default > 0 {
-		return nil, fmt.Errorf("join: left operand must be exact (Default=%d)", a.Default)
-	}
-	aIdx, err := a.attrIndexes(shared)
-	if err != nil {
-		return nil, err
-	}
-	bIdx, err := b.attrIndexes(shared)
-	if err != nil {
-		return nil, err
-	}
-	extra := Minus(b.Attrs, shared)
-	extraIdx, err := b.attrIndexes(extra)
+	p, err := planJoin(a, b)
 	if err != nil {
 		return nil, err
 	}
 	out := &Counted{Attrs: Union(a.Attrs, b.Attrs)}
-
-	// Build hash index on the smaller side conceptually; we always index b
-	// because Default semantics require probing from a.
-	index := make(map[string][]int, len(b.Rows))
-	var buf []byte
-	for i, t := range b.Rows {
-		buf = encodeAt(buf[:0], t, bIdx)
-		index[string(buf)] = append(index[string(buf)], i)
+	if len(p.shared) == 0 {
+		// With no shared attributes every probe matches every row of b (a
+		// cross product) — unless b is empty, in which case a Default on b
+		// (necessarily zero-attribute, by the containment check) applies to
+		// every row of a.
+		if len(b.Rows) == 0 && b.Default > 0 {
+			ar := newTupleArena(len(a.Attrs), len(a.Rows))
+			for i, t := range a.Rows {
+				row := ar.alloc()
+				copy(row, t)
+				out.Rows = append(out.Rows, row)
+				out.Cnt = append(out.Cnt, MulSat(a.Cnt[i], b.Default))
+			}
+			return out, nil
+		}
+		crossProductInto(out, a, b)
+		return out, nil
 	}
+
+	ix := buildJoinIndex(b, p.bIdx)
+	ar := newTupleArena(len(out.Attrs), len(a.Rows))
+	if ix.unique {
+		// Unique-keyed build side (e.g. any group-by output): at most one
+		// output row per probe, so presize exactly once.
+		out.Rows = make([]Tuple, 0, len(a.Rows))
+		out.Cnt = make([]int64, 0, len(a.Rows))
+	}
+	scratch := make([]int64, len(p.bIdx))
 	for i, t := range a.Rows {
-		buf = encodeAt(buf[:0], t, aIdx)
-		matches, ok := index[string(buf)]
-		if !ok {
+		j := ix.probe(t, p.aIdx, scratch)
+		if j < 0 {
 			if b.Default > 0 {
-				out.Rows = append(out.Rows, t.Clone())
+				row := ar.alloc()
+				copy(row, t)
+				out.Rows = append(out.Rows, row)
 				out.Cnt = append(out.Cnt, MulSat(a.Cnt[i], b.Default))
 			}
 			continue
 		}
-		for _, j := range matches {
-			row := make(Tuple, 0, len(out.Attrs))
-			row = append(row, t...)
-			for _, ix := range extraIdx {
-				row = append(row, b.Rows[j][ix])
+		for ; j >= 0; j = ix.next[j] {
+			row := ar.alloc()
+			copy(row, t)
+			br := b.Rows[j]
+			for x, e := range p.extraIdx {
+				row[len(t)+x] = br[e]
 			}
 			out.Rows = append(out.Rows, row)
 			out.Cnt = append(out.Cnt, MulSat(a.Cnt[i], b.Cnt[j]))
@@ -190,13 +290,285 @@ func Join(a, b *Counted) (*Counted, error) {
 }
 
 // JoinGroup is the composite γ_attrs(r⋈(a, b)) used on every edge of the
-// top/botjoin recursions; fusing the two avoids materializing wide rows.
+// top/botjoin recursions. It is a genuinely fused kernel: per-match counts
+// are aggregated straight into the group table keyed by the projected
+// columns, so the wide join rows are never materialized. The result is
+// identical (up to row order) to Join followed by GroupBy, including the
+// Default semantics of approximate operands.
 func JoinGroup(a, b *Counted, attrs []string) (*Counted, error) {
-	j, err := Join(a, b)
+	p, err := planJoin(a, b)
 	if err != nil {
 		return nil, err
 	}
-	return j.GroupBy(attrs)
+	unionAttrs := Union(a.Attrs, b.Attrs)
+	// Resolve each group column against the virtual join schema: prefer a's
+	// column (shared attributes are equal on both sides after matching).
+	srcA := make([]int, len(attrs))
+	srcB := make([]int, len(attrs))
+	for i, at := range attrs {
+		if j := a.AttrIndex(at); j >= 0 {
+			srcA[i], srcB[i] = j, -1
+			continue
+		}
+		j := b.AttrIndex(at)
+		if j < 0 {
+			return nil, fmt.Errorf("counted relation: no attribute %q in %v", at, unionAttrs)
+		}
+		srcA[i], srcB[i] = -1, j
+	}
+	out := &Counted{Attrs: append([]string(nil), attrs...)}
+	agg := newGroupAgg(len(attrs), len(a.Rows))
+	key := make([]int64, len(attrs))
+
+	if len(p.shared) == 0 {
+		if len(b.Rows) == 0 && b.Default > 0 {
+			for i, t := range a.Rows {
+				for k, s := range srcA {
+					key[k] = t[s] // b ⊆ a, so every column resolves to a
+				}
+				agg.add(key, MulSat(a.Cnt[i], b.Default))
+			}
+			agg.emit(out)
+			return out, nil
+		}
+		for i, t := range a.Rows {
+			for j, br := range b.Rows {
+				for k := range key {
+					if srcA[k] >= 0 {
+						key[k] = t[srcA[k]]
+					} else {
+						key[k] = br[srcB[k]]
+					}
+				}
+				agg.add(key, MulSat(a.Cnt[i], b.Cnt[j]))
+			}
+		}
+		agg.emit(out)
+		return out, nil
+	}
+
+	ix := buildJoinIndex(b, p.bIdx)
+	scratch := make([]int64, len(p.bIdx))
+	for i, t := range a.Rows {
+		j := ix.probe(t, p.aIdx, scratch)
+		if j < 0 {
+			if b.Default > 0 {
+				for k, s := range srcA {
+					key[k] = t[s]
+				}
+				agg.add(key, MulSat(a.Cnt[i], b.Default))
+			}
+			continue
+		}
+		for ; j >= 0; j = ix.next[j] {
+			br := b.Rows[j]
+			for k := range key {
+				if srcA[k] >= 0 {
+					key[k] = t[srcA[k]]
+				} else {
+					key[k] = br[srcB[k]]
+				}
+			}
+			agg.add(key, MulSat(a.Cnt[i], b.Cnt[j]))
+		}
+	}
+	agg.emit(out)
+	return out, nil
+}
+
+// GreedyJoinOrder orders operands for a multiway join starting from
+// pieces[0]: operands connected to the accumulated schema (sharing an
+// attribute) go first, smallest row count first among them, so cross
+// products happen only when unavoidable and intermediates stay small. The
+// order is deterministic (ties break on position) and does not affect the
+// join result. It is the shared ordering heuristic of GHD bag
+// materialization and the solver's piece-group joins.
+func GreedyJoinOrder(pieces []*Counted) []*Counted {
+	if len(pieces) == 0 {
+		return nil
+	}
+	remaining := append([]*Counted(nil), pieces...)
+	ordered := []*Counted{remaining[0]}
+	attrs := remaining[0].Attrs
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		pick := -1
+		for i, p := range remaining {
+			if len(Intersect(attrs, p.Attrs)) == 0 {
+				continue
+			}
+			if pick < 0 || len(p.Rows) < len(remaining[pick].Rows) {
+				pick = i
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cross product fallback
+		}
+		ordered = append(ordered, remaining[pick])
+		attrs = Union(attrs, remaining[pick].Attrs)
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return ordered
+}
+
+// JoinGroupChain computes γ_attrs(a ⋈ bs[0] ⋈ … ⋈ bs[k-1]), fusing the
+// final join with the group-by — the shape of every botjoin/topjoin edge
+// and of the Yannakakis counting pass.
+//
+// When every operand's attribute set is contained in a's — true on every
+// join-tree edge, where operands are group-bys over connector variables —
+// the whole chain collapses into a single pass over a's rows with one hash
+// lookup per operand and no intermediate materialization at all (see
+// joinGroupLookup).
+func JoinGroupChain(a *Counted, bs []*Counted, attrs []string) (*Counted, error) {
+	for {
+		if len(bs) == 0 {
+			return a.GroupBy(attrs)
+		}
+		// Once the accumulated schema covers every remaining operand (after
+		// zero or more widening joins), finish in one lookup pass.
+		if a.Default == 0 {
+			contained := true
+			for _, b := range bs {
+				if !ContainsAll(a.Attrs, b.Attrs) {
+					contained = false
+					break
+				}
+			}
+			if contained {
+				return joinGroupLookup(a, bs, attrs)
+			}
+		}
+		if len(bs) == 1 {
+			return JoinGroup(a, bs[0], attrs)
+		}
+		var err error
+		if a, err = Join(a, bs[0]); err != nil {
+			return nil, err
+		}
+		bs = bs[1:]
+	}
+}
+
+// lookupOp is one operand of joinGroupLookup compiled to a key→count table:
+// the operand's rows summed by its (full) attribute tuple, addressed by the
+// corresponding columns of the probing relation. When the operand's rows are
+// already key-distinct — always true for group-by outputs, i.e. every
+// botjoin/topjoin table — the operand's cached lazy index is reused, so
+// repeated edges over the same table build it exactly once.
+type lookupOp struct {
+	width  int
+	aIdx   []int // positions of the operand's attrs within a, in operand order
+	tbl    *intTable
+	rowOf  []int32 // shared-index path: id -> row of b
+	bCnt   []int64 // shared-index path: b.Cnt
+	cnt    []int64 // summed path: id -> summed count
+	scalar int64   // width==0 with rows: total count
+	hasRow bool
+	def    int64
+}
+
+func buildLookupOp(a, b *Counted) *lookupOp {
+	op := &lookupOp{width: len(b.Attrs), def: b.Default}
+	for _, at := range b.Attrs {
+		op.aIdx = append(op.aIdx, a.AttrIndex(at))
+	}
+	if op.width == 0 {
+		for _, c := range b.Cnt {
+			op.scalar = AddSat(op.scalar, c)
+			op.hasRow = true
+		}
+		return op
+	}
+	ix := b.index()
+	op.tbl = ix.tbl
+	if ix.tbl.n == len(b.Rows) { // key-distinct: count lookup via row indirection
+		op.rowOf = ix.rowOf
+		op.bCnt = b.Cnt
+		return op
+	}
+	// Duplicate rows: sum counts per distinct key, probing the same cached
+	// index (no second table build).
+	op.cnt = make([]int64, ix.tbl.n)
+	for i, t := range b.Rows {
+		id := ix.tbl.find(t)
+		op.cnt[id] = AddSat(op.cnt[id], b.Cnt[i])
+	}
+	return op
+}
+
+// lookup returns the summed count matching row t of the probing relation,
+// with ok=false on a miss (before Default handling). scratch must have the
+// op's width.
+func (op *lookupOp) lookup(t Tuple, scratch []int64) (int64, bool) {
+	if op.width == 0 {
+		if op.hasRow {
+			return op.scalar, true
+		}
+		return 0, false
+	}
+	for k, x := range op.aIdx {
+		scratch[k] = t[x]
+	}
+	id := op.tbl.find(scratch[:op.width])
+	if id < 0 {
+		return 0, false
+	}
+	if op.rowOf != nil {
+		return op.bCnt[op.rowOf[id]], true
+	}
+	return op.cnt[id], true
+}
+
+// joinGroupLookup is the chain kernel for operands contained in a: because
+// no operand contributes new columns, all matches of one operand against a
+// row of a collapse to a single summed multiplier, so
+// γ_attrs(a ⋈ b1 ⋈ … ⋈ bk) is one pass over a's rows multiplying k table
+// lookups (a miss applies the operand's Default, or drops the row) and
+// aggregating straight into the group table.
+func joinGroupLookup(a *Counted, bs []*Counted, attrs []string) (*Counted, error) {
+	srcA := make([]int, len(attrs))
+	for i, at := range attrs {
+		j := a.AttrIndex(at)
+		if j < 0 {
+			return nil, fmt.Errorf("counted relation: no attribute %q in %v", at, a.Attrs)
+		}
+		srcA[i] = j
+	}
+	ops := make([]*lookupOp, len(bs))
+	maxW := 0
+	for i, b := range bs {
+		ops[i] = buildLookupOp(a, b)
+		if ops[i].width > maxW {
+			maxW = ops[i].width
+		}
+	}
+	out := &Counted{Attrs: append([]string(nil), attrs...)}
+	agg := newGroupAgg(len(attrs), len(a.Rows))
+	key := make([]int64, len(attrs))
+	scratch := make([]int64, maxW)
+
+rows:
+	for i, t := range a.Rows {
+		cnt := a.Cnt[i]
+		for _, op := range ops {
+			s, ok := op.lookup(t, scratch)
+			if !ok {
+				if op.def > 0 {
+					s = op.def
+				} else {
+					continue rows
+				}
+			}
+			cnt = MulSat(cnt, s)
+		}
+		for k, x := range srcA {
+			key[k] = t[x]
+		}
+		agg.add(key, cnt)
+	}
+	agg.emit(out)
+	return out, nil
 }
 
 // Semijoin keeps the rows of a whose shared-attribute key appears in b.
@@ -210,16 +582,43 @@ func Semijoin(a, b *Counted) (*Counted, error) {
 	if err != nil {
 		return nil, err
 	}
-	keys := make(map[string]bool, len(b.Rows))
-	var buf []byte
-	for _, t := range b.Rows {
-		buf = encodeAt(buf[:0], t, bIdx)
-		keys[string(buf)] = true
-	}
 	out := &Counted{Attrs: append([]string(nil), a.Attrs...), Default: a.Default}
+	if len(shared) == 0 {
+		// Zero-width keys: every row of a survives iff b is non-empty.
+		if len(b.Rows) > 0 {
+			out.Rows = append(out.Rows, a.Rows...)
+			out.Cnt = append(out.Cnt, a.Cnt...)
+		}
+		return out, nil
+	}
+	if len(shared) == 1 {
+		bx := bIdx[0]
+		keys := make(map[int64]struct{}, groupHint(len(b.Rows)))
+		for _, t := range b.Rows {
+			keys[t[bx]] = struct{}{}
+		}
+		ax := aIdx[0]
+		for i, t := range a.Rows {
+			if _, ok := keys[t[ax]]; ok {
+				out.Rows = append(out.Rows, t)
+				out.Cnt = append(out.Cnt, a.Cnt[i])
+			}
+		}
+		return out, nil
+	}
+	tbl := newIntTable(len(bIdx), groupHint(len(b.Rows)))
+	scratch := make([]int64, len(bIdx))
+	for _, t := range b.Rows {
+		for k, ix := range bIdx {
+			scratch[k] = t[ix]
+		}
+		tbl.insert(scratch)
+	}
 	for i, t := range a.Rows {
-		buf = encodeAt(buf[:0], t, aIdx)
-		if keys[string(buf)] {
+		for k, ix := range aIdx {
+			scratch[k] = t[ix]
+		}
+		if tbl.find(scratch) >= 0 {
 			out.Rows = append(out.Rows, t)
 			out.Cnt = append(out.Cnt, a.Cnt[i])
 		}
@@ -292,6 +691,58 @@ func (c *Counted) TopK(k int) *Counted {
 	return out
 }
 
+// index returns the full-row hash index, building (or rebuilding, when rows
+// were appended since the last build) it under the lock and publishing it
+// atomically so concurrent probes are lock-free afterwards.
+func (c *Counted) index() *lookupIndex {
+	if ix := c.lookupIdx.Load(); ix != nil && ix.n == len(c.Rows) {
+		return ix
+	}
+	c.lookupMu.Lock()
+	defer c.lookupMu.Unlock()
+	if ix := c.lookupIdx.Load(); ix != nil && ix.n == len(c.Rows) {
+		return ix
+	}
+	ix := &lookupIndex{tbl: newIntTable(len(c.Attrs), groupHint(len(c.Rows))), n: len(c.Rows)}
+	for i, t := range c.Rows {
+		if _, added := ix.tbl.insert(t); added {
+			ix.rowOf = append(ix.rowOf, int32(i))
+		}
+	}
+	c.lookupIdx.Store(ix)
+	return ix
+}
+
+// BuildIndex eagerly builds the lazy Probe/Lookup hash index, making
+// subsequent probes lock-free and safe for concurrent use.
+func (c *Counted) BuildIndex() {
+	if len(c.Attrs) > 0 {
+		c.index()
+	}
+}
+
+// Probe returns the count of the row equal to key (given in c.Attrs order)
+// and whether it is explicitly present; the Default is not applied. The
+// first probe builds a hash index over all rows, turning what used to be an
+// O(n) scan into O(1) per call.
+func (c *Counted) Probe(key Tuple) (int64, bool) {
+	if len(key) != len(c.Attrs) {
+		return 0, false
+	}
+	if len(c.Attrs) == 0 {
+		if len(c.Rows) > 0 {
+			return c.Cnt[0], true
+		}
+		return 0, false
+	}
+	ix := c.index()
+	id := ix.tbl.find(key)
+	if id < 0 {
+		return 0, false
+	}
+	return c.Cnt[ix.rowOf[id]], true
+}
+
 // Lookup returns the count of the row matching key values over the given
 // attributes (which must cover all of c's attributes in any order). Missing
 // keys return the Default.
@@ -311,24 +762,27 @@ func (c *Counted) Lookup(attrs []string, vals Tuple) (int64, error) {
 		}
 		want[i] = v
 	}
-	for i, t := range c.Rows {
-		if t.Equal(want) {
-			return c.Cnt[i], nil
-		}
+	if cnt, ok := c.Probe(want); ok {
+		return cnt, nil
 	}
 	return c.Default, nil
 }
 
-// Clone deep-copies c.
+// Clone deep-copies c (without the lazy lookup index).
 func (c *Counted) Clone() *Counted {
 	out := &Counted{
 		Attrs:   append([]string(nil), c.Attrs...),
 		Cnt:     append([]int64(nil), c.Cnt...),
 		Default: c.Default,
 	}
-	out.Rows = make([]Tuple, len(c.Rows))
-	for i, t := range c.Rows {
-		out.Rows[i] = t.Clone()
+	if len(c.Rows) > 0 {
+		ar := newTupleArena(len(c.Attrs), len(c.Rows))
+		out.Rows = make([]Tuple, len(c.Rows))
+		for i, t := range c.Rows {
+			row := ar.alloc()
+			copy(row, t)
+			out.Rows[i] = row
+		}
 	}
 	return out
 }

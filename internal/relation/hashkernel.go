@@ -1,0 +1,328 @@
+package relation
+
+// This file holds the hash-kernel primitives behind the counted-relation
+// operators: an open-addressing hash table over fixed-width int64 keys (no
+// per-row byte encoding or string interning), a chunked tuple arena that
+// batches row storage into flat []int64 blocks, a chained join index over
+// one side of a hash join, and a group-by aggregator with a map[int64] fast
+// path for single-column keys. Every structure is deterministic: iteration
+// follows insertion order, never Go map order.
+
+// mix64 is the splitmix64 finalizer, a strong cheap mixer for 64-bit lanes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashKey hashes a fixed-width key of int64 columns.
+func hashKey(key []int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range key {
+		h = mix64(h ^ uint64(v))
+	}
+	return h
+}
+
+// intTable is an open-addressing (linear probing) hash table mapping
+// fixed-width []int64 keys to dense ids 0,1,2,… in insertion order. Distinct
+// keys live contiguously in the keys arena, so the table doubles as the
+// row storage of a group-by result.
+type intTable struct {
+	width  int
+	slots  []int32 // id+1; 0 means empty
+	mask   uint64
+	keys   []int64 // arena of distinct keys, width values each
+	n      int
+	growAt int
+}
+
+// groupHint caps the initial sizing of tables and maps keyed by distinct
+// values: distinct counts are routinely far below the row count, and an
+// oversized zeroed table costs more (allocation, memclr, GC scan) than the
+// geometric growth it avoids.
+func groupHint(n int) int {
+	if n > 1024 {
+		return 1024
+	}
+	return n
+}
+
+// newIntTable sizes the table for about hint distinct keys.
+func newIntTable(width, hint int) *intTable {
+	size := 8
+	for size*3 < hint*4 { // keep load factor under 3/4 at the hint
+		size *= 2
+	}
+	return &intTable{
+		width:  width,
+		slots:  make([]int32, size),
+		mask:   uint64(size - 1),
+		growAt: size * 3 / 4,
+	}
+}
+
+func (t *intTable) keyAt(id int32) []int64 {
+	off := int(id) * t.width
+	return t.keys[off : off+t.width]
+}
+
+func (t *intTable) equalAt(id int32, key []int64) bool {
+	k := t.keys[int(id)*t.width:]
+	for i, v := range key {
+		if k[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns the id of key, or -1.
+func (t *intTable) find(key []int64) int32 {
+	i := hashKey(key) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return -1
+		}
+		if t.equalAt(s-1, key) {
+			return s - 1
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insert returns the id of key, adding it (copied into the arena) if absent.
+func (t *intTable) insert(key []int64) (id int32, added bool) {
+	if t.n >= t.growAt {
+		t.grow()
+	}
+	i := hashKey(key) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			id = int32(t.n)
+			t.keys = append(t.keys, key...)
+			t.slots[i] = id + 1
+			t.n++
+			return id, true
+		}
+		if t.equalAt(s-1, key) {
+			return s - 1, false
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+func (t *intTable) grow() {
+	size := len(t.slots) * 2
+	t.slots = make([]int32, size)
+	t.mask = uint64(size - 1)
+	t.growAt = size * 3 / 4
+	for id := 0; id < t.n; id++ {
+		i := hashKey(t.keyAt(int32(id))) & t.mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = int32(id) + 1
+	}
+}
+
+// rows materializes the distinct keys as tuples sharing the arena storage.
+func (t *intTable) rows() []Tuple {
+	out := make([]Tuple, t.n)
+	for id := 0; id < t.n; id++ {
+		off := id * t.width
+		out[id] = Tuple(t.keys[off : off+t.width : off+t.width])
+	}
+	return out
+}
+
+// tupleArena hands out row storage carved from flat []int64 chunks, so that
+// building an n-row relation costs O(n/arenaChunkRows) allocations instead
+// of one per row. The first chunk is sized to the caller's row-count hint
+// (small joins should not pay for 4096-row blocks); later chunks use the
+// full block size.
+type tupleArena struct {
+	width    int
+	chunk    []int64
+	nextRows int
+}
+
+const arenaChunkRows = 4096
+
+func newTupleArena(width, hintRows int) *tupleArena {
+	if hintRows > arenaChunkRows {
+		hintRows = arenaChunkRows
+	}
+	if hintRows < 1 {
+		hintRows = 1
+	}
+	return &tupleArena{width: width, nextRows: hintRows}
+}
+
+// alloc returns a zeroed tuple of the arena's width. The capacity of the
+// returned slice is clipped so appends on it can never bleed into the next
+// row.
+func (ar *tupleArena) alloc() Tuple {
+	if ar.width == 0 {
+		return Tuple{}
+	}
+	if len(ar.chunk)+ar.width > cap(ar.chunk) {
+		ar.chunk = make([]int64, 0, ar.nextRows*ar.width)
+		ar.nextRows = arenaChunkRows
+	}
+	off := len(ar.chunk)
+	ar.chunk = ar.chunk[:off+ar.width]
+	return Tuple(ar.chunk[off : off+ar.width : off+ar.width])
+}
+
+// joinIndex hashes one side of a join on its key columns, chaining rows with
+// equal keys through a next array (no per-bucket slice allocations). Chains
+// enumerate rows in ascending row order.
+type joinIndex struct {
+	width  int
+	single map[int64]int32 // width==1: key -> chain head
+	multi  *intTable       // width>=2: key -> id
+	first  []int32         // multi: id -> chain head
+	next   []int32         // row -> next row with the same key, -1 ends
+	unique bool            // no key occurs twice: probes yield at most one row
+}
+
+// buildJoinIndex indexes c's rows on the key columns idxs (len(idxs) >= 1).
+func buildJoinIndex(c *Counted, idxs []int) *joinIndex {
+	ix := &joinIndex{width: len(idxs), next: make([]int32, len(c.Rows)), unique: true}
+	if ix.width == 1 {
+		x := idxs[0]
+		ix.single = make(map[int64]int32, groupHint(len(c.Rows)))
+		// Reverse insertion keeps chains in ascending row order.
+		for j := len(c.Rows) - 1; j >= 0; j-- {
+			v := c.Rows[j][x]
+			if h, ok := ix.single[v]; ok {
+				ix.next[j] = h
+				ix.unique = false
+			} else {
+				ix.next[j] = -1
+			}
+			ix.single[v] = int32(j)
+		}
+		return ix
+	}
+	ix.multi = newIntTable(ix.width, groupHint(len(c.Rows)))
+	scratch := make([]int64, ix.width)
+	for j := len(c.Rows) - 1; j >= 0; j-- {
+		t := c.Rows[j]
+		for k, x := range idxs {
+			scratch[k] = t[x]
+		}
+		id, added := ix.multi.insert(scratch)
+		if added {
+			ix.first = append(ix.first, int32(j))
+			ix.next[j] = -1
+		} else {
+			ix.next[j] = ix.first[id]
+			ix.first[id] = int32(j)
+			ix.unique = false
+		}
+	}
+	return ix
+}
+
+// probe returns the chain head for the key columns of t at idxs, or -1.
+// scratch must have the index width and is only used during the call.
+func (ix *joinIndex) probe(t Tuple, idxs []int, scratch []int64) int32 {
+	if ix.width == 1 {
+		if h, ok := ix.single[t[idxs[0]]]; ok {
+			return h
+		}
+		return -1
+	}
+	for k, x := range idxs {
+		scratch[k] = t[x]
+	}
+	id := ix.multi.find(scratch)
+	if id < 0 {
+		return -1
+	}
+	return ix.first[id]
+}
+
+// groupAgg accumulates (key, count) pairs into distinct groups, preserving
+// first-seen order. Keys of width one go through a map[int64] with the key
+// arena kept separately; wider keys use the open-addressing table.
+type groupAgg struct {
+	width   int
+	single  map[int64]int32
+	keys1   []int64
+	multi   *intTable
+	cnt     []int64
+	zeroCnt int64 // width==0: the single (keyless) group
+	zeroAny bool
+}
+
+func newGroupAgg(width, hint int) *groupAgg {
+	g := &groupAgg{width: width}
+	hint = groupHint(hint)
+	switch {
+	case width == 1:
+		g.single = make(map[int64]int32, hint)
+		g.keys1 = make([]int64, 0, hint)
+		g.cnt = make([]int64, 0, hint)
+	case width > 1:
+		g.multi = newIntTable(width, hint)
+		g.cnt = make([]int64, 0, hint)
+	}
+	return g
+}
+
+// add1 accumulates into the single-column aggregator.
+func (g *groupAgg) add1(key, cnt int64) {
+	if id, ok := g.single[key]; ok {
+		g.cnt[id] = AddSat(g.cnt[id], cnt)
+		return
+	}
+	g.single[key] = int32(len(g.keys1))
+	g.keys1 = append(g.keys1, key)
+	g.cnt = append(g.cnt, cnt)
+}
+
+// add accumulates one key of any width.
+func (g *groupAgg) add(key []int64, cnt int64) {
+	switch g.width {
+	case 0:
+		g.zeroCnt = AddSat(g.zeroCnt, cnt)
+		g.zeroAny = true
+	case 1:
+		g.add1(key[0], cnt)
+	default:
+		id, added := g.multi.insert(key)
+		if added {
+			g.cnt = append(g.cnt, cnt)
+		} else {
+			g.cnt[id] = AddSat(g.cnt[id], cnt)
+		}
+	}
+}
+
+// emit writes the accumulated groups into out.Rows / out.Cnt.
+func (g *groupAgg) emit(out *Counted) {
+	switch g.width {
+	case 0:
+		if g.zeroAny {
+			out.Rows = []Tuple{{}}
+			out.Cnt = []int64{g.zeroCnt}
+		}
+	case 1:
+		out.Rows = make([]Tuple, len(g.keys1))
+		for i := range g.keys1 {
+			out.Rows[i] = Tuple(g.keys1[i : i+1 : i+1])
+		}
+		out.Cnt = g.cnt
+	default:
+		out.Rows = g.multi.rows()
+		out.Cnt = g.cnt
+	}
+}

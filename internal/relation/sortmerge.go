@@ -21,7 +21,9 @@ func JoinSorted(a, b *Counted) (*Counted, error) {
 	shared := Intersect(a.Attrs, b.Attrs)
 	if len(shared) == 0 {
 		// Cross product: no ordering needed.
-		return crossProduct(a, b), nil
+		out := &Counted{Attrs: Union(a.Attrs, b.Attrs)}
+		crossProductInto(out, a, b)
+		return out, nil
 	}
 	aIdx, err := a.attrIndexes(shared)
 	if err != nil {
@@ -79,18 +81,20 @@ func JoinSorted(a, b *Counted) (*Counted, error) {
 	return out, nil
 }
 
-func crossProduct(a, b *Counted) *Counted {
-	out := &Counted{Attrs: Union(a.Attrs, b.Attrs)}
+// crossProductInto appends the cross product of a and b to out, whose Attrs
+// must already be Union(a.Attrs, b.Attrs). Rows are carved from flat arena
+// chunks.
+func crossProductInto(out *Counted, a, b *Counted) {
+	ar := newTupleArena(len(out.Attrs), len(a.Rows)*len(b.Rows))
 	for i, ta := range a.Rows {
 		for j, tb := range b.Rows {
-			row := make(Tuple, 0, len(ta)+len(tb))
-			row = append(row, ta...)
-			row = append(row, tb...)
+			row := ar.alloc()
+			copy(row, ta)
+			copy(row[len(ta):], tb)
 			out.Rows = append(out.Rows, row)
 			out.Cnt = append(out.Cnt, MulSat(a.Cnt[i], b.Cnt[j]))
 		}
 	}
-	return out
 }
 
 // sortedOrder returns row indexes of c ordered by the key columns idxs.

@@ -13,13 +13,24 @@ import (
 	"fmt"
 
 	"tsens/internal/ghd"
+	"tsens/internal/par"
 	"tsens/internal/query"
 	"tsens/internal/relation"
 )
 
 // BaseCounted converts the bound, selection-filtered base relation of an
 // atom into counted form with columns renamed to the atom's variables.
+// Filtering, renaming, and deduplication happen in one pass over the raw
+// rows (no intermediate filtered copy).
 func BaseCounted(q *query.Query, db *relation.Database, a query.Atom) (*relation.Counted, error) {
+	return BaseCountedProject(q, db, a, a.Vars)
+}
+
+// BaseCountedProject is BaseCounted restricted to the atom variables vars:
+// the base rows are filtered and grouped by vars in a single pass,
+// equivalent to BaseCounted(...).GroupBy(vars) without materializing the
+// full-width deduplicated intermediate.
+func BaseCountedProject(q *query.Query, db *relation.Database, a query.Atom, vars []string) (*relation.Counted, error) {
 	r := db.Relation(a.Relation)
 	if r == nil {
 		return nil, fmt.Errorf("yannakakis: no relation %s", a.Relation)
@@ -27,22 +38,32 @@ func BaseCounted(q *query.Query, db *relation.Database, a query.Atom) (*relation
 	if len(r.Attrs) != len(a.Vars) {
 		return nil, fmt.Errorf("yannakakis: atom %s arity %d vs relation arity %d", a, len(a.Vars), len(r.Attrs))
 	}
-	rows := r.Rows
-	if keep := q.ApplySelections(a); keep != nil {
-		rows = nil
-		for _, t := range r.Rows {
-			if keep(t) {
-				rows = append(rows, t)
+	idxs := make([]int, len(vars))
+	for i, v := range vars {
+		j := -1
+		for k, av := range a.Vars {
+			if av == v {
+				j = k
+				break
 			}
 		}
+		if j < 0 {
+			return nil, fmt.Errorf("yannakakis: atom %s has no variable %q", a, v)
+		}
+		idxs[i] = j
 	}
-	renamed := &relation.Relation{Name: a.Relation, Attrs: a.Vars, Rows: rows}
-	return relation.FromRelation(renamed), nil
+	return relation.GroupRows(vars, r.Rows, idxs, q.ApplySelections(a)), nil
 }
 
 // Count returns |Q(D)| for an acyclic query (including disconnected ones,
-// whose component counts multiply).
+// whose component counts multiply), using all cores.
 func Count(q *query.Query, db *relation.Database) (int64, error) {
+	return CountPar(q, db, 0)
+}
+
+// CountPar is Count with an explicit parallelism bound (0 = GOMAXPROCS,
+// 1 = sequential); results are identical at any setting.
+func CountPar(q *query.Query, db *relation.Database, parallelism int) (int64, error) {
 	if _, err := q.Bind(db); err != nil {
 		return 0, err
 	}
@@ -51,34 +72,47 @@ func Count(q *query.Query, db *relation.Database) (int64, error) {
 		return 0, err
 	}
 	rels := make([]*relation.Counted, len(q.Atoms))
-	for i, a := range q.Atoms {
-		c, err := BaseCounted(q, db, a)
+	err = par.Do(parallelism, len(q.Atoms), func(i int) error {
+		c, err := BaseCounted(q, db, q.Atoms[i])
 		if err != nil {
-			return 0, err
+			return err
 		}
 		rels[i] = c
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return countTree(tree, rels)
+	return countTree(tree, rels, parallelism)
 }
 
 // countTree runs the bottom-up counting pass over a join forest whose node
-// i evaluates over rels[node.Index].
-func countTree(tree *query.Tree, rels []*relation.Counted) (int64, error) {
+// i evaluates over rels[node.Index]. Every edge chain ends in the fused
+// join+group-by kernel, and nodes whose children are settled run
+// concurrently, so independent subtrees are counted in parallel.
+func countTree(tree *query.Tree, rels []*relation.Counted, parallelism int) (int64, error) {
 	bot := make([]*relation.Counted, len(tree.Nodes))
-	for _, n := range tree.PostOrder() {
-		acc := rels[n.Index]
+	deps := make([][]int, len(tree.Nodes))
+	for i, n := range tree.Nodes {
 		for _, c := range n.Children {
-			j, err := relation.Join(acc, bot[c.Index])
-			if err != nil {
-				return 0, err
-			}
-			acc = j
+			deps[i] = append(deps[i], c.Index)
 		}
-		g, err := acc.GroupBy(n.ConnectorVars())
+	}
+	err := par.DAG(parallelism, deps, func(i int) error {
+		n := tree.Nodes[i]
+		bots := make([]*relation.Counted, len(n.Children))
+		for k, c := range n.Children {
+			bots[k] = bot[c.Index]
+		}
+		g, err := relation.JoinGroupChain(rels[i], bots, n.ConnectorVars())
 		if err != nil {
-			return 0, err
+			return err
 		}
-		bot[n.Index] = g
+		bot[i] = g
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
 	total := int64(1)
 	for _, r := range tree.Roots {
@@ -89,8 +123,14 @@ func countTree(tree *query.Tree, rels []*relation.Counted) (int64, error) {
 
 // CountGHD counts a (possibly cyclic) query through a decomposition:
 // each bag is materialized as the join of its members, and the acyclic
-// counting pass runs over the bag tree.
+// counting pass runs over the bag tree, using all cores.
 func CountGHD(q *query.Query, db *relation.Database, d *ghd.Decomposition) (int64, error) {
+	return CountGHDPar(q, db, d, 0)
+}
+
+// CountGHDPar is CountGHD with an explicit parallelism bound
+// (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting.
+func CountGHDPar(q *query.Query, db *relation.Database, d *ghd.Decomposition, parallelism int) (int64, error) {
 	if _, err := q.Bind(db); err != nil {
 		return 0, err
 	}
@@ -100,28 +140,29 @@ func CountGHD(q *query.Query, db *relation.Database, d *ghd.Decomposition) (int6
 		return 0, err
 	}
 	rels := make([]*relation.Counted, len(d.Bags))
-	for bi, bag := range d.Bags {
+	err = par.Do(parallelism, len(d.Bags), func(bi int) error {
+		bag := d.Bags[bi]
 		members := make([]*relation.Counted, len(bag))
 		for i, ai := range bag {
 			c, err := BaseCounted(q, db, q.Atoms[ai])
 			if err != nil {
-				return 0, err
+				return err
 			}
 			members[i] = c
 		}
-		m, err := ghd.Materialize(members)
+		// Align to the bag atom's variable order while grouping; the fused
+		// kernel never materializes the full-width bag join.
+		g, err := ghd.MaterializeGrouped(members, bagAtoms[bi].Vars)
 		if err != nil {
-			return 0, err
-		}
-		// Align to the bag atom's variable order via group-by (a pure
-		// column permutation; counts are preserved).
-		g, err := m.GroupBy(bagAtoms[bi].Vars)
-		if err != nil {
-			return 0, err
+			return err
 		}
 		rels[bi] = g
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return countTree(tree, rels)
+	return countTree(tree, rels, parallelism)
 }
 
 // BruteForce joins all atoms of the query in a greedy connected order and

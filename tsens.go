@@ -13,6 +13,12 @@
 // the baselines the paper compares against (elastic sensitivity, a
 // PrivSQL-style mechanism, and the naive re-evaluation oracle).
 //
+// The execution layer is a fused hash kernel over counted relations
+// (int64-keyed joins and group-bys with arena row storage; see
+// docs/PERFORMANCE.md), and the join-tree passes run on a bounded worker
+// pool — set Options.Parallelism to control it (0 = GOMAXPROCS, 1 =
+// sequential; results are identical at any setting).
+//
 // Quick start:
 //
 //	r1, _ := tsens.NewRelation("R1", []string{"a", "b"}, rows1)
