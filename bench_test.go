@@ -267,6 +267,58 @@ func BenchmarkAblation_TopKStudy(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionUpdate: one single-tuple update (insert or delete,
+// alternating so the database size stays put) followed by reading LS()
+// through an incremental session, against the from-scratch
+// core.LocalSensitivity the session replaces — on the Table-1-scale
+// Facebook fixture across all four evaluation queries.
+func BenchmarkSessionUpdate(b *testing.B) {
+	db := facebookDB()
+	for _, s := range workload.Facebook() {
+		spec := s
+		rel := spec.PrimaryPrivate
+		row := db.Relation(rel).Rows[0].Clone()
+		b.Run(spec.Name+"/Session", func(b *testing.B) {
+			sess, err := OpenSession(spec.Query, db, SessionOptions{Options: spec.Options()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					err = sess.Insert(rel, row)
+				} else {
+					err = sess.Delete(rel, row)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sess.LS()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.LS < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+		b.Run(spec.Name+"/Scratch", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.LocalSensitivity(spec.Query, db, spec.Options())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.LS < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+	}
+}
+
 // Micro-benchmark: the TupleSensitivities evaluator TSensDP depends on.
 func BenchmarkTupleSensitivities(b *testing.B) {
 	db := tpchDB(0.001)

@@ -1,21 +1,28 @@
 // Command datagen emits the synthetic datasets of the evaluation as CSV
 // directories: the TPC-H-like database (dbgen substitute) and the
-// Facebook-ego-network-like database (SNAP substitute).
+// Facebook-ego-network-like database (SNAP substitute). With -updates N it
+// additionally writes updates.stream, a replayable single-tuple
+// insert/delete stream against the snapshot, for the incremental session
+// engine (tsens updates replays it).
 //
 // Usage:
 //
 //	datagen -kind tpch -scale 0.001 -out ./tpch-0.001
 //	datagen -kind facebook -nodes 225 -edges 3192 -circles 567 -out ./fb
+//	datagen -kind facebook -out ./fb -updates 1000 -update-del-frac 0.4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"tsens/internal/csvio"
+	"tsens/internal/relation"
 	"tsens/internal/snapgen"
 	"tsens/internal/tpch"
+	"tsens/internal/workload"
 )
 
 func main() {
@@ -35,6 +42,8 @@ func run() error {
 		nodes   = flag.Int("nodes", 225, "facebook: node count")
 		edges   = flag.Int("edges", 3192, "facebook: undirected edge count")
 		circles = flag.Int("circles", 567, "facebook: circle count")
+		updates = flag.Int("updates", 0, "also emit "+csvio.UpdatesFileName+" with this many replayable single-tuple updates")
+		delFrac = flag.Float64("update-del-frac", 0.4, "fraction of deletes in the update stream")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -43,22 +52,32 @@ func run() error {
 	}
 
 	loader := csvio.NewLoader()
+	var db *relation.Database
 	switch *kind {
 	case "tpch":
-		db := tpch.Generate(tpch.Config{Scale: *scale, Seed: *seed, Skew: *skew})
+		db = tpch.Generate(tpch.Config{Scale: *scale, Seed: *seed, Skew: *skew})
 		if err := loader.SaveDatabase(db, *out); err != nil {
 			return err
 		}
 		fmt.Printf("wrote TPC-H scale %g (%d tuples) to %s\n", *scale, db.Size(), *out)
 	case "facebook":
 		net := snapgen.Generate(snapgen.Config{Nodes: *nodes, Edges: *edges, Circles: *circles, Seed: *seed})
-		if err := loader.SaveDatabase(net.DB, *out); err != nil {
+		db = net.DB
+		if err := loader.SaveDatabase(db, *out); err != nil {
 			return err
 		}
 		fmt.Printf("wrote ego-network (%d nodes, %d edges, %d tuples) to %s\n",
-			*nodes, *edges, net.DB.Size(), *out)
+			*nodes, *edges, db.Size(), *out)
 	default:
 		return fmt.Errorf("unknown -kind %q (want tpch or facebook)", *kind)
+	}
+	if *updates > 0 {
+		stream := workload.UpdateStream(db, *updates, *delFrac, *seed+1)
+		path := filepath.Join(*out, csvio.UpdatesFileName)
+		if err := loader.SaveUpdates(stream, path); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d updates (%.0f%% deletes) to %s\n", len(stream), *delFrac*100, path)
 	}
 	return nil
 }

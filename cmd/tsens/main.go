@@ -4,17 +4,24 @@
 // Usage:
 //
 //	tsens -data ./mydata -query "R1(A,B), R2(B,C) where R2.C >= 5" [flags]
+//	tsens updates -data ./mydata -query "R1(A,B), R2(B,C)" [-stream f] [-batch n]
 //
 // The data directory holds one <RelationName>.csv file per relation, first
 // row being the column names. Values may be integers or arbitrary strings
 // (dictionary-encoded internally). Cyclic queries need -bags, e.g.
 // -bags "0,1;2" to put atoms 0 and 1 in one GHD bag and atom 2 in another.
+//
+// The updates subcommand opens an incremental session over the snapshot and
+// replays a single-tuple insert/delete stream (datagen -updates writes one
+// as updates.stream), printing |Q(D)| and LS after every batch — each batch
+// costing a delta propagation instead of a from-scratch solve.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -22,16 +29,158 @@ import (
 	"tsens/internal/csvio"
 	"tsens/internal/elastic"
 	"tsens/internal/ghd"
+	"tsens/internal/incremental"
 	"tsens/internal/parser"
 	"tsens/internal/query"
 	"tsens/internal/relation"
 )
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "updates" {
+		err = runUpdates(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsens:", err)
 		os.Exit(1)
 	}
+}
+
+// runUpdates replays an update stream through an incremental session.
+func runUpdates(args []string) error {
+	fs := flag.NewFlagSet("tsens updates", flag.ExitOnError)
+	var (
+		dataDir   = fs.String("data", "", "directory of <Relation>.csv files")
+		queryText = fs.String("query", "", `query body, e.g. "R1(A,B), R2(B,C)"`)
+		stream    = fs.String("stream", "", "update stream file (default <data>/"+csvio.UpdatesFileName+")")
+		bagsSpec  = fs.String("bags", "", `GHD bags for cyclic queries, e.g. "0,1;2"`)
+		skip      = fs.String("skip", "", "comma-separated relations to skip")
+		batch     = fs.Int("batch", 1, "updates per batch (reports after each batch)")
+		bulk      = fs.Int("bulk-threshold", 0, "batch size triggering full rebuild (0 = default, <0 = never)")
+		parN      = fs.Int("parallelism", 0, "parallelism for open/rebuild (0 = all cores)")
+		every     = fs.Int("every", 1, "print every k-th batch report")
+		verify    = fs.Bool("verify", false, "cross-check the final state against a from-scratch solve")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" || *queryText == "" {
+		fs.Usage()
+		return fmt.Errorf("-data and -query are required")
+	}
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be at least 1")
+	}
+	if *every < 1 {
+		return fmt.Errorf("-every must be at least 1")
+	}
+	if *stream == "" {
+		*stream = filepath.Join(*dataDir, csvio.UpdatesFileName)
+	}
+
+	loader := csvio.NewLoader()
+	db, err := loader.LoadDir(*dataDir)
+	if err != nil {
+		return err
+	}
+	ups, err := loader.LoadUpdates(*stream)
+	if err != nil {
+		return err
+	}
+	q, err := parser.Parse("q", *queryText)
+	if err != nil {
+		return err
+	}
+	copts := core.Options{Parallelism: *parN}
+	if *skip != "" {
+		copts.SkipRelations = strings.Split(*skip, ",")
+	}
+	if *bagsSpec != "" {
+		bags, err := parseBags(*bagsSpec)
+		if err != nil {
+			return err
+		}
+		copts.Decomposition, err = ghd.FromBags(q, bags)
+		if err != nil {
+			return err
+		}
+	} else if !query.IsAcyclic(q.Atoms) {
+		d, err := ghd.Search(q, 0)
+		if err != nil {
+			return fmt.Errorf("query is cyclic and no -bags given; automatic search failed: %w", err)
+		}
+		copts.Decomposition = d
+		fmt.Printf("query is cyclic; using searched GHD bags %v\n", d.Bags)
+	}
+
+	sess, err := incremental.Open(q, db, incremental.Options{Options: copts, BulkThreshold: *bulk})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query            : %s\n", q)
+	fmt.Printf("opened session   : %d tuples, |Q(D)| = %d\n", db.Size(), sess.Count())
+	batches := 0
+	for off := 0; off < len(ups); off += *batch {
+		end := off + *batch
+		if end > len(ups) {
+			end = len(ups)
+		}
+		if err := sess.Apply(ups[off:end]); err != nil {
+			return fmt.Errorf("update %d: %w", off, err)
+		}
+		batches++
+		if batches%*every != 0 && end != len(ups) {
+			continue
+		}
+		res, err := sess.LS()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("after %6d updates: |Q(D)| = %-12d LS = %d\n", end, res.Count, res.LS)
+	}
+	fmt.Printf("replayed %d updates in %d batches (%d full rebuilds)\n", len(ups), batches, sess.Rebuilds())
+	if *verify {
+		cur, err := relationDatabaseFromSession(sess, db)
+		if err != nil {
+			return err
+		}
+		want, err := core.LocalSensitivity(q, cur, copts)
+		if err != nil {
+			return err
+		}
+		res, err := sess.LS()
+		if err != nil {
+			return err
+		}
+		ok := res.LS == want.LS && res.Count == want.Count
+		fmt.Printf("verify           : scratch |Q(D)| = %d LS = %d (agrees: %v)\n", want.Count, want.LS, ok)
+		if !ok {
+			return fmt.Errorf("session diverged from from-scratch solve")
+		}
+	}
+	return nil
+}
+
+// relationDatabaseFromSession rebuilds a plain database from the session's
+// current rows for the -verify cross-check.
+func relationDatabaseFromSession(sess *incremental.Session, orig *relation.Database) (*relation.Database, error) {
+	var rels []*relation.Relation
+	for _, name := range orig.Names() {
+		attrs := orig.Relation(name).Attrs
+		rows := sess.Rows(name)
+		cp := make([]relation.Tuple, len(rows))
+		for i, t := range rows {
+			cp[i] = t.Clone()
+		}
+		r, err := relation.New(name, attrs, cp)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, r)
+	}
+	return relation.NewDatabase(rels...)
 }
 
 func run() error {

@@ -12,27 +12,33 @@ import (
 // queries run directly on their GYO join tree (Algorithm 2); cyclic queries
 // require Options.Decomposition (Section 5.4).
 func LocalSensitivity(q *query.Query, db *relation.Database, opts Options) (*Result, error) {
-	s, err := newSolver(q, db, opts)
+	s, err := NewSolver(q, db, opts)
 	if err != nil {
 		return nil, err
 	}
+	return s.Result(db)
+}
+
+// Result assembles the local-sensitivity outcome from the solver's current
+// pass state, scanning every non-skipped member's multiplicity table.
+func (s *Solver) Result(db *relation.Database) (*Result, error) {
 	res := &Result{
 		PerRelation:   make(map[string]*TupleResult),
-		Count:         s.count(),
-		DoublyAcyclic: s.tree.IsDoublyAcyclic(),
-		MaxDegree:     s.tree.MaxDegree(),
-		Approximate:   opts.TopK > 0,
+		Count:         s.CountTotal(),
+		DoublyAcyclic: s.Tree.IsDoublyAcyclic(),
+		MaxDegree:     s.Tree.MaxDegree(),
+		Approximate:   s.Opts.TopK > 0,
 	}
-	for ui := range s.units {
-		for _, md := range s.units[ui].members {
-			if md.skip {
+	for ui := range s.Units {
+		for _, md := range s.Units[ui].Members {
+			if md.Skip {
 				continue
 			}
-			tr, err := s.mostSensitive(ui, md, db)
+			tr, err := s.MostSensitive(ui, md, db)
 			if err != nil {
 				return nil, err
 			}
-			res.PerRelation[md.atom.Relation] = tr
+			res.PerRelation[md.Atom.Relation] = tr
 			if tr.Sensitivity > res.LS {
 				res.LS = tr.Sensitivity
 				res.Best = tr
@@ -42,32 +48,32 @@ func LocalSensitivity(q *query.Query, db *relation.Database, opts Options) (*Res
 	return res, nil
 }
 
-// pieces gathers the operands of the multiplicity-table join for a member
+// Pieces gathers the operands of the multiplicity-table join for a member
 // of unit ui: the unit's topjoin, the botjoins of its children, and — for
 // GHD bags — the base relations of the other members of the same bag
 // (Equation 6 extended per Section 5.4).
-func (s *solver) pieces(ui int, md *member) []*relation.Counted {
-	node := s.tree.Nodes[ui]
+func (s *Solver) Pieces(ui int, md *Member) []*relation.Counted {
+	node := s.Tree.Nodes[ui]
 	var out []*relation.Counted
 	if node.Parent != nil {
-		out = append(out, s.top[ui])
+		out = append(out, s.Top[ui])
 	}
 	for _, c := range node.Children {
-		out = append(out, s.bot[c.Index])
+		out = append(out, s.Bot[c.Index])
 	}
-	for _, m2 := range s.units[ui].members {
+	for _, m2 := range s.Units[ui].Members {
 		if m2 != md {
-			out = append(out, m2.base)
+			out = append(out, m2.Base)
 		}
 	}
 	return out
 }
 
-// groupPieces partitions pieces into connected components by shared
+// GroupPieces partitions pieces into connected components by shared
 // attributes. Within a component the join must be materialized; across
 // components the join is a cross product, so maxima multiply — the
 // factorization that makes doubly-acyclic queries near-linear (Section 5.3).
-func groupPieces(pieces []*relation.Counted) [][]*relation.Counted {
+func GroupPieces(pieces []*relation.Counted) [][]*relation.Counted {
 	n := len(pieces)
 	parent := make([]int, n)
 	for i := range parent {
@@ -139,12 +145,12 @@ func orderPieces(group []*relation.Counted) ([]*relation.Counted, []string, erro
 	return ordered, attrs, nil
 }
 
-// groupTable reduces one joined group to its contribution to the
+// GroupTable reduces one joined group to its contribution to the
 // multiplicity table of a target with variables targetVars: group by the
 // target variables it covers, summing the rest away. The final join is
 // fused with the group-by, so the full-width group join is materialized
 // only up to the second-to-last operand.
-func groupTable(group []*relation.Counted, targetVars []string) (*relation.Counted, error) {
+func GroupTable(group []*relation.Counted, targetVars []string) (*relation.Counted, error) {
 	ordered, attrs, err := orderPieces(group)
 	if err != nil {
 		return nil, err
@@ -160,81 +166,134 @@ func groupTable(group []*relation.Counted, targetVars []string) (*relation.Count
 	return relation.JoinGroupChain(ordered[0], ordered[1:], keep)
 }
 
-// predsOn returns the predicates of md restricted to variables in attrs,
-// with positions resolved against attrs.
-func predsOn(md *member, attrs []string) []struct {
-	pos int
-	op  query.Op
-	val int64
-} {
-	var out []struct {
+// PredFilter returns a row filter implementing the member's selection
+// predicates over the given attributes, or nil when none apply (Section
+// 5.4: tuples failing a selection have zero sensitivity).
+func (md *Member) PredFilter(attrs []string) func(relation.Tuple) bool {
+	type bound struct {
 		pos int
 		op  query.Op
 		val int64
 	}
-	for _, p := range md.preds {
+	var bounds []bound
+	for _, p := range md.Preds {
 		for i, a := range attrs {
 			if a == p.Var {
-				out = append(out, struct {
-					pos int
-					op  query.Op
-					val int64
-				}{i, p.Op, p.Value})
+				bounds = append(bounds, bound{i, p.Op, p.Value})
 			}
 		}
 	}
-	return out
-}
-
-// filterByPreds drops rows violating md's selection predicates on the
-// covered attributes (Section 5.4: tuples failing a selection have zero
-// sensitivity).
-func filterByPreds(c *relation.Counted, md *member) *relation.Counted {
-	bounds := predsOn(md, c.Attrs)
 	if len(bounds) == 0 {
-		return c
+		return nil
 	}
-	return c.Filter(func(t relation.Tuple) bool {
+	return func(t relation.Tuple) bool {
 		for _, b := range bounds {
 			if !b.op.Eval(t[b.pos], b.val) {
 				return false
 			}
 		}
 		return true
-	})
+	}
 }
 
-// mostSensitive builds the (factorized) multiplicity table T^i for one
-// member and returns its most sensitive tuple.
-func (s *solver) mostSensitive(ui int, md *member, db *relation.Database) (*TupleResult, error) {
-	scale := s.scaleFor(ui)
-	tr := &TupleResult{Relation: md.atom.Relation, Vars: append([]string(nil), md.atom.Vars...)}
-
-	pieces := s.pieces(ui, md)
-	sens := scale
-	covered := make(map[string]int64)
-	wild := make(map[string]bool)
-	for _, v := range md.atom.Vars {
-		wild[v] = true
+// filterByPreds drops rows violating md's selection predicates on the
+// covered attributes.
+func filterByPreds(c *relation.Counted, md *Member) *relation.Counted {
+	keep := md.PredFilter(c.Attrs)
+	if keep == nil {
+		return c
 	}
-	for _, group := range groupPieces(pieces) {
-		gt, err := groupTable(group, md.effVars)
+	return c.Filter(keep)
+}
+
+// GroupMax is the selection-filtered maximum of one factor group of a
+// multiplicity table: the group's attributes, its most frequent row, and
+// that row's count. A nil Row with positive Cnt means the top-k truncation
+// Default won (any unlisted value achieves the bound).
+type GroupMax struct {
+	Attrs []string
+	Row   relation.Tuple
+	Cnt   int64
+}
+
+// InDBFunc reports whether a candidate tuple (wildcard positions free)
+// currently exists in its relation, returning the row to report when found.
+// It abstracts the database membership check so stateful callers can answer
+// it from maintained indexes instead of scanning base relations.
+type InDBFunc func(md *Member, values relation.Tuple, wildcard []bool) (relation.Tuple, bool)
+
+// DBLookup returns the InDBFunc that scans the base relations of db,
+// replacing the candidate with the concrete matching row.
+func DBLookup(q *query.Query, db *relation.Database) InDBFunc {
+	return func(md *Member, values relation.Tuple, wildcard []bool) (relation.Tuple, bool) {
+		r := db.Relation(md.Atom.Relation)
+		if r == nil {
+			return nil, false
+		}
+		keep := q.ApplySelections(md.Atom)
+		for _, row := range r.Rows {
+			if keep != nil && !keep(row) {
+				continue
+			}
+			match := true
+			for i := range values {
+				if !wildcard[i] && row[i] != values[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return row.Clone(), true
+			}
+		}
+		return nil, false
+	}
+}
+
+// MostSensitive builds the (factorized) multiplicity table T^i for one
+// member and returns its most sensitive tuple.
+func (s *Solver) MostSensitive(ui int, md *Member, db *relation.Database) (*TupleResult, error) {
+	groups := GroupPieces(s.Pieces(ui, md))
+	maxima := make([]GroupMax, 0, len(groups))
+	for _, group := range groups {
+		gt, err := GroupTable(group, md.EffVars)
 		if err != nil {
 			return nil, err
 		}
 		gt = filterByPreds(gt, md)
 		row, cnt := gt.MaxRow()
-		sens = relation.MulSat(sens, cnt)
-		if cnt == 0 {
+		maxima = append(maxima, GroupMax{Attrs: gt.Attrs, Row: row, Cnt: cnt})
+	}
+	return s.TupleResultFromMaxima(ui, md, maxima, DBLookup(s.Q, db))
+}
+
+// TupleResultFromMaxima assembles a member's most sensitive tuple from
+// precomputed per-group maxima (one GroupMax per factor group of the
+// multiplicity table), multiplying in the cross-component scale and
+// extrapolating wildcard variables. The incremental session engine calls
+// this with maxima tracked against its maintained group tables.
+func (s *Solver) TupleResultFromMaxima(ui int, md *Member, maxima []GroupMax, inDB InDBFunc) (*TupleResult, error) {
+	scale := s.ScaleFor(ui)
+	tr := &TupleResult{Relation: md.Atom.Relation, Vars: append([]string(nil), md.Atom.Vars...)}
+
+	sens := scale
+	covered := make(map[string]int64)
+	wild := make(map[string]bool)
+	for _, v := range md.Atom.Vars {
+		wild[v] = true
+	}
+	for _, m := range maxima {
+		sens = relation.MulSat(sens, m.Cnt)
+		if m.Cnt == 0 {
 			sens = 0
 			break
 		}
-		for i, a := range gt.Attrs {
-			if row != nil {
-				covered[a] = row[i]
+		for i, a := range m.Attrs {
+			if m.Row != nil {
+				covered[a] = m.Row[i]
 				wild[a] = false
 			}
-			// row == nil: the truncation Default won; the attribute stays a
+			// Row == nil: the truncation Default won; the attribute stays a
 			// wildcard and the bound still holds.
 		}
 	}
@@ -245,9 +304,9 @@ func (s *solver) mostSensitive(ui int, md *member, db *relation.Database) (*Tupl
 
 	// Assemble the candidate tuple in atom-variable order, picking values
 	// for wildcard variables that satisfy any selection predicates.
-	values := make(relation.Tuple, len(md.atom.Vars))
-	wildcard := make([]bool, len(md.atom.Vars))
-	for i, v := range md.atom.Vars {
+	values := make(relation.Tuple, len(md.Atom.Vars))
+	wildcard := make([]bool, len(md.Atom.Vars))
+	for i, v := range md.Atom.Vars {
 		if !wild[v] {
 			values[i] = covered[v]
 			continue
@@ -264,14 +323,17 @@ func (s *solver) mostSensitive(ui int, md *member, db *relation.Database) (*Tupl
 	}
 	tr.Values = values
 	tr.Wildcard = wildcard
-	tr.InDatabase = inDatabase(s.q, md, db, values, wildcard, &tr.Values)
+	if row, ok := inDB(md, values, wildcard); ok {
+		tr.InDatabase = true
+		tr.Values = row
+	}
 	return tr, nil
 }
 
 // predsFor returns md's predicates over exactly the variable v.
-func predsFor(md *member, v string) []query.Predicate {
+func predsFor(md *Member, v string) []query.Predicate {
 	var out []query.Predicate
-	for _, p := range md.preds {
+	for _, p := range md.Preds {
 		if p.Var == v {
 			out = append(out, p)
 		}

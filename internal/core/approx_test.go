@@ -71,7 +71,7 @@ func TestGroupPiecesPartitioning(t *testing.T) {
 	a := &relation.Counted{Attrs: []string{"A", "B"}}
 	b := &relation.Counted{Attrs: []string{"B", "C"}}
 	c := &relation.Counted{Attrs: []string{"X"}}
-	groups := groupPieces([]*relation.Counted{a, b, c})
+	groups := GroupPieces([]*relation.Counted{a, b, c})
 	if len(groups) != 2 {
 		t.Fatalf("groups=%d, want 2", len(groups))
 	}
@@ -82,7 +82,7 @@ func TestGroupPiecesPartitioning(t *testing.T) {
 	if sizes[2] != 1 || sizes[1] != 1 {
 		t.Fatalf("group sizes=%v", sizes)
 	}
-	if got := groupPieces(nil); len(got) != 0 {
+	if got := GroupPieces(nil); len(got) != 0 {
 		t.Fatalf("empty input gave %d groups", len(got))
 	}
 }
@@ -93,7 +93,7 @@ func TestOrderPiecesApproxOnlyPair(t *testing.T) {
 	if _, _, err := orderPieces([]*relation.Counted{a, b}); err == nil {
 		t.Fatal("two approximate pieces joined")
 	}
-	if _, err := groupTable([]*relation.Counted{a, b}, []string{"A"}); err == nil {
+	if _, err := GroupTable([]*relation.Counted{a, b}, []string{"A"}); err == nil {
 		t.Fatal("two approximate pieces grouped")
 	}
 	// A single approximate piece passes through unchanged (and its Default
@@ -102,7 +102,7 @@ func TestOrderPiecesApproxOnlyPair(t *testing.T) {
 	if err != nil || len(ordered) != 1 || ordered[0] != a || len(attrs) != 1 {
 		t.Fatalf("singleton approx group: %v %v %v", ordered, attrs, err)
 	}
-	gt, err := groupTable([]*relation.Counted{a}, []string{"A"})
+	gt, err := GroupTable([]*relation.Counted{a}, []string{"A"})
 	if err != nil || gt.Default != 2 || len(gt.Rows) != 1 {
 		t.Fatalf("singleton approx groupTable: %+v %v", gt, err)
 	}

@@ -127,9 +127,10 @@ func PathLocalSensitivity(q *query.Query, db *relation.Database) (*Result, error
 	// R_{i+1} with x over conn[i-1] and y over conn[i] is
 	// topJ[i-1][x] · botK[i][y]; maxima multiply because the two sides
 	// share no variables.
-	mdFor := func(i int) *member {
-		return &member{atom: atoms[i], effVars: eff[i], preds: q.Selections[atoms[i].Relation]}
+	mdFor := func(i int) *Member {
+		return &Member{Atom: atoms[i], EffVars: eff[i], Preds: q.Selections[atoms[i].Relation]}
 	}
+	inDB := DBLookup(q, db)
 	for i := 0; i < m; i++ {
 		md := mdFor(i)
 		tr := &TupleResult{Relation: atoms[i].Relation, Vars: append([]string(nil), atoms[i].Vars...)}
@@ -178,7 +179,10 @@ func PathLocalSensitivity(q *query.Query, db *relation.Database) (*Result, error
 			if feasible {
 				tr.Values = values
 				tr.Wildcard = wildcard
-				tr.InDatabase = inDatabase(q, md, db, values, wildcard, &tr.Values)
+				if row, ok := inDB(md, values, wildcard); ok {
+					tr.InDatabase = true
+					tr.Values = row
+				}
 			} else {
 				tr.Sensitivity = 0
 			}
@@ -192,28 +196,3 @@ func PathLocalSensitivity(q *query.Query, db *relation.Database) (*Result, error
 	return res, nil
 }
 
-// inDatabase mirrors solver.candidateInDatabase for the path algorithm.
-func inDatabase(q *query.Query, md *member, db *relation.Database, values relation.Tuple, wildcard []bool, out *relation.Tuple) bool {
-	r := db.Relation(md.atom.Relation)
-	if r == nil {
-		return false
-	}
-	keep := q.ApplySelections(md.atom)
-	for _, row := range r.Rows {
-		if keep != nil && !keep(row) {
-			continue
-		}
-		match := true
-		for i := range values {
-			if !wildcard[i] && row[i] != values[i] {
-				match = false
-				break
-			}
-		}
-		if match {
-			*out = row.Clone()
-			return true
-		}
-	}
-	return false
-}

@@ -11,6 +11,12 @@
 //     joins), and the top-k approximation;
 //   - the naive polynomial-data-complexity oracle of Theorem 3.1, used to
 //     cross-validate everything on small instances.
+//
+// The pass state (units, join tree, botjoin/topjoin tables, component
+// totals) is externalized in the exported Solver type so that stateful
+// callers — the incremental session engine in internal/incremental — can
+// retain it across updates and patch it in place instead of recomputing
+// every pass per database.
 package core
 
 import (
@@ -44,6 +50,12 @@ type Options struct {
 	// scans. 0 means runtime.GOMAXPROCS(0); 1 forces sequential execution.
 	// Results are identical at any setting.
 	Parallelism int
+	// Pool, when non-nil, supplies the worker goroutines for every parallel
+	// phase instead of spawning fresh ones per call, amortizing goroutine
+	// startup across solver invocations (repeated TSensDP releases,
+	// incremental session rebuilds). Parallelism still bounds how much of
+	// the pool one call uses.
+	Pool *par.Pool
 }
 
 func (o Options) skipped(rel string) bool {
@@ -53,6 +65,24 @@ func (o Options) skipped(rel string) bool {
 		}
 	}
 	return false
+}
+
+// Do runs fn over [0, n) with the options' parallelism, on the shared pool
+// when one is configured.
+func (o Options) Do(n int, fn func(int) error) error {
+	if o.Pool != nil {
+		return o.Pool.Do(o.Parallelism, n, fn)
+	}
+	return par.Do(o.Parallelism, n, fn)
+}
+
+// DAG runs fn over a dependency graph with the options' parallelism, on the
+// shared pool when one is configured.
+func (o Options) DAG(deps [][]int, fn func(int) error) error {
+	if o.Pool != nil {
+		return o.Pool.DAG(o.Parallelism, deps, fn)
+	}
+	return par.DAG(o.Parallelism, deps, fn)
 }
 
 // TupleResult describes the most sensitive tuple found for one relation.
@@ -96,51 +126,54 @@ type Result struct {
 	Approximate bool
 }
 
-// member is one base atom assigned to a unit (bag).
-type member struct {
-	atom    query.Atom
-	effVars []string          // variables kept (occurring in ≥2 atoms)
-	base    *relation.Counted // counted base relation over effVars
-	preds   []query.Predicate // per-tuple selection predicates
-	skip    bool
+// Member is one base atom assigned to a unit (bag).
+type Member struct {
+	Atom    query.Atom
+	EffVars []string          // variables kept (occurring in ≥2 atoms)
+	Base    *relation.Counted // counted base relation over EffVars
+	Preds   []query.Predicate // per-tuple selection predicates
+	Skip    bool
 }
 
-// unit is one node of the (bag) join tree the algorithm runs on. For an
-// acyclic query every unit holds exactly one member and rel is that
-// member's base; for GHD bags rel is the materialized join of the members.
-type unit struct {
-	vars    []string
-	rel     *relation.Counted
-	members []*member
+// Unit is one node of the (bag) join tree the algorithm runs on. For an
+// acyclic query every unit holds exactly one member and Rel is that
+// member's base; for GHD bags Rel is the materialized join of the members.
+type Unit struct {
+	Vars    []string
+	Rel     *relation.Counted
+	Members []*Member
 }
 
-// solver carries the preprocessed state shared by LocalSensitivity and
-// TupleSensitivities.
-type solver struct {
-	q     *query.Query
-	opts  Options
-	units []*unit
-	tree  *query.Tree // nodes index into units
-	bot   []*relation.Counted
-	top   []*relation.Counted
-	// comp[i] is the component id (root node index) of unit i; totals maps
+// Solver carries the preprocessed pass state shared by LocalSensitivity,
+// TupleSensitivities, and the incremental session engine. The exported
+// fields are owned by the solver; stateful callers may patch the counted
+// tables in place (via relation.ApplyDelta) as long as they keep Bot, Top,
+// and Totals mutually consistent.
+type Solver struct {
+	Q     *query.Query
+	Opts  Options
+	Units []*Unit
+	Tree  *query.Tree // nodes index into Units
+	Bot   []*relation.Counted
+	Top   []*relation.Counted
+	// Comp[i] is the component id (root node index) of unit i; Totals maps
 	// component id to that component's |Q_component(D)|.
-	comp   []int
-	totals map[int]int64
+	Comp   []int
+	Totals map[int]int64
 }
 
-// newSolver binds the query, applies selections, drops single-occurrence
+// NewSolver binds the query, applies selections, drops single-occurrence
 // variables, materializes GHD bags, builds the unit join forest, and runs
 // the botjoin/topjoin passes.
-func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, error) {
+func NewSolver(q *query.Query, db *relation.Database, opts Options) (*Solver, error) {
 	if _, err := q.Bind(db); err != nil {
 		return nil, err
 	}
 	occ := q.VarOccurrences()
 
 	// Per-atom preprocessing, one independent task per atom.
-	members := make([]*member, len(q.Atoms))
-	err := par.Do(opts.Parallelism, len(q.Atoms), func(i int) error {
+	members := make([]*Member, len(q.Atoms))
+	err := opts.Do(len(q.Atoms), func(i int) error {
 		a := q.Atoms[i]
 		var eff []string
 		for _, v := range a.Vars {
@@ -152,12 +185,12 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 		if err != nil {
 			return err
 		}
-		members[i] = &member{
-			atom:    a,
-			effVars: eff,
-			base:    proj,
-			preds:   q.Selections[a.Relation],
-			skip:    opts.skipped(a.Relation),
+		members[i] = &Member{
+			Atom:    a,
+			EffVars: eff,
+			Base:    proj,
+			Preds:   q.Selections[a.Relation],
+			Skip:    opts.skipped(a.Relation),
 		}
 		return nil
 	})
@@ -177,28 +210,28 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 		return nil, err
 	}
 
-	s := &solver{q: q, opts: opts}
-	s.units = make([]*unit, len(d.Bags))
+	s := &Solver{Q: q, Opts: opts}
+	s.Units = make([]*Unit, len(d.Bags))
 	unitAtoms := make([]query.Atom, len(d.Bags))
-	err = par.Do(opts.Parallelism, len(d.Bags), func(bi int) error {
-		u := &unit{}
+	err = opts.Do(len(d.Bags), func(bi int) error {
+		u := &Unit{}
 		var bases []*relation.Counted
 		for _, ai := range d.Bags[bi] {
-			u.members = append(u.members, members[ai])
-			u.vars = relation.Union(u.vars, members[ai].effVars)
-			bases = append(bases, members[ai].base)
+			u.Members = append(u.Members, members[ai])
+			u.Vars = relation.Union(u.Vars, members[ai].EffVars)
+			bases = append(bases, members[ai].Base)
 		}
 		if len(bases) == 1 {
-			u.rel = bases[0]
+			u.Rel = bases[0]
 		} else {
-			g, err := ghd.MaterializeGrouped(bases, u.vars)
+			g, err := ghd.MaterializeGrouped(bases, u.Vars)
 			if err != nil {
 				return err
 			}
-			u.rel = g
+			u.Rel = g
 		}
-		s.units[bi] = u
-		unitAtoms[bi] = query.Atom{Relation: fmt.Sprintf("unit%d", bi), Vars: u.vars}
+		s.Units[bi] = u
+		unitAtoms[bi] = query.Atom{Relation: fmt.Sprintf("unit%d", bi), Vars: u.Vars}
 		return nil
 	})
 	if err != nil {
@@ -209,7 +242,7 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 	if err != nil {
 		return nil, fmt.Errorf("core: bag hypergraph unexpectedly cyclic: %w", err)
 	}
-	s.tree = tree
+	s.Tree = tree
 
 	if err := s.passes(); err != nil {
 		return nil, err
@@ -223,34 +256,34 @@ func newSolver(q *query.Query, db *relation.Database, opts Options) (*solver, er
 // whose dependencies are settled (children for botjoins, the parent for
 // topjoins) execute concurrently on a bounded worker pool, so independent
 // subtrees of the join forest proceed in parallel.
-func (s *solver) passes() error {
-	n := len(s.units)
-	s.bot = make([]*relation.Counted, n)
-	s.top = make([]*relation.Counted, n)
-	s.comp = make([]int, n)
-	s.totals = make(map[int]int64)
+func (s *Solver) passes() error {
+	n := len(s.Units)
+	s.Bot = make([]*relation.Counted, n)
+	s.Top = make([]*relation.Counted, n)
+	s.Comp = make([]int, n)
+	s.Totals = make(map[int]int64)
 
 	// Botjoins, leaf to root: ⊥(Ri) = γ_{Ai∩Ap}( r⋈(Ri, {⊥(Rj): children}) ).
 	botDeps := make([][]int, n)
-	for i, node := range s.tree.Nodes {
+	for i, node := range s.Tree.Nodes {
 		for _, c := range node.Children {
 			botDeps[i] = append(botDeps[i], c.Index)
 		}
 	}
-	err := par.DAG(s.opts.Parallelism, botDeps, func(i int) error {
-		node := s.tree.Nodes[i]
+	err := s.Opts.DAG(botDeps, func(i int) error {
+		node := s.Tree.Nodes[i]
 		bots := make([]*relation.Counted, len(node.Children))
 		for k, c := range node.Children {
-			bots[k] = s.bot[c.Index]
+			bots[k] = s.Bot[c.Index]
 		}
-		g, err := relation.JoinGroupChain(s.units[i].rel, bots, node.ConnectorVars())
+		g, err := relation.JoinGroupChain(s.Units[i].Rel, bots, node.ConnectorVars())
 		if err != nil {
 			return err
 		}
-		if s.opts.TopK > 0 {
-			g = g.TopK(s.opts.TopK)
+		if s.Opts.TopK > 0 {
+			g = g.TopK(s.Opts.TopK)
 		}
-		s.bot[i] = g
+		s.Bot[i] = g
 		return nil
 	})
 	if err != nil {
@@ -260,32 +293,32 @@ func (s *solver) passes() error {
 	// Topjoins, root to leaf:
 	// ⊤(Ri) = γ_{Ai∩Ap}( r⋈(p(Ri), ⊤(p(Ri)), {⊥(Rj): siblings}) ).
 	topDeps := make([][]int, n)
-	for i, node := range s.tree.Nodes {
+	for i, node := range s.Tree.Nodes {
 		if node.Parent != nil {
 			topDeps[i] = append(topDeps[i], node.Parent.Index)
 		}
 	}
-	err = par.DAG(s.opts.Parallelism, topDeps, func(i int) error {
-		node := s.tree.Nodes[i]
+	err = s.Opts.DAG(topDeps, func(i int) error {
+		node := s.Tree.Nodes[i]
 		if node.Parent == nil {
-			s.top[i] = nil
+			s.Top[i] = nil
 			return nil
 		}
 		var operands []*relation.Counted
-		if t := s.top[node.Parent.Index]; t != nil {
+		if t := s.Top[node.Parent.Index]; t != nil {
 			operands = append(operands, t)
 		}
 		for _, sib := range node.Siblings() {
-			operands = append(operands, s.bot[sib.Index])
+			operands = append(operands, s.Bot[sib.Index])
 		}
-		g, err := relation.JoinGroupChain(s.units[node.Parent.Index].rel, operands, node.ConnectorVars())
+		g, err := relation.JoinGroupChain(s.Units[node.Parent.Index].Rel, operands, node.ConnectorVars())
 		if err != nil {
 			return err
 		}
-		if s.opts.TopK > 0 {
-			g = g.TopK(s.opts.TopK)
+		if s.Opts.TopK > 0 {
+			g = g.TopK(s.Opts.TopK)
 		}
-		s.top[i] = g
+		s.Top[i] = g
 		return nil
 	})
 	if err != nil {
@@ -294,27 +327,27 @@ func (s *solver) passes() error {
 
 	// Components and totals. The botjoin of a root is grouped by the empty
 	// connector, so its SumCnt is the component's output count.
-	for _, root := range s.tree.Roots {
+	for _, root := range s.Tree.Roots {
 		var mark func(n *query.Node)
 		mark = func(n *query.Node) {
-			s.comp[n.Index] = root.Index
+			s.Comp[n.Index] = root.Index
 			for _, c := range n.Children {
 				mark(c)
 			}
 		}
 		mark(root)
-		s.totals[root.Index] = s.bot[root.Index].SumCnt()
+		s.Totals[root.Index] = s.Bot[root.Index].SumCnt()
 	}
 	return nil
 }
 
-// scaleFor returns the product of the output counts of every component
+// ScaleFor returns the product of the output counts of every component
 // other than the one containing unit ui (Section 5.4, "Disconnected join
 // trees").
-func (s *solver) scaleFor(ui int) int64 {
+func (s *Solver) ScaleFor(ui int) int64 {
 	scale := int64(1)
-	for root, total := range s.totals {
-		if root == s.comp[ui] {
+	for root, total := range s.Totals {
+		if root == s.Comp[ui] {
 			continue
 		}
 		scale = relation.MulSat(scale, total)
@@ -322,10 +355,10 @@ func (s *solver) scaleFor(ui int) int64 {
 	return scale
 }
 
-// count returns |Q(D)| as the product of component totals.
-func (s *solver) count() int64 {
+// CountTotal returns |Q(D)| as the product of component totals.
+func (s *Solver) CountTotal() int64 {
 	total := int64(1)
-	for _, t := range s.totals {
+	for _, t := range s.Totals {
 		total = relation.MulSat(total, t)
 	}
 	return total

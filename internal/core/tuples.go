@@ -24,14 +24,14 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 	if opts.TopK > 0 {
 		return nil, fmt.Errorf("core: TupleSensitivities requires exact mode (TopK=0)")
 	}
-	s, err := newSolver(q, db, opts)
+	s, err := NewSolver(q, db, opts)
 	if err != nil {
 		return nil, err
 	}
-	ui, md := -1, (*member)(nil)
-	for i, u := range s.units {
-		for _, m := range u.members {
-			if m.atom.Relation == relName {
+	ui, md := -1, (*Member)(nil)
+	for i, u := range s.Units {
+		for _, m := range u.Members {
+			if m.Atom.Relation == relName {
 				ui, md = i, m
 			}
 		}
@@ -39,7 +39,7 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 	if md == nil {
 		return nil, fmt.Errorf("core: query has no atom over relation %s", relName)
 	}
-	scale := s.scaleFor(ui)
+	scale := s.ScaleFor(ui)
 
 	// One group table per piece group, probed through the Counted hash
 	// index (built eagerly so concurrent evaluator calls are lock-free).
@@ -47,13 +47,13 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 		varPos []int // positions within the atom's variable list
 		table  *relation.Counted
 	}
-	varPos := make(map[string]int, len(md.atom.Vars))
-	for i, v := range md.atom.Vars {
+	varPos := make(map[string]int, len(md.Atom.Vars))
+	for i, v := range md.Atom.Vars {
 		varPos[v] = i
 	}
 	var indexes []groupIndex
-	for _, group := range groupPieces(s.pieces(ui, md)) {
-		gt, err := groupTable(group, md.effVars)
+	for _, group := range GroupPieces(s.Pieces(ui, md)) {
+		gt, err := GroupTable(group, md.EffVars)
 		if err != nil {
 			return nil, err
 		}
@@ -65,43 +65,62 @@ func TupleSensitivities(q *query.Query, db *relation.Database, relName string, o
 		indexes = append(indexes, gi)
 	}
 
-	keep := q.ApplySelections(md.atom)
+	groups := make([]ProbeGroup, len(indexes))
+	for i, gi := range indexes {
+		groups[i] = ProbeGroup{VarPos: gi.varPos, Table: gi.table}
+	}
+	return ProbeEvaluator(len(md.Atom.Vars), q.ApplySelections(md.Atom),
+		func() int64 { return scale }, groups), nil
+}
+
+// ProbeGroup is one factor of a tuple-sensitivity evaluation: a group table
+// probed by the key drawn from the atom-variable positions VarPos.
+type ProbeGroup struct {
+	VarPos []int
+	Table  *relation.Counted
+}
+
+// ProbeEvaluator builds the δ(t) closure shared by TupleSensitivities and
+// the incremental session: scale() × Π group-table probes, zero on arity
+// mismatch, selection failure, or any probe miss. scale is a function so
+// stateful callers can reflect live cross-component totals.
+func ProbeEvaluator(arity int, keep func(relation.Tuple) bool, scale func() int64, groups []ProbeGroup) SensitivityFn {
 	return func(t relation.Tuple) int64 {
-		if len(t) != len(md.atom.Vars) {
+		if len(t) != arity {
 			return 0
 		}
 		if keep != nil && !keep(t) {
 			return 0 // tuples failing the selection have zero sensitivity
 		}
-		sens := scale
+		sens := scale()
 		var kbuf [8]int64
-		for _, gi := range indexes {
+		for _, g := range groups {
 			var key relation.Tuple
-			if len(gi.varPos) <= len(kbuf) {
-				key = kbuf[:len(gi.varPos)]
+			if len(g.VarPos) <= len(kbuf) {
+				key = kbuf[:len(g.VarPos)]
 			} else {
-				key = make(relation.Tuple, len(gi.varPos))
+				key = make(relation.Tuple, len(g.VarPos))
 			}
-			for k, p := range gi.varPos {
+			for k, p := range g.VarPos {
 				key[k] = t[p]
 			}
-			c, ok := gi.table.Probe(key)
+			c, ok := g.Table.Probe(key)
 			if !ok {
 				return 0
 			}
 			sens = relation.MulSat(sens, c)
 		}
 		return sens
-	}, nil
+	}
 }
 
 // Evaluate returns |Q(D)| using the botjoin pass of the solver, matching
 // Yannakakis-style counting. Exposed for the mechanism layer, which needs
 // counts and sensitivities from one consistent engine.
 func Evaluate(q *query.Query, db *relation.Database, opts Options) (int64, error) {
-	s, err := newSolver(q, db, opts)
+	s, err := NewSolver(q, db, opts)
 	if err != nil {
 		return 0, err
 	}
-	return s.count(), nil
+	return s.CountTotal(), nil
 }

@@ -1,0 +1,105 @@
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"tsens/internal/relation"
+)
+
+// Update-stream files are CSV-formatted with one record per update:
+//
+//	op,relation,v1,v2,...
+//
+// op is "+" (insert) or "-" (delete); values use the same encoding as the
+// relation CSVs, so a stream written next to a snapshot replays against it
+// through the same Loader (which keeps the string dictionary consistent).
+// Streams use the .stream extension so LoadDir never mistakes one for a
+// relation.
+
+// UpdatesFileName is the conventional stream file name inside a snapshot
+// directory, written by datagen -updates and replayed by tsens updates.
+const UpdatesFileName = "updates.stream"
+
+// WriteUpdates streams updates to w.
+func (l *Loader) WriteUpdates(ops []relation.Update, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, op := range ops {
+		rec := make([]string, 0, 2+len(op.Row))
+		sign := "-"
+		if op.Insert {
+			sign = "+"
+		}
+		rec = append(rec, sign, op.Rel)
+		for _, v := range op.Row {
+			rec = append(rec, l.Decode(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csvio: writing update: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadUpdates parses an update stream from r.
+func (l *Loader) ReadUpdates(r io.Reader) ([]relation.Update, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1 // arity varies per relation
+	var out []relation.Update
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: update stream line %d: %w", line, err)
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("csvio: update stream line %d: need op,relation,values...", line)
+		}
+		up := relation.Update{Rel: rec[1]}
+		switch rec[0] {
+		case "+":
+			up.Insert = true
+		case "-":
+			up.Insert = false
+		default:
+			return nil, fmt.Errorf("csvio: update stream line %d: bad op %q (want + or -)", line, rec[0])
+		}
+		for _, f := range rec[2:] {
+			v, err := l.encode(f)
+			if err != nil {
+				return nil, fmt.Errorf("csvio: update stream line %d: %w", line, err)
+			}
+			up.Row = append(up.Row, v)
+		}
+		out = append(out, up)
+	}
+}
+
+// SaveUpdates writes an update stream to path.
+func (l *Loader) SaveUpdates(ops []relation.Update, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteUpdates(ops, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadUpdates reads an update stream from path.
+func (l *Loader) LoadUpdates(path string) ([]relation.Update, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return l.ReadUpdates(f)
+}

@@ -1,0 +1,46 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tsens/internal/relation"
+)
+
+func TestUpdateStreamRoundTrip(t *testing.T) {
+	l := NewLoader()
+	a, _ := l.Encode("alice")
+	ops := []relation.Update{
+		{Rel: "R1", Row: relation.Tuple{1, -5}, Insert: true},
+		{Rel: "R2", Row: relation.Tuple{a}, Insert: false},
+		{Rel: "R1", Row: relation.Tuple{0, 7}, Insert: false},
+	}
+	var buf bytes.Buffer
+	if err := l.WriteUpdates(ops, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.ReadUpdates(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("round trip %d ops, want %d", len(got), len(ops))
+	}
+	for i, op := range ops {
+		g := got[i]
+		if g.Rel != op.Rel || g.Insert != op.Insert || !g.Row.Equal(op.Row) {
+			t.Fatalf("op %d: %+v != %+v", i, g, op)
+		}
+	}
+}
+
+func TestReadUpdatesRejectsBadInput(t *testing.T) {
+	l := NewLoader()
+	if _, err := l.ReadUpdates(strings.NewReader("x,R1,1\n")); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if _, err := l.ReadUpdates(strings.NewReader("+\n")); err == nil {
+		t.Fatal("short record accepted")
+	}
+}

@@ -1,0 +1,331 @@
+package incremental
+
+// Delta propagation. A single-tuple update to relation R, projected onto
+// R's effective variables, flows through the retained solver state in five
+// phases, each reusing a cached relation.ExpandPlan so the per-update work
+// is hash lookups only:
+//
+//  1. R's base projection is patched (it is a multiplicity-table piece for
+//     co-members of R's bag).
+//  2. R's unit relation absorbs the delta — identical to the base for
+//     singleton units; for GHD bags the delta joins against the other
+//     members of the bag.
+//  3. Botjoins recompute along the leaf-to-root path through R's node:
+//     Δ⊥(p) = γ_conn(p)( Δ⊥(child) ⋈ rel(p) ⋈ {⊥(other children)} ).
+//     Topjoins on that path are provably unchanged, and the component
+//     total is re-read from the root botjoin.
+//  4. Topjoins fan out everywhere else: the children of R's node (their
+//     parent relation changed) and the siblings of every path node (one
+//     sibling botjoin changed) seed a BFS that descends while deltas stay
+//     non-empty. Each affected topjoin has exactly one changed input,
+//     because a single-tuple delta flows along a tree — so the multilinear
+//     delta rule needs no operand ordering.
+//  5. Every multiplicity-table factor group fed by a changed table absorbs
+//     the corresponding delta, and its running maximum is adjusted (or
+//     lazily invalidated when the argmax lost count).
+
+import (
+	"strings"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// pieceRef addresses one piece of one maintained factor group.
+type pieceRef struct {
+	st    *gtState
+	piece int
+}
+
+// edgeKey caches one compiled plan per (patched table, changed input).
+type edgeKey struct {
+	tgt, src *relation.Counted
+}
+
+// tableSet owns the shared RowIndexes of every maintained table and keeps
+// them synced when deltas append rows.
+type tableSet struct {
+	byTable map[*relation.Counted]map[string]*relation.RowIndex
+}
+
+func newTableSet() *tableSet {
+	return &tableSet{byTable: make(map[*relation.Counted]map[string]*relation.RowIndex)}
+}
+
+// indexFor is the relation.IndexProvider handed to CompileExpand.
+func (ts *tableSet) indexFor(c *relation.Counted, attrs []string) (*relation.RowIndex, error) {
+	m := ts.byTable[c]
+	if m == nil {
+		m = make(map[string]*relation.RowIndex)
+		ts.byTable[c] = m
+	}
+	key := strings.Join(attrs, "\x1f")
+	if ix, ok := m[key]; ok {
+		return ix, nil
+	}
+	ix, err := relation.NewRowIndex(c, attrs)
+	if err != nil {
+		return nil, err
+	}
+	m[key] = ix
+	return ix, nil
+}
+
+// apply patches c with d and re-syncs c's secondary indexes.
+func (ts *tableSet) apply(c, d *relation.Counted) ([]int, error) {
+	changed, err := c.ApplyDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range ts.byTable[c] {
+		ix.Sync()
+	}
+	return changed, nil
+}
+
+// gtState maintains one factor group of one member's multiplicity table:
+// the patched group table, its selection filter, and a lazily-revalidated
+// running maximum.
+type gtState struct {
+	ref    memberRef
+	pieces []*relation.Counted
+	table  *relation.Counted
+	keepFn func(relation.Tuple) bool
+	plans  []*relation.ExpandPlan // per changed-piece, compiled on demand
+	argmax int
+	max    int64
+	valid  bool
+}
+
+// note folds freshly patched rows into the running maximum; a count drop on
+// the current argmax schedules a lazy rescan.
+func (g *gtState) note(changed []int) {
+	if !g.valid {
+		return
+	}
+	for _, r := range changed {
+		cnt := g.table.Cnt[r]
+		if g.keepFn != nil && !g.keepFn(g.table.Rows[r]) {
+			continue
+		}
+		if cnt > g.max {
+			g.argmax, g.max = r, cnt
+			continue
+		}
+		if r == g.argmax && cnt < g.max {
+			g.valid = false
+			return
+		}
+	}
+}
+
+// maxRow returns the selection-filtered maximum row and count, rescanning
+// the table only when the cached maximum was invalidated.
+func (g *gtState) maxRow() (relation.Tuple, int64) {
+	if !g.valid {
+		g.argmax, g.max = -1, 0
+		for r, cnt := range g.table.Cnt {
+			if cnt <= g.max {
+				continue
+			}
+			if g.keepFn != nil && !g.keepFn(g.table.Rows[r]) {
+				continue
+			}
+			g.argmax, g.max = r, cnt
+		}
+		g.valid = true
+	}
+	if g.argmax < 0 || g.max <= 0 {
+		return nil, 0
+	}
+	return g.table.Rows[g.argmax], g.max
+}
+
+// edgeDelta evaluates γ_keep(delta ⋈ others) through a plan cached per
+// (target table, changed input). The plan compiles once and survives
+// in-place patches of every operand.
+func (s *Session) edgeDelta(tgt, src, delta *relation.Counted, others []*relation.Counted, keep []string) (*relation.Counted, error) {
+	k := edgeKey{tgt, src}
+	plan, ok := s.plans[k]
+	if !ok {
+		var err error
+		plan, err = relation.CompileExpand(delta.Attrs, others, keep, s.tables.indexFor)
+		if err != nil {
+			return nil, err
+		}
+		s.plans[k] = plan
+	}
+	return plan.Run(delta)
+}
+
+// propagate pushes a member-base delta through phases 1–5 (see the file
+// comment). dbase holds the projected tuple with a ±1 count.
+func (s *Session) propagate(ref memberRef, dbase *relation.Counted) error {
+	sol := s.sol
+	u := sol.Units[ref.ui]
+	md := u.Members[ref.mi]
+	node := sol.Tree.Nodes[ref.ui]
+
+	type change struct {
+		table, delta *relation.Counted
+	}
+	var pieceChanges []change
+
+	// Phase 1: member base.
+	if _, err := s.tables.apply(md.Base, dbase); err != nil {
+		return err
+	}
+	pieceChanges = append(pieceChanges, change{md.Base, dbase})
+
+	// Phase 2: unit relation.
+	drel := dbase
+	if u.Rel != md.Base {
+		others := make([]*relation.Counted, 0, len(u.Members)-1)
+		for _, m2 := range u.Members {
+			if m2 != md {
+				others = append(others, m2.Base)
+			}
+		}
+		var err error
+		drel, err = s.edgeDelta(u.Rel, md.Base, dbase, others, u.Vars)
+		if err != nil {
+			return err
+		}
+		if len(drel.Rows) > 0 {
+			if _, err := s.tables.apply(u.Rel, drel); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: botjoins up the path.
+	type botChange struct {
+		idx   int
+		delta *relation.Counted
+	}
+	var botDeltas []botChange
+	if len(drel.Rows) > 0 {
+		childBots := make([]*relation.Counted, len(node.Children))
+		for k, c := range node.Children {
+			childBots[k] = sol.Bot[c.Index]
+		}
+		dbot, err := s.edgeDelta(sol.Bot[ref.ui], u.Rel, drel, childBots, node.ConnectorVars())
+		if err != nil {
+			return err
+		}
+		child, dchild := node, dbot
+		for len(dchild.Rows) > 0 {
+			if _, err := s.tables.apply(sol.Bot[child.Index], dchild); err != nil {
+				return err
+			}
+			pieceChanges = append(pieceChanges, change{sol.Bot[child.Index], dchild})
+			botDeltas = append(botDeltas, botChange{child.Index, dchild})
+			p := child.Parent
+			if p == nil {
+				break
+			}
+			operands := []*relation.Counted{sol.Units[p.Index].Rel}
+			for _, c := range p.Children {
+				if c != child {
+					operands = append(operands, sol.Bot[c.Index])
+				}
+			}
+			dnext, err := s.edgeDelta(sol.Bot[p.Index], sol.Bot[child.Index], dchild, operands, p.ConnectorVars())
+			if err != nil {
+				return err
+			}
+			child, dchild = p, dnext
+		}
+		// Re-read the component total from the root botjoin (O(1): it is
+		// grouped by the empty connector). Unchanged if the climb stopped.
+		rootIdx := sol.Comp[ref.ui]
+		sol.Totals[rootIdx] = sol.Bot[rootIdx].SumCnt()
+	}
+
+	// Phase 4: topjoins, BFS from the seeds.
+	type topJob struct {
+		node       *query.Node
+		src, delta *relation.Counted
+	}
+	var queue []topJob
+	if len(drel.Rows) > 0 {
+		for _, c := range node.Children {
+			queue = append(queue, topJob{c, u.Rel, drel})
+		}
+	}
+	for _, bc := range botDeltas {
+		bn := sol.Tree.Nodes[bc.idx]
+		for _, sib := range bn.Siblings() {
+			queue = append(queue, topJob{sib, sol.Bot[bc.idx], bc.delta})
+		}
+	}
+	for len(queue) > 0 {
+		job := queue[0]
+		queue = queue[1:]
+		i := job.node.Index
+		parent := job.node.Parent
+		var others []*relation.Counted
+		if p := sol.Units[parent.Index].Rel; p != job.src {
+			others = append(others, p)
+		}
+		if t := sol.Top[parent.Index]; t != nil && t != job.src {
+			others = append(others, t)
+		}
+		for _, sib := range job.node.Siblings() {
+			if b := sol.Bot[sib.Index]; b != job.src {
+				others = append(others, b)
+			}
+		}
+		dtop, err := s.edgeDelta(sol.Top[i], job.src, job.delta, others, job.node.ConnectorVars())
+		if err != nil {
+			return err
+		}
+		if len(dtop.Rows) == 0 {
+			continue
+		}
+		if _, err := s.tables.apply(sol.Top[i], dtop); err != nil {
+			return err
+		}
+		pieceChanges = append(pieceChanges, change{sol.Top[i], dtop})
+		for _, c := range job.node.Children {
+			queue = append(queue, topJob{c, sol.Top[i], dtop})
+		}
+	}
+
+	// Phase 5: multiplicity-table factors. Each factor group sees at most
+	// one changed piece per single-tuple update (deltas flow along a tree),
+	// so the multilinear delta rule applies piece by piece.
+	for _, ch := range pieceChanges {
+		for _, ref2 := range s.deps[ch.table] {
+			st := ref2.st
+			plan := st.plans[ref2.piece]
+			if plan == nil {
+				others := make([]*relation.Counted, 0, len(st.pieces)-1)
+				for pi, p := range st.pieces {
+					if pi != ref2.piece {
+						others = append(others, p)
+					}
+				}
+				var err error
+				plan, err = relation.CompileExpand(ch.delta.Attrs, others, st.table.Attrs, s.tables.indexFor)
+				if err != nil {
+					return err
+				}
+				st.plans[ref2.piece] = plan
+			}
+			dgt, err := plan.Run(ch.delta)
+			if err != nil {
+				return err
+			}
+			if len(dgt.Rows) == 0 {
+				continue
+			}
+			changed, err := s.tables.apply(st.table, dgt)
+			if err != nil {
+				return err
+			}
+			st.note(changed)
+		}
+	}
+	return nil
+}

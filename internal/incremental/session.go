@@ -1,0 +1,440 @@
+// Package incremental maintains LS(Q, D) and |Q(D)| under single-tuple
+// inserts and deletes, the "FO+MOD queries under updates" direction of the
+// roadmap (Berkholz, Keppeler, Schweikardt): instead of recomputing every
+// botjoin/topjoin pass from scratch per database, a Session pins the join
+// tree of the one-shot solver (internal/core) and retains all of its
+// materialized state — per-member base projections, per-unit bag joins,
+// botjoin and topjoin tables, and the factor groups of every multiplicity
+// table T^i. A single-tuple update to relation R then recomputes only the
+// deltas along the leaf-to-root botjoin path through R's node, the affected
+// topjoins (which fan out from that path's siblings), and the multiplicity
+// table factors those tables feed, patching every table in place through
+// the delta kernels of internal/relation (ApplyDelta, ExpandPlan).
+//
+// Per-group maxima are tracked incrementally, so LS() after an update costs
+// a handful of hash lookups unless a deletion dethroned a current argmax
+// (which triggers one lazy rescan of that group table). Count() is O(1)
+// from the maintained component totals.
+//
+// Bulk batches fall back to a full rebuild (Options.BulkThreshold), which
+// is also the escape hatch for anything delta maintenance does not model.
+// Cyclic queries work through the same GHD decompositions as the one-shot
+// solver: an update to a bag member joins its delta against the other
+// members of the bag before entering the passes.
+//
+// Sessions are not safe for concurrent use: updates mutate the retained
+// tables in place. All reads (Count, LS, SensitivityFn evaluators) observe
+// the state as of the last applied update.
+package incremental
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tsens/internal/core"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// Update is a single-tuple change, re-exported from internal/relation.
+type Update = relation.Update
+
+// DefaultBulkThreshold is the batch size at which Apply abandons per-tuple
+// delta propagation for one full rebuild.
+const DefaultBulkThreshold = 64
+
+// Options configures a Session. The embedded core.Options must be exact
+// (TopK = 0); Decomposition, SkipRelations, Parallelism, and Pool carry
+// their one-shot meanings (parallelism applies to opens and rebuilds — the
+// per-update delta path is sequential by design).
+type Options struct {
+	core.Options
+	// BulkThreshold: Apply batches of at least this many updates trigger a
+	// full rebuild instead of per-tuple propagation. Zero means
+	// DefaultBulkThreshold; negative disables the fallback.
+	BulkThreshold int
+}
+
+// memberRef addresses one member of one unit of the solver.
+type memberRef struct{ ui, mi int }
+
+// Session is a stateful sensitivity engine over a private copy of the
+// database. Obtain one with Open; feed it updates with Insert, Delete, or
+// Apply; read LS(), Count(), or a SensitivityFn at any point.
+type Session struct {
+	q    *query.Query
+	opts Options
+	db   *relation.Database // session-owned clone
+
+	sol *core.Solver
+
+	memberOf map[string]memberRef
+	effPos   map[string][]int // relation → EffVars positions in atom vars
+	selFn    map[string]func(relation.Tuple) bool
+	rowsets  map[string]*rowSet
+
+	tables    *tableSet
+	plans     map[edgeKey]*relation.ExpandPlan
+	gts       []*gtState
+	memberGts map[memberRef][]*gtState
+	deps      map[*relation.Counted][]pieceRef
+
+	doublyAcyclic bool
+	maxDegree     int
+	updates       int
+	rebuilds      int
+}
+
+// Open pins q's join tree over a private clone of db and materializes the
+// session state. It fails exactly where the one-shot solver would (cyclic
+// query without a decomposition, arity mismatches) and additionally rejects
+// the top-k approximation, whose truncation does not commute with deltas.
+func Open(q *query.Query, db *relation.Database, opts Options) (*Session, error) {
+	if opts.TopK > 0 {
+		return nil, fmt.Errorf("incremental: sessions require exact mode (TopK=0)")
+	}
+	if opts.BulkThreshold == 0 {
+		opts.BulkThreshold = DefaultBulkThreshold
+	}
+	s := &Session{q: q, opts: opts, db: db.Clone()}
+	s.rowsets = make(map[string]*rowSet, len(s.db.Names()))
+	for _, name := range s.db.Names() {
+		s.rowsets[name] = newRowSet(s.db.Relation(name))
+	}
+	if err := s.build(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// build runs the one-shot passes and derives every maintained structure
+// from them. It is the shared body of Open and Rebuild.
+func (s *Session) build() error {
+	sol, err := core.NewSolver(s.q, s.db, s.opts.Options)
+	if err != nil {
+		return err
+	}
+	s.sol = sol
+	s.doublyAcyclic = sol.Tree.IsDoublyAcyclic()
+	s.maxDegree = sol.Tree.MaxDegree()
+	s.memberOf = make(map[string]memberRef)
+	s.effPos = make(map[string][]int)
+	s.selFn = make(map[string]func(relation.Tuple) bool)
+	s.tables = newTableSet()
+	s.plans = make(map[edgeKey]*relation.ExpandPlan)
+	s.gts = nil
+	s.memberGts = make(map[memberRef][]*gtState)
+	s.deps = make(map[*relation.Counted][]pieceRef)
+	for ui, u := range sol.Units {
+		for mi, md := range u.Members {
+			ref := memberRef{ui, mi}
+			rel := md.Atom.Relation
+			s.memberOf[rel] = ref
+			pos := make([]int, len(md.EffVars))
+			for k, v := range md.EffVars {
+				for x, av := range md.Atom.Vars {
+					if av == v {
+						pos[k] = x
+						break
+					}
+				}
+			}
+			s.effPos[rel] = pos
+			s.selFn[rel] = s.q.ApplySelections(md.Atom)
+			if md.Skip {
+				continue
+			}
+			for _, group := range core.GroupPieces(sol.Pieces(ui, md)) {
+				gt, err := core.GroupTable(group, md.EffVars)
+				if err != nil {
+					return err
+				}
+				st := &gtState{
+					ref:    ref,
+					pieces: group,
+					table:  gt,
+					keepFn: md.PredFilter(gt.Attrs),
+					plans:  make([]*relation.ExpandPlan, len(group)),
+				}
+				s.gts = append(s.gts, st)
+				s.memberGts[ref] = append(s.memberGts[ref], st)
+				for pi, p := range group {
+					s.deps[p] = append(s.deps[p], pieceRef{st, pi})
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Insert adds one tuple to the named relation and propagates its effect.
+func (s *Session) Insert(rel string, row relation.Tuple) error {
+	return s.applyOne(Update{Rel: rel, Row: row, Insert: true})
+}
+
+// Delete removes one occurrence of the tuple from the named relation and
+// propagates its effect; deleting an absent tuple is an error (and leaves
+// the session untouched).
+func (s *Session) Delete(rel string, row relation.Tuple) error {
+	return s.applyOne(Update{Rel: rel, Row: row, Insert: false})
+}
+
+// Apply replays a batch of updates. Batches at or above BulkThreshold are
+// applied to the database and answered with one full rebuild — past that
+// size, re-running the O(N) passes beats per-tuple delta propagation.
+// Validation errors (unknown relation, arity mismatch, deleting an absent
+// tuple) abort the batch at the failing update; updates before it remain
+// applied and the session stays consistent.
+func (s *Session) Apply(batch []Update) error {
+	if s.opts.BulkThreshold > 0 && len(batch) >= s.opts.BulkThreshold {
+		for _, up := range batch {
+			if _, _, err := s.applyRow(up); err != nil {
+				// Keep the maintained state consistent with the rows already
+				// changed before reporting the error.
+				if rerr := s.rebuild(); rerr != nil {
+					return rerr
+				}
+				return err
+			}
+		}
+		return s.rebuild()
+	}
+	for _, up := range batch {
+		if err := s.applyOne(up); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRow validates an update and applies it to the session database and
+// row multiset, returning the member it maps to (ok=false when the
+// relation is not referenced by the query).
+func (s *Session) applyRow(up Update) (memberRef, bool, error) {
+	r := s.db.Relation(up.Rel)
+	if r == nil {
+		return memberRef{}, false, fmt.Errorf("incremental: no relation %q", up.Rel)
+	}
+	if len(up.Row) != len(r.Attrs) {
+		return memberRef{}, false, fmt.Errorf("incremental: tuple arity %d does not match %s arity %d", len(up.Row), up.Rel, len(r.Attrs))
+	}
+	rs := s.rowsets[up.Rel]
+	if up.Insert {
+		row := up.Row.Clone()
+		rs.add(row, len(r.Rows))
+		r.Rows = append(r.Rows, row)
+	} else if err := rs.remove(r, up.Row); err != nil {
+		return memberRef{}, false, err
+	}
+	s.updates++
+	ref, ok := s.memberOf[up.Rel]
+	return ref, ok, nil
+}
+
+// applyOne applies a single update through delta propagation.
+func (s *Session) applyOne(up Update) error {
+	ref, ok, err := s.applyRow(up)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil // relation not referenced by the query: |Q(D)| unaffected
+	}
+	md := s.sol.Units[ref.ui].Members[ref.mi]
+	if keep := s.selFn[up.Rel]; keep != nil && !keep(up.Row) {
+		return nil // rows failing the atom's selection never enter the passes
+	}
+	delta := int64(1)
+	if !up.Insert {
+		delta = -1
+	}
+	proj := make(relation.Tuple, len(md.EffVars))
+	for k, x := range s.effPos[up.Rel] {
+		proj[k] = up.Row[x]
+	}
+	dbase := &relation.Counted{Attrs: md.EffVars, Rows: []relation.Tuple{proj}, Cnt: []int64{delta}}
+	return s.propagate(ref, dbase)
+}
+
+// Count returns |Q(D)| from the maintained component totals, in O(1).
+func (s *Session) Count() int64 { return s.sol.CountTotal() }
+
+// LS assembles the current local-sensitivity result from the maintained
+// group-table maxima. The returned Result matches the one-shot
+// core.LocalSensitivity in LS, Count, and every per-relation sensitivity;
+// when maxima tie, the reported witness tuple may differ, and wildcard
+// positions of a witness hold any feasible value rather than a value
+// copied from a stored row.
+func (s *Session) LS() (*core.Result, error) {
+	sol := s.sol
+	res := &core.Result{
+		PerRelation:   make(map[string]*core.TupleResult),
+		Count:         sol.CountTotal(),
+		DoublyAcyclic: s.doublyAcyclic,
+		MaxDegree:     s.maxDegree,
+	}
+	for ui, u := range sol.Units {
+		for mi, md := range u.Members {
+			if md.Skip {
+				continue
+			}
+			gts := s.memberGts[memberRef{ui, mi}]
+			maxima := make([]core.GroupMax, 0, len(gts))
+			for _, st := range gts {
+				row, cnt := st.maxRow()
+				maxima = append(maxima, core.GroupMax{Attrs: st.table.Attrs, Row: row, Cnt: cnt})
+			}
+			tr, err := sol.TupleResultFromMaxima(ui, md, maxima, s.inDB)
+			if err != nil {
+				return nil, err
+			}
+			res.PerRelation[md.Atom.Relation] = tr
+			if tr.Sensitivity > res.LS {
+				res.LS = tr.Sensitivity
+				res.Best = tr
+			}
+		}
+	}
+	return res, nil
+}
+
+// inDB answers candidate membership from the maintained base projection:
+// the non-wildcard positions of a candidate are exactly its effective
+// variables, so membership is one hash probe. Candidates with a wildcard
+// effective variable (possible only under top-k, which sessions reject,
+// but kept for safety) fall back to the scanning lookup.
+func (s *Session) inDB(md *core.Member, values relation.Tuple, wildcard []bool) (relation.Tuple, bool) {
+	pos := s.effPos[md.Atom.Relation]
+	key := make(relation.Tuple, len(pos))
+	for k, x := range pos {
+		if wildcard[x] {
+			return core.DBLookup(s.q, s.db)(md, values, wildcard)
+		}
+		key[k] = values[x]
+	}
+	cnt, ok := md.Base.Probe(key)
+	return values, ok && cnt > 0
+}
+
+// SensitivityFn returns an evaluator of δ(t, Q, D) for tuples of the named
+// relation, answered from the maintained multiplicity-table factors. The
+// evaluator reads the live session state: it reflects updates applied after
+// it was created, and must not race with them. It is invalidated by a full
+// rebuild (Rebuild, or a bulk Apply) — request a fresh one afterwards.
+// Skipped relations have no maintained factors; open the session without
+// SkipRelations to evaluate them.
+func (s *Session) SensitivityFn(rel string) (core.SensitivityFn, error) {
+	ref, ok := s.memberOf[rel]
+	if !ok {
+		return nil, fmt.Errorf("incremental: query has no atom over relation %s", rel)
+	}
+	md := s.sol.Units[ref.ui].Members[ref.mi]
+	if md.Skip {
+		return nil, fmt.Errorf("incremental: relation %s is skipped; open the session without SkipRelations to evaluate it", rel)
+	}
+	varPos := make(map[string]int, len(md.Atom.Vars))
+	for i, v := range md.Atom.Vars {
+		varPos[v] = i
+	}
+	gts := s.memberGts[ref]
+	groups := make([]core.ProbeGroup, 0, len(gts))
+	for _, st := range gts {
+		g := core.ProbeGroup{Table: st.table}
+		for _, a := range st.table.Attrs {
+			g.VarPos = append(g.VarPos, varPos[a])
+		}
+		groups = append(groups, g)
+	}
+	// The closure captures the live session state: maintained group tables
+	// (patched in place) and the current cross-component scale.
+	return core.ProbeEvaluator(len(md.Atom.Vars), s.selFn[rel],
+		func() int64 { return s.sol.ScaleFor(ref.ui) }, groups), nil
+}
+
+// Rows returns the current rows of the named relation (a live, read-only
+// view of the session's database), or nil for unknown relations.
+func (s *Session) Rows(rel string) []relation.Tuple {
+	r := s.db.Relation(rel)
+	if r == nil {
+		return nil
+	}
+	return r.Rows
+}
+
+// Rebuild discards all maintained state and recomputes it from the current
+// session database, exactly as a fresh Open would. Long update streams can
+// call it occasionally to shed tombstone rows.
+func (s *Session) Rebuild() error { return s.rebuild() }
+
+func (s *Session) rebuild() error {
+	s.rebuilds++
+	return s.build()
+}
+
+// Updates returns the number of updates applied since Open.
+func (s *Session) Updates() int { return s.updates }
+
+// Rebuilds returns how many full rebuilds the session has performed.
+func (s *Session) Rebuilds() int { return s.rebuilds }
+
+// Query returns the session's pinned query.
+func (s *Session) Query() *query.Query { return s.q }
+
+// rowSet tracks the multiset of rows of one base relation together with
+// their positions, so deletes validate membership and run in O(1)
+// (swap-remove) instead of scanning the relation.
+type rowSet struct {
+	pos map[string][]int
+}
+
+func rowKey(t relation.Tuple) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return string(b)
+}
+
+func newRowSet(r *relation.Relation) *rowSet {
+	rs := &rowSet{pos: make(map[string][]int, len(r.Rows))}
+	for i, t := range r.Rows {
+		rs.add(t, i)
+	}
+	return rs
+}
+
+func (rs *rowSet) add(t relation.Tuple, idx int) {
+	k := rowKey(t)
+	rs.pos[k] = append(rs.pos[k], idx)
+}
+
+// remove deletes one occurrence of t from r (swap-remove), keeping the
+// position map of the moved row accurate.
+func (rs *rowSet) remove(r *relation.Relation, t relation.Tuple) error {
+	k := rowKey(t)
+	list := rs.pos[k]
+	if len(list) == 0 {
+		return fmt.Errorf("incremental: delete of absent tuple %v from %s", t, r.Name)
+	}
+	i := list[len(list)-1]
+	if len(list) == 1 {
+		delete(rs.pos, k)
+	} else {
+		rs.pos[k] = list[:len(list)-1]
+	}
+	last := len(r.Rows) - 1
+	if i != last {
+		moved := r.Rows[last]
+		r.Rows[i] = moved
+		mk := rowKey(moved)
+		ml := rs.pos[mk]
+		for j := len(ml) - 1; j >= 0; j-- {
+			if ml[j] == last {
+				ml[j] = i
+				break
+			}
+		}
+	}
+	r.Rows = r.Rows[:last]
+	return nil
+}

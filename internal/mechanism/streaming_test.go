@@ -1,0 +1,106 @@
+package mechanism
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/incremental"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+func streamingFixture(t *testing.T) (*query.Query, *relation.Database) {
+	t.Helper()
+	q := query.MustNew("qs", []query.Atom{
+		{Relation: "U", Vars: []string{"A", "B"}},
+		{Relation: "V", Vars: []string{"B", "C"}},
+	}, nil)
+	rng := rand.New(rand.NewSource(4))
+	mk := func(name string, vars []string, n int) *relation.Relation {
+		rows := make([]relation.Tuple, n)
+		for i := range rows {
+			row := make(relation.Tuple, len(vars))
+			for j := range row {
+				row[j] = int64(rng.Intn(4))
+			}
+			rows[i] = row
+		}
+		return relation.MustNew(name, vars, rows)
+	}
+	db := relation.MustNewDatabase(mk("U", []string{"A", "B"}, 30), mk("V", []string{"B", "C"}, 30))
+	return q, db
+}
+
+// TestStreamingMatchesOneShot: with the same rng stream, a fresh streaming
+// release equals the one-shot TSensDP on the same database.
+func TestStreamingMatchesOneShot(t *testing.T) {
+	q, db := streamingFixture(t)
+	cfg := TSensDPConfig{Epsilon: 1, Bound: 20}
+	sess, err := incremental.Open(q, db, incremental.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStreamingTSensDP(sess, "U", StreamingTSensDPConfig{TSensDPConfig: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, fresh, err := st.Answer(rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh || st.Releases() != 1 {
+		t.Fatalf("first answer should be a fresh release (fresh=%v releases=%d)", fresh, st.Releases())
+	}
+	want, err := TSensDP(q, db, core.Options{}, "U", cfg, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.True != want.True || got.Truncated != want.Truncated || got.Noisy != want.Noisy || got.GlobalSens != want.GlobalSens {
+		t.Fatalf("streaming %+v != one-shot %+v", got, want)
+	}
+}
+
+// TestStreamingDriftGating: small drifts replay the cached release, large
+// drifts re-noise.
+func TestStreamingDriftGating(t *testing.T) {
+	q, db := streamingFixture(t)
+	sess, err := incremental.Open(q, db, incremental.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStreamingTSensDP(sess, "U", StreamingTSensDPConfig{
+		TSensDPConfig: TSensDPConfig{Epsilon: 1, Bound: 20},
+		DriftFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	if _, fresh, err := st.Answer(rng); err != nil || !fresh {
+		t.Fatalf("first answer: fresh=%v err=%v", fresh, err)
+	}
+	// No updates: must replay.
+	run2, fresh, err := st.Answer(rng)
+	if err != nil || fresh {
+		t.Fatalf("unchanged db re-released: fresh=%v err=%v", fresh, err)
+	}
+	if run2.True != sess.Count() {
+		t.Fatalf("replayed run reports stale count %d vs %d", run2.True, sess.Count())
+	}
+	// Blow the count up far past the drift fraction.
+	for i := 0; i < 40; i++ {
+		if err := sess.Insert("U", relation.Tuple{int64(i % 4), int64(i % 4)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Insert("V", relation.Tuple{int64(i % 4), int64(i % 4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, fresh, err = st.Answer(rng); err != nil || !fresh {
+		t.Fatalf("drifted db not re-released: fresh=%v err=%v", fresh, err)
+	}
+	if st.Releases() != 2 {
+		t.Fatalf("Releases() = %d, want 2", st.Releases())
+	}
+}

@@ -13,7 +13,6 @@ import (
 
 	"tsens/internal/core"
 	"tsens/internal/dp"
-	"tsens/internal/par"
 	"tsens/internal/query"
 	"tsens/internal/relation"
 )
@@ -54,6 +53,23 @@ type TSensDPConfig struct {
 	Bound int64
 }
 
+func (cfg TSensDPConfig) validate() error {
+	if cfg.Epsilon <= 0 {
+		return fmt.Errorf("mechanism: epsilon must be positive")
+	}
+	if cfg.Bound < 1 {
+		return fmt.Errorf("mechanism: sensitivity bound ℓ must be at least 1")
+	}
+	epsSens := cfg.EpsilonSens
+	if epsSens == 0 {
+		epsSens = cfg.Epsilon / 2
+	}
+	if epsSens >= cfg.Epsilon {
+		return fmt.Errorf("mechanism: ε_sens=%g must be below ε=%g", epsSens, cfg.Epsilon)
+	}
+	return nil
+}
+
 // TSensDP answers the counting query with ε-differential privacy w.r.t.
 // adding or removing one tuple of the primary private relation:
 //
@@ -64,18 +80,8 @@ type TSensDPConfig struct {
 //     sensitivity 1) and take the first i above 0 as the threshold τ;
 //  4. release Q(T(D,τ)) + Lap(τ/(ε−ε_sens))  (Theorem 6.1).
 func TSensDP(q *query.Query, db *relation.Database, opts core.Options, private string, cfg TSensDPConfig, rng *rand.Rand) (*Run, error) {
-	if cfg.Epsilon <= 0 {
-		return nil, fmt.Errorf("mechanism: epsilon must be positive")
-	}
-	if cfg.Bound < 1 {
-		return nil, fmt.Errorf("mechanism: sensitivity bound ℓ must be at least 1")
-	}
-	epsSens := cfg.EpsilonSens
-	if epsSens == 0 {
-		epsSens = cfg.Epsilon / 2
-	}
-	if epsSens >= cfg.Epsilon {
-		return nil, fmt.Errorf("mechanism: ε_sens=%g must be below ε=%g", epsSens, cfg.Epsilon)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	opts.TopK = 0 // tuple sensitivities must be exact
 	fn, err := core.TupleSensitivities(q, db, private, opts)
@@ -89,13 +95,28 @@ func TSensDP(q *query.Query, db *relation.Database, opts core.Options, private s
 	// Every output tuple passes through exactly one private row (no self
 	// joins), so Q(D) = Σ_t δ(t) and Q(T(D,i)) = Σ_{δ(t)≤i} δ(t). The
 	// evaluator is read-only after construction, so the scan fans out over
-	// the worker pool.
+	// the worker pool (a shared Options.Pool is reused instead of spawning
+	// goroutines per release).
 	sens := make([]int64, len(pr.Rows))
-	if err := par.Do(opts.Parallelism, len(pr.Rows), func(i int) error {
+	if err := opts.Do(len(pr.Rows), func(i int) error {
 		sens[i] = fn(pr.Rows[i])
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	return release(sens, cfg, rng)
+}
+
+// release runs steps 2–4 of Section 6.2 over the per-tuple sensitivities of
+// the private relation (taking ownership of sens, which it sorts). It is
+// shared by the one-shot TSensDP and the streaming variant.
+func release(sens []int64, cfg TSensDPConfig, rng *rand.Rand) (*Run, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	epsSens := cfg.EpsilonSens
+	if epsSens == 0 {
+		epsSens = cfg.Epsilon / 2
 	}
 	sort.Slice(sens, func(i, j int) bool { return sens[i] < sens[j] })
 	prefix := make([]int64, len(sens)+1)

@@ -1,9 +1,11 @@
 // Package par provides the small bounded-parallelism primitives the
-// sensitivity engine runs on: an indexed worker pool (Do) and a
+// sensitivity engine runs on: an indexed worker pool (Do), a
 // dependency-ordered scheduler (DAG) for the botjoin/topjoin passes over
-// join forests. A parallelism of 0 means runtime.GOMAXPROCS(0); 1 forces
-// fully sequential, deterministic execution. All scheduling is
-// work-conserving and allocates O(n) regardless of the worker count.
+// join forests, and a reusable fixed-size Pool that amortizes goroutine
+// spawns across solver invocations. A parallelism of 0 means
+// runtime.GOMAXPROCS(0); 1 forces fully sequential, deterministic
+// execution. All scheduling is work-conserving and allocates O(n)
+// regardless of the worker count.
 package par
 
 import (
@@ -21,18 +23,33 @@ func N(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// spawner starts a task on some other goroutine, reporting false when it
+// cannot (the caller then runs with fewer remote workers; one worker always
+// runs inline, so progress never depends on a spawn succeeding).
+type spawner func(task func()) bool
+
+func goSpawner(task func()) bool {
+	go task()
+	return true
+}
+
 // Do runs fn(i) for every i in [0, n) on at most par workers (see N) and
 // returns the first error. On error, remaining indexes not yet started are
 // skipped; indexes already running complete.
 func Do(par, n int, fn func(int) error) error {
+	return doOn(N(par), goSpawner, n, fn)
+}
+
+// doOn is the shared Do core: one puller runs inline on the calling
+// goroutine, workers-1 more are started through spawn.
+func doOn(workers int, spawn spawner, n int, fn func(int) error) error {
 	if n <= 0 {
 		return nil
 	}
-	par = N(par)
-	if par > n {
-		par = n
+	if workers > n {
+		workers = n
 	}
-	if par <= 1 {
+	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
@@ -47,27 +64,31 @@ func Do(par, n int, fn func(int) error) error {
 		firstErr error
 		wg       sync.WaitGroup
 	)
-	wg.Add(par)
-	for w := 0; w < par; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
-				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					failed.Store(true)
-					return
-				}
+	puller := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
 			}
-		}()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				failed.Store(true)
+				return
+			}
+		}
 	}
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		if !spawn(func() { defer wg.Done(); puller() }) {
+			wg.Done()
+			break
+		}
+	}
+	puller()
 	wg.Wait()
 	return firstErr
 }
@@ -78,6 +99,11 @@ func Do(par, n int, fn func(int) error) error {
 // accounting continues so the call always returns. A cyclic graph is
 // reported as an error before any fn runs.
 func DAG(par int, deps [][]int, fn func(int) error) error {
+	return dagOn(N(par), goSpawner, deps, fn)
+}
+
+// dagOn is the shared DAG core, parameterized like doOn.
+func dagOn(workers int, spawn spawner, deps [][]int, fn func(int) error) error {
 	n := len(deps)
 	if n == 0 {
 		return nil
@@ -113,11 +139,10 @@ func DAG(par int, deps [][]int, fn func(int) error) error {
 		return fmt.Errorf("par: dependency graph has a cycle")
 	}
 
-	par = N(par)
-	if par > n {
-		par = n
+	if workers > n {
+		workers = n
 	}
-	if par <= 1 {
+	if workers <= 1 {
 		for _, i := range order {
 			if err := fn(i); err != nil {
 				return err
@@ -138,35 +163,39 @@ func DAG(par int, deps [][]int, fn func(int) error) error {
 			ready <- i
 		}
 	}
-	wg.Add(par)
-	for w := 0; w < par; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range ready {
-				mu.Lock()
-				skip := firstErr != nil
-				mu.Unlock()
-				var err error
-				if !skip {
-					err = fn(i)
-				}
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				done++
-				for _, d := range dependents[i] {
-					if indeg[d]--; indeg[d] == 0 {
-						ready <- d
-					}
-				}
-				if done == n {
-					close(ready)
-				}
-				mu.Unlock()
+	puller := func() {
+		for i := range ready {
+			mu.Lock()
+			skip := firstErr != nil
+			mu.Unlock()
+			var err error
+			if !skip {
+				err = fn(i)
 			}
-		}()
+			mu.Lock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			done++
+			for _, d := range dependents[i] {
+				if indeg[d]--; indeg[d] == 0 {
+					ready <- d
+				}
+			}
+			if done == n {
+				close(ready)
+			}
+			mu.Unlock()
+		}
 	}
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		if !spawn(func() { defer wg.Done(); puller() }) {
+			wg.Done()
+			break
+		}
+	}
+	puller()
 	wg.Wait()
 	return firstErr
 }

@@ -1,0 +1,83 @@
+package par
+
+import "sync"
+
+// Pool is a reusable, fixed-size worker pool. Do and DAG mirror the package
+// functions but borrow the pool's persistent goroutines instead of spawning
+// fresh ones per call, which matters for callers that run the solver many
+// times (TSensDP's per-release passes, incremental session rebuilds).
+//
+// Scheduling is deadlock-free by construction: every Do/DAG call runs one
+// worker inline on the calling goroutine and hands the others to the pool
+// with a non-blocking submit, so a saturated (or even closed) pool only
+// reduces parallelism, never progress. Multiple goroutines may share one
+// Pool concurrently.
+type Pool struct {
+	n     int
+	queue chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool of n persistent workers (n < 1 means GOMAXPROCS).
+func NewPool(n int) *Pool {
+	n = N(n)
+	p := &Pool{n: n, queue: make(chan func(), 4*n)}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.queue {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the number of persistent workers.
+func (p *Pool) Size() int { return p.n }
+
+// Close stops the workers once queued tasks drain. Calls to Do and DAG
+// remain valid after Close (they run inline, sequentially).
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		close(p.queue)
+		p.wg.Wait()
+	})
+}
+
+// submit hands task to a pool worker without blocking, reporting false when
+// the queue is full or the pool is closed.
+func (p *Pool) submit(task func()) (ok bool) {
+	defer func() {
+		if recover() != nil { // send on closed queue
+			ok = false
+		}
+	}()
+	select {
+	case p.queue <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// Do is the pool-backed par.Do: fn(i) for i in [0, n) on at most
+// min(N(limit), Size()+1) workers, one of them the calling goroutine.
+func (p *Pool) Do(limit, n int, fn func(int) error) error {
+	workers := N(limit)
+	if workers > p.n+1 {
+		workers = p.n + 1
+	}
+	return doOn(workers, p.submit, n, fn)
+}
+
+// DAG is the pool-backed par.DAG.
+func (p *Pool) DAG(limit int, deps [][]int, fn func(int) error) error {
+	workers := N(limit)
+	if workers > p.n+1 {
+		workers = p.n + 1
+	}
+	return dagOn(workers, p.submit, deps, fn)
+}

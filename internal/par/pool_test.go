@@ -1,0 +1,114 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolDoMatchesDo(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 7, 100} {
+		var sum atomic.Int64
+		if err := p.Do(0, n, func(i int) error {
+			sum.Add(int64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := int64(n*(n-1)) / 2
+		if sum.Load() != want {
+			t.Fatalf("n=%d: sum %d, want %d", n, sum.Load(), want)
+		}
+	}
+}
+
+func TestPoolDoError(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	err := p.Do(0, 50, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolDAGOrdering(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	// Chain with a diamond: 0 -> {1,2} -> 3.
+	deps := [][]int{nil, {0}, {0}, {1, 2}}
+	var mu sync.Mutex
+	var order []int
+	if err := p.DAG(0, deps, func(i int) error {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, v := range order {
+		pos[v] = i
+	}
+	if len(order) != 4 || pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestPoolReuseAndConcurrency drives many concurrent Do/DAG calls through
+// one pool; the race detector guards the shared state.
+func TestPoolReuseAndConcurrency(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				var sum atomic.Int64
+				if err := p.Do(0, 32, func(i int) error {
+					sum.Add(1)
+					return nil
+				}); err != nil || sum.Load() != 32 {
+					t.Errorf("Do: err=%v sum=%d", err, sum.Load())
+					return
+				}
+				deps := [][]int{nil, {0}, {1}}
+				var n atomic.Int64
+				if err := p.DAG(0, deps, func(i int) error {
+					n.Add(1)
+					return nil
+				}); err != nil || n.Load() != 3 {
+					t.Errorf("DAG: err=%v n=%d", err, n.Load())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolAfterClose(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	var sum atomic.Int64
+	if err := p.Do(0, 10, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum after close = %d", sum.Load())
+	}
+}

@@ -1,0 +1,385 @@
+package relation
+
+// This file implements the delta layer behind the incremental sensitivity
+// engine (internal/incremental): in-place count patching of counted
+// relations (ApplyDelta), secondary indexes over attribute subsets that
+// survive appends (RowIndex), and a compiled delta-join-group kernel
+// (ExpandPlan) evaluating γ_keep(Δ ⋈ p1 ⋈ … ⋈ pk) for a small signed delta
+// against materialized tables. Deltas are ordinary Counted values whose Cnt
+// entries may be negative; the saturating arithmetic in math.go is
+// sign-aware for exactly this reason.
+
+import "fmt"
+
+// Update is a single-tuple change to a named base relation, the unit of
+// work of an incremental session and of replayable update streams.
+type Update struct {
+	Rel string
+	Row Tuple
+	// Insert distinguishes insertion (true) from deletion (false).
+	Insert bool
+}
+
+// ApplyDelta adds d's counts into c by full-row key: existing keys are
+// patched in place, unseen keys are appended. d's attributes must be a
+// permutation of c's, and both relations must be exact (no top-k Default).
+// The lazy Probe/Lookup index of c, if built, is maintained incrementally,
+// so probes never trigger an O(n) rebuild after a patch. Keys whose count
+// reaches zero are kept as tombstones (they contribute nothing to any
+// operator); callers running unbounded update streams should periodically
+// rebuild their tables.
+//
+// The returned slice lists the indexes of the rows that were patched or
+// appended, for callers tracking derived aggregates (e.g. maxima).
+// ApplyDelta must not run concurrently with readers of c.
+func (c *Counted) ApplyDelta(d *Counted) ([]int, error) {
+	if d.Default != 0 || c.Default != 0 {
+		return nil, fmt.Errorf("relation: ApplyDelta requires exact relations (Default=0)")
+	}
+	if len(d.Rows) == 0 {
+		return nil, nil
+	}
+	if len(d.Attrs) != len(c.Attrs) {
+		return nil, fmt.Errorf("relation: ApplyDelta schema %v does not match %v", d.Attrs, c.Attrs)
+	}
+	changed := make([]int, 0, len(d.Rows))
+	if len(c.Attrs) == 0 {
+		var total int64
+		for _, cnt := range d.Cnt {
+			total = AddSat(total, cnt)
+		}
+		if len(c.Rows) == 0 {
+			c.Rows = []Tuple{{}}
+			c.Cnt = []int64{total}
+		} else {
+			c.Cnt[0] = AddSat(c.Cnt[0], total)
+		}
+		return append(changed, 0), nil
+	}
+	perm, err := d.attrIndexes(c.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	ix := c.index()
+	key := make(Tuple, len(c.Attrs))
+	for i, row := range d.Rows {
+		for k, p := range perm {
+			key[k] = row[p]
+		}
+		if id := ix.tbl.find(key); id >= 0 {
+			r := int(ix.rowOf[id])
+			c.Cnt[r] = AddSat(c.Cnt[r], d.Cnt[i])
+			changed = append(changed, r)
+			continue
+		}
+		r := len(c.Rows)
+		c.Rows = append(c.Rows, key.Clone())
+		c.Cnt = append(c.Cnt, d.Cnt[i])
+		ix.tbl.insert(key)
+		ix.rowOf = append(ix.rowOf, int32(r))
+		ix.n = len(c.Rows)
+		changed = append(changed, r)
+	}
+	return changed, nil
+}
+
+// RowIndex is a secondary index over a subset of a counted relation's
+// attributes, mapping each key to the indexes of the rows holding it.
+// Unlike the per-call join indexes of the hash kernels it survives in-place
+// count patches, and Sync extends it over rows appended since the last call
+// (e.g. by ApplyDelta), so an index built once serves every later delta.
+type RowIndex struct {
+	c     *Counted
+	attrs []string
+	idxs  []int
+	tbl   *intTable
+	rows  [][]int32
+	n     int
+}
+
+// NewRowIndex indexes c's rows on the non-empty attribute subset attrs.
+func NewRowIndex(c *Counted, attrs []string) (*RowIndex, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relation: RowIndex needs at least one attribute")
+	}
+	idxs, err := c.attrIndexes(attrs)
+	if err != nil {
+		return nil, err
+	}
+	ix := &RowIndex{
+		c:     c,
+		attrs: append([]string(nil), attrs...),
+		idxs:  idxs,
+		tbl:   newIntTable(len(idxs), groupHint(len(c.Rows))),
+	}
+	ix.Sync()
+	return ix, nil
+}
+
+// Attrs returns the key attributes, in index order.
+func (ix *RowIndex) Attrs() []string { return ix.attrs }
+
+// Sync indexes the rows appended to the underlying relation since the index
+// was built or last synced.
+func (ix *RowIndex) Sync() {
+	scratch := make([]int64, len(ix.idxs))
+	for ; ix.n < len(ix.c.Rows); ix.n++ {
+		t := ix.c.Rows[ix.n]
+		for k, x := range ix.idxs {
+			scratch[k] = t[x]
+		}
+		id, added := ix.tbl.insert(scratch)
+		if added {
+			ix.rows = append(ix.rows, nil)
+		}
+		ix.rows[id] = append(ix.rows[id], int32(ix.n))
+	}
+}
+
+// Rows returns the indexes of the rows whose key columns equal key (given
+// in the index's attribute order), or nil when the key is absent.
+func (ix *RowIndex) Rows(key Tuple) []int32 {
+	id := ix.tbl.find(key)
+	if id < 0 {
+		return nil
+	}
+	return ix.rows[id]
+}
+
+// IndexProvider supplies RowIndexes over table attribute subsets, letting a
+// caller (the incremental session) share one maintained index across every
+// compiled plan that needs it. Implementations must keep returned indexes
+// Synced with their tables.
+type IndexProvider func(c *Counted, attrs []string) (*RowIndex, error)
+
+// expandStep is one operand of a compiled delta expansion.
+type expandStep struct {
+	table *Counted
+	// probe: every attribute of table is already bound in the accumulator;
+	// the operand contributes a multiplier looked up by full key (a miss
+	// means zero and prunes the branch).
+	probe bool
+	// scan: the operand shares no attribute with the accumulator (a cross
+	// product within the group); every row is enumerated.
+	scan    bool
+	keyPos  []int     // accumulator positions feeding the key, operand order
+	index   *RowIndex // non-probe, non-scan: rows matching the shared key
+	newCols []int     // operand columns appended to the accumulator
+	newPos  []int     // accumulator positions receiving them
+	scratch Tuple
+}
+
+// ExpandPlan is a compiled evaluator of γ_keep(Δ ⋈ p1 ⋈ … ⋈ pk) for deltas
+// over a fixed schema: each delta row is expanded through the operand
+// tables by index lookups (never by rebuilding hash tables), counts
+// multiply along each expansion branch, and the results aggregate by the
+// keep attributes. Because the plan only holds table pointers and
+// RowIndexes (re-synced at every Run), it stays valid while the tables are
+// patched in place by ApplyDelta. A plan carries per-step scratch space and
+// must not be Run concurrently.
+type ExpandPlan struct {
+	deltaAttrs []string
+	keepAttrs  []string
+	keepPos    []int
+	accumLen   int
+	steps      []*expandStep
+}
+
+// CompileExpand builds an ExpandPlan for deltas over deltaAttrs joined with
+// tables and grouped by keep. The join order is greedy: operands fully
+// covered by the accumulated schema first (pure multipliers), then
+// connected operands smallest-first, with disconnected operands (cross
+// products) last. Every keep attribute must be covered by the delta schema
+// or some operand. indexFor supplies the shared RowIndexes; nil means
+// private indexes are built once per plan.
+func CompileExpand(deltaAttrs []string, tables []*Counted, keep []string, indexFor IndexProvider) (*ExpandPlan, error) {
+	if indexFor == nil {
+		indexFor = func(c *Counted, attrs []string) (*RowIndex, error) { return NewRowIndex(c, attrs) }
+	}
+	p := &ExpandPlan{
+		deltaAttrs: append([]string(nil), deltaAttrs...),
+		keepAttrs:  append([]string(nil), keep...),
+	}
+	accum := append([]string(nil), deltaAttrs...)
+	pos := make(map[string]int, len(accum))
+	for i, a := range accum {
+		pos[a] = i
+	}
+	remaining := append([]*Counted(nil), tables...)
+	for len(remaining) > 0 {
+		// Pick the next operand: contained beats connected beats
+		// disconnected; ties break on fewer rows, then position.
+		best, bestKind, bestRows := -1, -1, 0
+		for i, t := range remaining {
+			shared := 0
+			for _, a := range t.Attrs {
+				if _, ok := pos[a]; ok {
+					shared++
+				}
+			}
+			kind := 0
+			switch {
+			case shared == len(t.Attrs):
+				kind = 2
+			case shared > 0:
+				kind = 1
+			}
+			if kind > bestKind || (kind == bestKind && len(t.Rows) < bestRows) {
+				best, bestKind, bestRows = i, kind, len(t.Rows)
+			}
+		}
+		t := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		if t.Default != 0 {
+			return nil, fmt.Errorf("relation: CompileExpand requires exact operands (Default=0)")
+		}
+		st := &expandStep{table: t}
+		switch bestKind {
+		case 2: // contained: probe by full key
+			st.probe = true
+			for _, a := range t.Attrs {
+				st.keyPos = append(st.keyPos, pos[a])
+			}
+			st.scratch = make(Tuple, len(t.Attrs))
+		case 1: // connected: index on the shared attrs, extend the schema
+			shared := make([]string, 0, len(t.Attrs))
+			for _, a := range t.Attrs {
+				if _, ok := pos[a]; ok {
+					shared = append(shared, a)
+					st.keyPos = append(st.keyPos, pos[a])
+				}
+			}
+			ix, err := indexFor(t, shared)
+			if err != nil {
+				return nil, err
+			}
+			st.index = ix
+			st.scratch = make(Tuple, len(shared))
+			for ci, a := range t.Attrs {
+				if _, ok := pos[a]; !ok {
+					st.newCols = append(st.newCols, ci)
+					st.newPos = append(st.newPos, len(accum))
+					pos[a] = len(accum)
+					accum = append(accum, a)
+				}
+			}
+		default: // disconnected: enumerate all rows (cross product)
+			st.scan = true
+			for ci, a := range t.Attrs {
+				if _, ok := pos[a]; ok {
+					continue // duplicate attr across disconnected operands is impossible, but stay safe
+				}
+				st.newCols = append(st.newCols, ci)
+				st.newPos = append(st.newPos, len(accum))
+				pos[a] = len(accum)
+				accum = append(accum, a)
+			}
+		}
+		p.steps = append(p.steps, st)
+	}
+	p.accumLen = len(accum)
+	for _, a := range keep {
+		i, ok := pos[a]
+		if !ok {
+			return nil, fmt.Errorf("relation: CompileExpand keep attribute %q not covered by delta %v or operands", a, deltaAttrs)
+		}
+		p.keepPos = append(p.keepPos, i)
+	}
+	return p, nil
+}
+
+// Run evaluates the plan over one delta, whose attributes must equal the
+// compiled delta schema (in order). The result contains no zero-count rows,
+// so applying it plants no tombstones.
+func (p *ExpandPlan) Run(d *Counted) (*Counted, error) {
+	out := &Counted{Attrs: append([]string(nil), p.keepAttrs...)}
+	if len(d.Rows) == 0 {
+		return out, nil
+	}
+	if len(d.Attrs) != len(p.deltaAttrs) {
+		return nil, fmt.Errorf("relation: delta schema %v does not match plan %v", d.Attrs, p.deltaAttrs)
+	}
+	for i, a := range p.deltaAttrs {
+		if d.Attrs[i] != a {
+			return nil, fmt.Errorf("relation: delta schema %v does not match plan %v", d.Attrs, p.deltaAttrs)
+		}
+	}
+	// Re-sync the step indexes over any rows appended since the last Run, so
+	// plans stay correct regardless of who owns the indexes (a no-op for
+	// provider-owned indexes the caller already keeps in sync).
+	for _, st := range p.steps {
+		if st.index != nil {
+			st.index.Sync()
+		}
+	}
+	agg := newGroupAgg(len(p.keepPos), len(d.Rows))
+	accum := make([]int64, p.accumLen)
+	key := make([]int64, len(p.keepPos))
+	var rec func(si int, cnt int64)
+	rec = func(si int, cnt int64) {
+		if si == len(p.steps) {
+			for k, x := range p.keepPos {
+				key[k] = accum[x]
+			}
+			agg.add(key, cnt)
+			return
+		}
+		st := p.steps[si]
+		if st.probe {
+			for k, x := range st.keyPos {
+				st.scratch[k] = accum[x]
+			}
+			c, ok := st.table.Probe(st.scratch)
+			if !ok || c == 0 {
+				return
+			}
+			rec(si+1, MulSat(cnt, c))
+			return
+		}
+		if st.scan {
+			for r := range st.table.Rows {
+				if st.table.Cnt[r] == 0 {
+					continue
+				}
+				row := st.table.Rows[r]
+				for k, col := range st.newCols {
+					accum[st.newPos[k]] = row[col]
+				}
+				rec(si+1, MulSat(cnt, st.table.Cnt[r]))
+			}
+			return
+		}
+		for k, x := range st.keyPos {
+			st.scratch[k] = accum[x]
+		}
+		for _, r := range st.index.Rows(st.scratch) {
+			if st.table.Cnt[r] == 0 {
+				continue
+			}
+			row := st.table.Rows[r]
+			for k, col := range st.newCols {
+				accum[st.newPos[k]] = row[col]
+			}
+			rec(si+1, MulSat(cnt, st.table.Cnt[r]))
+		}
+	}
+	for i, t := range d.Rows {
+		if d.Cnt[i] == 0 {
+			continue
+		}
+		copy(accum[:len(t)], t)
+		rec(0, d.Cnt[i])
+	}
+	agg.emit(out)
+	// Drop zero-net rows so downstream ApplyDelta plants no tombstones.
+	w := 0
+	for i := range out.Rows {
+		if out.Cnt[i] == 0 {
+			continue
+		}
+		out.Rows[w], out.Cnt[w] = out.Rows[i], out.Cnt[i]
+		w++
+	}
+	out.Rows, out.Cnt = out.Rows[:w], out.Cnt[:w]
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAddSatSigned(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{5, -3, 2},
+		{-5, 3, -2},
+		{-5, -3, -8},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MinInt64, -1, math.MinInt64},
+		{math.MaxInt64, math.MinInt64, -1},
+	}
+	for _, c := range cases {
+		if got := AddSat(c.a, c.b); got != c.want {
+			t.Errorf("AddSat(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulSatSigned(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{3, -4, -12},
+		{-3, -4, 12},
+		{math.MaxInt64, -2, math.MinInt64},
+		{math.MinInt64, -1, math.MaxInt64},
+		{math.MinInt64, 2, math.MinInt64},
+		{-1, math.MinInt64, math.MaxInt64},
+	}
+	for _, c := range cases {
+		if got := MulSat(c.a, c.b); got != c.want {
+			t.Errorf("MulSat(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestApplyDeltaPatchAndAppend(t *testing.T) {
+	c := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 1}, {1, 2}}, Cnt: []int64{3, 5}}
+	c.BuildIndex()
+	d := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 2}, {2, 2}}, Cnt: []int64{-4, 7}}
+	changed, err := c.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 2 || changed[0] != 1 || changed[1] != 2 {
+		t.Fatalf("changed = %v", changed)
+	}
+	if len(c.Rows) != 3 || c.Cnt[1] != 1 || c.Cnt[2] != 7 || !c.Rows[2].Equal(Tuple{2, 2}) {
+		t.Fatalf("after delta: rows=%v cnt=%v", c.Rows, c.Cnt)
+	}
+	// The maintained index must see both old and appended keys.
+	if got, ok := c.Probe(Tuple{2, 2}); !ok || got != 7 {
+		t.Fatalf("Probe appended key = %d, %v", got, ok)
+	}
+	if got, ok := c.Probe(Tuple{1, 2}); !ok || got != 1 {
+		t.Fatalf("Probe patched key = %d, %v", got, ok)
+	}
+}
+
+func TestApplyDeltaPermutedAttrs(t *testing.T) {
+	c := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 9}}, Cnt: []int64{2}}
+	d := &Counted{Attrs: []string{"B", "A"}, Rows: []Tuple{{9, 1}}, Cnt: []int64{3}}
+	if _, err := c.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cnt[0] != 5 {
+		t.Fatalf("cnt = %d, want 5", c.Cnt[0])
+	}
+}
+
+func TestApplyDeltaZeroAttr(t *testing.T) {
+	c := &Counted{Attrs: nil}
+	if _, err := c.ApplyDelta(&Counted{Attrs: nil, Rows: []Tuple{{}}, Cnt: []int64{4}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 1 || c.Cnt[0] != 4 {
+		t.Fatalf("zero-attr apply: %v %v", c.Rows, c.Cnt)
+	}
+	if _, err := c.ApplyDelta(&Counted{Attrs: nil, Rows: []Tuple{{}}, Cnt: []int64{-4}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cnt[0] != 0 {
+		t.Fatalf("zero-attr net: %v", c.Cnt)
+	}
+}
+
+func TestRowIndexSync(t *testing.T) {
+	c := &Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 10}, {2, 20}, {1, 30}}, Cnt: []int64{1, 1, 1}}
+	ix, err := NewRowIndex(c, []string{"A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Rows(Tuple{1}); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Rows(1) = %v", got)
+	}
+	if _, err := c.ApplyDelta(&Counted{Attrs: []string{"A", "B"}, Rows: []Tuple{{1, 40}}, Cnt: []int64{5}}); err != nil {
+		t.Fatal(err)
+	}
+	ix.Sync()
+	if got := ix.Rows(Tuple{1}); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("Rows(1) after sync = %v", got)
+	}
+	if got := ix.Rows(Tuple{3}); got != nil {
+		t.Fatalf("Rows(3) = %v, want nil", got)
+	}
+}
+
+// TestExpandPlanDifferential checks the compiled delta kernel against the
+// reference JoinGroupChain on random inputs, covering probe (contained),
+// index (connected), and scan (cross product) steps.
+func TestExpandPlanDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randTable := func(attrs []string, n, dom int) *Counted {
+		agg := make(map[string]bool)
+		out := &Counted{Attrs: attrs}
+		for len(out.Rows) < n {
+			row := make(Tuple, len(attrs))
+			for i := range row {
+				row[i] = int64(rng.Intn(dom))
+			}
+			k := ""
+			for _, v := range row {
+				k += string(rune('a'+v)) + ","
+			}
+			if agg[k] {
+				continue
+			}
+			agg[k] = true
+			out.Rows = append(out.Rows, row)
+			out.Cnt = append(out.Cnt, int64(1+rng.Intn(4)))
+		}
+		return out
+	}
+	for trial := 0; trial < 40; trial++ {
+		delta := randTable([]string{"A", "B"}, 1+rng.Intn(3), 4)
+		for i := range delta.Cnt {
+			if rng.Intn(2) == 0 {
+				delta.Cnt[i] = -delta.Cnt[i]
+			}
+		}
+		contained := randTable([]string{"B"}, 3, 4)          // probe step
+		connected := randTable([]string{"B", "C"}, 6, 4)     // index step
+		disconnected := randTable([]string{"D"}, 3, 4)       // scan step
+		keep := []string{"A", "C", "D"}
+		tables := []*Counted{contained, connected, disconnected}
+
+		plan, err := CompileExpand(delta.Attrs, tables, keep, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := plan.Run(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := JoinGroupChain(delta, tables, keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare as key→count maps (row order differs; zero rows dropped).
+		wantMap := make(map[string]int64)
+		for i, r := range want.Rows {
+			k := ""
+			for _, v := range r {
+				k += string(rune('a'+v)) + ","
+			}
+			wantMap[k] += want.Cnt[i]
+		}
+		gotMap := make(map[string]int64)
+		for i, r := range got.Rows {
+			k := ""
+			for _, v := range r {
+				k += string(rune('a'+v)) + ","
+			}
+			gotMap[k] += got.Cnt[i]
+		}
+		for k, v := range wantMap {
+			if v == 0 {
+				delete(wantMap, k)
+			}
+		}
+		if len(gotMap) != len(wantMap) {
+			t.Fatalf("trial %d: got %v want %v", trial, gotMap, wantMap)
+		}
+		for k, v := range wantMap {
+			if gotMap[k] != v {
+				t.Fatalf("trial %d: key %s got %d want %d", trial, k, gotMap[k], v)
+			}
+		}
+	}
+}

@@ -2,23 +2,32 @@ package relation
 
 import "math"
 
-// AddSat returns a+b, saturating at math.MaxInt64. Counts are non-negative
-// throughout the engine, so only positive overflow is handled.
+// AddSat returns a+b, saturating at the int64 extremes. Materialized counts
+// are non-negative throughout the engine, but the incremental delta layer
+// (delta.go) flows signed count changes through the same kernels, so both
+// overflow directions are handled.
 func AddSat(a, b int64) int64 {
 	s := a + b
-	if s < a || s < b {
+	if a > 0 && b > 0 && s < 0 {
 		return math.MaxInt64
+	}
+	if a < 0 && b < 0 && s >= 0 {
+		return math.MinInt64
 	}
 	return s
 }
 
-// MulSat returns a*b, saturating at math.MaxInt64 for non-negative inputs.
+// MulSat returns a*b, saturating at the int64 extremes for any signs.
 func MulSat(a, b int64) int64 {
 	if a == 0 || b == 0 {
 		return 0
 	}
-	if a > math.MaxInt64/b {
-		return math.MaxInt64
+	p := a * b
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) || p/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
 	}
-	return a * b
+	return p
 }

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math/rand"
+
+	"tsens/internal/relation"
+)
+
+// UpdateStream derives a deterministic, replayable insert/delete stream
+// from a snapshot: n single-tuple updates against db's relations, weighted
+// by relation size. Deletes (a deleteFrac share, while rows remain) remove
+// a tuple currently present given the updates so far; inserts synthesize a
+// row by recombining column values of existing rows, so join keys stay in
+// the realistic active domain. The stream is valid to replay in order
+// against the snapshot (every delete targets a live tuple).
+func UpdateStream(db *relation.Database, n int, deleteFrac float64, seed int64) []relation.Update {
+	rng := rand.New(rand.NewSource(seed))
+	names := db.Names()
+	live := make(map[string][]relation.Tuple, len(names))
+	for _, name := range names {
+		rows := db.Relation(name).Rows
+		cp := make([]relation.Tuple, len(rows))
+		for i, t := range rows {
+			cp[i] = t.Clone()
+		}
+		live[name] = cp
+	}
+	pick := func() string {
+		total := 0
+		for _, name := range names {
+			total += len(live[name]) + 1
+		}
+		k := rng.Intn(total)
+		for _, name := range names {
+			k -= len(live[name]) + 1
+			if k < 0 {
+				return name
+			}
+		}
+		return names[len(names)-1]
+	}
+	out := make([]relation.Update, 0, n)
+	for len(out) < n {
+		name := pick()
+		rows := live[name]
+		if len(rows) > 0 && rng.Float64() < deleteFrac {
+			i := rng.Intn(len(rows))
+			row := rows[i].Clone()
+			rows[i] = rows[len(rows)-1]
+			live[name] = rows[:len(rows)-1]
+			out = append(out, relation.Update{Rel: name, Row: row, Insert: false})
+			continue
+		}
+		width := len(db.Relation(name).Attrs)
+		row := make(relation.Tuple, width)
+		if len(rows) > 0 {
+			// Recombine: start from one existing row, then resample each
+			// column from another random row with probability 1/2.
+			base := rows[rng.Intn(len(rows))]
+			copy(row, base)
+			for j := 0; j < width; j++ {
+				if rng.Intn(2) == 0 {
+					row[j] = rows[rng.Intn(len(rows))][j]
+				}
+			}
+		}
+		live[name] = append(live[name], row.Clone())
+		out = append(out, relation.Update{Rel: name, Row: row, Insert: true})
+	}
+	return out
+}

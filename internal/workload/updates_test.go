@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"tsens/internal/relation"
+)
+
+// TestUpdateStreamReplayable: every delete in a generated stream targets a
+// tuple that is live at that point, streams are deterministic per seed, and
+// the delete fraction lands near the request.
+func TestUpdateStreamReplayable(t *testing.T) {
+	db := FacebookDataSized(30, 150, 40, 3)
+	stream := UpdateStream(db, 400, 0.4, 9)
+	if len(stream) != 400 {
+		t.Fatalf("stream length %d", len(stream))
+	}
+	live := make(map[string][]relation.Tuple)
+	for _, name := range db.Names() {
+		for _, row := range db.Relation(name).Rows {
+			live[name] = append(live[name], row.Clone())
+		}
+	}
+	deletes := 0
+	for i, up := range stream {
+		if len(up.Row) != len(db.Relation(up.Rel).Attrs) {
+			t.Fatalf("op %d: arity mismatch for %s", i, up.Rel)
+		}
+		if up.Insert {
+			live[up.Rel] = append(live[up.Rel], up.Row.Clone())
+			continue
+		}
+		deletes++
+		rows := live[up.Rel]
+		found := -1
+		for j, row := range rows {
+			if row.Equal(up.Row) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("op %d: delete of absent tuple %v from %s", i, up.Row, up.Rel)
+		}
+		rows[found] = rows[len(rows)-1]
+		live[up.Rel] = rows[:len(rows)-1]
+	}
+	if deletes < 100 || deletes > 220 {
+		t.Fatalf("deletes = %d of 400, want near 40%%", deletes)
+	}
+	again := UpdateStream(db, 400, 0.4, 9)
+	for i := range stream {
+		if stream[i].Rel != again[i].Rel || stream[i].Insert != again[i].Insert || !stream[i].Row.Equal(again[i].Row) {
+			t.Fatalf("stream not deterministic at op %d", i)
+		}
+	}
+}

@@ -17,7 +17,15 @@
 // (int64-keyed joins and group-bys with arena row storage; see
 // docs/PERFORMANCE.md), and the join-tree passes run on a bounded worker
 // pool — set Options.Parallelism to control it (0 = GOMAXPROCS, 1 =
-// sequential; results are identical at any setting).
+// sequential; results are identical at any setting). Options.Pool
+// additionally shares one set of worker goroutines across solver
+// invocations (NewWorkerPool).
+//
+// For changing data, OpenSession returns a stateful Session that maintains
+// |Q(D)| and LS(Q,D) under single-tuple inserts and deletes with
+// near-O(path) delta propagation instead of from-scratch passes (see
+// docs/INCREMENTAL.md), and NewStreamingTSensDP layers a drift-triggered
+// ε-DP release schedule on top of it.
 //
 // Quick start:
 //
@@ -27,6 +35,11 @@
 //	q, _ := tsens.ParseQuery("q", "R1(A,B), R2(B,C)")
 //	res, _ := tsens.LocalSensitivity(q, db, tsens.Options{})
 //	fmt.Println(res.LS, res.Best)
+//
+//	sess, _ := tsens.OpenSession(q, db, tsens.SessionOptions{})
+//	_ = sess.Insert("R1", tsens.Tuple{1, 2})
+//	res2, _ := sess.LS()
+//	fmt.Println(sess.Count(), res2.LS)
 package tsens
 
 import (
@@ -35,10 +48,13 @@ import (
 	"tsens/internal/core"
 	"tsens/internal/elastic"
 	"tsens/internal/ghd"
+	"tsens/internal/incremental"
 	"tsens/internal/mechanism"
+	"tsens/internal/par"
 	"tsens/internal/parser"
 	"tsens/internal/query"
 	"tsens/internal/relation"
+	"tsens/internal/workload"
 	"tsens/internal/yannakakis"
 )
 
@@ -105,7 +121,56 @@ type (
 	PrivSQLConfig = mechanism.PrivSQLConfig
 	// Truncation is one relation/key pair of a PrivSQL policy.
 	Truncation = mechanism.Truncation
+	// StreamingTSensDP re-noises a TSensDP answer only when the true count
+	// drifts, for serving counting queries over a live Session.
+	StreamingTSensDP = mechanism.StreamingTSensDP
+	// StreamingTSensDPConfig parameterizes the streaming mechanism.
+	StreamingTSensDPConfig = mechanism.StreamingTSensDPConfig
 )
+
+// Incremental-session types.
+type (
+	// Session maintains LS(Q,D) and |Q(D)| under tuple inserts/deletes.
+	Session = incremental.Session
+	// SessionOptions configures OpenSession (exactness, bulk-rebuild
+	// threshold, and the embedded solver Options).
+	SessionOptions = incremental.Options
+	// Update is one replayable single-tuple insert or delete.
+	Update = relation.Update
+	// WorkerPool is a reusable fixed-size worker pool for Options.Pool.
+	WorkerPool = par.Pool
+)
+
+// NewWorkerPool starts a pool of n persistent workers (n < 1 means
+// GOMAXPROCS) that Options.Pool can share across solver invocations and
+// sessions. Close it when done.
+func NewWorkerPool(n int) *WorkerPool { return par.NewPool(n) }
+
+// OpenSession pins the query's join tree over a private copy of db and
+// returns a stateful Session: Insert and Delete apply single-tuple updates
+// by patching only the botjoin/topjoin tables on the affected root-to-leaf
+// path (plus the multiplicity-table factors they feed), so Count() is O(1)
+// and LS() costs hash lookups instead of full passes. See
+// docs/INCREMENTAL.md for the cost model and fallback rules.
+func OpenSession(q *Query, db *Database, opts SessionOptions) (*Session, error) {
+	return incremental.Open(q, db, opts)
+}
+
+// GenerateUpdateStream derives a deterministic, replayable single-tuple
+// update stream from a snapshot (deleteFrac of the ops delete live tuples;
+// inserts recombine existing column values), the workload datagen -updates
+// emits and Session.Apply replays.
+func GenerateUpdateStream(db *Database, n int, deleteFrac float64, seed int64) []Update {
+	return workload.UpdateStream(db, n, deleteFrac, seed)
+}
+
+// NewStreamingTSensDP binds the drift-triggered TSensDP variant to a live
+// session and its primary private relation. Each fresh release spends the
+// configured ε on the current database state; replayed answers spend
+// nothing.
+func NewStreamingTSensDP(sess *Session, private string, cfg StreamingTSensDPConfig) (*StreamingTSensDP, error) {
+	return mechanism.NewStreamingTSensDP(sess, private, cfg)
+}
 
 // NewRelation constructs a validated base relation.
 func NewRelation(name string, attrs []string, rows []Tuple) (*Relation, error) {
