@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"tsens/internal/core"
 	"tsens/internal/elastic"
@@ -316,6 +317,85 @@ func BenchmarkSessionUpdate(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkServeThroughput: sustained reader queries/sec against a live
+// server on the Table-1 Facebook fixture, with a background goroutine
+// feeding the update log the whole time. All four evaluation queries are
+// registered (multiplexed over one snapshot); each iteration is one LS read
+// from a published epoch view, round-robin across the queries. The writer's
+// update throughput over the same window is reported as updates/sec.
+func BenchmarkServeThroughput(b *testing.B) {
+	db := facebookDB()
+	stream := GenerateUpdateStream(db, 20000, 0.4, benchSeed)
+	srv, err := NewServer(db, ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var ids []string
+	for _, s := range workload.Facebook() {
+		id, _, err := srv.Register(ServerQuery{ID: s.Name, Query: s.Query, Options: s.Options()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	stop := make(chan struct{})
+	feederDone := make(chan struct{})
+	go func() {
+		// Feed in small appends until told to stop; wrapping past the end
+		// re-plays the stream (stale deletes are skipped by the writer).
+		// Backpressure keeps the log backlog bounded so the benchmark
+		// measures a steady state, not an unbounded queue.
+		defer close(feederDone)
+		const chunk = 16
+		for off := 0; ; off = (off + chunk) % len(stream) {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if st := srv.Stats(); st.Appended-st.Epoch <= 512 {
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			if _, _, err := srv.Append(stream[off:end]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	startEpoch := srv.Epoch()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			res, _, err := srv.LS(ids[i%len(ids)])
+			i++
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if res.LS < 0 {
+				b.Error("impossible")
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	close(stop)
+	<-feederDone
+	if elapsed > 0 {
+		b.ReportMetric(float64(srv.Epoch()-startEpoch)/elapsed, "updates/sec")
 	}
 }
 

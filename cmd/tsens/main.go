@@ -5,6 +5,7 @@
 //
 //	tsens -data ./mydata -query "R1(A,B), R2(B,C) where R2.C >= 5" [flags]
 //	tsens updates -data ./mydata -query "R1(A,B), R2(B,C)" [-stream f] [-batch n]
+//	tsens serve -data ./mydata [-addr host:port] [-query ... -private R2] [-replay f]
 //
 // The data directory holds one <RelationName>.csv file per relation, first
 // row being the column names. Values may be integers or arbitrary strings
@@ -15,11 +16,18 @@
 // replays a single-tuple insert/delete stream (datagen -updates writes one
 // as updates.stream), printing |Q(D)| and LS after every batch — each batch
 // costing a delta propagation instead of a from-scratch solve.
+//
+// The serve subcommand starts the long-lived DP query server over the
+// snapshot: registered queries are maintained incrementally under a live
+// update log and answered concurrently over an HTTP/JSON API, with
+// budget-accounted ε-DP releases (see docs/SERVING.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -30,22 +38,163 @@ import (
 	"tsens/internal/elastic"
 	"tsens/internal/ghd"
 	"tsens/internal/incremental"
+	"tsens/internal/mechanism"
 	"tsens/internal/parser"
 	"tsens/internal/query"
 	"tsens/internal/relation"
+	"tsens/internal/serve"
 )
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "updates" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "updates":
 		err = runUpdates(os.Args[2:])
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "serve":
+		err = runServe(os.Args[2:])
+	default:
 		err = run()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tsens:", err)
 		os.Exit(1)
 	}
+}
+
+// serveCmd is the assembled state of tsens serve, split from runServe so
+// tests can drive the handler without binding a port for real traffic.
+type serveCmd struct {
+	srv    *serve.Server
+	api    *serve.API
+	ln     net.Listener
+	replay func() error // nil without -replay
+}
+
+// buildServe parses the serve flags, loads the snapshot, starts the server,
+// registers the optional startup query, and binds the listener.
+func buildServe(args []string) (*serveCmd, error) {
+	fs := flag.NewFlagSet("tsens serve", flag.ExitOnError)
+	var (
+		dataDir    = fs.String("data", "", "directory of <Relation>.csv files (the snapshot)")
+		addr       = fs.String("addr", "127.0.0.1:8181", "HTTP listen address")
+		queryText  = fs.String("query", "", "register this query at startup (more via POST /queries)")
+		queryID    = fs.String("id", "q1", "id of the startup query")
+		bagsSpec   = fs.String("bags", "", `GHD bags for a cyclic startup query, e.g. "0,1;2"`)
+		skip       = fs.String("skip", "", "comma-separated relations to skip for the startup query")
+		private    = fs.String("private", "", "primary private relation of the startup query (enables /release)")
+		epsilon    = fs.Float64("epsilon", 1, "ε per fresh release of the startup query")
+		bound      = fs.Int64("bound", 100, "TSensDP sensitivity bound ℓ of the startup query")
+		budget     = fs.Float64("budget", 0, "total ε budget of the startup query (0 = unlimited)")
+		replayFile = fs.String("replay", "", "feed this "+csvio.UpdatesFileName+" stream through the update log")
+		replayN    = fs.Int("replay-batch", 32, "updates per replayed append")
+		parN       = fs.Int("parallelism", 0, "writer fan-out and session parallelism (0 = all cores)")
+		batch      = fs.Int("batch", 0, "log entries per epoch (0 = default)")
+		seed       = fs.Int64("seed", 1, "release-noise seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *dataDir == "" {
+		fs.Usage()
+		return nil, fmt.Errorf("-data is required")
+	}
+	loader := csvio.NewLoader()
+	db, err := loader.LoadDir(*dataDir)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(db, serve.Options{Parallelism: *parN, BatchSize: *batch})
+	if err != nil {
+		return nil, err
+	}
+	if *queryText != "" {
+		q, err := parser.Parse(*queryID, *queryText)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		cfg := serve.QueryConfig{ID: *queryID, Query: q, Private: *private, Budget: *budget}
+		if *private != "" {
+			cfg.Release = mechanism.TSensDPConfig{Epsilon: *epsilon, Bound: *bound}
+		}
+		if *skip != "" {
+			cfg.Options.SkipRelations = strings.Split(*skip, ",")
+		}
+		if *bagsSpec != "" {
+			bags, err := parseBags(*bagsSpec)
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			if cfg.Options.Decomposition, err = ghd.FromBags(q, bags); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		} else if !query.IsAcyclic(q.Atoms) {
+			d, err := ghd.Search(q, 0)
+			if err != nil {
+				srv.Close()
+				return nil, fmt.Errorf("startup query is cyclic and no -bags given; automatic search failed: %w", err)
+			}
+			cfg.Options.Decomposition = d
+		}
+		id, v, err := srv.Register(cfg)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		fmt.Printf("registered %s: |Q(D)| = %d, LS = %d\n", id, v.Count, v.LS.LS)
+	}
+	cmd := &serveCmd{srv: srv, api: serve.NewAPI(srv, loader, *seed)}
+	if *replayFile != "" {
+		ups, err := loader.LoadUpdates(*replayFile)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		n := *replayN
+		if n < 1 {
+			n = 1
+		}
+		cmd.replay = func() error {
+			for off := 0; off < len(ups); off += n {
+				end := off + n
+				if end > len(ups) {
+					end = len(ups)
+				}
+				if _, _, err := srv.Append(ups[off:end]); err != nil {
+					return fmt.Errorf("replaying %s at update %d: %w", *replayFile, off, err)
+				}
+			}
+			fmt.Printf("replayed %d updates from %s\n", len(ups), *replayFile)
+			return nil
+		}
+	}
+	if cmd.ln, err = net.Listen("tcp", *addr); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// runServe starts the long-lived DP query server: it loads the CSV
+// snapshot, optionally registers a first query and replays an update
+// stream, and serves the HTTP/JSON API (docs/SERVING.md) until killed.
+func runServe(args []string) error {
+	cmd, err := buildServe(args)
+	if err != nil {
+		return err
+	}
+	defer cmd.srv.Close()
+	if cmd.replay != nil {
+		go func() {
+			if err := cmd.replay(); err != nil {
+				fmt.Fprintln(os.Stderr, "tsens serve:", err)
+			}
+		}()
+	}
+	fmt.Printf("serving on http://%s\n", cmd.ln.Addr())
+	return http.Serve(cmd.ln, cmd.api)
 }
 
 // runUpdates replays an update stream through an incremental session.

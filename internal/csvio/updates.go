@@ -2,6 +2,7 @@ package csvio
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -44,22 +45,39 @@ func (l *Loader) WriteUpdates(ops []relation.Update, w io.Writer) error {
 	return cw.Error()
 }
 
-// ReadUpdates parses an update stream from r.
-func (l *Loader) ReadUpdates(r io.Reader) ([]relation.Update, error) {
+// ReadUpdates parses an update stream from r with the loader's dictionary.
+// Malformed rows fail with the stream name and the exact line the row
+// starts on (blank lines and quoted multi-line fields do not skew the
+// count), so a replay tool can point the operator at the offending record.
+// name is a label for diagnostics — pass the file path when reading from
+// disk (LoadUpdates does).
+func (l *Loader) ReadUpdates(name string, r io.Reader) ([]relation.Update, error) {
+	return ParseUpdates(name, r, l.encode)
+}
+
+// ParseUpdates is the encoder-agnostic core of ReadUpdates, shared with the
+// serving layer's text/csv update bodies (which encode through a Codec
+// rather than a Loader).
+func ParseUpdates(name string, r io.Reader, encode func(string) (int64, error)) ([]relation.Update, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
 	cr.FieldsPerRecord = -1 // arity varies per relation
 	var out []relation.Update
-	for line := 1; ; line++ {
+	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("csvio: update stream line %d: %w", line, err)
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				return nil, fmt.Errorf("csvio: %s:%d: %w", name, pe.Line, pe.Err)
+			}
+			return nil, fmt.Errorf("csvio: %s: %w", name, err)
 		}
+		line, _ := cr.FieldPos(0)
 		if len(rec) < 2 {
-			return nil, fmt.Errorf("csvio: update stream line %d: need op,relation,values...", line)
+			return nil, fmt.Errorf("csvio: %s:%d: update record has %d field(s), need op,relation,values...", name, line, len(rec))
 		}
 		up := relation.Update{Rel: rec[1]}
 		switch rec[0] {
@@ -68,12 +86,15 @@ func (l *Loader) ReadUpdates(r io.Reader) ([]relation.Update, error) {
 		case "-":
 			up.Insert = false
 		default:
-			return nil, fmt.Errorf("csvio: update stream line %d: bad op %q (want + or -)", line, rec[0])
+			return nil, fmt.Errorf("csvio: %s:%d: bad op %q (want + or -)", name, line, rec[0])
 		}
-		for _, f := range rec[2:] {
-			v, err := l.encode(f)
+		if up.Rel == "" {
+			return nil, fmt.Errorf("csvio: %s:%d: empty relation name", name, line)
+		}
+		for i, f := range rec[2:] {
+			v, err := encode(f)
 			if err != nil {
-				return nil, fmt.Errorf("csvio: update stream line %d: %w", line, err)
+				return nil, fmt.Errorf("csvio: %s:%d: value %d: %w", name, line, i+1, err)
 			}
 			up.Row = append(up.Row, v)
 		}
@@ -94,12 +115,13 @@ func (l *Loader) SaveUpdates(ops []relation.Update, path string) error {
 	return f.Close()
 }
 
-// LoadUpdates reads an update stream from path.
+// LoadUpdates reads an update stream from path; parse errors carry
+// path:line positions.
 func (l *Loader) LoadUpdates(path string) ([]relation.Update, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return l.ReadUpdates(f)
+	return l.ReadUpdates(path, f)
 }

@@ -2,6 +2,8 @@ package csvio
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -20,7 +22,7 @@ func TestUpdateStreamRoundTrip(t *testing.T) {
 	if err := l.WriteUpdates(ops, &buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := l.ReadUpdates(&buf)
+	got, err := l.ReadUpdates("stream", &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,10 +39,55 @@ func TestUpdateStreamRoundTrip(t *testing.T) {
 
 func TestReadUpdatesRejectsBadInput(t *testing.T) {
 	l := NewLoader()
-	if _, err := l.ReadUpdates(strings.NewReader("x,R1,1\n")); err == nil {
+	if _, err := l.ReadUpdates("s", strings.NewReader("x,R1,1\n")); err == nil {
 		t.Fatal("bad op accepted")
 	}
-	if _, err := l.ReadUpdates(strings.NewReader("+\n")); err == nil {
+	if _, err := l.ReadUpdates("s", strings.NewReader("+\n")); err == nil {
 		t.Fatal("short record accepted")
+	}
+	if _, err := l.ReadUpdates("s", strings.NewReader("+,,1\n")); err == nil {
+		t.Fatal("empty relation accepted")
+	}
+}
+
+// TestReadUpdatesDiagnostics pins the file:line format of malformed-stream
+// errors, including streams where blank lines and quoted newlines would
+// skew a naive record counter.
+func TestReadUpdatesDiagnostics(t *testing.T) {
+	l := NewLoader()
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad op", "+,R1,1\n\n\nq,R1,2\n", `s:4: bad op "q" (want + or -)`},
+		{"short record", "+,R1,1\n-\n", "s:2: update record has 1 field(s), need op,relation,values..."},
+		{"quoted newline keeps count", "+,R1,\"a\nb\"\n!,R1,1\n", `s:3: bad op "!" (want + or -)`},
+		{"out-of-range int", "+,R1,281474976710656\n", "s:1: value 1:"},
+		{"bare quote", "+,R1,\"x\n", "s:1:"},
+	}
+	for _, tc := range cases {
+		_, err := l.ReadUpdates("s", strings.NewReader(tc.in))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not carry position %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestLoadUpdatesNamesFile checks that file-backed streams report the path
+// in parse errors.
+func TestLoadUpdatesNamesFile(t *testing.T) {
+	l := NewLoader()
+	path := filepath.Join(t.TempDir(), "updates.stream")
+	if err := os.WriteFile(path, []byte("+,R1,1\n*,R1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := l.LoadUpdates(path)
+	if err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+	if !strings.Contains(err.Error(), path+":2:") {
+		t.Fatalf("error %q does not name %s:2", err, path)
 	}
 }

@@ -42,14 +42,36 @@ type edgeKey struct {
 	tgt, src *relation.Counted
 }
 
-// tableSet owns the shared RowIndexes of every maintained table and keeps
-// them synced when deltas append rows.
+// tableSet owns the shared RowIndexes of every maintained table, keeps them
+// synced when deltas append rows, and tracks which maintained rows currently
+// sit at count zero (tombstones) so sessions can trigger compaction from a
+// watermark instead of leaving Rebuild() to the caller.
 type tableSet struct {
 	byTable map[*relation.Counted]map[string]*relation.RowIndex
+	zeroAt  map[*relation.Counted]map[int]struct{} // rows currently at count 0
+	patched map[*relation.Counted]struct{}         // every table apply touched
+	zeroes  int                                    // Σ len(zeroAt[*])
 }
 
 func newTableSet() *tableSet {
-	return &tableSet{byTable: make(map[*relation.Counted]map[string]*relation.RowIndex)}
+	return &tableSet{
+		byTable: make(map[*relation.Counted]map[string]*relation.RowIndex),
+		zeroAt:  make(map[*relation.Counted]map[int]struct{}),
+		patched: make(map[*relation.Counted]struct{}),
+	}
+}
+
+// tombstones returns how many maintained rows currently hold count zero.
+func (ts *tableSet) tombstones() int { return ts.zeroes }
+
+// totalRows returns the number of rows across every patched table, the
+// denominator of the tombstone-ratio watermark.
+func (ts *tableSet) totalRows() int {
+	n := 0
+	for c := range ts.patched {
+		n += len(c.Rows)
+	}
+	return n
 }
 
 // indexFor is the relation.IndexProvider handed to CompileExpand.
@@ -71,7 +93,8 @@ func (ts *tableSet) indexFor(c *relation.Counted, attrs []string) (*relation.Row
 	return ix, nil
 }
 
-// apply patches c with d and re-syncs c's secondary indexes.
+// apply patches c with d, re-syncs c's secondary indexes, and folds the
+// zero-count transitions of the changed rows into the tombstone tally.
 func (ts *tableSet) apply(c, d *relation.Counted) ([]int, error) {
 	changed, err := c.ApplyDelta(d)
 	if err != nil {
@@ -79,6 +102,24 @@ func (ts *tableSet) apply(c, d *relation.Counted) ([]int, error) {
 	}
 	for _, ix := range ts.byTable[c] {
 		ix.Sync()
+	}
+	ts.patched[c] = struct{}{}
+	zs := ts.zeroAt[c]
+	for _, r := range changed {
+		_, was := zs[r]
+		if now := c.Cnt[r] == 0; now == was {
+			continue
+		} else if now {
+			if zs == nil {
+				zs = make(map[int]struct{})
+				ts.zeroAt[c] = zs
+			}
+			zs[r] = struct{}{}
+			ts.zeroes++
+		} else {
+			delete(zs, r)
+			ts.zeroes--
+		}
 	}
 	return changed, nil
 }

@@ -53,6 +53,16 @@ type Options struct {
 	// full rebuild instead of per-tuple propagation. Zero means
 	// DefaultBulkThreshold; negative disables the fallback.
 	BulkThreshold int
+	// RebuildTombstoneRatio, when positive, makes the session trigger
+	// Rebuild() itself once the fraction of zero-count (tombstone) rows
+	// across the maintained tables crosses this watermark, instead of
+	// leaving compaction to the caller. Deletes leave zeroed rows behind in
+	// every table they patch (see relation.ApplyDelta); the ratio is exact:
+	// resurrected rows leave the tally. Note that an automatic rebuild, like
+	// an explicit one, invalidates outstanding SensitivityFn evaluators —
+	// check Rebuilds() and re-request them when streaming deletes with this
+	// option set.
+	RebuildTombstoneRatio float64
 }
 
 // memberRef addresses one member of one unit of the solver.
@@ -231,7 +241,8 @@ func (s *Session) applyRow(up Update) (memberRef, bool, error) {
 	return ref, ok, nil
 }
 
-// applyOne applies a single update through delta propagation.
+// applyOne applies a single update through delta propagation, compacting
+// afterwards when the tombstone watermark is crossed.
 func (s *Session) applyOne(up Update) error {
 	ref, ok, err := s.applyRow(up)
 	if err != nil {
@@ -253,7 +264,33 @@ func (s *Session) applyOne(up Update) error {
 		proj[k] = up.Row[x]
 	}
 	dbase := &relation.Counted{Attrs: md.EffVars, Rows: []relation.Tuple{proj}, Cnt: []int64{delta}}
-	return s.propagate(ref, dbase)
+	if err := s.propagate(ref, dbase); err != nil {
+		return err
+	}
+	return s.maybeCompact()
+}
+
+// TombstoneRatio reports the fraction of maintained rows currently sitting
+// at count zero — the quantity RebuildTombstoneRatio watches.
+func (s *Session) TombstoneRatio() float64 {
+	total := s.tables.totalRows()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.tables.tombstones()) / float64(total)
+}
+
+// maybeCompact rebuilds the session when the tombstone watermark is set and
+// crossed. A rebuild resets the tally, so the next trigger needs a fresh
+// accumulation of deletes — the watermark cannot thrash.
+func (s *Session) maybeCompact() error {
+	if s.opts.RebuildTombstoneRatio <= 0 || s.tables.tombstones() == 0 {
+		return nil
+	}
+	if s.TombstoneRatio() < s.opts.RebuildTombstoneRatio {
+		return nil
+	}
+	return s.rebuild()
 }
 
 // Count returns |Q(D)| from the maintained component totals, in O(1).

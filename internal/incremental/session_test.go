@@ -448,3 +448,63 @@ func TestSessionSkippedRelationUpdates(t *testing.T) {
 		t.Fatal("SensitivityFn on skipped relation accepted")
 	}
 }
+
+// TestSessionTombstoneCompaction exercises RebuildTombstoneRatio: deleting
+// rows plants zero-count tombstones in the maintained tables until the
+// watermark triggers an automatic rebuild, which resets the ratio — and the
+// session agrees with the from-scratch solver throughout.
+func TestSessionTombstoneCompaction(t *testing.T) {
+	tc := streamCases()[0] // path
+	rng := rand.New(rand.NewSource(7))
+	q, db, copts := buildCase(t, tc, rng, 12, 4)
+	sess, err := Open(q, db, Options{Options: copts, RebuildTombstoneRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sess.TombstoneRatio(); r != 0 {
+		t.Fatalf("fresh session tombstone ratio = %g, want 0", r)
+	}
+	m := newMirror(db)
+	sawTombstones := false
+	for step := 0; len(m.rows["R2"]) > 0; step++ {
+		up := Update{Rel: "R2", Row: m.rows["R2"][0].Clone(), Insert: false}
+		m.apply(t, up)
+		if err := sess.Delete(up.Rel, up.Row); err != nil {
+			t.Fatal(err)
+		}
+		if r := sess.TombstoneRatio(); r >= 0.3 {
+			t.Fatalf("step %d: ratio %g survived past the 0.3 watermark", step, r)
+		} else if r > 0 {
+			sawTombstones = true
+		}
+		checkAgainstScratch(t, sess, m, copts, step)
+	}
+	if !sawTombstones {
+		t.Fatal("stream never planted a tombstone; the watermark was not exercised")
+	}
+	if sess.Rebuilds() == 0 {
+		t.Fatal("watermark never triggered an automatic rebuild")
+	}
+
+	// Without the option the same stream accumulates tombstones and never
+	// rebuilds.
+	q2, db2, copts2 := buildCase(t, tc, rand.New(rand.NewSource(7)), 12, 4)
+	manual, err := Open(q2, db2, Options{Options: copts2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := newMirror(db2)
+	for len(m2.rows["R2"]) > 0 {
+		up := Update{Rel: "R2", Row: m2.rows["R2"][0].Clone(), Insert: false}
+		m2.apply(t, up)
+		if err := manual.Delete(up.Rel, up.Row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if manual.Rebuilds() != 0 {
+		t.Fatalf("unwatermarked session rebuilt %d times", manual.Rebuilds())
+	}
+	if manual.TombstoneRatio() == 0 {
+		t.Fatal("unwatermarked session reports no tombstones after draining R2")
+	}
+}

@@ -1,0 +1,96 @@
+package mechanism
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrBudgetExhausted reports a release attempt past the ledger's budget.
+var ErrBudgetExhausted = errors.New("mechanism: privacy budget exhausted")
+
+// Ledger accounts cumulative ε spending against a fixed privacy budget.
+// Under sequential composition, releasing answers with budgets ε1, ε2, …
+// over the same private data is (Σ εi)-DP, so a serving layer granting
+// repeated releases must refuse once the sum would cross the total. Spend is
+// atomic: concurrent releases cannot jointly overdraw. A zero budget means
+// unlimited (the ledger only records spending).
+type Ledger struct {
+	mu     sync.Mutex
+	budget float64
+	spent  float64
+	spends int
+}
+
+// NewLedger returns a ledger with the given total ε budget (0 = unlimited).
+func NewLedger(budget float64) (*Ledger, error) {
+	if budget < 0 {
+		return nil, fmt.Errorf("mechanism: budget must be non-negative, got %g", budget)
+	}
+	return &Ledger{budget: budget}, nil
+}
+
+// Spend debits eps from the budget, or returns ErrBudgetExhausted (leaving
+// the ledger untouched) when the debit would overdraw it.
+func (l *Ledger) Spend(eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("mechanism: spend must be positive, got %g", eps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.budget > 0 && l.spent+eps > l.budget+1e-12 {
+		return fmt.Errorf("%w: spent %g of %g, refused %g", ErrBudgetExhausted, l.spent, l.budget, eps)
+	}
+	l.spent += eps
+	l.spends++
+	return nil
+}
+
+// Budget returns the total ε budget (0 = unlimited).
+func (l *Ledger) Budget() float64 { return l.budget }
+
+// Spent returns the cumulative ε debited so far.
+func (l *Ledger) Spent() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spent
+}
+
+// Remaining returns the budget left, or +Inf-like behavior via ok=false for
+// unlimited ledgers.
+func (l *Ledger) Remaining() (eps float64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.budget == 0 {
+		return 0, false
+	}
+	return l.budget - l.spent, true
+}
+
+// Spends returns how many successful debits the ledger has recorded.
+func (l *Ledger) Spends() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spends
+}
+
+// Validate checks a release configuration without running it.
+func (cfg TSensDPConfig) Validate() error { return cfg.validate() }
+
+// Rebase re-targets a cached run at a new true count, recomputing the
+// bias/error metrics — the replay path of streaming and served releases
+// (the noisy value itself is unchanged, so nothing new is spent).
+func Rebase(r *Run, trueCount int64) {
+	r.True = trueCount
+	r.finalize()
+}
+
+// Release runs the TSensDP release (steps 2–4 of Section 6.2) over a
+// precomputed per-tuple sensitivity vector of the private relation, spending
+// cfg.Epsilon. It takes ownership of sens and sorts it — pass a copy when
+// the vector is shared (the serving layer releases from immutable epoch
+// snapshots this way). Budget accounting is the caller's job (Ledger).
+func Release(sens []int64, cfg TSensDPConfig, rng *rand.Rand) (*Run, error) {
+	return release(sens, cfg, rng)
+}

@@ -1,0 +1,108 @@
+package mechanism
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestLedgerAccounting(t *testing.T) {
+	l, err := NewLedger(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Spend(0.1); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("overdraw not refused: %v", err)
+	}
+	if got := l.Spent(); got != 1.0 {
+		t.Fatalf("Spent() = %g after refused overdraw, want 1.0", got)
+	}
+	if rem, ok := l.Remaining(); !ok || rem != 0 {
+		t.Fatalf("Remaining() = %g, %v", rem, ok)
+	}
+	if l.Spends() != 2 {
+		t.Fatalf("Spends() = %d, want 2", l.Spends())
+	}
+	if _, err := NewLedger(-1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if err := l.Spend(0); err == nil {
+		t.Fatal("zero spend accepted")
+	}
+}
+
+func TestLedgerUnlimited(t *testing.T) {
+	l, err := NewLedger(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := l.Spend(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := l.Remaining(); ok {
+		t.Fatal("unlimited ledger reported a finite remainder")
+	}
+	if l.Spent() != 1000 {
+		t.Fatalf("Spent() = %g", l.Spent())
+	}
+}
+
+// TestLedgerConcurrentSpend hammers one ledger from many goroutines: the
+// admitted debits must never jointly overdraw the budget.
+func TestLedgerConcurrentSpend(t *testing.T) {
+	l, err := NewLedger(5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	admitted := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if l.Spend(0.1) == nil {
+					mu.Lock()
+					admitted++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted != 50 {
+		t.Fatalf("admitted %d spends of 0.1 against budget 5.0, want 50", admitted)
+	}
+}
+
+// TestReleaseMatchesTSensDP checks the exported Release against the full
+// TSensDP pipeline: identical sensitivity vectors and rng seeds produce the
+// identical run.
+func TestReleaseMatchesTSensDP(t *testing.T) {
+	sens := []int64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	cfg := TSensDPConfig{Epsilon: 1, Bound: 10}
+	a, err := Release(append([]int64(nil), sens...), cfg, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := release(append([]int64(nil), sens...), cfg, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("Release diverged from release: %+v vs %+v", a, b)
+	}
+	if a.True != 44 {
+		t.Fatalf("True = %d, want Σ sens = 44", a.True)
+	}
+}

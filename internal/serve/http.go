@@ -1,0 +1,377 @@
+package serve
+
+// HTTP/JSON API over the Server. Endpoints (docs/SERVING.md has curl
+// examples):
+//
+//	POST   /queries              register a query
+//	GET    /queries              list registered queries
+//	GET    /queries/{id}/ls      count + local sensitivity at the last epoch
+//	POST   /queries/{id}/release ε-DP noisy release (budget-accounted)
+//	DELETE /queries/{id}         unregister
+//	POST   /updates              append updates (JSON, or text/csv stream)
+//	GET    /epoch                writer progress
+//	GET    /healthz              liveness
+//
+// Reads answer from published epoch views and never wait on the writer;
+// POST /updates?wait=1 (or "wait": true) blocks until the appended entries
+// are live, giving read-your-writes to the caller that needs it.
+//
+// GET /queries/{id}/ls exposes exact counts and sensitivities — it exists
+// for the trusted operator and for differential testing. The only output
+// safe to hand an untrusted analyst is POST /queries/{id}/release.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"errors"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"tsens/internal/core"
+	"tsens/internal/csvio"
+	"tsens/internal/ghd"
+	"tsens/internal/mechanism"
+	"tsens/internal/parser"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// Codec translates between wire values (strings) and the int64 attribute
+// values relations store. csvio.Loader implements it, so a server loaded
+// from CSVs shares one dictionary with its snapshot; IntCodec serves purely
+// integer data.
+type Codec interface {
+	Encode(field string) (int64, error)
+	Decode(v int64) string
+}
+
+// IntCodec is the Codec for databases whose values are all integers.
+type IntCodec struct{}
+
+// Encode parses field as a base-10 integer.
+func (IntCodec) Encode(field string) (int64, error) {
+	v, err := strconv.ParseInt(field, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: non-integer value %q needs a string codec (CSV loader)", field)
+	}
+	return v, nil
+}
+
+// Decode renders v in base 10.
+func (IntCodec) Decode(v int64) string { return strconv.FormatInt(v, 10) }
+
+// API is the HTTP front end of a Server.
+type API struct {
+	srv   *Server
+	codec Codec
+	mux   *http.ServeMux
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewAPI wraps srv in an http.Handler. codec translates wire values (nil
+// means IntCodec); seed makes release noise reproducible (use a random seed
+// in production, a fixed one in tests).
+func NewAPI(srv *Server, codec Codec, seed int64) *API {
+	if codec == nil {
+		codec = IntCodec{}
+	}
+	a := &API{srv: srv, codec: codec, rng: rand.New(rand.NewSource(seed))}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", a.handleRegister)
+	mux.HandleFunc("GET /queries", a.handleList)
+	mux.HandleFunc("GET /queries/{id}/ls", a.handleLS)
+	mux.HandleFunc("POST /queries/{id}/release", a.handleRelease)
+	mux.HandleFunc("DELETE /queries/{id}", a.handleUnregister)
+	mux.HandleFunc("POST /updates", a.handleUpdates)
+	mux.HandleFunc("GET /epoch", a.handleEpoch)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	a.mux = mux
+	return a
+}
+
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+type registerRequest struct {
+	ID      string   `json:"id"`
+	Query   string   `json:"query"`
+	Bags    [][]int  `json:"bags"`
+	Skip    []string `json:"skip"`
+	Private string   `json:"private"`
+	Release struct {
+		Epsilon     float64 `json:"epsilon"`
+		EpsilonSens float64 `json:"epsilon_sens"`
+		Bound       int64   `json:"bound"`
+	} `json:"release"`
+	Budget float64 `json:"budget"`
+	Drift  float64 `json:"drift"`
+}
+
+func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing \"query\""))
+		return
+	}
+	name := req.ID
+	if name == "" {
+		name = "q"
+	}
+	q, err := parser.Parse(name, req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg := QueryConfig{
+		ID:      req.ID,
+		Query:   q,
+		Private: req.Private,
+		Budget:  req.Budget,
+		Drift:   req.Drift,
+		Release: mechanism.TSensDPConfig{
+			Epsilon:     req.Release.Epsilon,
+			EpsilonSens: req.Release.EpsilonSens,
+			Bound:       req.Release.Bound,
+		},
+	}
+	cfg.Options.SkipRelations = req.Skip
+	if len(req.Bags) > 0 {
+		d, err := ghd.FromBags(q, req.Bags)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		cfg.Options.Decomposition = d
+	} else if !query.IsAcyclic(q.Atoms) {
+		d, err := ghd.Search(q, 0)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("query is cyclic and no \"bags\" given; automatic search failed: %w", err))
+			return
+		}
+		cfg.Options.Decomposition = d
+	}
+	id, v, err := a.srv.Register(cfg)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, a.viewJSON(id, v, false))
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": a.srv.Queries()})
+}
+
+func (a *API) handleLS(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := a.srv.View(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, a.viewJSON(id, v, r.URL.Query().Get("per_relation") == "1"))
+}
+
+type releaseRequest struct {
+	Seed *int64 `json:"seed"`
+}
+
+func (a *API) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req releaseRequest
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+	}
+	var rng *rand.Rand
+	if req.Seed != nil {
+		rng = rand.New(rand.NewSource(*req.Seed))
+	} else {
+		a.rngMu.Lock()
+		rng = rand.New(rand.NewSource(a.rng.Int63()))
+		a.rngMu.Unlock()
+	}
+	res, err := a.srv.Release(id, rng)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, ErrNoQuery) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	out := map[string]any{
+		"id":          id,
+		"epoch":       res.Epoch,
+		"sens_epoch":  res.SensEpoch,
+		"fresh":       res.Fresh,
+		"noisy":       res.Run.Noisy,
+		"global_sens": res.Run.GlobalSens,
+		"spent":       res.Spent,
+		"total_spent": res.TotalSpent,
+	}
+	if res.HasBudget {
+		out["remaining"] = res.Remaining
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (a *API) handleUnregister(w http.ResponseWriter, r *http.Request) {
+	if err := a.srv.Unregister(r.PathValue("id")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+type updateJSON struct {
+	Op  string   `json:"op"` // "+" or "-"
+	Rel string   `json:"rel"`
+	Row []string `json:"row"`
+}
+
+type updatesRequest struct {
+	Updates []updateJSON `json:"updates"`
+	Wait    bool         `json:"wait"`
+}
+
+func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	var (
+		ups  []relation.Update
+		wait bool
+	)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		// The updates.stream format, for curl --data-binary @updates.stream
+		// — same parser as the file loader, encoding through the codec.
+		var err error
+		if ups, err = csvio.ParseUpdates("request body", r.Body, a.codec.Encode); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		var req updatesRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		wait = req.Wait
+		ups = make([]relation.Update, 0, len(req.Updates))
+		for i, uj := range req.Updates {
+			up := relation.Update{Rel: uj.Rel}
+			switch uj.Op {
+			case "+":
+				up.Insert = true
+			case "-":
+				up.Insert = false
+			default:
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("update %d: bad op %q (want + or -)", i, uj.Op))
+				return
+			}
+			for j, f := range uj.Row {
+				v, err := a.codec.Encode(f)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, fmt.Errorf("update %d, value %d: %w", i, j, err))
+					return
+				}
+				up.Row = append(up.Row, v)
+			}
+			ups = append(ups, up)
+		}
+	}
+	from, to, err := a.srv.Append(ups)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if wait || r.URL.Query().Get("wait") == "1" {
+		if err := a.srv.WaitApplied(to); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": len(ups),
+		"from":     from,
+		"to":       to,
+		"epoch":    a.srv.Epoch(),
+	})
+}
+
+func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	st := a.srv.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":    st.Epoch,
+		"appended": st.Appended,
+		"pending":  st.Appended - st.Epoch,
+		"skipped":  st.Skipped,
+		"queries":  st.Queries,
+	})
+}
+
+// viewJSON renders a published view, decoding witness tuples through the
+// codec.
+func (a *API) viewJSON(id string, v *View, perRelation bool) map[string]any {
+	out := map[string]any{
+		"id":             id,
+		"epoch":          v.Epoch,
+		"count":          v.Count,
+		"ls":             v.LS.LS,
+		"doubly_acyclic": v.LS.DoublyAcyclic,
+		"max_degree":     v.LS.MaxDegree,
+	}
+	if v.LS.Best != nil {
+		out["best"] = a.tupleJSON(v.LS.Best)
+	}
+	if perRelation {
+		per := make(map[string]any, len(v.LS.PerRelation))
+		for rel, tr := range v.LS.PerRelation {
+			per[rel] = a.tupleJSON(tr)
+		}
+		out["per_relation"] = per
+	}
+	return out
+}
+
+func (a *API) tupleJSON(tr *core.TupleResult) map[string]any {
+	vals := make([]string, len(tr.Vars))
+	for i := range tr.Vars {
+		if tr.Values == nil {
+			vals[i] = "*"
+		} else if tr.Wildcard[i] {
+			vals[i] = "*"
+		} else {
+			vals[i] = a.codec.Decode(tr.Values[i])
+		}
+	}
+	return map[string]any{
+		"relation":    tr.Relation,
+		"vars":        tr.Vars,
+		"values":      vals,
+		"sensitivity": tr.Sensitivity,
+		"in_database": tr.InDatabase,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

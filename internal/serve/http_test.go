@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/parser"
+	"tsens/internal/relation"
+)
+
+func startAPI(t *testing.T, db *relation.Database) (*httptest.Server, *Server) {
+	t.Helper()
+	srv, err := New(db, Options{Parallelism: 2, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(NewAPI(srv, nil, 42))
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func doJSON(t *testing.T, method, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantStatus, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+	}
+	return out
+}
+
+func TestAPIEndToEnd(t *testing.T) {
+	db := testDB(t, 10, 4, 21, "R1", "R2", "R3")
+	ts, srv := startAPI(t, db)
+
+	// Register a path query with a release budget.
+	reg := doJSON(t, "POST", ts.URL+"/queries", map[string]any{
+		"id":      "path",
+		"query":   "R1(A,B), R2(B,C), R3(C,D)",
+		"private": "R2",
+		"release": map[string]any{"epsilon": 1.0, "bound": 50},
+		"budget":  2.0,
+	}, http.StatusCreated)
+	if reg["id"] != "path" || reg["epoch"] != float64(0) {
+		t.Fatalf("register response: %v", reg)
+	}
+
+	// And a cyclic one: no bags given, the server searches a GHD.
+	doJSON(t, "POST", ts.URL+"/queries", map[string]any{
+		"id":    "tri",
+		"query": "R1(A,B), R2(B,C), R3(C,A)",
+	}, http.StatusCreated)
+
+	// Post updates with wait=1 for read-your-writes.
+	ups := []map[string]any{
+		{"op": "+", "rel": "R2", "row": []string{"1", "2"}},
+		{"op": "+", "rel": "R2", "row": []string{"1", "2"}},
+		{"op": "-", "rel": "R2", "row": []string{"1", "2"}},
+	}
+	up := doJSON(t, "POST", ts.URL+"/updates", map[string]any{"updates": ups, "wait": true}, http.StatusOK)
+	if up["accepted"] != float64(3) || up["epoch"].(float64) < 3 {
+		t.Fatalf("updates response: %v", up)
+	}
+
+	// GET ls must equal the from-scratch solver on the mutated database.
+	q, err := parser.Parse("path", "R1(A,B), R2(B,C), R3(C,D)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := db.Clone()
+	r2 := cur.Relation("R2")
+	r2.Rows = append(r2.Rows, relation.Tuple{1, 2})
+	want, err := core.LocalSensitivity(q, cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := doJSON(t, "GET", ts.URL+"/queries/path/ls?per_relation=1", nil, http.StatusOK)
+	if int64(ls["count"].(float64)) != want.Count || int64(ls["ls"].(float64)) != want.LS {
+		t.Fatalf("ls response (%v, %v), scratch (%d, %d)", ls["count"], ls["ls"], want.Count, want.LS)
+	}
+	if _, ok := ls["per_relation"]; !ok {
+		t.Fatalf("per_relation missing: %v", ls)
+	}
+
+	// Releases: fresh then replay, budget visible.
+	rel1 := doJSON(t, "POST", ts.URL+"/queries/path/release", map[string]any{"seed": 7}, http.StatusOK)
+	if rel1["fresh"] != true || rel1["spent"] != float64(1) || rel1["remaining"] != float64(1) {
+		t.Fatalf("first release: %v", rel1)
+	}
+	rel2 := doJSON(t, "POST", ts.URL+"/queries/path/release", nil, http.StatusOK)
+	if rel2["fresh"] != false || rel2["noisy"] != rel1["noisy"] {
+		t.Fatalf("replay release: %v", rel2)
+	}
+
+	// Listing and epoch.
+	list := doJSON(t, "GET", ts.URL+"/queries", nil, http.StatusOK)
+	if n := len(list["queries"].([]any)); n != 2 {
+		t.Fatalf("listed %d queries, want 2", n)
+	}
+	ep := doJSON(t, "GET", ts.URL+"/epoch", nil, http.StatusOK)
+	if ep["pending"] != float64(0) {
+		t.Fatalf("epoch response: %v", ep)
+	}
+
+	// CSV update body (the updates.stream format).
+	req, err := http.NewRequest("POST", ts.URL+"/updates?wait=1", strings.NewReader("+,R1,0,1\n-,R1,0,1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("csv updates: %d: %s", resp.StatusCode, raw)
+	}
+
+	// Unregister; further reads 404.
+	doJSON(t, "DELETE", ts.URL+"/queries/tri", nil, http.StatusOK)
+	doJSON(t, "GET", ts.URL+"/queries/tri/ls", nil, http.StatusNotFound)
+
+	// Error paths.
+	doJSON(t, "POST", ts.URL+"/queries", map[string]any{"query": "R9(A)"}, http.StatusUnprocessableEntity)
+	doJSON(t, "POST", ts.URL+"/queries", map[string]any{}, http.StatusBadRequest)
+	doJSON(t, "POST", ts.URL+"/updates", map[string]any{
+		"updates": []map[string]any{{"op": "*", "rel": "R1", "row": []string{"1", "2"}}},
+	}, http.StatusBadRequest)
+	doJSON(t, "POST", ts.URL+"/updates", map[string]any{
+		"updates": []map[string]any{{"op": "+", "rel": "R1", "row": []string{"x", "2"}}},
+	}, http.StatusBadRequest) // IntCodec refuses strings
+	doJSON(t, "POST", ts.URL+"/queries/missing/release", nil, http.StatusNotFound)
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK)
+
+	if srv.Stats().Queries != 1 {
+		t.Fatalf("stats: %+v", srv.Stats())
+	}
+}
+
+// TestAPIBudgetExhaustion drains a query's ε budget over HTTP.
+func TestAPIBudgetExhaustion(t *testing.T) {
+	db := testDB(t, 10, 3, 23, "R1", "R2", "R3")
+	ts, _ := startAPI(t, db)
+	doJSON(t, "POST", ts.URL+"/queries", map[string]any{
+		"id":      "q",
+		"query":   "R1(A,B), R2(B,C), R3(C,D)",
+		"private": "R2",
+		"release": map[string]any{"epsilon": 1.0, "bound": 20},
+		"budget":  1.0,
+		"drift":   -1, // never replay: every release wants fresh ε
+	}, http.StatusCreated)
+	doJSON(t, "POST", ts.URL+"/queries/q/release", nil, http.StatusOK)
+	out := doJSON(t, "POST", ts.URL+"/queries/q/release", nil, http.StatusUnprocessableEntity)
+	if !strings.Contains(fmt.Sprint(out["error"]), "budget exhausted") {
+		t.Fatalf("exhaustion error: %v", out)
+	}
+}

@@ -1,0 +1,777 @@
+// Package serve implements a long-lived differentially-private query server
+// over one logical database, the traffic-serving regime of the roadmap: many
+// registered counting queries, each backed by its own incremental session
+// (internal/incremental), multiplexed over a shared snapshot plus an
+// append-only update log behind a single-writer/multi-reader boundary.
+//
+// Architecture (docs/SERVING.md has the full treatment):
+//
+//   - The Server owns a master copy of the database and an append-only log
+//     of single-tuple updates. Append validates an update against the static
+//     schema and enqueues it; nothing else happens on the caller.
+//   - One writer goroutine drains the log in batches: it folds the batch
+//     into the master rows, patches every registered session through the
+//     incremental delta engine — fanning out across sessions on fresh
+//     goroutines, since sessions share no mutable state (the shared
+//     par.Pool serves the sessions' own open/rebuild parallelism) — and
+//     then publishes, per query, an immutable epoch view (count, LS
+//     result, and a drift-gated sensitivity snapshot) through an atomic
+//     pointer.
+//   - Readers answer Count/LS/noisy-release requests from the last
+//     published view: a read is an atomic pointer load plus (for releases)
+//     a ledger debit. Readers never take the writer's lock, so they are
+//     never blocked on a session patch — only an epoch swap is ever
+//     observable as a view change.
+//
+// The epoch of the server is the number of log entries the writer has
+// drained; views carry the epoch they were computed at, so every answer is
+// exact for some recently-published epoch (linearizability at epoch
+// granularity — the property TestServeConcurrentReaders asserts).
+//
+// Privacy releases go through mechanism.Release over the view's sensitivity
+// snapshot and spend ε from a per-query Ledger; answers replay free of
+// charge while the count has not drifted, mirroring StreamingTSensDP (and
+// inheriting its caveat: release *timing* is data-dependent).
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tsens/internal/core"
+	"tsens/internal/incremental"
+	"tsens/internal/mechanism"
+	"tsens/internal/par"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// ErrNoQuery reports a request against an unregistered query ID.
+var ErrNoQuery = errors.New("serve: no such query")
+
+// DefaultBatchSize bounds how many log entries one writer drain folds into a
+// single epoch. It sits below incremental.DefaultBulkThreshold so drained
+// batches stay on the per-tuple delta path instead of rebuilding.
+const DefaultBatchSize = 32
+
+// DefaultDriftFraction gates sensitivity-snapshot refreshes: the writer
+// recomputes a query's per-tuple sensitivity vector only when |Q(D)| has
+// drifted by this fraction since the snapshot was taken.
+const DefaultDriftFraction = 0.1
+
+// DefaultRebuildTombstoneRatio is the tombstone-compaction watermark the
+// server sets on every session it opens (see
+// incremental.Options.RebuildTombstoneRatio).
+const DefaultRebuildTombstoneRatio = 0.5
+
+// Options configures a Server.
+type Options struct {
+	// Parallelism bounds the writer's fan-out across sessions and each
+	// session's open/rebuild parallelism. 0 means GOMAXPROCS.
+	Parallelism int
+	// Pool supplies worker goroutines; nil makes the server own one sized
+	// to Parallelism (closed by Close).
+	Pool *par.Pool
+	// BatchSize caps log entries per epoch. 0 means DefaultBatchSize.
+	BatchSize int
+	// BulkThreshold is forwarded to every session (see
+	// incremental.Options.BulkThreshold). 0 keeps the session default.
+	BulkThreshold int
+	// DriftFraction gates sensitivity-snapshot refreshes. 0 means
+	// DefaultDriftFraction; negative refreshes every epoch.
+	DriftFraction float64
+	// RebuildTombstoneRatio is the compaction watermark set on every
+	// session. 0 means DefaultRebuildTombstoneRatio; negative disables
+	// automatic compaction.
+	RebuildTombstoneRatio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.DriftFraction == 0 {
+		o.DriftFraction = DefaultDriftFraction
+	}
+	if o.RebuildTombstoneRatio == 0 {
+		o.RebuildTombstoneRatio = DefaultRebuildTombstoneRatio
+	}
+	return o
+}
+
+// QueryConfig registers one counting query with the server.
+type QueryConfig struct {
+	// ID names the query in the API; empty generates one.
+	ID string
+	// Query is the parsed conjunctive counting query.
+	Query *query.Query
+	// Options carries the solver options (GHD decomposition for cyclic
+	// queries, skip list). Parallelism and Pool are overridden by the
+	// server's own.
+	Options core.Options
+	// Private names the primary private relation for DP releases; empty
+	// disables the release endpoint for this query.
+	Private string
+	// Release parameterizes TSensDP releases (required when Private is
+	// set: Epsilon and Bound must be positive).
+	Release mechanism.TSensDPConfig
+	// Budget is the total ε this query may spend across fresh releases;
+	// 0 means unlimited.
+	Budget float64
+	// Drift is the replay gate: answers replay (spending nothing) while
+	// |Q(D)| stays within this fraction of the last released count. 0
+	// means DefaultDriftFraction.
+	Drift float64
+}
+
+// View is one published epoch of one query: everything a reader needs,
+// immutable once published.
+type View struct {
+	// Epoch is the server epoch (log entries applied) this view reflects.
+	Epoch int64
+	// Count is |Q(D)| at Epoch.
+	Count int64
+	// LS is the full local-sensitivity result at Epoch.
+	LS *core.Result
+	// Sens is the sorted per-tuple sensitivity vector of the private
+	// relation, taken at SensEpoch (≤ Epoch; refreshed when the count
+	// drifts). Nil when the query has no private relation. Treat as
+	// read-only — releases copy it.
+	Sens      []int64
+	SensEpoch int64
+	// SensCount is |Q(D)| at SensEpoch, the drift baseline.
+	SensCount int64
+	// Rebuilds is how many full session rebuilds (bulk batches, tombstone
+	// compactions) had happened as of Epoch.
+	Rebuilds int
+	// Err, when non-nil, marks the query failed: the session could not
+	// absorb an update batch and stopped being maintained.
+	Err error
+}
+
+// ReleaseResult is the outcome of one noisy-release request.
+type ReleaseResult struct {
+	// Epoch and SensEpoch locate the answer: the release reads the
+	// sensitivity snapshot of SensEpoch, served at Epoch.
+	Epoch     int64
+	SensEpoch int64
+	// Fresh reports whether ε was spent (true) or the cached release was
+	// replayed (false).
+	Fresh bool
+	// Run is the mechanism execution (Noisy is the released value).
+	Run *mechanism.Run
+	// Spent is the ε debited by this call; TotalSpent the query's running
+	// sum. Remaining is meaningful only when HasBudget.
+	Spent      float64
+	TotalSpent float64
+	Remaining  float64
+	HasBudget  bool
+}
+
+// QueryInfo summarizes one registered query for listings.
+type QueryInfo struct {
+	ID       string
+	Query    string
+	Private  string
+	Epoch    int64
+	Count    int64
+	LS       int64
+	Budget   float64
+	Spent    float64
+	Releases int
+	Rebuilds int
+	Failed   bool
+}
+
+// Stats summarizes the server.
+type Stats struct {
+	// Epoch is the number of log entries drained by the writer.
+	Epoch int64
+	// Appended is the number of log entries accepted so far; Epoch lags it
+	// by the pending backlog.
+	Appended int64
+	// Skipped counts log entries the writer refused at apply time (deletes
+	// of absent tuples).
+	Skipped int64
+	// Queries is the number of registered queries.
+	Queries int
+}
+
+// servedQuery is the per-query state. The writer mutates sess and publishes
+// views; readers load views and share the release cache under relMu.
+type servedQuery struct {
+	id      string
+	text    string
+	q       *query.Query
+	sess    *incremental.Session
+	private string
+	cfg     mechanism.TSensDPConfig
+	drift   float64
+	ledger  *mechanism.Ledger
+
+	view atomic.Pointer[View]
+
+	relMu     sync.Mutex // release replay cache; never held by the writer
+	lastRun   *mechanism.Run
+	lastCount int64
+	releases  int
+}
+
+// Server is the long-lived serving process. See the package comment for the
+// locking discipline; in short: logMu guards the log, stateMu guards the
+// master database and every session (writer, Register, Unregister), and
+// readers touch neither.
+type Server struct {
+	opts     Options
+	pool     *par.Pool
+	ownsPool bool
+
+	logMu   sync.Mutex
+	logCond *sync.Cond
+	log     []relation.Update
+	closed  bool
+
+	stateMu sync.Mutex
+	master  *relation.Database
+	rowpos  map[string]map[string][]int // relation → row key → positions
+	nextID  int
+
+	qmu     sync.RWMutex
+	queries map[string]*servedQuery
+
+	epoch    atomic.Int64
+	appended atomic.Int64
+	skipped  atomic.Int64
+
+	waitMu  sync.Mutex
+	epochCh chan struct{}
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a server over a private copy of db. Close it when done.
+func New(db *relation.Database, opts Options) (*Server, error) {
+	if db == nil {
+		return nil, fmt.Errorf("serve: nil database")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		master:  db.Clone(),
+		queries: make(map[string]*servedQuery),
+		epochCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	s.logCond = sync.NewCond(&s.logMu)
+	s.rowpos = make(map[string]map[string][]int, len(s.master.Names()))
+	for _, name := range s.master.Names() {
+		r := s.master.Relation(name)
+		pos := make(map[string][]int, len(r.Rows))
+		for i, t := range r.Rows {
+			k := rowKey(t)
+			pos[k] = append(pos[k], i)
+		}
+		s.rowpos[name] = pos
+	}
+	if opts.Pool != nil {
+		s.pool = opts.Pool
+	} else {
+		s.pool = par.NewPool(opts.Parallelism)
+		s.ownsPool = true
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Close stops the writer (pending log entries are dropped) and releases the
+// owned pool. Reads keep answering from the last published views.
+func (s *Server) Close() {
+	s.logMu.Lock()
+	if s.closed {
+		s.logMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.logCond.Broadcast()
+	s.logMu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	if s.ownsPool {
+		s.pool.Close()
+	}
+	s.waitMu.Lock()
+	close(s.epochCh) // wake WaitApplied waiters for their closed-check
+	s.epochCh = nil
+	s.waitMu.Unlock()
+}
+
+// Register opens an incremental session for cfg.Query against the current
+// epoch and adds it to the multiplexer. It runs on the writer's side of the
+// boundary: it waits for the in-flight batch (if any) and holds updates off
+// while the session materializes, but never blocks readers of other queries.
+func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
+	if cfg.Query == nil {
+		return "", nil, fmt.Errorf("serve: nil query")
+	}
+	var ledger *mechanism.Ledger
+	if cfg.Private != "" {
+		found := false
+		for _, a := range cfg.Query.Atoms {
+			if a.Relation == cfg.Private {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", nil, fmt.Errorf("serve: private relation %q is not an atom of the query", cfg.Private)
+		}
+		var err error
+		if ledger, err = mechanism.NewLedger(cfg.Budget); err != nil {
+			return "", nil, err
+		}
+		if err := cfg.Release.Validate(); err != nil {
+			return "", nil, fmt.Errorf("serve: release config: %w", err)
+		}
+	}
+	if cfg.Drift == 0 {
+		cfg.Drift = DefaultDriftFraction
+	}
+
+	copts := cfg.Options
+	copts.Parallelism = s.opts.Parallelism
+	copts.Pool = s.pool
+	sopts := incremental.Options{
+		Options:       copts,
+		BulkThreshold: s.opts.BulkThreshold,
+	}
+	if s.opts.RebuildTombstoneRatio > 0 {
+		sopts.RebuildTombstoneRatio = s.opts.RebuildTombstoneRatio
+	}
+
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	// Resolve the ID before materializing the session: a duplicate must
+	// fail cheaply, not after a full solve under the writer's lock.
+	// (Registrations serialize on stateMu, so the check cannot go stale.)
+	id := cfg.ID
+	if id == "" {
+		for {
+			s.nextID++
+			id = fmt.Sprintf("q%d", s.nextID)
+			if _, taken := s.queries[id]; !taken {
+				break
+			}
+		}
+	} else if _, dup := s.queries[id]; dup {
+		return "", nil, fmt.Errorf("serve: query %q already registered", id)
+	}
+	sess, err := incremental.Open(cfg.Query, s.master, sopts)
+	if err != nil {
+		return "", nil, err
+	}
+	sq := &servedQuery{
+		id:      id,
+		text:    cfg.Query.String(),
+		q:       cfg.Query,
+		sess:    sess,
+		private: cfg.Private,
+		cfg:     cfg.Release,
+		drift:   cfg.Drift,
+		ledger:  ledger,
+	}
+	epoch := s.epoch.Load()
+	if err := sq.publish(epoch, s.opts.DriftFraction); err != nil {
+		return "", nil, err
+	}
+	s.qmu.Lock()
+	s.queries[id] = sq
+	s.qmu.Unlock()
+	return id, sq.view.Load(), nil
+}
+
+// Unregister removes a query. Its sessions and views are dropped.
+func (s *Server) Unregister(id string) error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if _, ok := s.queries[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoQuery, id)
+	}
+	delete(s.queries, id)
+	return nil
+}
+
+// Append validates ups against the schema and appends them to the update
+// log, returning the log sequence range [from, to) they occupy. The writer
+// applies them asynchronously; WaitApplied(to) blocks until they are live.
+func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
+	for i, up := range ups {
+		r := s.master.Relation(up.Rel) // schema is static: safe without stateMu
+		if r == nil {
+			return 0, 0, fmt.Errorf("serve: update %d: no relation %q", i, up.Rel)
+		}
+		if len(up.Row) != len(r.Attrs) {
+			return 0, 0, fmt.Errorf("serve: update %d: tuple arity %d does not match %s arity %d",
+				i, len(up.Row), up.Rel, len(r.Attrs))
+		}
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("serve: server closed")
+	}
+	to = s.appended.Load()
+	from = to
+	for _, up := range ups {
+		s.log = append(s.log, relation.Update{Rel: up.Rel, Row: up.Row.Clone(), Insert: up.Insert})
+		to++
+	}
+	s.appended.Store(to)
+	s.logCond.Broadcast()
+	return from, to, nil
+}
+
+// Epoch returns the number of log entries the writer has drained.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// WaitApplied blocks until the server epoch reaches lsn (as returned by
+// Append) or the server closes.
+func (s *Server) WaitApplied(lsn int64) error {
+	for {
+		if s.epoch.Load() >= lsn {
+			return nil
+		}
+		s.waitMu.Lock()
+		ch := s.epochCh
+		s.waitMu.Unlock()
+		if ch == nil {
+			return fmt.Errorf("serve: server closed at epoch %d before %d", s.epoch.Load(), lsn)
+		}
+		if s.epoch.Load() >= lsn {
+			return nil
+		}
+		<-ch
+	}
+}
+
+// View returns the last published view of a query — an atomic load; never
+// blocked by the writer.
+func (s *Server) View(id string) (*View, error) {
+	sq, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	v := sq.view.Load()
+	if v.Err != nil {
+		return nil, fmt.Errorf("serve: query %q failed at epoch %d: %w", id, v.Epoch, v.Err)
+	}
+	return v, nil
+}
+
+// Count returns |Q(D)| at the query's last published epoch.
+func (s *Server) Count(id string) (int64, int64, error) {
+	v, err := s.View(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return v.Count, v.Epoch, nil
+}
+
+// LS returns the local-sensitivity result at the last published epoch.
+func (s *Server) LS(id string) (*core.Result, int64, error) {
+	v, err := s.View(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return v.LS, v.Epoch, nil
+}
+
+// Release answers the query with ε-differential privacy from the published
+// sensitivity snapshot, debiting the query's budget ledger. While the
+// current count stays within the query's drift fraction of the last released
+// one, the cached release replays and nothing is spent. Concurrent releases
+// of one query serialize among themselves (replay-cache consistency) but
+// never wait on the writer.
+func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
+	sq, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if sq.private == "" {
+		return nil, fmt.Errorf("serve: query %q has no private relation; register with Private set", id)
+	}
+	v := sq.view.Load()
+	if v.Err != nil {
+		return nil, fmt.Errorf("serve: query %q failed at epoch %d: %w", id, v.Epoch, v.Err)
+	}
+	sq.relMu.Lock()
+	defer sq.relMu.Unlock()
+	res := &ReleaseResult{Epoch: v.Epoch, SensEpoch: v.SensEpoch}
+	if sq.lastRun != nil && !drifted(v.Count, sq.lastCount, sq.drift) {
+		run := *sq.lastRun
+		mechanism.Rebase(&run, v.Count)
+		res.Run = &run
+	} else {
+		if err := sq.ledger.Spend(sq.cfg.Epsilon); err != nil {
+			return nil, err
+		}
+		sens := make([]int64, len(v.Sens))
+		copy(sens, v.Sens)
+		run, err := mechanism.Release(sens, sq.cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		sq.lastRun = run
+		sq.lastCount = v.Count
+		sq.releases++
+		out := *run
+		res.Run = &out
+		res.Fresh = true
+		res.Spent = sq.cfg.Epsilon
+	}
+	res.TotalSpent = sq.ledger.Spent()
+	res.Remaining, res.HasBudget = sq.ledger.Remaining()
+	return res, nil
+}
+
+// Queries lists the registered queries with their latest views.
+func (s *Server) Queries() []QueryInfo {
+	s.qmu.RLock()
+	sqs := make([]*servedQuery, 0, len(s.queries))
+	for _, sq := range s.queries {
+		sqs = append(sqs, sq)
+	}
+	s.qmu.RUnlock()
+	out := make([]QueryInfo, 0, len(sqs))
+	for _, sq := range sqs {
+		v := sq.view.Load()
+		info := QueryInfo{
+			ID:      sq.id,
+			Query:   sq.text,
+			Private: sq.private,
+			Epoch:   v.Epoch,
+			Failed:  v.Err != nil,
+		}
+		if v.Err == nil {
+			info.Count = v.Count
+			info.LS = v.LS.LS
+			info.Rebuilds = v.Rebuilds
+		}
+		if sq.ledger != nil {
+			info.Budget = sq.ledger.Budget()
+			info.Spent = sq.ledger.Spent()
+		}
+		sq.relMu.Lock()
+		info.Releases = sq.releases
+		sq.relMu.Unlock()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns server-wide counters.
+func (s *Server) Stats() Stats {
+	s.qmu.RLock()
+	n := len(s.queries)
+	s.qmu.RUnlock()
+	return Stats{
+		Epoch:    s.epoch.Load(),
+		Appended: s.appended.Load(),
+		Skipped:  s.skipped.Load(),
+		Queries:  n,
+	}
+}
+
+func (s *Server) lookup(id string) (*servedQuery, error) {
+	s.qmu.RLock()
+	sq, ok := s.queries[id]
+	s.qmu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoQuery, id)
+	}
+	return sq, nil
+}
+
+// writer is the single mutator: it drains the log in batches, folds each
+// batch into the master rows, patches every session, and publishes the new
+// epoch.
+func (s *Server) writer() {
+	defer s.wg.Done()
+	drained := int64(0)
+	for {
+		batch := s.nextBatch(drained)
+		if batch == nil {
+			return
+		}
+		s.stateMu.Lock()
+		valid := batch[:0:0]
+		for _, up := range batch {
+			if s.applyToMaster(up) {
+				valid = append(valid, up)
+			} else {
+				s.skipped.Add(1)
+			}
+		}
+		newEpoch := drained + int64(len(batch))
+		s.qmu.RLock()
+		sqs := make([]*servedQuery, 0, len(s.queries))
+		for _, sq := range s.queries {
+			sqs = append(sqs, sq)
+		}
+		s.qmu.RUnlock()
+		// Sessions share no mutable state, so patching fans out on fresh
+		// goroutines; each publishes its own view as soon as it is done.
+		// (Plain par.Do, not pool.Do: a session rebuild inside the patch
+		// borrows the pool itself, and pool workers must not block on
+		// nested pool waits.)
+		_ = par.Do(s.opts.Parallelism, len(sqs), func(i int) error {
+			sq := sqs[i]
+			if sq.view.Load().Err != nil {
+				return nil // failed earlier; leave the tombstone view
+			}
+			if err := sq.sess.Apply(valid); err != nil {
+				sq.view.Store(&View{Epoch: newEpoch, Err: err})
+				return nil
+			}
+			if err := sq.publish(newEpoch, s.opts.DriftFraction); err != nil {
+				sq.view.Store(&View{Epoch: newEpoch, Err: err})
+			}
+			return nil
+		})
+		// The epoch advances before stateMu releases, so a Register that
+		// takes over the lock reads an epoch consistent with the master
+		// rows it opens against.
+		s.epoch.Store(newEpoch)
+		s.stateMu.Unlock()
+		drained = newEpoch
+		s.waitMu.Lock()
+		if s.epochCh != nil {
+			close(s.epochCh)
+			s.epochCh = make(chan struct{})
+		}
+		s.waitMu.Unlock()
+	}
+}
+
+// nextBatch blocks until log entries past off exist and returns at most
+// BatchSize of them. A closed server returns nil immediately: Close drops
+// the backlog instead of making the caller wait out a full drain.
+func (s *Server) nextBatch(off int64) []relation.Update {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	for int64(len(s.log)) <= off && !s.closed {
+		s.logCond.Wait()
+	}
+	if s.closed || int64(len(s.log)) <= off {
+		return nil
+	}
+	end := int64(len(s.log))
+	if end > off+int64(s.opts.BatchSize) {
+		end = off + int64(s.opts.BatchSize)
+	}
+	return s.log[off:end]
+}
+
+// applyToMaster folds one update into the master rows, reporting false for
+// deletes of absent tuples (which the sessions must not see).
+func (s *Server) applyToMaster(up relation.Update) bool {
+	r := s.master.Relation(up.Rel)
+	pos := s.rowpos[up.Rel]
+	k := rowKey(up.Row)
+	if up.Insert {
+		pos[k] = append(pos[k], len(r.Rows))
+		r.Rows = append(r.Rows, up.Row.Clone())
+		return true
+	}
+	list := pos[k]
+	if len(list) == 0 {
+		return false
+	}
+	i := list[len(list)-1]
+	if len(list) == 1 {
+		delete(pos, k)
+	} else {
+		pos[k] = list[:len(list)-1]
+	}
+	last := len(r.Rows) - 1
+	if i != last {
+		moved := r.Rows[last]
+		r.Rows[i] = moved
+		mk := rowKey(moved)
+		ml := pos[mk]
+		for j := len(ml) - 1; j >= 0; j-- {
+			if ml[j] == last {
+				ml[j] = i
+				break
+			}
+		}
+	}
+	r.Rows = r.Rows[:last]
+	return true
+}
+
+// publish computes and stores the query's view for epoch. Only the writer
+// (or Register, under stateMu) calls it, so reading the live session here is
+// race-free. The sensitivity snapshot carries over from the previous view
+// until the count drifts past driftFrac (or the session rebuilt, which
+// costs nothing extra to re-read).
+func (sq *servedQuery) publish(epoch int64, driftFrac float64) error {
+	count := sq.sess.Count()
+	res, err := sq.sess.LS()
+	if err != nil {
+		return err
+	}
+	v := &View{Epoch: epoch, Count: count, LS: res, Rebuilds: sq.sess.Rebuilds()}
+	if sq.private != "" {
+		old := sq.view.Load()
+		if old != nil && old.Sens != nil && driftFrac >= 0 && !drifted(count, old.SensCount, driftFrac) {
+			v.Sens, v.SensEpoch, v.SensCount = old.Sens, old.SensEpoch, old.SensCount
+		} else {
+			fn, err := sq.sess.SensitivityFn(sq.private)
+			if err != nil {
+				return err
+			}
+			rows := sq.sess.Rows(sq.private)
+			sens := make([]int64, len(rows))
+			for i, row := range rows {
+				sens[i] = fn(row)
+			}
+			sort.Slice(sens, func(i, j int) bool { return sens[i] < sens[j] })
+			v.Sens, v.SensEpoch, v.SensCount = sens, epoch, count
+		}
+	}
+	sq.view.Store(v)
+	return nil
+}
+
+func drifted(cur, base int64, frac float64) bool {
+	b := base
+	if b < 0 {
+		b = -b
+	}
+	if b < 1 {
+		b = 1
+	}
+	d := cur - base
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) > frac*float64(b)
+}
+
+func rowKey(t relation.Tuple) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return string(b)
+}

@@ -1,0 +1,88 @@
+package tsens
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestServerPublicAPI drives the serving layer end to end through the
+// public surface: register, append, wait, read a view, release under a
+// budget — and cross-checks the served answers against the one-shot solver.
+func TestServerPublicAPI(t *testing.T) {
+	r1, err := NewRelation("R1", []string{"a", "b"}, []Tuple{{1, 1}, {1, 2}, {2, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRelation("R2", []string{"b", "c"}, []Tuple{{1, 1}, {2, 1}, {2, 2}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDatabase(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseQuery("q", "R1(A,B), R2(B,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(db, ServerOptions{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	id, view, err := srv.Register(ServerQuery{
+		Query:   q,
+		Private: "R2",
+		Release: TSensDPConfig{Epsilon: 1, Bound: 10},
+		Budget:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := LocalSensitivity(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Count != want.Count || view.LS.LS != want.LS {
+		t.Fatalf("initial view (%d, %d), scratch (%d, %d)", view.Count, view.LS.LS, want.Count, want.LS)
+	}
+
+	ups := []Update{
+		{Rel: "R2", Row: Tuple{2, 7}, Insert: true},
+		{Rel: "R1", Row: Tuple{1, 1}, Insert: false},
+	}
+	if _, to, err := srv.Append(ups); err != nil {
+		t.Fatal(err)
+	} else if err := srv.WaitApplied(to); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the mutated database from scratch for the cross-check.
+	r1b, _ := NewRelation("R1", []string{"a", "b"}, []Tuple{{1, 2}, {2, 2}, {2, 3}})
+	r2b, _ := NewRelation("R2", []string{"b", "c"}, []Tuple{{1, 1}, {2, 1}, {2, 2}, {3, 1}, {2, 7}})
+	db2, _ := NewDatabase(r1b, r2b)
+	want2, err := LocalSensitivity(q, db2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, epoch, err := srv.LS(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || res.Count != want2.Count || res.LS != want2.LS {
+		t.Fatalf("served (epoch %d: %d, %d), scratch (%d, %d)", epoch, res.Count, res.LS, want2.Count, want2.LS)
+	}
+
+	rel, err := srv.Release(id, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.Fresh || rel.TotalSpent != 1 {
+		t.Fatalf("release: %+v", rel)
+	}
+	if rel.Run.Noisy < 0 {
+		t.Fatalf("released value %g below the clamp", rel.Run.Noisy)
+	}
+}

@@ -27,6 +27,13 @@
 // docs/INCREMENTAL.md), and NewStreamingTSensDP layers a drift-triggered
 // ε-DP release schedule on top of it.
 //
+// NewServer turns the session engine into a long-lived serving process: one
+// shared snapshot plus an append-only update log multiplexes many
+// registered queries (one incremental session each) behind a
+// single-writer/multi-reader boundary, with budget-accounted ε-DP releases
+// and an HTTP/JSON front end (NewServerAPI, the tsens serve command; see
+// docs/SERVING.md).
+//
 // Quick start:
 //
 //	r1, _ := tsens.NewRelation("R1", []string{"a", "b"}, rows1)
@@ -54,6 +61,7 @@ import (
 	"tsens/internal/parser"
 	"tsens/internal/query"
 	"tsens/internal/relation"
+	"tsens/internal/serve"
 	"tsens/internal/workload"
 	"tsens/internal/yannakakis"
 )
@@ -140,6 +148,56 @@ type (
 	// WorkerPool is a reusable fixed-size worker pool for Options.Pool.
 	WorkerPool = par.Pool
 )
+
+// Serving types.
+type (
+	// Server is a long-lived DP query server: a shared snapshot plus an
+	// append-only update log, multiplexing registered queries (one
+	// incremental Session each) behind a single-writer/multi-reader
+	// boundary. Readers answer from atomically published epoch views and
+	// never block on update application.
+	Server = serve.Server
+	// ServerOptions configures NewServer (writer batch size, fan-out
+	// parallelism, drift gating, tombstone compaction watermark).
+	ServerOptions = serve.Options
+	// ServerQuery registers one counting query with a Server (query,
+	// solver options, private relation, release config, ε budget).
+	ServerQuery = serve.QueryConfig
+	// ServerView is one published epoch of one query: count, LS result,
+	// and the drift-gated sensitivity snapshot releases read.
+	ServerView = serve.View
+	// ServerRelease is the outcome of one budget-accounted noisy release.
+	ServerRelease = serve.ReleaseResult
+	// ServerStats summarizes writer progress (epoch, backlog, skips).
+	ServerStats = serve.Stats
+	// ServerCodec translates wire values for the HTTP API; csvio loaders
+	// implement it for dictionary-encoded snapshots.
+	ServerCodec = serve.Codec
+	// ServerAPI is the HTTP/JSON front end of a Server.
+	ServerAPI = serve.API
+	// BudgetLedger accounts cumulative ε spending against a fixed budget
+	// under sequential composition.
+	BudgetLedger = mechanism.Ledger
+)
+
+// NewServer starts a serving process over a private copy of db; register
+// queries with Server.Register, feed updates through Server.Append, and
+// read views/releases concurrently. Close it when done.
+func NewServer(db *Database, opts ServerOptions) (*Server, error) {
+	return serve.New(db, opts)
+}
+
+// NewServerAPI wraps a Server in its HTTP/JSON handler. codec may be nil
+// for integer-only data; seed makes release noise reproducible.
+func NewServerAPI(srv *Server, codec ServerCodec, seed int64) *ServerAPI {
+	return serve.NewAPI(srv, codec, seed)
+}
+
+// NewBudgetLedger returns a ledger enforcing a total ε budget (0 means
+// unlimited, only recording what is spent).
+func NewBudgetLedger(budget float64) (*BudgetLedger, error) {
+	return mechanism.NewLedger(budget)
+}
 
 // NewWorkerPool starts a pool of n persistent workers (n < 1 means
 // GOMAXPROCS) that Options.Pool can share across solver invocations and
