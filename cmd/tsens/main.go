@@ -89,7 +89,7 @@ func buildServe(args []string) (*serveCmd, error) {
 		replayN    = fs.Int("replay-batch", 32, "updates per replayed append")
 		parN       = fs.Int("parallelism", 0, "writer fan-out and session parallelism (0 = all cores)")
 		batch      = fs.Int("batch", 0, "log entries per epoch (0 = default)")
-		seed       = fs.Int64("seed", 1, "release-noise seed")
+		seed       = fs.Int64("seed", 0, "release-noise seed (0 = cryptographically random; fix only for tests)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err

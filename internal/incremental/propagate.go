@@ -49,7 +49,7 @@ type edgeKey struct {
 type tableSet struct {
 	byTable map[*relation.Counted]map[string]*relation.RowIndex
 	zeroAt  map[*relation.Counted]map[int]struct{} // rows currently at count 0
-	patched map[*relation.Counted]struct{}         // every table apply touched
+	tracked map[*relation.Counted]struct{}         // every maintained table
 	zeroes  int                                    // Σ len(zeroAt[*])
 }
 
@@ -57,18 +57,30 @@ func newTableSet() *tableSet {
 	return &tableSet{
 		byTable: make(map[*relation.Counted]map[string]*relation.RowIndex),
 		zeroAt:  make(map[*relation.Counted]map[int]struct{}),
-		patched: make(map[*relation.Counted]struct{}),
+		tracked: make(map[*relation.Counted]struct{}),
+	}
+}
+
+// track registers a maintained table at build time so it counts toward the
+// tombstone-ratio denominator whether or not an update has patched it yet —
+// a denominator of only-patched tables would let deletes confined to one
+// small component of a disconnected query cross the watermark (and rebuild)
+// after a handful of updates, regardless of how large the rest of the
+// maintained state is.
+func (ts *tableSet) track(c *relation.Counted) {
+	if c != nil {
+		ts.tracked[c] = struct{}{}
 	}
 }
 
 // tombstones returns how many maintained rows currently hold count zero.
 func (ts *tableSet) tombstones() int { return ts.zeroes }
 
-// totalRows returns the number of rows across every patched table, the
+// totalRows returns the number of rows across every maintained table, the
 // denominator of the tombstone-ratio watermark.
 func (ts *tableSet) totalRows() int {
 	n := 0
-	for c := range ts.patched {
+	for c := range ts.tracked {
 		n += len(c.Rows)
 	}
 	return n
@@ -103,7 +115,7 @@ func (ts *tableSet) apply(c, d *relation.Counted) ([]int, error) {
 	for _, ix := range ts.byTable[c] {
 		ix.Sync()
 	}
-	ts.patched[c] = struct{}{}
+	ts.tracked[c] = struct{}{}
 	zs := ts.zeroAt[c]
 	for _, r := range changed {
 		_, was := zs[r]

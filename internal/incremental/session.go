@@ -28,7 +28,6 @@
 package incremental
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"tsens/internal/core"
@@ -81,7 +80,7 @@ type Session struct {
 	memberOf map[string]memberRef
 	effPos   map[string][]int // relation → EffVars positions in atom vars
 	selFn    map[string]func(relation.Tuple) bool
-	rowsets  map[string]*rowSet
+	rowsets  map[string]*relation.RowSet
 
 	tables    *tableSet
 	plans     map[edgeKey]*relation.ExpandPlan
@@ -107,9 +106,9 @@ func Open(q *query.Query, db *relation.Database, opts Options) (*Session, error)
 		opts.BulkThreshold = DefaultBulkThreshold
 	}
 	s := &Session{q: q, opts: opts, db: db.Clone()}
-	s.rowsets = make(map[string]*rowSet, len(s.db.Names()))
+	s.rowsets = make(map[string]*relation.RowSet, len(s.db.Names()))
 	for _, name := range s.db.Names() {
-		s.rowsets[name] = newRowSet(s.db.Relation(name))
+		s.rowsets[name] = relation.NewRowSet(s.db.Relation(name))
 	}
 	if err := s.build(); err != nil {
 		return nil, err
@@ -135,7 +134,14 @@ func (s *Session) build() error {
 	s.gts = nil
 	s.memberGts = make(map[memberRef][]*gtState)
 	s.deps = make(map[*relation.Counted][]pieceRef)
+	for _, c := range sol.Bot {
+		s.tables.track(c)
+	}
+	for _, c := range sol.Top {
+		s.tables.track(c)
+	}
 	for ui, u := range sol.Units {
+		s.tables.track(u.Rel)
 		for mi, md := range u.Members {
 			ref := memberRef{ui, mi}
 			rel := md.Atom.Relation
@@ -151,6 +157,9 @@ func (s *Session) build() error {
 			}
 			s.effPos[rel] = pos
 			s.selFn[rel] = s.q.ApplySelections(md.Atom)
+			// Above the Skip guard: propagation still patches a skipped
+			// member's base, so it belongs in the watermark denominator.
+			s.tables.track(md.Base)
 			if md.Skip {
 				continue
 			}
@@ -166,6 +175,7 @@ func (s *Session) build() error {
 					keepFn: md.PredFilter(gt.Attrs),
 					plans:  make([]*relation.ExpandPlan, len(group)),
 				}
+				s.tables.track(gt)
 				s.gts = append(s.gts, st)
 				s.memberGts[ref] = append(s.memberGts[ref], st)
 				for pi, p := range group {
@@ -230,10 +240,8 @@ func (s *Session) applyRow(up Update) (memberRef, bool, error) {
 	}
 	rs := s.rowsets[up.Rel]
 	if up.Insert {
-		row := up.Row.Clone()
-		rs.add(row, len(r.Rows))
-		r.Rows = append(r.Rows, row)
-	} else if err := rs.remove(r, up.Row); err != nil {
+		rs.Insert(r, up.Row)
+	} else if err := rs.Remove(r, up.Row); err != nil {
 		return memberRef{}, false, err
 	}
 	s.updates++
@@ -416,62 +424,3 @@ func (s *Session) Rebuilds() int { return s.rebuilds }
 
 // Query returns the session's pinned query.
 func (s *Session) Query() *query.Query { return s.q }
-
-// rowSet tracks the multiset of rows of one base relation together with
-// their positions, so deletes validate membership and run in O(1)
-// (swap-remove) instead of scanning the relation.
-type rowSet struct {
-	pos map[string][]int
-}
-
-func rowKey(t relation.Tuple) string {
-	b := make([]byte, 8*len(t))
-	for i, v := range t {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
-	}
-	return string(b)
-}
-
-func newRowSet(r *relation.Relation) *rowSet {
-	rs := &rowSet{pos: make(map[string][]int, len(r.Rows))}
-	for i, t := range r.Rows {
-		rs.add(t, i)
-	}
-	return rs
-}
-
-func (rs *rowSet) add(t relation.Tuple, idx int) {
-	k := rowKey(t)
-	rs.pos[k] = append(rs.pos[k], idx)
-}
-
-// remove deletes one occurrence of t from r (swap-remove), keeping the
-// position map of the moved row accurate.
-func (rs *rowSet) remove(r *relation.Relation, t relation.Tuple) error {
-	k := rowKey(t)
-	list := rs.pos[k]
-	if len(list) == 0 {
-		return fmt.Errorf("incremental: delete of absent tuple %v from %s", t, r.Name)
-	}
-	i := list[len(list)-1]
-	if len(list) == 1 {
-		delete(rs.pos, k)
-	} else {
-		rs.pos[k] = list[:len(list)-1]
-	}
-	last := len(r.Rows) - 1
-	if i != last {
-		moved := r.Rows[last]
-		r.Rows[i] = moved
-		mk := rowKey(moved)
-		ml := rs.pos[mk]
-		for j := len(ml) - 1; j >= 0; j-- {
-			if ml[j] == last {
-				ml[j] = i
-				break
-			}
-		}
-	}
-	r.Rows = r.Rows[:last]
-	return nil
-}

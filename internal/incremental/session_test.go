@@ -508,3 +508,61 @@ func TestSessionTombstoneCompaction(t *testing.T) {
 		t.Fatal("unwatermarked session reports no tombstones after draining R2")
 	}
 }
+
+// TestSessionTombstoneRatioDisconnected pins the watermark's denominator to
+// the whole maintained state, not just the tables updates have patched:
+// deletes confined to the small component of a disconnected query are a
+// sliver of the maintained rows, so they must not cross the watermark and
+// trigger rebuilds — the failure mode is an O(|DB|) rebuild storm on the
+// per-update path.
+func TestSessionTombstoneRatioDisconnected(t *testing.T) {
+	atoms := []query.Atom{
+		{Relation: "A1", Vars: []string{"A", "B"}},
+		{Relation: "A2", Vars: []string{"B", "C"}},
+		{Relation: "B1", Vars: []string{"X", "Y"}},
+		{Relation: "B2", Vars: []string{"Y", "Z"}},
+	}
+	q, err := query.New("disc", atoms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := func(n int) []relation.Tuple {
+		out := make([]relation.Tuple, n)
+		for i := range out {
+			out[i] = relation.Tuple{int64(i), int64(i)}
+		}
+		return out
+	}
+	db, err := relation.NewDatabase(
+		relation.MustNew("A1", []string{"A", "B"}, rows(8)),
+		relation.MustNew("A2", []string{"B", "C"}, rows(8)),
+		relation.MustNew("B1", []string{"X", "Y"}, rows(400)),
+		relation.MustNew("B2", []string{"Y", "Z"}, rows(400)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Open(q, db, Options{RebuildTombstoneRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := newMirror(db)
+	sawTombstones := false
+	for step := 0; step < 6; step++ {
+		up := Update{Rel: "A1", Row: m.rows["A1"][0].Clone(), Insert: false}
+		m.apply(t, up)
+		if err := sess.Delete(up.Rel, up.Row); err != nil {
+			t.Fatal(err)
+		}
+		if sess.TombstoneRatio() > 0 {
+			sawTombstones = true
+		}
+		checkAgainstScratch(t, sess, m, core.Options{}, step)
+	}
+	if !sawTombstones {
+		t.Fatal("deletes planted no tombstones; the denominator was not exercised")
+	}
+	if n := sess.Rebuilds(); n != 0 {
+		t.Fatalf("deletes in the small component rebuilt %d times: watermark denominator ignores the large component", n)
+	}
+}

@@ -21,6 +21,8 @@ package serve
 // safe to hand an untrusted analyst is POST /queries/{id}/release.
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 
@@ -75,11 +77,19 @@ type API struct {
 }
 
 // NewAPI wraps srv in an http.Handler. codec translates wire values (nil
-// means IntCodec); seed makes release noise reproducible (use a random seed
-// in production, a fixed one in tests).
+// means IntCodec). seed seeds the release-noise source: 0 draws a
+// cryptographically random seed — the production default, since a
+// predictable seed replays the identical noise stream across restarts and
+// lets an analyst diff it away. Fix the seed only to make tests
+// reproducible.
 func NewAPI(srv *Server, codec Codec, seed int64) *API {
 	if codec == nil {
 		codec = IntCodec{}
+	}
+	if seed == 0 {
+		var b [8]byte
+		_, _ = crand.Read(b[:]) // never fails as of go 1.24
+		seed = int64(binary.LittleEndian.Uint64(b[:]))
 	}
 	a := &API{srv: srv, codec: codec, rng: rand.New(rand.NewSource(seed))}
 	mux := http.NewServeMux()
@@ -184,27 +194,24 @@ func (a *API) handleLS(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.viewJSON(id, v, r.URL.Query().Get("per_relation") == "1"))
 }
 
-type releaseRequest struct {
-	Seed *int64 `json:"seed"`
-}
-
 func (a *API) handleRelease(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	var req releaseRequest
-	if r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	// The noise source is always the server's own seeded rng: a
+	// client-chosen seed would let the analyst predict the Laplace noise
+	// of a fresh release, voiding the DP guarantee this endpoint exists
+	// to provide. Reject any body outright so clients of the removed
+	// {"seed": N} parameter get a loud incompatibility, not silently
+	// different semantics.
+	if body := make([]byte, 1); r.Body != nil {
+		if n, _ := r.Body.Read(body); n > 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("release takes no request body (client-supplied seeds are not accepted)"))
 			return
 		}
 	}
-	var rng *rand.Rand
-	if req.Seed != nil {
-		rng = rand.New(rand.NewSource(*req.Seed))
-	} else {
-		a.rngMu.Lock()
-		rng = rand.New(rand.NewSource(a.rng.Int63()))
-		a.rngMu.Unlock()
-	}
+	a.rngMu.Lock()
+	rng := rand.New(rand.NewSource(a.rng.Int63()))
+	a.rngMu.Unlock()
 	res, err := a.srv.Release(id, rng)
 	if err != nil {
 		status := http.StatusUnprocessableEntity

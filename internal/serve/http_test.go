@@ -111,7 +111,7 @@ func TestAPIEndToEnd(t *testing.T) {
 	}
 
 	// Releases: fresh then replay, budget visible.
-	rel1 := doJSON(t, "POST", ts.URL+"/queries/path/release", map[string]any{"seed": 7}, http.StatusOK)
+	rel1 := doJSON(t, "POST", ts.URL+"/queries/path/release", nil, http.StatusOK)
 	if rel1["fresh"] != true || rel1["spent"] != float64(1) || rel1["remaining"] != float64(1) {
 		t.Fatalf("first release: %v", rel1)
 	}
@@ -119,6 +119,9 @@ func TestAPIEndToEnd(t *testing.T) {
 	if rel2["fresh"] != false || rel2["noisy"] != rel1["noisy"] {
 		t.Fatalf("replay release: %v", rel2)
 	}
+	// The removed client-seed parameter (any request body) is rejected
+	// loudly rather than silently ignored.
+	doJSON(t, "POST", ts.URL+"/queries/path/release", map[string]any{"seed": 7}, http.StatusBadRequest)
 
 	// Listing and epoch.
 	list := doJSON(t, "GET", ts.URL+"/queries", nil, http.StatusOK)

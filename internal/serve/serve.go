@@ -35,7 +35,6 @@
 package serve
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -140,8 +139,8 @@ type View struct {
 	LS *core.Result
 	// Sens is the sorted per-tuple sensitivity vector of the private
 	// relation, taken at SensEpoch (≤ Epoch; refreshed when the count
-	// drifts). Nil when the query has no private relation. Treat as
-	// read-only — releases copy it.
+	// drifts or the session rebuilds). Nil when the query has no private
+	// relation. Treat as read-only — releases copy it.
 	Sens      []int64
 	SensEpoch int64
 	// SensCount is |Q(D)| at SensEpoch, the drift baseline.
@@ -234,11 +233,12 @@ type Server struct {
 	logMu   sync.Mutex
 	logCond *sync.Cond
 	log     []relation.Update
+	logBase int64 // absolute log sequence number of log[0]
 	closed  bool
 
 	stateMu sync.Mutex
 	master  *relation.Database
-	rowpos  map[string]map[string][]int // relation → row key → positions
+	rowpos  map[string]*relation.RowSet
 	nextID  int
 
 	qmu     sync.RWMutex
@@ -269,15 +269,9 @@ func New(db *relation.Database, opts Options) (*Server, error) {
 		done:    make(chan struct{}),
 	}
 	s.logCond = sync.NewCond(&s.logMu)
-	s.rowpos = make(map[string]map[string][]int, len(s.master.Names()))
+	s.rowpos = make(map[string]*relation.RowSet, len(s.master.Names()))
 	for _, name := range s.master.Names() {
-		r := s.master.Relation(name)
-		pos := make(map[string][]int, len(r.Rows))
-		for i, t := range r.Rows {
-			k := rowKey(t)
-			pos[k] = append(pos[k], i)
-		}
-		s.rowpos[name] = pos
+		s.rowpos[name] = relation.NewRowSet(s.master.Relation(name))
 	}
 	if opts.Pool != nil {
 		s.pool = opts.Pool
@@ -665,65 +659,52 @@ func (s *Server) writer() {
 // nextBatch blocks until log entries past off exist and returns at most
 // BatchSize of them. A closed server returns nil immediately: Close drops
 // the backlog instead of making the caller wait out a full drain.
+//
+// It also compacts the log: everything before off has been drained and is
+// never read again (the writer processed the previous batch fully before
+// calling back in), so once the drained prefix dominates the slice the
+// undrained tail moves to a fresh allocation and logBase advances. The
+// half-full trigger amortizes the copy to O(1) per entry while keeping a
+// long-lived server's log proportional to its backlog, not its history.
 func (s *Server) nextBatch(off int64) []relation.Update {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
-	for int64(len(s.log)) <= off && !s.closed {
+	if pre := off - s.logBase; pre > 0 && 2*pre >= int64(len(s.log)) {
+		s.log = append([]relation.Update(nil), s.log[pre:]...)
+		s.logBase = off
+	}
+	for s.logBase+int64(len(s.log)) <= off && !s.closed {
 		s.logCond.Wait()
 	}
-	if s.closed || int64(len(s.log)) <= off {
+	if s.closed || s.logBase+int64(len(s.log)) <= off {
 		return nil
 	}
+	start := off - s.logBase
 	end := int64(len(s.log))
-	if end > off+int64(s.opts.BatchSize) {
-		end = off + int64(s.opts.BatchSize)
+	if end > start+int64(s.opts.BatchSize) {
+		end = start + int64(s.opts.BatchSize)
 	}
-	return s.log[off:end]
+	return s.log[start:end]
 }
 
 // applyToMaster folds one update into the master rows, reporting false for
 // deletes of absent tuples (which the sessions must not see).
 func (s *Server) applyToMaster(up relation.Update) bool {
 	r := s.master.Relation(up.Rel)
-	pos := s.rowpos[up.Rel]
-	k := rowKey(up.Row)
+	rs := s.rowpos[up.Rel]
 	if up.Insert {
-		pos[k] = append(pos[k], len(r.Rows))
-		r.Rows = append(r.Rows, up.Row.Clone())
+		rs.Insert(r, up.Row)
 		return true
 	}
-	list := pos[k]
-	if len(list) == 0 {
-		return false
-	}
-	i := list[len(list)-1]
-	if len(list) == 1 {
-		delete(pos, k)
-	} else {
-		pos[k] = list[:len(list)-1]
-	}
-	last := len(r.Rows) - 1
-	if i != last {
-		moved := r.Rows[last]
-		r.Rows[i] = moved
-		mk := rowKey(moved)
-		ml := pos[mk]
-		for j := len(ml) - 1; j >= 0; j-- {
-			if ml[j] == last {
-				ml[j] = i
-				break
-			}
-		}
-	}
-	r.Rows = r.Rows[:last]
-	return true
+	return rs.TryRemove(r, up.Row)
 }
 
 // publish computes and stores the query's view for epoch. Only the writer
 // (or Register, under stateMu) calls it, so reading the live session here is
 // race-free. The sensitivity snapshot carries over from the previous view
-// until the count drifts past driftFrac (or the session rebuilt, which
-// costs nothing extra to re-read).
+// until the count drifts past driftFrac or the session rebuilt (a rebuild
+// re-materializes the private relation, so the old per-row vector may no
+// longer describe it).
 func (sq *servedQuery) publish(epoch int64, driftFrac float64) error {
 	count := sq.sess.Count()
 	res, err := sq.sess.LS()
@@ -733,7 +714,8 @@ func (sq *servedQuery) publish(epoch int64, driftFrac float64) error {
 	v := &View{Epoch: epoch, Count: count, LS: res, Rebuilds: sq.sess.Rebuilds()}
 	if sq.private != "" {
 		old := sq.view.Load()
-		if old != nil && old.Sens != nil && driftFrac >= 0 && !drifted(count, old.SensCount, driftFrac) {
+		if old != nil && old.Sens != nil && old.Rebuilds == v.Rebuilds &&
+			driftFrac >= 0 && !drifted(count, old.SensCount, driftFrac) {
 			v.Sens, v.SensEpoch, v.SensCount = old.Sens, old.SensEpoch, old.SensCount
 		} else {
 			fn, err := sq.sess.SensitivityFn(sq.private)
@@ -766,12 +748,4 @@ func drifted(cur, base int64, frac float64) bool {
 		d = -d
 	}
 	return float64(d) > frac*float64(b)
-}
-
-func rowKey(t relation.Tuple) string {
-	b := make([]byte, 8*len(t))
-	for i, v := range t {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
-	}
-	return string(b)
 }

@@ -519,3 +519,83 @@ func TestServeRegisterValidation(t *testing.T) {
 	}
 }
 
+// TestServeLogCompaction checks that the drained prefix of the update log
+// is released instead of retained for the lifetime of the server: after a
+// long applied stream, the retained slice must cover only the tail.
+func TestServeLogCompaction(t *testing.T) {
+	db := testDB(t, 10, 3, 31, "R1", "R2", "R3")
+	srv, err := New(db, Options{Parallelism: 2, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, _, err := srv.Register(QueryConfig{ID: "q", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.UpdateStream(db, 200, 0.4, 17)
+	for off := 0; off < len(stream); off += 8 {
+		end := off + 8
+		if end > len(stream) {
+			end = len(stream)
+		}
+		_, to, err := srv.Append(stream[off:end])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.WaitApplied(to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.logMu.Lock()
+	base, live := srv.logBase, len(srv.log)
+	srv.logMu.Unlock()
+	if base < int64(len(stream))-16 {
+		t.Fatalf("log base %d after %d drained entries: prefix not compacted", base, len(stream))
+	}
+	if live > 16 {
+		t.Fatalf("retained %d log entries with an empty backlog", live)
+	}
+}
+
+// TestServeSensRefreshAfterRebuild checks that a session rebuild (here a
+// bulk batch) invalidates the carried-over sensitivity snapshot even when
+// the count has not drifted: the post-rebuild view must be re-read.
+func TestServeSensRefreshAfterRebuild(t *testing.T) {
+	db := testDB(t, 12, 3, 7, "R1", "R2", "R3")
+	// A huge drift gate makes the rebuild check the only refresh trigger,
+	// and BatchSize ≥ BulkThreshold makes every full drained batch rebuild.
+	srv, err := New(db, Options{Parallelism: 2, BatchSize: 8, BulkThreshold: 4, DriftFraction: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	id, v0, err := srv.Register(QueryConfig{
+		Query:   pathQuery(t),
+		Private: "R2",
+		Release: mechanism.TSensDPConfig{Epsilon: 1, Bound: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := make([]relation.Update, 8)
+	for i := range ups {
+		ups[i] = relation.Update{Rel: "R1", Row: relation.Tuple{int64(i % 3), int64(i % 3)}, Insert: true}
+	}
+	_, to, err := srv.Append(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitApplied(to); err != nil {
+		t.Fatal(err)
+	}
+	v, err := srv.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rebuilds <= v0.Rebuilds {
+		t.Fatalf("bulk batch did not rebuild (rebuilds %d -> %d)", v0.Rebuilds, v.Rebuilds)
+	}
+	if v.SensEpoch != v.Epoch {
+		t.Fatalf("post-rebuild view kept the snapshot of epoch %d (view epoch %d)", v.SensEpoch, v.Epoch)
+	}
+}

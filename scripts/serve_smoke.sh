@@ -77,7 +77,7 @@ if [ "$got_count" != "$want_count" ] || [ "$got_ls" != "$want_ls" ]; then
 fi
 
 echo "--- DP release: fresh then free replay, budget visible"
-rel1=$(curl -fsS -X POST "$BASE/queries/tri/release" -d '{"seed": 1}')
+rel1=$(curl -fsS -X POST "$BASE/queries/tri/release")
 echo "$rel1" | jq -c .
 [ "$(echo "$rel1" | jq -r .fresh)" = "true" ] || { echo "FAIL: first release not fresh"; exit 1; }
 rel2=$(curl -fsS -X POST "$BASE/queries/tri/release")

@@ -188,7 +188,9 @@ func NewServer(db *Database, opts ServerOptions) (*Server, error) {
 }
 
 // NewServerAPI wraps a Server in its HTTP/JSON handler. codec may be nil
-// for integer-only data; seed makes release noise reproducible.
+// for integer-only data. A seed of 0 draws a cryptographically random
+// release-noise seed (the production default); fix it only to make tests
+// reproducible.
 func NewServerAPI(srv *Server, codec ServerCodec, seed int64) *ServerAPI {
 	return serve.NewAPI(srv, codec, seed)
 }
