@@ -5,7 +5,7 @@
 //
 //	tsens -data ./mydata -query "R1(A,B), R2(B,C) where R2.C >= 5" [flags]
 //	tsens updates -data ./mydata -query "R1(A,B), R2(B,C)" [-stream f] [-batch n]
-//	tsens serve -data ./mydata [-addr host:port] [-query ... -private R2] [-replay f]
+//	tsens serve -data ./mydata [-addr host:port] [-query ... -private R2] [-replay f] [-shards n]
 //
 // The data directory holds one <RelationName>.csv file per relation, first
 // row being the column names. Values may be integers or arbitrary strings
@@ -20,7 +20,11 @@
 // The serve subcommand starts the long-lived DP query server over the
 // snapshot: registered queries are maintained incrementally under a live
 // update log and answered concurrently over an HTTP/JSON API, with
-// budget-accounted ε-DP releases (see docs/SERVING.md).
+// budget-accounted ε-DP releases (see docs/SERVING.md). The write path is
+// sharded (-shards): updates route to per-shard writers by the hash of
+// their relation's routing column (-partition), and queries sharing a
+// variable across all atoms at those columns are maintained as one
+// sub-session per shard.
 package main
 
 import (
@@ -87,8 +91,10 @@ func buildServe(args []string) (*serveCmd, error) {
 		budget     = fs.Float64("budget", 0, "total ε budget of the startup query (0 = unlimited)")
 		replayFile = fs.String("replay", "", "feed this "+csvio.UpdatesFileName+" stream through the update log")
 		replayN    = fs.Int("replay-batch", 32, "updates per replayed append")
-		parN       = fs.Int("parallelism", 0, "writer fan-out and session parallelism (0 = all cores)")
+		parN       = fs.Int("parallelism", 0, "per-shard fan-out and session parallelism (0 = all cores)")
 		batch      = fs.Int("batch", 0, "log entries per epoch (0 = default)")
+		shards     = fs.Int("shards", 0, "write-path shards (0 = GOMAXPROCS-bounded default, 1 = single writer)")
+		partition  = fs.String("partition", "", `routing columns per relation, e.g. "R1=1,R2=0" (default: column 0)`)
 		seed       = fs.Int64("seed", 0, "release-noise seed (0 = cryptographically random; fix only for tests)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -103,7 +109,16 @@ func buildServe(args []string) (*serveCmd, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv, err := serve.New(db, serve.Options{Parallelism: *parN, BatchSize: *batch})
+	pcols, err := parsePartition(*partition)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.New(db, serve.Options{
+		Parallelism:      *parN,
+		BatchSize:        *batch,
+		Shards:           *shards,
+		PartitionColumns: pcols,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -506,6 +521,30 @@ func renderTuple(loader *csvio.Loader, tr *core.TupleResult) string {
 		mode = "in database (delete or insert)"
 	}
 	return fmt.Sprintf("%s(%s)  δ=%d  [%s]", tr.Relation, strings.Join(parts, ", "), tr.Sensitivity, mode)
+}
+
+// parsePartition parses the -partition spec ("R1=1,R2=0") into the routing
+// columns the sharded write path hashes on.
+func parsePartition(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, field := range strings.Split(spec, ",") {
+		rel, colText, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok || rel == "" {
+			return nil, fmt.Errorf(`-partition: field %q is not "Relation=column"`, field)
+		}
+		col, err := strconv.Atoi(colText)
+		if err != nil {
+			return nil, fmt.Errorf("-partition: column of %q: %w", rel, err)
+		}
+		if _, dup := out[rel]; dup {
+			return nil, fmt.Errorf("-partition: relation %q listed twice", rel)
+		}
+		out[rel] = col
+	}
+	return out, nil
 }
 
 func parseBags(spec string) ([][]int, error) {

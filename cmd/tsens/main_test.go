@@ -162,6 +162,83 @@ func TestBuildServe(t *testing.T) {
 	}
 }
 
+func TestParsePartition(t *testing.T) {
+	got, err := parsePartition("R1=1, R2=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, map[string]int{"R1": 1, "R2": 0}) {
+		t.Fatalf("parsePartition: %v", got)
+	}
+	if got, err := parsePartition(""); err != nil || got != nil {
+		t.Fatalf("empty spec: %v, %v", got, err)
+	}
+	for _, bad := range []string{"R1", "R1=x", "=1", "R1=1,R1=2"} {
+		if _, err := parsePartition(bad); err == nil {
+			t.Fatalf("bad spec %q accepted", bad)
+		}
+	}
+}
+
+// TestBuildServeSharded starts the CLI server with an explicit shard count
+// and aligned routing columns, so the startup query is maintained as one
+// sub-session per shard, and checks the /epoch shard fields.
+func TestBuildServeSharded(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("R1.csv", "a,b\n1,1\n1,2\n2,2\n3,1\n")
+	writeFile("R2.csv", "b,c\n1,4\n2,4\n2,5\n1,6\n")
+
+	cmd, err := buildServe([]string{
+		"-data", dir,
+		"-addr", "127.0.0.1:0",
+		"-query", "R1(A,B), R2(B,C)",
+		"-id", "demo",
+		"-shards", "2",
+		"-partition", "R1=1,R2=0", // align both atoms on the join variable B
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.srv.Close()
+	defer cmd.ln.Close()
+	if got := cmd.srv.NumShards(); got != 2 {
+		t.Fatalf("NumShards = %d, want 2", got)
+	}
+	if infos := cmd.srv.Queries(); len(infos) != 1 || infos[0].Parts != 2 {
+		t.Fatalf("startup query not partitioned: %+v", infos)
+	}
+
+	ts := httptest.NewServer(cmd.api)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ep struct {
+		Shards     int     `json:"shards"`
+		Watermarks []int64 `json:"watermarks"`
+		Joined     int64   `json:"joined"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ep); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Shards != 2 || len(ep.Watermarks) != 2 {
+		t.Fatalf("/epoch shard fields: %+v", ep)
+	}
+
+	// A bad partition spec fails at startup, not at first update.
+	if _, err := buildServe([]string{"-data", dir, "-addr", "127.0.0.1:0", "-partition", "R1=9"}); err == nil {
+		t.Fatal("out-of-range partition column accepted")
+	}
+}
+
 func TestBuildServeValidation(t *testing.T) {
 	if _, err := buildServe([]string{"-addr", "127.0.0.1:0"}); err == nil {
 		t.Fatal("missing -data accepted")

@@ -396,6 +396,16 @@ func (s *Session) SensitivityFn(rel string) (core.SensitivityFn, error) {
 		func() int64 { return s.sol.ScaleFor(ref.ui) }, groups), nil
 }
 
+// Has reports whether the session's database currently holds at least one
+// occurrence of row in the named relation — one hash probe against the
+// maintained row multiset. The serving layer uses it to replay skipped
+// deletes consistently when catching a freshly-opened session up to the
+// live epoch.
+func (s *Session) Has(rel string, row relation.Tuple) bool {
+	rs := s.rowsets[rel]
+	return rs != nil && rs.Contains(row)
+}
+
 // Rows returns the current rows of the named relation (a live, read-only
 // view of the session's database), or nil for unknown relations.
 func (s *Session) Rows(rel string) []relation.Tuple {

@@ -1,0 +1,199 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+func starQuery(t *testing.T) *query.Query {
+	t.Helper()
+	q, err := query.New("star", []query.Atom{
+		{Relation: "S1", Vars: []string{"A", "B"}},
+		{Relation: "S2", Vars: []string{"A", "C"}},
+		{Relation: "S3", Vars: []string{"A", "D"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func col0(string) int { return 0 }
+
+func TestPartitionVar(t *testing.T) {
+	if v, ok := PartitionVar(starQuery(t), col0); !ok || v != "A" {
+		t.Fatalf("star query: (%q, %v), want (A, true)", v, ok)
+	}
+	path, err := query.New("path", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := PartitionVar(path, col0); ok {
+		t.Fatal("path query must not be partitionable on column 0")
+	}
+	// With per-relation columns aligned on the join variable it is.
+	if v, ok := PartitionVar(path, func(rel string) int {
+		if rel == "R1" {
+			return 1
+		}
+		return 0
+	}); !ok || v != "B" {
+		t.Fatalf("aligned path query: (%q, %v), want (B, true)", v, ok)
+	}
+	// Out-of-range routing column: not partitionable.
+	if _, ok := PartitionVar(path, func(string) int { return 7 }); ok {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+// TestShardedSessionsDifferential is the partitioning soundness test: N
+// sub-sessions over hash-partitioned sub-databases, fed only their routed
+// updates, must merge to exactly the one-shot LocalSensitivity of the full
+// database after every step.
+func TestShardedSessionsDifferential(t *testing.T) {
+	const (
+		shards = 4
+		nUpds  = 60
+	)
+	rng := rand.New(rand.NewSource(41))
+	mkRel := func(name string, n int) *relation.Relation {
+		rows := make([]relation.Tuple, n)
+		for i := range rows {
+			rows[i] = relation.Tuple{int64(rng.Intn(8)), int64(rng.Intn(5))}
+		}
+		return relation.MustNew(name, []string{name + "_k", name + "_v"}, rows)
+	}
+	db := relation.MustNewDatabase(mkRel("S1", 20), mkRel("S2", 18), mkRel("S3", 15))
+	q := starQuery(t)
+	if _, ok := PartitionVar(q, col0); !ok {
+		t.Fatal("fixture query must be partitionable")
+	}
+
+	subs, err := SplitDatabase(db, col0, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessions := make([]*Session, shards)
+	for i, sub := range subs {
+		if sessions[i], err = Open(q, sub, Options{}); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+
+	cur := db.Clone()
+	rowpos := make(map[string]*relation.RowSet)
+	for _, name := range cur.Names() {
+		rowpos[name] = relation.NewRowSet(cur.Relation(name))
+	}
+	for step := 0; step < nUpds; step++ {
+		rel := []string{"S1", "S2", "S3"}[rng.Intn(3)]
+		r := cur.Relation(rel)
+		up := relation.Update{Rel: rel, Row: relation.Tuple{int64(rng.Intn(8)), int64(rng.Intn(5))}, Insert: true}
+		if len(r.Rows) > 0 && rng.Intn(2) == 0 {
+			up = relation.Update{Rel: rel, Row: r.Rows[rng.Intn(len(r.Rows))].Clone(), Insert: false}
+		}
+		if up.Insert {
+			rowpos[rel].Insert(r, up.Row)
+		} else if err := rowpos[rel].Remove(r, up.Row); err != nil {
+			t.Fatal(err)
+		}
+		shard := relation.Shard(up.Row[0], shards)
+		if err := sessions[shard].Apply([]Update{up}); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+
+		parts := make([]*core.Result, shards)
+		var count int64
+		for i, sess := range sessions {
+			if parts[i], err = sess.LS(); err != nil {
+				t.Fatalf("step %d shard %d: %v", step, i, err)
+			}
+			count += sess.Count()
+		}
+		merged := MergeResults(parts)
+		want, err := core.LocalSensitivity(q, cur, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if merged.Count != want.Count || count != want.Count {
+			t.Fatalf("step %d: merged count %d (Σ %d), scratch %d", step, merged.Count, count, want.Count)
+		}
+		if merged.LS != want.LS {
+			t.Fatalf("step %d: merged LS %d, scratch %d", step, merged.LS, want.LS)
+		}
+		for rel, tr := range want.PerRelation {
+			got, ok := merged.PerRelation[rel]
+			if !ok || got.Sensitivity != tr.Sensitivity {
+				t.Fatalf("step %d: relation %s sensitivity %v, scratch %d", step, rel, got, tr.Sensitivity)
+			}
+		}
+	}
+}
+
+func TestSplitDatabaseCoversEveryRow(t *testing.T) {
+	db := relation.MustNewDatabase(
+		relation.MustNew("S1", []string{"k", "v"}, []relation.Tuple{{1, 1}, {2, 2}, {3, 3}}),
+		relation.MustNew("S2", []string{"k", "v"}, []relation.Tuple{{1, 9}}),
+	)
+	subs, err := SplitDatabase(db, col0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, sub := range subs {
+		for _, name := range sub.Names() {
+			for _, row := range sub.Relation(name).Rows {
+				if relation.Shard(row[0], 3) != i {
+					t.Fatalf("row %v of %s in sub-db %d, owner %d", row, name, i, relation.Shard(row[0], 3))
+				}
+				total++
+			}
+		}
+	}
+	if total != 4 {
+		t.Fatalf("sub-databases hold %d rows, want 4", total)
+	}
+}
+
+func TestSessionHas(t *testing.T) {
+	db := relation.MustNewDatabase(
+		relation.MustNew("S1", []string{"k", "v"}, []relation.Tuple{{1, 1}}),
+		relation.MustNew("S2", []string{"k", "v"}, nil),
+	)
+	q, err := query.New("q", []query.Atom{
+		{Relation: "S1", Vars: []string{"A", "B"}},
+		{Relation: "S2", Vars: []string{"A", "C"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("S1", relation.Tuple{1, 1}) || s.Has("S2", relation.Tuple{1, 1}) {
+		t.Fatal("Has disagrees with the snapshot")
+	}
+	if err := s.Insert("S2", relation.Tuple{1, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("S2", relation.Tuple{1, 7}) {
+		t.Fatal("Has missed an inserted row")
+	}
+	if err := s.Delete("S1", relation.Tuple{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("S1", relation.Tuple{1, 1}) {
+		t.Fatal("Has reports a deleted row")
+	}
+	if s.Has("NOPE", relation.Tuple{1}) {
+		t.Fatal("unknown relation reported present")
+	}
+}

@@ -2,9 +2,13 @@ package mechanism
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/relation"
 )
 
 func TestLedgerAccounting(t *testing.T) {
@@ -83,6 +87,167 @@ func TestLedgerConcurrentSpend(t *testing.T) {
 	if admitted != 50 {
 		t.Fatalf("admitted %d spends of 0.1 against budget 5.0, want 50", admitted)
 	}
+}
+
+// TestLedgerPropertyRandomSpends drives many random spend sequences against
+// random budgets and asserts the ledger invariants after every step: the
+// budget never goes negative (Remaining ≥ 0 and Spent ≤ Budget, up to the
+// overdraw tolerance), refused spends leave the ledger untouched, and
+// Spent always equals the sum of admitted debits exactly as reported.
+func TestLedgerPropertyRandomSpends(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		budget := float64(rng.Intn(20)) / 2 // 0 (unlimited) … 9.5
+		l, err := NewLedger(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model float64
+		admits := 0
+		for step := 0; step < 40; step++ {
+			eps := float64(1+rng.Intn(40)) / 10 // 0.1 … 4.0
+			before := l.Spent()
+			if err := l.Spend(eps); err != nil {
+				if !errors.Is(err, ErrBudgetExhausted) {
+					t.Fatalf("trial %d: unexpected error %v", trial, err)
+				}
+				if budget == 0 {
+					t.Fatalf("trial %d: unlimited ledger refused a spend", trial)
+				}
+				if after := l.Spent(); after != before {
+					t.Fatalf("trial %d: refused spend moved the ledger %g -> %g", trial, before, after)
+				}
+				continue
+			}
+			model += eps
+			admits++
+			if budget > 0 && l.Spent() > budget+1e-9 {
+				t.Fatalf("trial %d: budget overdrawn: spent %g of %g", trial, l.Spent(), budget)
+			}
+			if rem, ok := l.Remaining(); ok && rem < -1e-9 {
+				t.Fatalf("trial %d: negative remainder %g", trial, rem)
+			}
+		}
+		if got := l.Spent(); got != model {
+			t.Fatalf("trial %d: Spent %g, model %g", trial, got, model)
+		}
+		if l.Spends() != admits {
+			t.Fatalf("trial %d: Spends %d, model %d", trial, l.Spends(), admits)
+		}
+	}
+}
+
+// TestLedgerConcurrentMixedSpends races goroutines spending *different*
+// amounts: whatever interleaving wins, the admitted total must respect the
+// budget and equal the final Spent().
+func TestLedgerConcurrentMixedSpends(t *testing.T) {
+	l, err := NewLedger(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total float64
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				eps := float64(1+rng.Intn(30)) / 10
+				if l.Spend(eps) == nil {
+					mu.Lock()
+					total += eps
+					mu.Unlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if total > 10+1e-9 {
+		t.Fatalf("concurrent spends overdrew the budget: %g of 10", total)
+	}
+	// Ledger and model sum the same admitted debits in possibly different
+	// orders; float addition is non-associative, so compare with tolerance.
+	if got := l.Spent(); math.Abs(got-total) > 1e-9 {
+		t.Fatalf("Spent %g, admitted sum %g", got, total)
+	}
+}
+
+// TestLedgerReplayChargesOnce pairs a ledger with the streaming replay
+// loop the serving layer uses: answers replayed while the count has not
+// drifted must charge the ledger exactly once per fresh release, no matter
+// how many times the answer is read.
+func TestLedgerReplayChargesOnce(t *testing.T) {
+	l, err := NewLedger(2) // room for exactly two fresh releases
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count agrees with Σ sens, as it does for a real session (every output
+	// tuple passes one private row).
+	src := &fakeSource{count: 40, sens: []int64{10, 10, 10, 10}}
+	st, err := NewStreamingTSensDP(src, "R", StreamingTSensDPConfig{
+		TSensDPConfig: TSensDPConfig{Epsilon: 1, Bound: 10},
+		DriftFraction: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	answer := func() bool {
+		t.Helper()
+		_, fresh, err := st.Answer(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh {
+			if err := l.Spend(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fresh
+	}
+	if !answer() {
+		t.Fatal("first answer must be fresh")
+	}
+	for i := 0; i < 25; i++ {
+		src.count = 40 + int64(i%4) // oscillates inside the 10% drift gate
+		if answer() {
+			t.Fatalf("replay %d charged a fresh release without drift", i)
+		}
+	}
+	if l.Spent() != 1 || st.Releases() != 1 {
+		t.Fatalf("spent %g over %d releases after replays, want exactly one", l.Spent(), st.Releases())
+	}
+	src.count = 400 // past the gate: the next answer is fresh and charged
+	if !answer() {
+		t.Fatal("drifted answer must be fresh")
+	}
+	if l.Spent() != 2 || st.Releases() != 2 {
+		t.Fatalf("spent %g over %d releases after drift, want exactly two", l.Spent(), st.Releases())
+	}
+}
+
+// fakeSource is a SensitivitySource with a settable count: the replay gate
+// only reads Count until it drifts, so the sensitivity vector can stay
+// fixed.
+type fakeSource struct {
+	count int64
+	sens  []int64
+}
+
+func (f *fakeSource) Count() int64 { return f.count }
+func (f *fakeSource) Rows(string) []relation.Tuple {
+	rows := make([]relation.Tuple, len(f.sens))
+	for i := range rows {
+		rows[i] = relation.Tuple{int64(i)}
+	}
+	return rows
+}
+func (f *fakeSource) SensitivityFn(string) (core.SensitivityFn, error) {
+	return func(t relation.Tuple) int64 { return f.sens[t[0]] }, nil
 }
 
 // TestReleaseMatchesTSensDP checks the exported Release against the full

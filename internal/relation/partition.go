@@ -1,0 +1,56 @@
+package relation
+
+// Hash partitioning of relations by one key column, the routing primitive
+// of the sharded serving layer: an update to relation R is owned by shard
+// Shard(row[pcol(R)], n), and a relation split with Partition on the same
+// column puts every row in exactly the shard that owns its updates. The
+// hash is fixed (not seeded per process) so that routing is stable across
+// a server's lifetime and across the differential test's replays.
+
+// Shard maps a key value to a shard index in [0, n). n below 2 always
+// returns 0 (the single-shard degenerate case). The mix step is the
+// splitmix64 finalizer, so adjacent int64 keys (the common case for
+// dictionary-encoded values and synthetic workloads) spread uniformly
+// instead of striding.
+func Shard(v int64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(v)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// Partition splits r into n relations by Shard of the value in column col;
+// partition i holds exactly the rows owned by shard i, in r's row order.
+// Tuples are shared with r, not cloned — callers that mutate partitions
+// (incremental sessions) clone on open. An out-of-range column puts every
+// row in partition 0, matching the router's fallback for unpartitionable
+// relations.
+func (r *Relation) Partition(col, n int) []*Relation {
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]*Relation, n)
+	rows := make([][]Tuple, n)
+	for _, t := range r.Rows {
+		i := 0
+		if col >= 0 && col < len(t) {
+			i = Shard(t[col], n)
+		}
+		rows[i] = append(rows[i], t)
+	}
+	for i := range parts {
+		parts[i] = &Relation{Name: r.Name, Attrs: append([]string(nil), r.Attrs...), Rows: rows[i]}
+	}
+	return parts
+}
+
+// Contains reports whether at least one occurrence of t is indexed.
+func (rs *RowSet) Contains(t Tuple) bool {
+	return len(rs.pos[rowSetKey(t)]) > 0
+}

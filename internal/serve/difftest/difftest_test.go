@@ -1,0 +1,67 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shardCounts returns the shard matrix: TSENS_TEST_SHARDS (comma-separated)
+// or the default 1,4 — shard=1 keeps covering the legacy single-writer
+// pipeline, 4 the partitioned one.
+func shardCounts(t *testing.T) []int {
+	spec := os.Getenv("TSENS_TEST_SHARDS")
+	if spec == "" {
+		spec = "1,4"
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			t.Fatalf("TSENS_TEST_SHARDS: bad field %q", f)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// seed returns TSENS_DIFF_SEED when set (replaying a recorded failure), or
+// a fresh time-derived seed. The seed is logged and embedded in every
+// failure message.
+func seed(t *testing.T) int64 {
+	if spec := os.Getenv("TSENS_DIFF_SEED"); spec != "" {
+		s, err := strconv.ParseInt(spec, 10, 64)
+		if err != nil {
+			t.Fatalf("TSENS_DIFF_SEED: %v", err)
+		}
+		return s
+	}
+	return time.Now().UnixNano()
+}
+
+func TestServeDifferentialRandomized(t *testing.T) {
+	s := seed(t)
+	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
+	for _, shards := range shardCounts(t) {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			Run(t, Config{Seed: s, Shards: shards})
+		})
+	}
+}
+
+// TestServeDifferentialPinned replays two fixed seeds so every CI run —
+// even without the env matrix — covers a deterministic script at both
+// shard extremes.
+func TestServeDifferentialPinned(t *testing.T) {
+	for _, c := range []Config{
+		{Seed: 1, Shards: 1},
+		{Seed: 2, Shards: 4},
+	} {
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", c.Seed, c.Shards), func(t *testing.T) {
+			Run(t, c)
+		})
+	}
+}

@@ -12,9 +12,16 @@ package serve
 //	GET    /epoch                writer progress
 //	GET    /healthz              liveness
 //
-// Reads answer from published epoch views and never wait on the writer;
-// POST /updates?wait=1 (or "wait": true) blocks until the appended entries
-// are live, giving read-your-writes to the caller that needs it.
+// Reads answer from published epoch views and never wait on the writers;
+// POST /updates?wait=1 (or "wait": true) blocks until the shards owning the
+// appended entries have folded them (their watermarks cover the range;
+// within the current round this never waits on a shard the updates don't
+// touch, though entries past the round's cut wait for the coordinator to
+// start the next round), and ?wait=epoch (or
+// "wait_epoch": true) blocks until the joined cut reaches them, so a
+// subsequent view read is guaranteed to reflect them. /epoch reports the
+// joined cut next to the per-shard watermarks; the "epoch" field of every
+// response is always a consistent cut, never one shard's progress.
 //
 // GET /queries/{id}/ls exposes exact counts and sensitivities — it exists
 // for the trusted operator and for differential testing. The only output
@@ -253,13 +260,17 @@ type updateJSON struct {
 
 type updatesRequest struct {
 	Updates []updateJSON `json:"updates"`
-	Wait    bool         `json:"wait"`
+	// Wait blocks the response until the owning shards' watermarks cover
+	// the appended range; WaitEpoch until the published consistent cut
+	// does (read-your-writes for subsequent view reads).
+	Wait      bool `json:"wait"`
+	WaitEpoch bool `json:"wait_epoch"`
 }
 
 func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	var (
-		ups  []relation.Update
-		wait bool
+		ups             []relation.Update
+		wait, waitEpoch bool
 	)
 	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
 		// The updates.stream format, for curl --data-binary @updates.stream
@@ -275,7 +286,7 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
-		wait = req.Wait
+		wait, waitEpoch = req.Wait, req.WaitEpoch
 		ups = make([]relation.Update, 0, len(req.Updates))
 		for i, uj := range req.Updates {
 			up := relation.Update{Rel: uj.Rel}
@@ -299,13 +310,25 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			ups = append(ups, up)
 		}
 	}
+	owners := a.srv.Owners(ups)
 	from, to, err := a.srv.Append(ups)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	if wait || r.URL.Query().Get("wait") == "1" {
+	switch q := r.URL.Query().Get("wait"); {
+	case q == "epoch" || waitEpoch:
+		// Full consistent-cut wait: a subsequent view read reflects these
+		// updates. Blocks on every shard (a stalled one stalls the cut).
 		if err := a.srv.WaitApplied(to); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+	case q == "1" || wait:
+		// Owning-shard wait: the updates are folded into the session state
+		// of the shards they route to. Never waits on an unrelated shard;
+		// views advance at the next joined cut.
+		if err := a.srv.WaitShards(owners, to); err != nil {
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -314,18 +337,30 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		"accepted": len(ups),
 		"from":     from,
 		"to":       to,
+		"owners":   owners,
 		"epoch":    a.srv.Epoch(),
 	})
 }
 
 func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	st := a.srv.Stats()
+	// The joined cut is the minimum shard watermark; mid-round it can run
+	// ahead of the published epoch (views lag the barrier), never behind.
+	var joined int64
+	for i, wm := range st.Watermarks {
+		if i == 0 || wm < joined {
+			joined = wm
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"epoch":    st.Epoch,
-		"appended": st.Appended,
-		"pending":  st.Appended - st.Epoch,
-		"skipped":  st.Skipped,
-		"queries":  st.Queries,
+		"epoch":      st.Epoch,
+		"joined":     joined,
+		"shards":     st.Shards,
+		"watermarks": st.Watermarks,
+		"appended":   st.Appended,
+		"pending":    st.Appended - st.Epoch,
+		"skipped":    st.Skipped,
+		"queries":    st.Queries,
 	})
 }
 

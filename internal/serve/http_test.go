@@ -79,15 +79,19 @@ func TestAPIEndToEnd(t *testing.T) {
 		"query": "R1(A,B), R2(B,C), R3(C,A)",
 	}, http.StatusCreated)
 
-	// Post updates with wait=1 for read-your-writes.
+	// Post updates with wait_epoch for read-your-writes on the view reads
+	// below (wait=1 only waits on the owning shards' watermarks).
 	ups := []map[string]any{
 		{"op": "+", "rel": "R2", "row": []string{"1", "2"}},
 		{"op": "+", "rel": "R2", "row": []string{"1", "2"}},
 		{"op": "-", "rel": "R2", "row": []string{"1", "2"}},
 	}
-	up := doJSON(t, "POST", ts.URL+"/updates", map[string]any{"updates": ups, "wait": true}, http.StatusOK)
+	up := doJSON(t, "POST", ts.URL+"/updates", map[string]any{"updates": ups, "wait_epoch": true}, http.StatusOK)
 	if up["accepted"] != float64(3) || up["epoch"].(float64) < 3 {
 		t.Fatalf("updates response: %v", up)
+	}
+	if owners, ok := up["owners"].([]any); !ok || len(owners) != 1 {
+		t.Fatalf("three same-key updates must have one owning shard: %v", up["owners"])
 	}
 
 	// GET ls must equal the from-scratch solver on the mutated database.
@@ -131,6 +135,20 @@ func TestAPIEndToEnd(t *testing.T) {
 	ep := doJSON(t, "GET", ts.URL+"/epoch", nil, http.StatusOK)
 	if ep["pending"] != float64(0) {
 		t.Fatalf("epoch response: %v", ep)
+	}
+	// The joined cut equals the published epoch at rest, and every shard's
+	// watermark covers it (no torn progress observable here).
+	if ep["joined"] != ep["epoch"] {
+		t.Fatalf("joined cut %v != epoch %v at rest", ep["joined"], ep["epoch"])
+	}
+	wms, ok := ep["watermarks"].([]any)
+	if !ok || len(wms) != int(ep["shards"].(float64)) || len(wms) != srv.NumShards() {
+		t.Fatalf("epoch shard fields: %v", ep)
+	}
+	for i, wm := range wms {
+		if wm.(float64) < ep["epoch"].(float64) {
+			t.Fatalf("shard %d watermark %v below the published cut %v", i, wm, ep["epoch"])
+		}
 	}
 
 	// CSV update body (the updates.stream format).

@@ -1,32 +1,41 @@
 // Package serve implements a long-lived differentially-private query server
 // over one logical database, the traffic-serving regime of the roadmap: many
-// registered counting queries, each backed by its own incremental session
+// registered counting queries, each backed by incremental session state
 // (internal/incremental), multiplexed over a shared snapshot plus an
-// append-only update log behind a single-writer/multi-reader boundary.
+// append-only update log behind a sharded-writer/multi-reader boundary.
 //
 // Architecture (docs/SERVING.md has the full treatment):
 //
 //   - The Server owns a master copy of the database and an append-only log
 //     of single-tuple updates. Append validates an update against the static
 //     schema and enqueues it; nothing else happens on the caller.
-//   - One writer goroutine drains the log in batches: it folds the batch
-//     into the master rows, patches every registered session through the
-//     incremental delta engine — fanning out across sessions on fresh
-//     goroutines, since sessions share no mutable state (the shared
-//     par.Pool serves the sessions' own open/rebuild parallelism) — and
-//     then publishes, per query, an immutable epoch view (count, LS
+//   - The write path is sharded (Options.Shards): every update is routed to
+//     a shard by the hash of its relation's partition-column value, and each
+//     shard owns a writer goroutine plus the session state reachable from
+//     its partition (shard.go). A coordinator goroutine drains the log in
+//     batches, folds each batch into the master rows, hands every shard the
+//     same round, and — once all shards have patched their slice in parallel
+//     — merges and publishes, per query, an immutable epoch view (count, LS
 //     result, and a drift-gated sensitivity snapshot) through an atomic
-//     pointer.
+//     pointer. Views therefore always describe one consistent cut of the
+//     log, never a mix of shards at different progress.
 //   - Readers answer Count/LS/noisy-release requests from the last
 //     published view: a read is an atomic pointer load plus (for releases)
 //     a ledger debit. Readers never take the writer's lock, so they are
 //     never blocked on a session patch — only an epoch swap is ever
 //     observable as a view change.
 //
-// The epoch of the server is the number of log entries the writer has
-// drained; views carry the epoch they were computed at, so every answer is
-// exact for some recently-published epoch (linearizability at epoch
-// granularity — the property TestServeConcurrentReaders asserts).
+// The epoch of the server is the number of log entries every shard has
+// folded (the joined cut of the per-shard watermarks); views carry the
+// epoch they were computed at, so every answer is exact for some
+// recently-published epoch (linearizability at epoch granularity — the
+// property TestServeConcurrentReaders and internal/serve/difftest assert).
+//
+// Registration no longer stalls the drain loop for the length of a solve:
+// Register snapshots the master at a cut (a row copy, under the state
+// lock), materializes the new session state off-lock while shards keep
+// draining, then catches the sessions up through the log entries it missed
+// and installs them at the current epoch.
 //
 // Privacy releases go through mechanism.Release over the view's sensitivity
 // snapshot and spend ε from a per-query Ledger; answers replay free of
@@ -53,9 +62,9 @@ import (
 // ErrNoQuery reports a request against an unregistered query ID.
 var ErrNoQuery = errors.New("serve: no such query")
 
-// DefaultBatchSize bounds how many log entries one writer drain folds into a
-// single epoch. It sits below incremental.DefaultBulkThreshold so drained
-// batches stay on the per-tuple delta path instead of rebuilding.
+// DefaultBatchSize bounds how many log entries one coordinated round folds
+// into a single epoch. It sits below incremental.DefaultBulkThreshold so
+// drained batches stay on the per-tuple delta path instead of rebuilding.
 const DefaultBatchSize = 32
 
 // DefaultDriftFraction gates sensitivity-snapshot refreshes: the writer
@@ -68,9 +77,14 @@ const DefaultDriftFraction = 0.1
 // incremental.Options.RebuildTombstoneRatio).
 const DefaultRebuildTombstoneRatio = 0.5
 
+// DefaultMaxShards caps the GOMAXPROCS-derived default shard count: past a
+// handful of shards the coordinator's barrier and merge dominate before
+// typical session-patch work does.
+const DefaultMaxShards = 8
+
 // Options configures a Server.
 type Options struct {
-	// Parallelism bounds the writer's fan-out across sessions and each
+	// Parallelism bounds each shard's fan-out across its units and each
 	// session's open/rebuild parallelism. 0 means GOMAXPROCS.
 	Parallelism int
 	// Pool supplies worker goroutines; nil makes the server own one sized
@@ -88,6 +102,15 @@ type Options struct {
 	// session. 0 means DefaultRebuildTombstoneRatio; negative disables
 	// automatic compaction.
 	RebuildTombstoneRatio float64
+	// Shards is the number of write-path shards (per-shard writer
+	// goroutines; see shard.go). 0 means min(GOMAXPROCS, DefaultMaxShards);
+	// 1 restores the single-writer pipeline.
+	Shards int
+	// PartitionColumns maps a relation name to the column whose value
+	// routes its updates (and partitions its rows for sharded sessions).
+	// Unlisted relations route on column 0. Entries must name existing
+	// relations and in-range columns.
+	PartitionColumns map[string]int
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +122,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RebuildTombstoneRatio == 0 {
 		o.RebuildTombstoneRatio = DefaultRebuildTombstoneRatio
+	}
+	if o.Shards == 0 {
+		o.Shards = par.N(0)
+		if o.Shards > DefaultMaxShards {
+			o.Shards = DefaultMaxShards
+		}
+	}
+	if o.Shards < 1 {
+		o.Shards = 1
 	}
 	return o
 }
@@ -129,26 +161,32 @@ type QueryConfig struct {
 }
 
 // View is one published epoch of one query: everything a reader needs,
-// immutable once published.
+// immutable once published. Views are always published at a joined cut —
+// every shard has folded its updates below Epoch — so a view of a
+// partitioned query never mixes shards at different progress.
 type View struct {
 	// Epoch is the server epoch (log entries applied) this view reflects.
 	Epoch int64
 	// Count is |Q(D)| at Epoch.
 	Count int64
-	// LS is the full local-sensitivity result at Epoch.
+	// LS is the full local-sensitivity result at Epoch (merged across
+	// partitions for a sharded query).
 	LS *core.Result
 	// Sens is the sorted per-tuple sensitivity vector of the private
 	// relation, taken at SensEpoch (≤ Epoch; refreshed when the count
-	// drifts or the session rebuilds). Nil when the query has no private
+	// drifts or a session rebuilds). Nil when the query has no private
 	// relation. Treat as read-only — releases copy it.
 	Sens      []int64
 	SensEpoch int64
 	// SensCount is |Q(D)| at SensEpoch, the drift baseline.
 	SensCount int64
 	// Rebuilds is how many full session rebuilds (bulk batches, tombstone
-	// compactions) had happened as of Epoch.
+	// compactions) had happened as of Epoch, summed over partitions.
 	Rebuilds int
-	// Err, when non-nil, marks the query failed: the session could not
+	// Parts is the number of session partitions backing the query: the
+	// server's shard count for a partitionable query, 1 for a fallback one.
+	Parts int
+	// Err, when non-nil, marks the query failed: a session could not
 	// absorb an update batch and stopped being maintained.
 	Err error
 }
@@ -184,30 +222,43 @@ type QueryInfo struct {
 	Spent    float64
 	Releases int
 	Rebuilds int
-	Failed   bool
+	// Parts is the number of session partitions (see View.Parts), and
+	// PartitionVar the variable the query is partitioned on ("" for a
+	// fallback query on its designated shard).
+	Parts        int
+	PartitionVar string
+	Failed       bool
 }
 
 // Stats summarizes the server.
 type Stats struct {
-	// Epoch is the number of log entries drained by the writer.
+	// Epoch is the last published consistent cut: the number of log
+	// entries folded by every shard and reflected in the views.
 	Epoch int64
 	// Appended is the number of log entries accepted so far; Epoch lags it
 	// by the pending backlog.
 	Appended int64
-	// Skipped counts log entries the writer refused at apply time (deletes
-	// of absent tuples).
+	// Skipped counts log entries the coordinator refused at apply time
+	// (deletes of absent tuples).
 	Skipped int64
 	// Queries is the number of registered queries.
 	Queries int
+	// Shards is the number of write-path shards; Watermarks[i] is the LSN
+	// through which shard i has folded its routed entries (each ≥ Epoch
+	// while a round is being published, = Epoch at rest).
+	Shards     int
+	Watermarks []int64
 }
 
-// servedQuery is the per-query state. The writer mutates sess and publishes
-// views; readers load views and share the release cache under relMu.
+// servedQuery is the per-query state. The shard writers mutate the unit
+// sessions, the coordinator merges and publishes views, and readers load
+// views and share the release cache under relMu.
 type servedQuery struct {
 	id      string
 	text    string
 	q       *query.Query
-	sess    *incremental.Session
+	units   []*unit
+	partVar string // partition variable; "" for fallback queries
 	private string
 	cfg     mechanism.TSensDPConfig
 	drift   float64
@@ -215,34 +266,41 @@ type servedQuery struct {
 
 	view atomic.Pointer[View]
 
-	relMu     sync.Mutex // release replay cache; never held by the writer
+	relMu     sync.Mutex // release replay cache; never held by writers
 	lastRun   *mechanism.Run
 	lastCount int64
 	releases  int
 }
 
 // Server is the long-lived serving process. See the package comment for the
-// locking discipline; in short: logMu guards the log, stateMu guards the
-// master database and every session (writer, Register, Unregister), and
-// readers touch neither.
+// locking discipline; in short: logMu guards the log and the registration
+// cuts, stateMu guards the master database, the shard unit lists, and every
+// session (coordinator rounds, Register, Unregister), and readers touch
+// neither. Lock order is stateMu before logMu.
 type Server struct {
 	opts     Options
 	pool     *par.Pool
 	ownsPool bool
+	pcols    map[string]int // relation → routing column
 
 	logMu   sync.Mutex
 	logCond *sync.Cond
 	log     []relation.Update
 	logBase int64 // absolute log sequence number of log[0]
+	regCuts map[int]int64
+	nextReg int
 	closed  bool
 
-	stateMu sync.Mutex
-	master  *relation.Database
-	rowpos  map[string]*relation.RowSet
-	nextID  int
+	stateMu  sync.Mutex
+	master   *relation.Database
+	rowpos   map[string]*relation.RowSet
+	nextID   int
+	reserved map[string]bool // IDs mid-registration (solve in flight)
 
 	qmu     sync.RWMutex
 	queries map[string]*servedQuery
+
+	shards []*shard
 
 	epoch    atomic.Int64
 	appended atomic.Int64
@@ -262,16 +320,30 @@ func New(db *relation.Database, opts Options) (*Server, error) {
 	}
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		master:  db.Clone(),
-		queries: make(map[string]*servedQuery),
-		epochCh: make(chan struct{}),
-		done:    make(chan struct{}),
+		opts:     opts,
+		master:   db.Clone(),
+		queries:  make(map[string]*servedQuery),
+		reserved: make(map[string]bool),
+		regCuts:  make(map[int]int64),
+		epochCh:  make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	s.logCond = sync.NewCond(&s.logMu)
 	s.rowpos = make(map[string]*relation.RowSet, len(s.master.Names()))
+	s.pcols = make(map[string]int, len(s.master.Names()))
 	for _, name := range s.master.Names() {
 		s.rowpos[name] = relation.NewRowSet(s.master.Relation(name))
+		s.pcols[name] = 0
+	}
+	for rel, col := range opts.PartitionColumns {
+		r := s.master.Relation(rel)
+		if r == nil {
+			return nil, fmt.Errorf("serve: partition column for unknown relation %q", rel)
+		}
+		if col < 0 || col >= len(r.Attrs) {
+			return nil, fmt.Errorf("serve: partition column %d out of range for %s (arity %d)", col, rel, len(r.Attrs))
+		}
+		s.pcols[rel] = col
 	}
 	if opts.Pool != nil {
 		s.pool = opts.Pool
@@ -279,13 +351,21 @@ func New(db *relation.Database, opts Options) (*Server, error) {
 		s.pool = par.NewPool(opts.Parallelism)
 		s.ownsPool = true
 	}
-	s.wg.Add(1)
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		s.shards[i] = &shard{id: i, in: make(chan *round)}
+	}
+	s.wg.Add(1 + len(s.shards))
 	go s.writer()
+	for _, sh := range s.shards {
+		go sh.run(s)
+	}
 	return s, nil
 }
 
-// Close stops the writer (pending log entries are dropped) and releases the
-// owned pool. Reads keep answering from the last published views.
+// Close stops the coordinator and the shard writers (pending log entries
+// are dropped) and releases the owned pool. Reads keep answering from the
+// last published views.
 func (s *Server) Close() {
 	s.logMu.Lock()
 	if s.closed {
@@ -301,15 +381,19 @@ func (s *Server) Close() {
 		s.pool.Close()
 	}
 	s.waitMu.Lock()
-	close(s.epochCh) // wake WaitApplied waiters for their closed-check
+	close(s.epochCh) // wake WaitApplied/WaitShards waiters for their closed-check
 	s.epochCh = nil
 	s.waitMu.Unlock()
 }
 
-// Register opens an incremental session for cfg.Query against the current
-// epoch and adds it to the multiplexer. It runs on the writer's side of the
-// boundary: it waits for the in-flight batch (if any) and holds updates off
-// while the session materializes, but never blocks readers of other queries.
+// Register opens incremental session state for cfg.Query and adds it to the
+// multiplexer. The expensive solve runs off the writer's lock: Register
+// snapshots the master at the current cut (briefly pausing the drain for a
+// row copy), materializes the sessions while the shards keep draining, then
+// replays the log entries drained in the meantime and installs the query at
+// the live epoch. A partitionable query (incremental.PartitionVar over the
+// server's routing columns) gets one sub-session per shard; anything else
+// gets one full session on a designated shard.
 func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	if cfg.Query == nil {
 		return "", nil, fmt.Errorf("serve: nil query")
@@ -349,40 +433,150 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 		sopts.RebuildTombstoneRatio = s.opts.RebuildTombstoneRatio
 	}
 
+	// Phase 1 — reserve the ID and snapshot the master at a cut. This is
+	// the only part that pauses the drain, and it is a row copy, not a
+	// solve. (Registrations serialize their checks on stateMu, so the
+	// duplicate test cannot go stale: later writes re-check reserved.)
 	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
-	// Resolve the ID before materializing the session: a duplicate must
-	// fail cheaply, not after a full solve under the writer's lock.
-	// (Registrations serialize on stateMu, so the check cannot go stale.)
 	id := cfg.ID
 	if id == "" {
 		for {
 			s.nextID++
 			id = fmt.Sprintf("q%d", s.nextID)
-			if _, taken := s.queries[id]; !taken {
+			if _, taken := s.queries[id]; !taken && !s.reserved[id] {
 				break
 			}
 		}
-	} else if _, dup := s.queries[id]; dup {
+	} else if _, dup := s.queries[id]; dup || s.reserved[id] {
+		s.stateMu.Unlock()
 		return "", nil, fmt.Errorf("serve: query %q already registered", id)
 	}
-	sess, err := incremental.Open(cfg.Query, s.master, sopts)
-	if err != nil {
+	s.reserved[id] = true
+	snap := s.master.Clone()
+	cut := s.epoch.Load()
+	s.logMu.Lock()
+	token := s.nextReg
+	s.nextReg++
+	s.regCuts[token] = cut // holds log compaction back past the cut
+	s.logMu.Unlock()
+	s.stateMu.Unlock()
+
+	fail := func(err error) (string, *View, error) {
+		s.logMu.Lock()
+		delete(s.regCuts, token)
+		s.logMu.Unlock()
+		s.stateMu.Lock()
+		delete(s.reserved, id)
+		s.stateMu.Unlock()
 		return "", nil, err
 	}
+
+	// Phase 2 — materialize the session state off-lock.
 	sq := &servedQuery{
 		id:      id,
 		text:    cfg.Query.String(),
 		q:       cfg.Query,
-		sess:    sess,
 		private: cfg.Private,
 		cfg:     cfg.Release,
 		drift:   cfg.Drift,
 		ledger:  ledger,
 	}
-	epoch := s.epoch.Load()
-	if err := sq.publish(epoch, s.opts.DriftFraction); err != nil {
+	partitioned := false
+	if len(s.shards) > 1 {
+		if v, ok := incremental.PartitionVar(cfg.Query, s.pcol); ok {
+			partitioned = true
+			sq.partVar = v
+		}
+	}
+	if partitioned {
+		subs, err := incremental.SplitDatabase(snap, s.pcol, len(s.shards))
+		if err != nil {
+			return fail(err)
+		}
+		units := make([]*unit, len(s.shards))
+		err = par.Do(s.opts.Parallelism, len(units), func(i int) error {
+			sess, oerr := incremental.Open(cfg.Query, subs[i], sopts)
+			if oerr != nil {
+				return oerr
+			}
+			units[i] = &unit{sq: sq, sess: sess, shard: i, part: i}
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		sq.units = units
+	} else {
+		sess, err := incremental.Open(cfg.Query, snap, sopts)
+		if err != nil {
+			return fail(err)
+		}
+		sq.units = []*unit{{sq: sq, sess: sess, shard: s.fallbackShard(id), part: -1}}
+	}
+
+	// Phase 3 — catch up and install. Replaying the entries drained since
+	// the snapshot mirrors the master's absent-delete skips via
+	// Session.Has. While the gap to the live epoch is large, the replay
+	// runs *off-lock* (the sessions are still private to this goroutine),
+	// advancing the registration cut so log compaction follows; only a
+	// bounded tail replays under stateMu together with the install, so a
+	// long phase-2 solve on a busy server does not translate into a long
+	// drain stall here.
+	applyMissed := func(missed []relation.Update) error {
+		for _, up := range missed {
+			u := sq.units[0]
+			if partitioned {
+				u = sq.units[s.routeOf(up)]
+			}
+			if !up.Insert && !u.sess.Has(up.Rel, up.Row) {
+				continue // the master skipped this delete at apply time too
+			}
+			if err := u.sess.Apply([]relation.Update{up}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	tail := int64(4 * s.opts.BatchSize)
+	// The chase is bounded: if the feed outruns the replay, give up after
+	// a few chunks and finish under the lock (a stall, but never livelock).
+	for chase := 0; chase < 8; chase++ {
+		s.stateMu.Lock()
+		if s.epoch.Load()-cut <= tail {
+			s.stateMu.Unlock()
+			break
+		}
+		chunkEnd := s.epoch.Load()
+		s.logMu.Lock()
+		missed := append([]relation.Update(nil), s.log[cut-s.logBase:chunkEnd-s.logBase]...)
+		s.regCuts[token] = chunkEnd // compaction may reclaim the replayed prefix
+		s.logMu.Unlock()
+		s.stateMu.Unlock()
+		if err := applyMissed(missed); err != nil {
+			return fail(err)
+		}
+		cut = chunkEnd
+	}
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	cur := s.epoch.Load()
+	s.logMu.Lock()
+	delete(s.regCuts, token)
+	missed := append([]relation.Update(nil), s.log[cut-s.logBase:cur-s.logBase]...)
+	s.logMu.Unlock()
+	delete(s.reserved, id)
+	if err := applyMissed(missed); err != nil {
 		return "", nil, err
+	}
+	for _, u := range sq.units {
+		u.refresh()
+	}
+	if err := sq.publish(cur, s.opts.DriftFraction); err != nil {
+		return "", nil, err
+	}
+	for _, u := range sq.units {
+		sh := s.shards[u.shard]
+		sh.units = append(sh.units, u)
 	}
 	s.qmu.Lock()
 	s.queries[id] = sq
@@ -396,16 +590,31 @@ func (s *Server) Unregister(id string) error {
 	defer s.stateMu.Unlock()
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
-	if _, ok := s.queries[id]; !ok {
+	sq, ok := s.queries[id]
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoQuery, id)
 	}
 	delete(s.queries, id)
+	for _, sh := range s.shards {
+		keep := sh.units[:0]
+		for _, u := range sh.units {
+			if u.sq != sq {
+				keep = append(keep, u)
+			}
+		}
+		for i := len(keep); i < len(sh.units); i++ {
+			sh.units[i] = nil
+		}
+		sh.units = keep
+	}
 	return nil
 }
 
 // Append validates ups against the schema and appends them to the update
-// log, returning the log sequence range [from, to) they occupy. The writer
-// applies them asynchronously; WaitApplied(to) blocks until they are live.
+// log, returning the log sequence range [from, to) they occupy. The shard
+// writers apply them asynchronously; WaitApplied(to) blocks until they are
+// live in the published views, WaitShards(Owners(ups), to) until the owning
+// shards have folded them.
 func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
 	for i, up := range ups {
 		r := s.master.Relation(up.Rel) // schema is static: safe without stateMu
@@ -433,7 +642,8 @@ func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
 	return from, to, nil
 }
 
-// Epoch returns the number of log entries the writer has drained.
+// Epoch returns the last published consistent cut (log entries folded by
+// every shard and reflected in the views).
 func (s *Server) Epoch() int64 { return s.epoch.Load() }
 
 // WaitApplied blocks until the server epoch reaches lsn (as returned by
@@ -457,7 +667,7 @@ func (s *Server) WaitApplied(lsn int64) error {
 }
 
 // View returns the last published view of a query — an atomic load; never
-// blocked by the writer.
+// blocked by the writers.
 func (s *Server) View(id string) (*View, error) {
 	sq, err := s.lookup(id)
 	if err != nil {
@@ -493,7 +703,7 @@ func (s *Server) LS(id string) (*core.Result, int64, error) {
 // current count stays within the query's drift fraction of the last released
 // one, the cached release replays and nothing is spent. Concurrent releases
 // of one query serialize among themselves (replay-cache consistency) but
-// never wait on the writer.
+// never wait on the writers.
 func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
 	sq, err := s.lookup(id)
 	if err != nil {
@@ -548,11 +758,13 @@ func (s *Server) Queries() []QueryInfo {
 	for _, sq := range sqs {
 		v := sq.view.Load()
 		info := QueryInfo{
-			ID:      sq.id,
-			Query:   sq.text,
-			Private: sq.private,
-			Epoch:   v.Epoch,
-			Failed:  v.Err != nil,
+			ID:           sq.id,
+			Query:        sq.text,
+			Private:      sq.private,
+			Epoch:        v.Epoch,
+			Parts:        len(sq.units),
+			PartitionVar: sq.partVar,
+			Failed:       v.Err != nil,
 		}
 		if v.Err == nil {
 			info.Count = v.Count
@@ -577,11 +789,17 @@ func (s *Server) Stats() Stats {
 	s.qmu.RLock()
 	n := len(s.queries)
 	s.qmu.RUnlock()
+	wm := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		wm[i] = sh.watermark.Load()
+	}
 	return Stats{
-		Epoch:    s.epoch.Load(),
-		Appended: s.appended.Load(),
-		Skipped:  s.skipped.Load(),
-		Queries:  n,
+		Epoch:      s.epoch.Load(),
+		Appended:   s.appended.Load(),
+		Skipped:    s.skipped.Load(),
+		Queries:    n,
+		Shards:     len(s.shards),
+		Watermarks: wm,
 	}
 }
 
@@ -595,15 +813,18 @@ func (s *Server) lookup(id string) (*servedQuery, error) {
 	return sq, nil
 }
 
-// writer is the single mutator: it drains the log in batches, folds each
-// batch into the master rows, patches every session, and publishes the new
-// epoch.
+// writer is the coordinator: it drains the log in batches, folds each batch
+// into the master rows, hands every shard the same round, and — after the
+// barrier — merges and publishes the new epoch.
 func (s *Server) writer() {
 	defer s.wg.Done()
 	drained := int64(0)
 	for {
 		batch := s.nextBatch(drained)
 		if batch == nil {
+			for _, sh := range s.shards {
+				close(sh.in)
+			}
 			return
 		}
 		s.stateMu.Lock()
@@ -615,63 +836,78 @@ func (s *Server) writer() {
 				s.skipped.Add(1)
 			}
 		}
-		newEpoch := drained + int64(len(batch))
-		s.qmu.RLock()
-		sqs := make([]*servedQuery, 0, len(s.queries))
-		for _, sq := range s.queries {
-			sqs = append(sqs, sq)
+		routed := make([][]relation.Update, len(s.shards))
+		for _, up := range valid {
+			i := s.routeOf(up)
+			routed[i] = append(routed[i], up)
 		}
-		s.qmu.RUnlock()
-		// Sessions share no mutable state, so patching fans out on fresh
-		// goroutines; each publishes its own view as soon as it is done.
-		// (Plain par.Do, not pool.Do: a session rebuild inside the patch
-		// borrows the pool itself, and pool workers must not block on
-		// nested pool waits.)
-		_ = par.Do(s.opts.Parallelism, len(sqs), func(i int) error {
-			sq := sqs[i]
-			if sq.view.Load().Err != nil {
-				return nil // failed earlier; leave the tombstone view
-			}
-			if err := sq.sess.Apply(valid); err != nil {
-				sq.view.Store(&View{Epoch: newEpoch, Err: err})
-				return nil
-			}
-			if err := sq.publish(newEpoch, s.opts.DriftFraction); err != nil {
-				sq.view.Store(&View{Epoch: newEpoch, Err: err})
-			}
-			return nil
-		})
+		newEpoch := drained + int64(len(batch))
+		rd := &round{valid: valid, routed: routed, cut: newEpoch}
+		rd.wg.Add(len(s.shards))
+		for _, sh := range s.shards {
+			sh.in <- rd
+		}
+		rd.wg.Wait()
+		s.publishAll(newEpoch)
 		// The epoch advances before stateMu releases, so a Register that
 		// takes over the lock reads an epoch consistent with the master
-		// rows it opens against.
+		// rows it snapshots.
 		s.epoch.Store(newEpoch)
 		s.stateMu.Unlock()
 		drained = newEpoch
-		s.waitMu.Lock()
-		if s.epochCh != nil {
-			close(s.epochCh)
-			s.epochCh = make(chan struct{})
-		}
-		s.waitMu.Unlock()
+		s.notify()
 	}
+}
+
+// publishAll merges and publishes every query's view for the completed cut.
+// It runs on the coordinator with all shards idle (post-barrier, under
+// stateMu), so reading the live sessions here is race-free.
+func (s *Server) publishAll(epoch int64) {
+	s.qmu.RLock()
+	sqs := make([]*servedQuery, 0, len(s.queries))
+	for _, sq := range s.queries {
+		sqs = append(sqs, sq)
+	}
+	s.qmu.RUnlock()
+	_ = par.Do(s.opts.Parallelism, len(sqs), func(i int) error {
+		_ = sqs[i].publish(epoch, s.opts.DriftFraction) // failures become tombstone views
+		return nil
+	})
+}
+
+// notify wakes WaitApplied and WaitShards waiters.
+func (s *Server) notify() {
+	s.waitMu.Lock()
+	if s.epochCh != nil {
+		close(s.epochCh)
+		s.epochCh = make(chan struct{})
+	}
+	s.waitMu.Unlock()
 }
 
 // nextBatch blocks until log entries past off exist and returns at most
 // BatchSize of them. A closed server returns nil immediately: Close drops
 // the backlog instead of making the caller wait out a full drain.
 //
-// It also compacts the log: everything before off has been drained and is
-// never read again (the writer processed the previous batch fully before
-// calling back in), so once the drained prefix dominates the slice the
-// undrained tail moves to a fresh allocation and logBase advances. The
-// half-full trigger amortizes the copy to O(1) per entry while keeping a
-// long-lived server's log proportional to its backlog, not its history.
+// It also compacts the log: everything before the drained offset has been
+// applied and is never read again — except by a registration catching up
+// from its snapshot cut, so compaction is held back to the oldest
+// outstanding cut (regCuts). Once the reclaimable prefix dominates the
+// slice, the live tail moves to a fresh allocation and logBase advances.
+// The half-full trigger amortizes the copy to O(1) per entry while keeping
+// a long-lived server's log proportional to its backlog, not its history.
 func (s *Server) nextBatch(off int64) []relation.Update {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
-	if pre := off - s.logBase; pre > 0 && 2*pre >= int64(len(s.log)) {
+	keep := off
+	for _, cut := range s.regCuts {
+		if cut < keep {
+			keep = cut
+		}
+	}
+	if pre := keep - s.logBase; pre > 0 && 2*pre >= int64(len(s.log)) {
 		s.log = append([]relation.Update(nil), s.log[pre:]...)
-		s.logBase = off
+		s.logBase = keep
 	}
 	for s.logBase+int64(len(s.log)) <= off && !s.closed {
 		s.logCond.Wait()
@@ -699,33 +935,49 @@ func (s *Server) applyToMaster(up relation.Update) bool {
 	return rs.TryRemove(r, up.Row)
 }
 
-// publish computes and stores the query's view for epoch. Only the writer
-// (or Register, under stateMu) calls it, so reading the live session here is
-// race-free. The sensitivity snapshot carries over from the previous view
-// until the count drifts past driftFrac or the session rebuilt (a rebuild
-// re-materializes the private relation, so the old per-row vector may no
-// longer describe it).
+// publish merges the query's unit outputs into one view for epoch and
+// stores it. Only the coordinator (or Register, under stateMu with no
+// round in flight) calls it. The sensitivity snapshot carries over from
+// the previous view until the count drifts past driftFrac or a session
+// rebuilt (a rebuild re-materializes the private relation, so the old
+// per-row vector may no longer describe it). A failed unit turns the view
+// into a tombstone, which persists.
 func (sq *servedQuery) publish(epoch int64, driftFrac float64) error {
-	count := sq.sess.Count()
-	res, err := sq.sess.LS()
-	if err != nil {
-		return err
+	old := sq.view.Load()
+	if old != nil && old.Err != nil {
+		return old.Err
 	}
-	v := &View{Epoch: epoch, Count: count, LS: res, Rebuilds: sq.sess.Rebuilds()}
+	var (
+		count    int64
+		rebuilds int
+		parts    = make([]*core.Result, len(sq.units))
+	)
+	for i, u := range sq.units {
+		if u.err != nil {
+			sq.view.Store(&View{Epoch: epoch, Parts: len(sq.units), Err: u.err})
+			return u.err
+		}
+		count = relation.AddSat(count, u.count) // CountTotal saturates; so must the partition sum
+		rebuilds += u.sess.Rebuilds()
+		parts[i] = u.res
+	}
+	res := incremental.MergeResults(parts)
+	v := &View{Epoch: epoch, Count: count, LS: res, Rebuilds: rebuilds, Parts: len(sq.units)}
 	if sq.private != "" {
-		old := sq.view.Load()
-		if old != nil && old.Sens != nil && old.Rebuilds == v.Rebuilds &&
+		if old != nil && old.Sens != nil && old.Rebuilds == rebuilds &&
 			driftFrac >= 0 && !drifted(count, old.SensCount, driftFrac) {
 			v.Sens, v.SensEpoch, v.SensCount = old.Sens, old.SensEpoch, old.SensCount
 		} else {
-			fn, err := sq.sess.SensitivityFn(sq.private)
-			if err != nil {
-				return err
-			}
-			rows := sq.sess.Rows(sq.private)
-			sens := make([]int64, len(rows))
-			for i, row := range rows {
-				sens[i] = fn(row)
+			var sens []int64
+			for _, u := range sq.units {
+				fn, err := u.sess.SensitivityFn(sq.private)
+				if err != nil {
+					sq.view.Store(&View{Epoch: epoch, Parts: len(sq.units), Err: err})
+					return err
+				}
+				for _, row := range u.sess.Rows(sq.private) {
+					sens = append(sens, fn(row))
+				}
 			}
 			sort.Slice(sens, func(i, j int) bool { return sens[i] < sens[j] })
 			v.Sens, v.SensEpoch, v.SensCount = sens, epoch, count

@@ -1,0 +1,232 @@
+package serve
+
+// The sharded write path. The update log is partitioned by relation+key
+// hash into N shards; each shard owns a long-lived writer goroutine and the
+// subset of per-query session state reachable from its partition:
+//
+//   - For a partitionable query (a variable at every atom's routing column
+//     — incremental.PartitionVar), shard i owns a sub-session over hash
+//     partition i of the database and receives exactly the updates routed
+//     there, so patches for disjoint keys proceed in parallel.
+//   - A query that cannot be partitioned keeps one full session, owned by a
+//     single designated shard (stable hash of its ID) and fed the whole
+//     batch — correctness never depends on partitionability, only speed.
+//
+// Epochs stay consistent cuts: the coordinator hands every shard the same
+// round (a validated batch plus its routes and target cut), waits for all
+// of them, and only then merges and publishes per-query views at the new
+// epoch. Per-shard watermarks advance as soon as a shard finishes its part
+// of a round — WaitShards (`POST /updates?wait=1`) keys off them, so
+// within the in-flight round a caller's fold acknowledgment never waits on
+// a stalled sibling shard (entries past the round's cut do wait for the
+// coordinator to start the next round) — and nothing readable through
+// View/Count/LS//epoch ever reflects a cut some shard has not reached
+// (TestServeShardWatermarkJoin pauses a shard mid-batch and asserts
+// exactly that).
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"tsens/internal/core"
+	"tsens/internal/incremental"
+	"tsens/internal/par"
+	"tsens/internal/relation"
+)
+
+// round is one coordinated drain step: the validated batch, the same batch
+// bucketed per owning shard (computed once by the coordinator), and the
+// epoch the batch advances the server to. All shards process the same
+// round; wg is the barrier the coordinator waits on before publishing
+// views for cut.
+type round struct {
+	valid  []relation.Update
+	routed [][]relation.Update
+	cut    int64
+	wg     sync.WaitGroup
+}
+
+// shard owns one slice of the write path: a writer goroutine (run), the
+// units whose session state it patches, and the watermark of log entries it
+// has folded. units is mutated only under the server's stateMu while no
+// round is in flight (Register/Unregister), and read by the worker only
+// inside rounds, so the two never race.
+type shard struct {
+	id    int
+	in    chan *round
+	units []*unit
+
+	// watermark is the LSN through which every entry routed to this shard
+	// has been folded into its sessions.
+	watermark atomic.Int64
+
+	// gate, when set, runs at the start of every round — a test hook that
+	// lets the hostile-scheduler tests pause one shard mid-batch.
+	gate atomic.Pointer[func(shard int)]
+}
+
+// unit is one patchable piece of one query's session state: partition
+// `part` of a partitionable query (part == shard), or the whole session of
+// an unpartitionable one (part < 0). count/res/err are the unit's cached
+// outputs: written by the owning shard during rounds (or by Register at
+// install, under stateMu), read by the coordinator after the barrier.
+type unit struct {
+	sq    *servedQuery
+	sess  *incremental.Session
+	shard int
+	part  int
+
+	count int64
+	res   *core.Result
+	err   error
+}
+
+// run is the shard's writer loop: patch the owned units for each round,
+// advance the watermark, wake waiters, and report to the barrier.
+func (sh *shard) run(s *Server) {
+	defer s.wg.Done()
+	for rd := range sh.in {
+		if gate := sh.gate.Load(); gate != nil {
+			(*gate)(sh.id)
+		}
+		units := sh.units
+		routed := rd.routed[sh.id]
+		// Units share no mutable state (distinct sessions), so a shard with
+		// several queries fans out across them exactly as the PR 3 single
+		// writer did. Plain par.Do, not pool.Do: a session rebuild inside
+		// the patch borrows the pool itself, and pool workers must not
+		// block on nested pool waits.
+		_ = par.Do(s.opts.Parallelism, len(units), func(i int) error {
+			units[i].step(rd, routed)
+			return nil
+		})
+		sh.watermark.Store(rd.cut)
+		s.notify()
+		rd.wg.Done()
+	}
+}
+
+// step applies the unit's slice of the round — the whole valid batch for a
+// fallback unit, the shard's pre-filtered routed slice for a partitioned
+// one — and refreshes its cached count/LS. A unit that previously failed
+// stays failed (its tombstone view persists); a unit whose partition the
+// round does not touch keeps its cached outputs, which still describe its
+// unchanged session.
+func (u *unit) step(rd *round, routed []relation.Update) {
+	if u.err != nil {
+		return
+	}
+	ups := rd.valid
+	if u.part >= 0 {
+		ups = routed
+	}
+	if len(ups) == 0 {
+		return
+	}
+	if err := u.sess.Apply(ups); err != nil {
+		u.err = err
+		return
+	}
+	u.refresh()
+}
+
+// refresh recomputes the cached count and LS result from the live session.
+// Callers hold the unit quiescent (owning shard inside a round, or the
+// coordinator/Register under stateMu).
+func (u *unit) refresh() {
+	if u.err != nil {
+		return
+	}
+	u.count = u.sess.Count()
+	u.res, u.err = u.sess.LS()
+}
+
+// pcol returns the routing column of a relation: the configured
+// Options.PartitionColumns entry, or column 0.
+func (s *Server) pcol(rel string) int {
+	return s.pcols[rel]
+}
+
+// routeOf returns the shard owning an update: the hash of the value at the
+// relation's routing column. Updates whose routing column is out of range
+// (never the case for schema-validated appends) fall to shard 0.
+func (s *Server) routeOf(up relation.Update) int {
+	col := s.pcol(up.Rel)
+	if col < 0 || col >= len(up.Row) {
+		return 0
+	}
+	return relation.Shard(up.Row[col], len(s.shards))
+}
+
+// fallbackShard is the designated owner of an unpartitionable query's
+// session: a stable hash of the query ID, so multiple fallback queries
+// spread across shards instead of piling onto shard 0.
+func (s *Server) fallbackShard(id string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return relation.Shard(int64(h.Sum64()), len(s.shards))
+}
+
+// NumShards returns the number of write-path shards.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the shard that owns an update's write path.
+func (s *Server) ShardOf(up relation.Update) int { return s.routeOf(up) }
+
+// Owners returns the deduplicated set of shards owning at least one of
+// ups, in shard order — the set WaitShards needs for read-your-writes of
+// exactly these updates.
+func (s *Server) Owners(ups []relation.Update) []int {
+	seen := make([]bool, len(s.shards))
+	for _, up := range ups {
+		seen[s.routeOf(up)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for i, hit := range seen {
+		if hit {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WaitShards blocks until every listed shard's watermark reaches lsn (all
+// their entries below lsn folded) or the server closes. Unlike
+// WaitApplied, it does not wait for unrelated shards — but the isolation
+// is bounded by the round structure: entries inside the in-flight round
+// are folded by healthy shards even while another shard of that round is
+// stalled, whereas entries past the round's cut wait for the coordinator
+// to start the next round (which a stalled shard holds up). Published
+// views always advance only at joined cuts (WaitApplied).
+func (s *Server) WaitShards(shards []int, lsn int64) error {
+	for _, i := range shards {
+		if i < 0 || i >= len(s.shards) {
+			return fmt.Errorf("serve: no shard %d (have %d)", i, len(s.shards))
+		}
+	}
+	reached := func() bool {
+		for _, i := range shards {
+			if s.shards[i].watermark.Load() < lsn {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		if reached() {
+			return nil
+		}
+		s.waitMu.Lock()
+		ch := s.epochCh
+		s.waitMu.Unlock()
+		if ch == nil {
+			return fmt.Errorf("serve: server closed before shards reached %d", lsn)
+		}
+		if reached() {
+			return nil
+		}
+		<-ch
+	}
+}

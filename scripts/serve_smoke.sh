@@ -62,8 +62,8 @@ curl -fsS -X POST "$BASE/queries" -d '{
   "budget": 2
 }' | jq -c .
 
-echo "--- posting the update stream through the log (wait=1)"
-curl -fsS -X POST "$BASE/updates?wait=1" -H 'Content-Type: text/csv' \
+echo "--- posting the update stream through the log (wait=epoch: read-your-writes)"
+curl -fsS -X POST "$BASE/updates?wait=epoch" -H 'Content-Type: text/csv' \
   --data-binary @"$workdir/data/updates.stream" | jq -c .
 
 echo "--- served LS must equal the verified incremental answer"
@@ -84,9 +84,12 @@ rel2=$(curl -fsS -X POST "$BASE/queries/tri/release")
 echo "$rel2" | jq -c .
 [ "$(echo "$rel2" | jq -r .fresh)" = "false" ] || { echo "FAIL: second release spent budget without drift"; exit 1; }
 
-echo "--- epoch bookkeeping"
+echo "--- epoch bookkeeping (joined cut + per-shard watermarks)"
 curl -fsS "$BASE/epoch" | jq -c .
 pending=$(curl -fsS "$BASE/epoch" | jq -r .pending)
-[ "$pending" = "0" ] || { echo "FAIL: $pending pending updates after wait=1"; exit 1; }
+[ "$pending" = "0" ] || { echo "FAIL: $pending pending updates after wait=epoch"; exit 1; }
+joined=$(curl -fsS "$BASE/epoch" | jq -r .joined)
+epoch=$(curl -fsS "$BASE/epoch" | jq -r .epoch)
+[ "$joined" = "$epoch" ] || { echo "FAIL: joined cut $joined != epoch $epoch at rest"; exit 1; }
 
 echo "serve smoke OK: count=$got_count ls=$got_ls"

@@ -29,10 +29,13 @@
 //
 // NewServer turns the session engine into a long-lived serving process: one
 // shared snapshot plus an append-only update log multiplexes many
-// registered queries (one incremental session each) behind a
-// single-writer/multi-reader boundary, with budget-accounted ε-DP releases
-// and an HTTP/JSON front end (NewServerAPI, the tsens serve command; see
-// docs/SERVING.md).
+// registered queries behind a sharded-writer/multi-reader boundary
+// (ServerOptions.Shards): updates route to per-shard writer goroutines by
+// relation+key hash, queries sharing a variable across all atoms at the
+// routing columns are maintained as one sub-session per shard, and epoch
+// views publish only at consistent cuts joined across every shard's
+// watermark. Budget-accounted ε-DP releases and an HTTP/JSON front end ride
+// on top (NewServerAPI, the tsens serve command; see docs/SERVING.md).
 //
 // Quick start:
 //
@@ -152,13 +155,16 @@ type (
 // Serving types.
 type (
 	// Server is a long-lived DP query server: a shared snapshot plus an
-	// append-only update log, multiplexing registered queries (one
-	// incremental Session each) behind a single-writer/multi-reader
-	// boundary. Readers answer from atomically published epoch views and
-	// never block on update application.
+	// append-only update log partitioned across per-shard writers,
+	// multiplexing registered queries (incremental session state per
+	// shard) behind a sharded-writer/multi-reader boundary. Readers answer
+	// from atomically published epoch views — always a consistent cut
+	// joined across the shard watermarks — and never block on update
+	// application.
 	Server = serve.Server
-	// ServerOptions configures NewServer (writer batch size, fan-out
-	// parallelism, drift gating, tombstone compaction watermark).
+	// ServerOptions configures NewServer (shard count and routing columns,
+	// writer batch size, fan-out parallelism, drift gating, tombstone
+	// compaction watermark).
 	ServerOptions = serve.Options
 	// ServerQuery registers one counting query with a Server (query,
 	// solver options, private relation, release config, ε budget).
