@@ -28,14 +28,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"tsens/internal/core"
 	"tsens/internal/csvio"
@@ -50,19 +54,65 @@ import (
 )
 
 func main() {
+	os.Exit(realMain(os.Args[1:]))
+}
+
+// realMain dispatches and maps errors to exit codes uniformly across all
+// subcommands: usage errors (bad flags, missing required ones) exit 2, as
+// flag.ExitOnError would; runtime failures exit 1; -h exits 0. Before this
+// unification, subcommand flag errors exited 2 while every top-level error
+// exited 1, so scripts could not tell a typo from a crash.
+func realMain(args []string) int {
 	var err error
 	switch {
-	case len(os.Args) > 1 && os.Args[1] == "updates":
-		err = runUpdates(os.Args[2:])
-	case len(os.Args) > 1 && os.Args[1] == "serve":
-		err = runServe(os.Args[2:])
+	case len(args) > 0 && args[0] == "updates":
+		err = runUpdates(args[1:])
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(args[1:])
 	default:
-		err = run()
+		err = run(args)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tsens:", err)
-		os.Exit(1)
+	if err == nil {
+		return 0
 	}
+	if errors.Is(err, flag.ErrHelp) {
+		return 0
+	}
+	var ue *usageError
+	if errors.As(err, &ue) {
+		if !ue.quiet {
+			fmt.Fprintln(os.Stderr, "tsens:", err)
+		}
+		return 2
+	}
+	fmt.Fprintln(os.Stderr, "tsens:", err)
+	return 1
+}
+
+// usageError marks a command-line usage problem (exit code 2). quiet means
+// the flag package already printed the message and the usage text.
+type usageError struct {
+	err   error
+	quiet bool
+}
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// parseFlags wraps FlagSet.Parse, classifying parse failures as usage
+// errors and letting -h through as flag.ErrHelp.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &usageError{err: err, quiet: true}
+	}
+	return nil
 }
 
 // serveCmd is the assembled state of tsens serve, split from runServe so
@@ -74,10 +124,11 @@ type serveCmd struct {
 	replay func() error // nil without -replay
 }
 
-// buildServe parses the serve flags, loads the snapshot, starts the server,
-// registers the optional startup query, and binds the listener.
+// buildServe parses the serve flags, loads the snapshot, starts the server
+// (recovering from -wal when the directory holds state), registers the
+// optional startup query, and binds the listener.
 func buildServe(args []string) (*serveCmd, error) {
-	fs := flag.NewFlagSet("tsens serve", flag.ExitOnError)
+	fs := flag.NewFlagSet("tsens serve", flag.ContinueOnError)
 	var (
 		dataDir    = fs.String("data", "", "directory of <Relation>.csv files (the snapshot)")
 		addr       = fs.String("addr", "127.0.0.1:8181", "HTTP listen address")
@@ -96,31 +147,91 @@ func buildServe(args []string) (*serveCmd, error) {
 		shards     = fs.Int("shards", 0, "write-path shards (0 = GOMAXPROCS-bounded default, 1 = single writer)")
 		partition  = fs.String("partition", "", `routing columns per relation, e.g. "R1=1,R2=0" (default: column 0)`)
 		seed       = fs.Int64("seed", 0, "release-noise seed (0 = cryptographically random; fix only for tests)")
+		walDir     = fs.String("wal", "", "durability directory: journal writes and ε spends, recover on restart (docs/SERVING.md)")
+		walSync    = fs.Int("wal-sync", 1, "WAL fsync cadence in records (1 = before every acknowledgment)")
+		ckptEvery  = fs.Int("checkpoint-every", 0, "log entries between WAL checkpoints (0 = default)")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return nil, err
 	}
-	if *dataDir == "" {
+	if *dataDir == "" && *walDir == "" {
 		fs.Usage()
-		return nil, fmt.Errorf("-data is required")
+		return nil, usagef("-data is required (or -wal pointing at a recoverable directory)")
+	}
+	var recovering bool
+	if *walDir != "" {
+		var err error
+		if recovering, err = serve.HasWALState(*walDir); err != nil {
+			return nil, err
+		}
 	}
 	loader := csvio.NewLoader()
-	db, err := loader.LoadDir(*dataDir)
-	if err != nil {
-		return nil, err
+	var db *relation.Database
+	if *dataDir != "" && !recovering {
+		// A recovering boot ignores the snapshot entirely (the WAL
+		// directory is authoritative), so skip the load instead of paying
+		// it on every restart.
+		var err error
+		if db, err = loader.LoadDir(*dataDir); err != nil {
+			return nil, err
+		}
+	}
+	if *replayFile != "" && recovering {
+		// Replaying the same stream into recovered state would append every
+		// update a second time and double the database. New updates go
+		// through POST /updates.
+		fmt.Printf("wal %s recovered; skipping -replay %s (already journaled; POST /updates for new ones)\n", *walDir, *replayFile)
+		*replayFile = ""
 	}
 	pcols, err := parsePartition(*partition)
 	if err != nil {
 		return nil, err
 	}
-	srv, err := serve.New(db, serve.Options{
+	sopts := serve.Options{
 		Parallelism:      *parN,
 		BatchSize:        *batch,
 		Shards:           *shards,
 		PartitionColumns: pcols,
-	})
+	}
+	if *walDir != "" {
+		sopts.WALDir = *walDir
+		sopts.SyncEvery = *walSync
+		sopts.CheckpointEvery = *ckptEvery
+		sopts.WALCodec = loader
+	}
+	srv, err := serve.New(db, sopts)
 	if err != nil {
 		return nil, err
+	}
+	recovered := map[string]string{} // id → recovered query text
+	if *walDir != "" {
+		st := srv.Stats()
+		infos := srv.Queries()
+		for _, info := range infos {
+			recovered[info.ID] = info.Query
+		}
+		fmt.Printf("wal %s: epoch %d, %d queries recovered\n", *walDir, st.Epoch, len(infos))
+	}
+	if *queryText != "" {
+		if prev, ok := recovered[*queryID]; ok {
+			// Restarting with the same startup flags must not
+			// double-register: the WAL already carries the query (with its
+			// spent ε). But the recovered query must actually BE the one on
+			// the command line — silently serving a different body under
+			// the requested id would misanswer every read.
+			q, err := parser.Parse(*queryID, *queryText)
+			if err != nil {
+				srv.Close()
+				return nil, err
+			}
+			if q.String() != prev {
+				srv.Close()
+				return nil, fmt.Errorf("wal %s recovered query %q as %q, but -query asks for %q; unregister it first or pick another -id",
+					*walDir, *queryID, prev, q.String())
+			}
+			fmt.Printf("startup query %s already recovered; skipping registration\n", *queryID)
+			*queryText = ""
+		}
 	}
 	if *queryText != "" {
 		q, err := parser.Parse(*queryID, *queryText)
@@ -193,8 +304,11 @@ func buildServe(args []string) (*serveCmd, error) {
 }
 
 // runServe starts the long-lived DP query server: it loads the CSV
-// snapshot, optionally registers a first query and replays an update
-// stream, and serves the HTTP/JSON API (docs/SERVING.md) until killed.
+// snapshot (or recovers the -wal directory), optionally registers a first
+// query and replays an update stream, and serves the HTTP/JSON API
+// (docs/SERVING.md) until killed. SIGINT/SIGTERM shut it down gracefully:
+// the acknowledged backlog is drained and, when durable, a final checkpoint
+// is written, so a restart resumes instantly at the exact same state.
 func runServe(args []string) error {
 	cmd, err := buildServe(args)
 	if err != nil {
@@ -208,13 +322,42 @@ func runServe(args []string) error {
 			}
 		}()
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	// Both the signal goroutine and an http.Serve failure race toward
+	// shutdown; the Once makes whoever gets there first the only closer.
+	stopping := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(stopping) }) }
+	defer stop()
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Printf("received %v; draining and shutting down (again to force-quit)\n", s)
+			// Restore default disposition: a second signal during a slow
+			// drain must kill the process, not be swallowed.
+			signal.Stop(sig)
+			stop()
+			cmd.ln.Close() // unblocks http.Serve
+		case <-stopping:
+		}
+	}()
 	fmt.Printf("serving on http://%s\n", cmd.ln.Addr())
-	return http.Serve(cmd.ln, cmd.api)
+	err = http.Serve(cmd.ln, cmd.api)
+	select {
+	case <-stopping:
+		cmd.srv.Close() // graceful: drain + final checkpoint
+		return nil
+	default:
+		stop()
+		return err
+	}
 }
 
 // runUpdates replays an update stream through an incremental session.
 func runUpdates(args []string) error {
-	fs := flag.NewFlagSet("tsens updates", flag.ExitOnError)
+	fs := flag.NewFlagSet("tsens updates", flag.ContinueOnError)
 	var (
 		dataDir   = fs.String("data", "", "directory of <Relation>.csv files")
 		queryText = fs.String("query", "", `query body, e.g. "R1(A,B), R2(B,C)"`)
@@ -227,18 +370,18 @@ func runUpdates(args []string) error {
 		every     = fs.Int("every", 1, "print every k-th batch report")
 		verify    = fs.Bool("verify", false, "cross-check the final state against a from-scratch solve")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *dataDir == "" || *queryText == "" {
 		fs.Usage()
-		return fmt.Errorf("-data and -query are required")
+		return usagef("-data and -query are required")
 	}
 	if *batch < 1 {
-		return fmt.Errorf("-batch must be at least 1")
+		return usagef("-batch must be at least 1")
 	}
 	if *every < 1 {
-		return fmt.Errorf("-every must be at least 1")
+		return usagef("-every must be at least 1")
 	}
 	if *stream == "" {
 		*stream = filepath.Join(*dataDir, csvio.UpdatesFileName)
@@ -347,24 +490,27 @@ func relationDatabaseFromSession(sess *incremental.Session, orig *relation.Datab
 	return relation.NewDatabase(rels...)
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("tsens", flag.ContinueOnError)
 	var (
-		dataDir   = flag.String("data", "", "directory of <Relation>.csv files")
-		queryText = flag.String("query", "", `query body, e.g. "R1(A,B), R2(B,C) where R2.C >= 5"`)
-		bagsSpec  = flag.String("bags", "", `GHD bags for cyclic queries: atom indexes, ";"-separated bags, e.g. "0,1;2"`)
-		skip      = flag.String("skip", "", "comma-separated relations to skip (known tuple sensitivity ≤ 1)")
-		topK      = flag.Int("topk", 0, "top-k approximation of top/botjoins (0 = exact)")
-		naive     = flag.Bool("naive", false, "also run the naive Theorem 3.1 oracle (slow; small data only)")
-		showElas  = flag.Bool("elastic", false, "also report the elastic-sensitivity upper bound")
-		perRel    = flag.Bool("per-relation", false, "print the most sensitive tuple of every relation")
-		downward  = flag.Bool("downward", false, "also report the deletion-only (downward) local sensitivity")
-		explain   = flag.Bool("explain", false, "print the join tree (or GHD bag tree) the algorithm runs on")
-		tupleSpec = flag.String("tuple", "", `evaluate δ of one tuple: "Relation:v1,v2,..." (values as in the CSVs)`)
+		dataDir   = fs.String("data", "", "directory of <Relation>.csv files")
+		queryText = fs.String("query", "", `query body, e.g. "R1(A,B), R2(B,C) where R2.C >= 5"`)
+		bagsSpec  = fs.String("bags", "", `GHD bags for cyclic queries: atom indexes, ";"-separated bags, e.g. "0,1;2"`)
+		skip      = fs.String("skip", "", "comma-separated relations to skip (known tuple sensitivity ≤ 1)")
+		topK      = fs.Int("topk", 0, "top-k approximation of top/botjoins (0 = exact)")
+		naive     = fs.Bool("naive", false, "also run the naive Theorem 3.1 oracle (slow; small data only)")
+		showElas  = fs.Bool("elastic", false, "also report the elastic-sensitivity upper bound")
+		perRel    = fs.Bool("per-relation", false, "print the most sensitive tuple of every relation")
+		downward  = fs.Bool("downward", false, "also report the deletion-only (downward) local sensitivity")
+		explain   = fs.Bool("explain", false, "print the join tree (or GHD bag tree) the algorithm runs on")
+		tupleSpec = fs.String("tuple", "", `evaluate δ of one tuple: "Relation:v1,v2,..." (values as in the CSVs)`)
 	)
-	flag.Parse()
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *dataDir == "" || *queryText == "" {
-		flag.Usage()
-		return fmt.Errorf("-data and -query are required")
+		fs.Usage()
+		return usagef("-data and -query are required")
 	}
 
 	loader := csvio.NewLoader()

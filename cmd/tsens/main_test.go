@@ -251,3 +251,136 @@ func TestBuildServeValidation(t *testing.T) {
 		t.Fatal("malformed startup query accepted")
 	}
 }
+
+// TestExitCodes pins the unified exit-code contract: usage errors (bad or
+// missing flags, any subcommand) exit 2, runtime failures exit 1, -h exits
+// 0. Before the unification, subcommand flag errors exited 2 via
+// flag.ExitOnError while every top-level error exited 1.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "R1.csv"), []byte("a,b\n1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A plain file: using it as a -wal parent fails with ENOTDIR even when
+	// the test runs as root (permission bits would not be enforced then).
+	blocker := filepath.Join(dir, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"top-level bad flag", []string{"-no-such-flag"}, 2},
+		{"top-level missing required", []string{"-data", dir}, 2},
+		{"top-level runtime error", []string{"-data", filepath.Join(dir, "missing"), "-query", "R1(A,B)"}, 1},
+		{"top-level bad query", []string{"-data", dir, "-query", "R1(A,"}, 1},
+		{"updates bad flag", []string{"updates", "-bogus"}, 2},
+		{"updates missing required", []string{"updates", "-data", dir}, 2},
+		{"updates bad batch", []string{"updates", "-data", dir, "-query", "R1(A,B)", "-batch", "0"}, 2},
+		{"updates runtime error", []string{"updates", "-data", dir, "-query", "R1(A,B)"}, 1}, // no updates.stream
+		{"serve bad flag", []string{"serve", "-nope"}, 2},
+		{"serve missing data and wal", []string{"serve", "-addr", "127.0.0.1:0"}, 2},
+		{"serve unwritable wal dir", []string{"serve", "-addr", "127.0.0.1:0", "-data", dir,
+			"-wal", filepath.Join(blocker, "wal")}, 1},
+		{"serve wal without data or state", []string{"serve", "-addr", "127.0.0.1:0",
+			"-wal", filepath.Join(dir, "emptywal")}, 1},
+		{"top-level help", []string{"-h"}, 0},
+		{"updates help", []string{"updates", "-h"}, 0},
+		{"serve help", []string{"serve", "-h"}, 0},
+	}
+	for _, c := range cases {
+		if got := realMain(c.args); got != c.want {
+			t.Errorf("%s: exit %d, want %d (args %v)", c.name, got, c.want, c.args)
+		}
+	}
+}
+
+// TestBuildServeWALRestart drives the CLI assembly through a full restart:
+// first boot registers the startup query and absorbs updates, a graceful
+// close checkpoints, and the second boot with identical flags recovers the
+// query at the same epoch instead of double-registering it.
+func TestBuildServeWALRestart(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("R1.csv", "a,b\n1,1\n1,2\n2,2\n")
+	writeFile("R2.csv", "b,c\n1,x\n2,x\n2,y\n")
+	writeFile("updates.stream", "+,R2,2,x\n-,R1,1,1\n+,R1,3,1\n")
+	walDir := filepath.Join(dir, "wal")
+
+	args := []string{
+		"-data", dir,
+		"-addr", "127.0.0.1:0",
+		"-query", "R1(A,B), R2(B,C)",
+		"-id", "demo",
+		"-wal", walDir,
+	}
+	cmd, err := buildServe(append([]string{"-replay", filepath.Join(dir, "updates.stream")}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.replay(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.srv.WaitApplied(3); err != nil {
+		t.Fatal(err)
+	}
+	before, err := cmd.srv.View("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.ln.Close()
+	cmd.srv.Close() // graceful: final checkpoint
+
+	re, err := buildServe(args) // same flags, no -replay: must recover, not re-register
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.srv.Close()
+	defer re.ln.Close()
+	after, err := re.srv.View("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != before.Epoch || after.Count != before.Count || after.LS.LS != before.LS.LS {
+		t.Fatalf("recovered view (epoch %d: %d, %d), want (epoch %d: %d, %d)",
+			after.Epoch, after.Count, after.LS.LS, before.Epoch, before.Count, before.LS.LS)
+	}
+	if infos := re.srv.Queries(); len(infos) != 1 {
+		t.Fatalf("recovered %d queries, want 1: %+v", len(infos), infos)
+	}
+	if st := re.srv.Stats(); !st.WAL || st.Epoch != 3 {
+		t.Fatalf("recovered stats %+v, want WAL at epoch 3", st)
+	}
+	re.ln.Close()
+	re.srv.Close()
+
+	// Restarting with -replay still on the command line must NOT feed the
+	// stream a second time (it is already journaled; re-appending would
+	// double the database).
+	re2, err := buildServe(append([]string{"-replay", filepath.Join(dir, "updates.stream")}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.srv.Close()
+	defer re2.ln.Close()
+	if re2.replay != nil {
+		t.Fatal("-replay not skipped on a recovering boot")
+	}
+	if v, err := re2.srv.View("demo"); err != nil || v.Epoch != 3 {
+		t.Fatalf("view after second restart: %+v, %v", v, err)
+	}
+
+	// And restarting with the same -id but a DIFFERENT -query must fail
+	// loudly instead of silently serving the old body under that id.
+	bad := []string{"-data", dir, "-addr", "127.0.0.1:0", "-query", "R1(A,B)", "-id", "demo", "-wal", walDir}
+	if _, err := buildServe(bad); err == nil {
+		t.Fatal("changed -query under a recovered -id accepted")
+	}
+}

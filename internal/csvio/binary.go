@@ -1,0 +1,111 @@
+package csvio
+
+// Binary record codec: the length-prefixed on-disk form of string-field
+// records used by the serving layer's write-ahead log and checkpoints
+// (internal/serve/wal). A record is
+//
+//	uvarint(fieldCount) , fieldCount × ( uvarint(len) , bytes )
+//
+// — the binary analogue of one CSV line, safe for arbitrary bytes (embedded
+// commas, quotes, newlines) and decodable without scanning for delimiters.
+// Values travel in their textual form (the same rendering WriteUpdates
+// uses), so a stream re-encoded through the same Loader/Codec on recovery
+// reconstructs the string dictionary in write order; framing, checksums and
+// durability are the WAL layer's job, not the codec's.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tsens/internal/relation"
+)
+
+// AppendRecord appends the binary encoding of one record to buf and returns
+// the extended slice.
+func AppendRecord(buf []byte, fields ...string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(fields)))
+	for _, f := range fields {
+		buf = binary.AppendUvarint(buf, uint64(len(f)))
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// ReadRecord decodes one record from the front of b, returning the fields
+// and the remaining bytes. Truncated input fails rather than yielding a
+// short record.
+func ReadRecord(b []byte) (fields []string, rest []byte, err error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, nil, fmt.Errorf("csvio: binary record: truncated field count")
+	}
+	b = b[used:]
+	if n > uint64(len(b)) { // each field costs ≥ 1 byte; cheap corruption guard
+		return nil, nil, fmt.Errorf("csvio: binary record: field count %d exceeds remaining %d bytes", n, len(b))
+	}
+	fields = make([]string, n)
+	for i := range fields {
+		l, used := binary.Uvarint(b)
+		if used <= 0 {
+			return nil, nil, fmt.Errorf("csvio: binary record: truncated length of field %d", i)
+		}
+		b = b[used:]
+		if l > uint64(len(b)) {
+			return nil, nil, fmt.Errorf("csvio: binary record: field %d wants %d bytes, %d left", i, l, len(b))
+		}
+		fields[i] = string(b[:l])
+		b = b[l:]
+	}
+	return fields, b, nil
+}
+
+// AppendUpdateRecord appends the binary encoding of one update — the same
+// op,relation,values... shape as an updates.stream line — rendering values
+// through decode (a Loader.Decode or serve Codec).
+func AppendUpdateRecord(buf []byte, up relation.Update, decode func(int64) string) []byte {
+	fields := make([]string, 0, 2+len(up.Row))
+	sign := "-"
+	if up.Insert {
+		sign = "+"
+	}
+	fields = append(fields, sign, up.Rel)
+	for _, v := range up.Row {
+		fields = append(fields, decode(v))
+	}
+	return AppendRecord(buf, fields...)
+}
+
+// ReadUpdateRecord decodes one update record from the front of b, encoding
+// values back through encode (the inverse of AppendUpdateRecord's decode).
+func ReadUpdateRecord(b []byte, encode func(string) (int64, error)) (relation.Update, []byte, error) {
+	fields, rest, err := ReadRecord(b)
+	if err != nil {
+		return relation.Update{}, nil, err
+	}
+	if len(fields) < 2 {
+		return relation.Update{}, nil, fmt.Errorf("csvio: binary update record has %d field(s), need op,relation,values...", len(fields))
+	}
+	up := relation.Update{Rel: fields[1]}
+	switch fields[0] {
+	case "+":
+		up.Insert = true
+	case "-":
+		up.Insert = false
+	default:
+		return relation.Update{}, nil, fmt.Errorf("csvio: binary update record: bad op %q (want + or -)", fields[0])
+	}
+	if up.Rel == "" {
+		return relation.Update{}, nil, fmt.Errorf("csvio: binary update record: empty relation name")
+	}
+	if n := len(fields) - 2; n > 0 {
+		up.Row = make(relation.Tuple, n)
+		for i, f := range fields[2:] {
+			v, err := encode(f)
+			if err != nil {
+				return relation.Update{}, nil, fmt.Errorf("csvio: binary update record: value %d: %w", i+1, err)
+			}
+			up.Row[i] = v
+		}
+	}
+	return up, rest, nil
+}

@@ -1,0 +1,120 @@
+package csvio
+
+import (
+	"strconv"
+	"testing"
+
+	"tsens/internal/relation"
+)
+
+func TestBinaryRecordRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{},
+		{""},
+		{"+", "R1", "1", "2"},
+		{"a,b", "line\nbreak", `quo"te`, ""},
+		{string(make([]byte, 300))}, // multi-byte uvarint length
+	}
+	var buf []byte
+	for _, fields := range cases {
+		buf = AppendRecord(buf, fields...)
+	}
+	rest := buf
+	for i, want := range cases {
+		var got []string
+		var err error
+		got, rest, err = ReadRecord(rest)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("record %d: %d fields, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("record %d field %d: %q != %q", i, j, got[j], want[j])
+			}
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+}
+
+func TestBinaryRecordTruncation(t *testing.T) {
+	full := AppendRecord(nil, "+", "R1", "hello")
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, err := ReadRecord(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+	// A field-count larger than the remaining bytes must fail fast, not
+	// allocate.
+	if _, _, err := ReadRecord([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("absurd field count accepted")
+	}
+}
+
+func TestBinaryUpdateRecordRoundTrip(t *testing.T) {
+	loader := NewLoader()
+	// Intern a string value so the round trip crosses the dictionary.
+	code, err := loader.Encode("paris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := []relation.Update{
+		{Rel: "R1", Row: relation.Tuple{1, 2}, Insert: true},
+		{Rel: "R2", Row: relation.Tuple{code, -7}, Insert: false},
+		{Rel: "Nullary", Insert: true},
+	}
+	var buf []byte
+	for _, up := range ups {
+		buf = AppendUpdateRecord(buf, up, loader.Decode)
+	}
+	// Decode through a fresh loader: string values must re-intern and then
+	// decode back to the same text, the dictionary-rebuild property recovery
+	// relies on.
+	fresh := NewLoader()
+	rest := buf
+	for i, want := range ups {
+		var got relation.Update
+		var err error
+		got, rest, err = ReadUpdateRecord(rest, fresh.Encode)
+		if err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+		if got.Rel != want.Rel || got.Insert != want.Insert || len(got.Row) != len(want.Row) {
+			t.Fatalf("update %d: %+v != %+v", i, got, want)
+		}
+		for j := range want.Row {
+			if fresh.Decode(got.Row[j]) != loader.Decode(want.Row[j]) {
+				t.Fatalf("update %d value %d does not round-trip", i, j)
+			}
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+}
+
+func TestBinaryUpdateRecordErrors(t *testing.T) {
+	loader := NewLoader()
+	// Integer-only encoder, like the serving layer's IntCodec: exercises
+	// the value-error path.
+	intOnly := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+	cases := []struct {
+		fields []string
+		encode func(string) (int64, error)
+	}{
+		{fields: []string{"+"}, encode: loader.Encode},            // missing relation
+		{fields: []string{"*", "R1", "1"}, encode: loader.Encode}, // bad op
+		{fields: []string{"+", "", "1"}, encode: loader.Encode},   // empty relation
+		{fields: []string{"+", "R1", "zzz"}, encode: intOnly},     // unencodable value
+	}
+	for _, c := range cases {
+		buf := AppendRecord(nil, c.fields...)
+		if _, _, err := ReadUpdateRecord(buf, c.encode); err == nil {
+			t.Fatalf("bad update record %v accepted", c.fields)
+		}
+	}
+}

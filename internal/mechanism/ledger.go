@@ -31,6 +31,39 @@ func NewLedger(budget float64) (*Ledger, error) {
 	return &Ledger{budget: budget}, nil
 }
 
+// LedgerState is the exportable accounting of a Ledger, the part a durable
+// serving layer must persist: losing it across a restart would reset every
+// query's spent ε to zero and let an analyst re-spend the same budget,
+// voiding the sequential-composition guarantee the ledger enforces.
+type LedgerState struct {
+	Budget float64
+	Spent  float64
+	Spends int
+}
+
+// Export snapshots the ledger's accounting for persistence.
+func (l *Ledger) Export() LedgerState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LedgerState{Budget: l.budget, Spent: l.spent, Spends: l.spends}
+}
+
+// RestoreLedger rebuilds a ledger from persisted accounting (the inverse of
+// Export). The state must be internally consistent: non-negative spending
+// that does not exceed a positive budget beyond float tolerance.
+func RestoreLedger(st LedgerState) (*Ledger, error) {
+	if st.Budget < 0 {
+		return nil, fmt.Errorf("mechanism: budget must be non-negative, got %g", st.Budget)
+	}
+	if st.Spent < 0 || st.Spends < 0 {
+		return nil, fmt.Errorf("mechanism: negative ledger state (spent %g over %d spends)", st.Spent, st.Spends)
+	}
+	if st.Budget > 0 && st.Spent > st.Budget+1e-12 {
+		return nil, fmt.Errorf("mechanism: restored spending %g exceeds budget %g", st.Spent, st.Budget)
+	}
+	return &Ledger{budget: st.Budget, spent: st.Spent, spends: st.Spends}, nil
+}
+
 // Spend debits eps from the budget, or returns ErrBudgetExhausted (leaving
 // the ledger untouched) when the debit would overdraw it.
 func (l *Ledger) Spend(eps float64) error {

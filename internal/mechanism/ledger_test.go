@@ -271,3 +271,56 @@ func TestReleaseMatchesTSensDP(t *testing.T) {
 		t.Fatalf("True = %d, want Σ sens = 44", a.True)
 	}
 }
+
+// TestLedgerExportRestore: the durability round-trip a serving layer relies
+// on — restored ledgers resume with exact totals and keep enforcing the
+// budget, and inconsistent persisted state is refused.
+func TestLedgerExportRestore(t *testing.T) {
+	l, err := NewLedger(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := l.Spend(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Export()
+	if st.Budget != 3 || st.Spent != 2 || st.Spends != 2 {
+		t.Fatalf("export: %+v", st)
+	}
+	r, err := RestoreLedger(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Spent() != 2 || r.Spends() != 2 || r.Budget() != 3 {
+		t.Fatalf("restored: spent %g over %d of %g", r.Spent(), r.Spends(), r.Budget())
+	}
+	if err := r.Spend(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Spend(1); err == nil {
+		t.Fatal("restored ledger allowed overdraw")
+	}
+	for _, bad := range []LedgerState{
+		{Budget: -1},
+		{Budget: 1, Spent: 2},
+		{Spent: -1},
+		{Spends: -1},
+	} {
+		if _, err := RestoreLedger(bad); err == nil {
+			t.Fatalf("inconsistent state %+v accepted", bad)
+		}
+	}
+	// Unlimited ledgers restore too (budget 0 records without enforcing).
+	u, err := RestoreLedger(LedgerState{Spent: 7.5, Spends: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Spend(100); err != nil {
+		t.Fatal(err)
+	}
+	if u.Spent() != 107.5 {
+		t.Fatalf("unlimited restored spent %g", u.Spent())
+	}
+}

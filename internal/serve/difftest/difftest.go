@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 	"testing"
 
@@ -313,13 +314,19 @@ func Run(t *testing.T, cfg Config) {
 			}
 		case op < 85: // unregister one (keep at least one registered)
 			if len(registered) > 1 {
+				// Pick deterministically: ranging over the map would let Go's
+				// randomized iteration order steer the script, breaking the
+				// replay-by-seed contract.
+				ids := make([]string, 0, len(registered))
 				for id := range registered {
-					if err := srv.Unregister(id); err != nil {
-						fatalf("unregister %s: %v", id, err)
-					}
-					delete(registered, id)
-					break
+					ids = append(ids, id)
 				}
+				sort.Strings(ids)
+				id := ids[rng.Intn(len(ids))]
+				if err := srv.Unregister(id); err != nil {
+					fatalf("unregister %s: %v", id, err)
+				}
+				delete(registered, id)
 			}
 		default: // release on the private query, if registered
 			c, ok := registered["priv"]

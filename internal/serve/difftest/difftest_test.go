@@ -65,3 +65,32 @@ func TestServeDifferentialPinned(t *testing.T) {
 		})
 	}
 }
+
+// TestServeCrashRecoveryMatrix is the crash-point matrix: the differential
+// script against a durable server killed at seed-chosen WAL offsets
+// mid-script (with a torn partial frame appended, simulating death
+// mid-write), reopened from disk, and driven on — recovered counts, LS,
+// epochs, and ledger totals must match the from-scratch solver and the
+// uninterrupted model at every flush point.
+func TestServeCrashRecoveryMatrix(t *testing.T) {
+	s := seed(t)
+	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
+	for _, shards := range shardCounts(t) {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			RunCrash(t, Config{Seed: s, Shards: shards}, t.TempDir(), 4)
+		})
+	}
+}
+
+// TestServeCrashRecoveryPinned replays fixed crash scripts at both shard
+// extremes so every CI run covers a deterministic kill/reopen sequence.
+func TestServeCrashRecoveryPinned(t *testing.T) {
+	for _, c := range []Config{
+		{Seed: 3, Shards: 1},
+		{Seed: 4, Shards: 4},
+	} {
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", c.Seed, c.Shards), func(t *testing.T) {
+			RunCrash(t, c, t.TempDir(), 4)
+		})
+	}
+}

@@ -1,0 +1,401 @@
+package serve
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/csvio"
+	"tsens/internal/mechanism"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+	"tsens/internal/workload"
+)
+
+// TestServeDurableRestartRoundTrip is the headline recovery property: a
+// server killed without warning (CloseNow abandons all in-memory state)
+// reopens from its WAL directory with every registered query at its exact
+// epoch and view, the exact ε spent, and the cached release replaying the
+// identical noisy value — no budget amnesia, no lost acknowledged write.
+func TestServeDurableRestartRoundTrip(t *testing.T) {
+	db := testDB(t, 12, 4, 3, "R1", "R2", "R3")
+	dir := t.TempDir()
+	opts := Options{Parallelism: 2, BatchSize: 4, WALDir: dir}
+	srv, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := srv.Register(QueryConfig{
+		ID:      "pq",
+		Query:   pathQuery(t),
+		Private: "R2",
+		Release: mechanism.TSensDPConfig{Epsilon: 1, Bound: 64},
+		Budget:  5,
+		Drift:   1000, // huge gate: every release after the first replays
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.UpdateStream(db, 30, 0.4, 7)
+	_, to, err := srv.Append(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitApplied(to); err != nil {
+		t.Fatal(err)
+	}
+	before, err := srv.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel1, err := srv.Release(id, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel1.Fresh || rel1.TotalSpent != 1 {
+		t.Fatalf("first release: %+v", rel1)
+	}
+	srv.CloseNow() // crash: all in-memory state gone
+
+	re, err := New(nil, opts) // nil db: the WAL directory is authoritative
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st := re.Stats()
+	if !st.WAL || st.Epoch != to || st.Appended != to {
+		t.Fatalf("recovered stats %+v, want epoch=appended=%d", st, to)
+	}
+	after, err := re.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != before.Epoch || after.Count != before.Count || after.LS.LS != before.LS.LS {
+		t.Fatalf("recovered view (epoch %d, %d, %d), want (%d, %d, %d)",
+			after.Epoch, after.Count, after.LS.LS, before.Epoch, before.Count, before.LS.LS)
+	}
+	cur := replayPrefix(t, db, stream, len(stream))
+	want, err := core.LocalSensitivity(pathQuery(t), cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count != want.Count || after.LS.LS != want.LS {
+		t.Fatalf("recovered view (%d, %d), scratch (%d, %d)", after.Count, after.LS.LS, want.Count, want.LS)
+	}
+	// The ε spent survived, and the cached release replays the identical
+	// noisy value without spending again.
+	rel2, err := re.Release(id, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Fresh || rel2.TotalSpent != 1 || rel2.Run.Noisy != rel1.Run.Noisy {
+		t.Fatalf("recovered release %+v, want replay of noisy=%g at total 1", rel2, rel1.Run.Noisy)
+	}
+	// And the server keeps serving: appends work and advance the epoch.
+	if _, to2, err := re.Append(stream[:3]); err != nil {
+		t.Fatal(err)
+	} else if err := re.WaitApplied(to2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeDurableBudgetNoDoubleSpend: the bug this PR fixes. Pre-WAL, a
+// restart reset the ledger and let an analyst re-spend the same ε; now the
+// spends survive and the budget stays exhausted across restarts.
+func TestServeDurableBudgetNoDoubleSpend(t *testing.T) {
+	db := testDB(t, 10, 4, 1, "R1", "R2", "R3")
+	dir := t.TempDir()
+	opts := Options{Parallelism: 2, WALDir: dir}
+	srv, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = srv.Register(QueryConfig{
+		ID:      "pq",
+		Query:   pathQuery(t),
+		Private: "R2",
+		Release: mechanism.TSensDPConfig{Epsilon: 1, Bound: 64},
+		Budget:  2,
+		Drift:   -1, // negative gate: every release is fresh and spends
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Release("pq", rng); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	if _, err := srv.Release("pq", rng); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("third release: %v, want budget exhausted", err)
+	}
+	srv.CloseNow()
+
+	re, err := New(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Release("pq", rng); !errors.Is(err, mechanism.ErrBudgetExhausted) {
+		t.Fatalf("post-restart release: %v, want budget exhausted (no amnesia)", err)
+	}
+	infos := re.Queries()
+	if len(infos) != 1 || infos[0].Spent != 2 || infos[0].Releases != 2 {
+		t.Fatalf("recovered accounting: %+v", infos)
+	}
+}
+
+// TestServeDurableRegistrationChurn: registrations and unregistrations
+// journal and replay in order, including re-registering a previously
+// dropped ID (which must come back with a fresh ledger).
+func TestServeDurableRegistrationChurn(t *testing.T) {
+	db := testDB(t, 10, 4, 2, "R1", "R2", "R3")
+	dir := t.TempDir()
+	opts := Options{Parallelism: 2, WALDir: dir}
+	srv, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := func(s *Server, id string, budget float64) {
+		t.Helper()
+		cfg := QueryConfig{ID: id, Query: pathQuery(t)}
+		if budget > 0 {
+			cfg.Private = "R2"
+			cfg.Release = mechanism.TSensDPConfig{Epsilon: 1, Bound: 64}
+			cfg.Budget = budget
+		}
+		if _, _, err := s.Register(cfg); err != nil {
+			t.Fatalf("register %s: %v", id, err)
+		}
+	}
+	reg(srv, "a", 3)
+	reg(srv, "b", 0)
+	if _, err := srv.Release("a", rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Unregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	reg(srv, "a", 3) // same ID, fresh ledger
+	tri, d := triangleQuery(t)
+	cfg := QueryConfig{ID: "c", Query: tri}
+	cfg.Options.Decomposition = d
+	if _, _, err := srv.Register(cfg); err != nil {
+		t.Fatal(err)
+	}
+	srv.CloseNow()
+
+	re, err := New(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	infos := re.Queries()
+	if len(infos) != 3 {
+		t.Fatalf("recovered %d queries, want 3: %+v", len(infos), infos)
+	}
+	for _, info := range infos {
+		switch info.ID {
+		case "a":
+			if info.Spent != 0 { // the pre-unregister spend must not leak in
+				t.Fatalf("re-registered %q inherited spent ε: %+v", info.ID, info)
+			}
+		case "b", "c":
+		default:
+			t.Fatalf("unexpected recovered query %+v", info)
+		}
+	}
+	// The cyclic query must have recovered with its decomposition: its view
+	// answers (a Register without bags would have failed outright, but make
+	// sure it is being served, not a tombstone).
+	if _, err := re.View("c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeDurableCheckpointTruncation: with an aggressive checkpoint
+// cadence a long update stream leaves a WAL directory whose recovery starts
+// from a recent checkpoint (DurableEpoch advances) and whose old segments
+// are pruned, while recovery remains exact.
+func TestServeDurableCheckpointTruncation(t *testing.T) {
+	db := testDB(t, 12, 4, 9, "R1", "R2", "R3")
+	dir := t.TempDir()
+	opts := Options{Parallelism: 2, BatchSize: 8, CheckpointEvery: 16, WALDir: dir}
+	srv, err := New(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Register(QueryConfig{ID: "pq", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.UpdateStream(db, 200, 0.4, 13)
+	for off := 0; off < len(stream); off += 5 {
+		end := off + 5
+		if end > len(stream) {
+			end = len(stream)
+		}
+		if _, _, err := srv.Append(stream[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.WaitApplied(int64(len(stream))); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // graceful: final checkpoint covers everything
+	st := srv.Stats()
+	if st.DurableEpoch != int64(len(stream)) {
+		t.Fatalf("durable epoch %d after graceful close, want %d", st.DurableEpoch, len(stream))
+	}
+	// Old generations must be gone: one live segment, one checkpoint.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs, cks int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".seg"):
+			segs++
+		case strings.HasSuffix(e.Name(), ".ckpt"):
+			cks++
+		}
+	}
+	if segs > 1 || cks != 1 {
+		t.Fatalf("%d segments and %d checkpoints after close, want ≤1 and 1", segs, cks)
+	}
+
+	re, err := New(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	v, err := re.View("pq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := replayPrefix(t, db, stream, len(stream))
+	want, err := core.LocalSensitivity(pathQuery(t), cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch != int64(len(stream)) || v.Count != want.Count || v.LS.LS != want.LS {
+		t.Fatalf("recovered (epoch %d: %d, %d), scratch (%d, %d)", v.Epoch, v.Count, v.LS.LS, want.Count, want.LS)
+	}
+}
+
+// TestServeDurableStringValues: a WALCodec with a string dictionary
+// round-trips non-integer data through crash and recovery (the dictionary
+// is rebuilt by re-encoding the textual WAL, so codes may differ — answers
+// must not).
+func TestServeDurableStringValues(t *testing.T) {
+	loader := csvio.NewLoader()
+	mk := func(name, a, b string, rows ...[2]string) string {
+		var sb strings.Builder
+		sb.WriteString(a + "," + b + "\n")
+		for _, r := range rows {
+			sb.WriteString(r[0] + "," + r[1] + "\n")
+		}
+		return sb.String()
+	}
+	dataDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dataDir, "R1.csv"),
+		[]byte(mk("R1", "a", "b", [2]string{"ann", "x"}, [2]string{"bob", "x"}, [2]string{"ann", "y"})), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dataDir, "R2.csv"),
+		[]byte(mk("R2", "b", "c", [2]string{"x", "red"}, [2]string{"y", "blue"})), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := loader.LoadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := query.New("pq", []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srv, err := New(db, Options{WALDir: dir, WALCodec: loader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Register(QueryConfig{ID: "pq", Query: q2}); err != nil {
+		t.Fatal(err)
+	}
+	// Append updates whose values include a string never seen in the CSVs:
+	// it is interned into the live dictionary and must survive via the WAL's
+	// textual encoding.
+	enc := func(s string) int64 {
+		v, err := loader.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	ups := []relation.Update{
+		{Rel: "R1", Row: relation.Tuple{enc("carol"), enc("x")}, Insert: true},
+		{Rel: "R2", Row: relation.Tuple{enc("x"), enc("green")}, Insert: true},
+		{Rel: "R1", Row: relation.Tuple{enc("bob"), enc("x")}, Insert: false},
+	}
+	if _, to, err := srv.Append(ups); err != nil {
+		t.Fatal(err)
+	} else if err := srv.WaitApplied(to); err != nil {
+		t.Fatal(err)
+	}
+	before, err := srv.View("pq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.CloseNow()
+
+	// Restart as a fresh process would: an empty dictionary, recovered
+	// purely from the WAL directory.
+	fresh := csvio.NewLoader()
+	re, err := New(nil, Options{WALDir: dir, WALCodec: fresh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	after, err := re.View("pq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Epoch != before.Epoch || after.Count != before.Count || after.LS.LS != before.LS.LS {
+		t.Fatalf("recovered string-valued view (epoch %d: %d, %d), want (epoch %d: %d, %d)",
+			after.Epoch, after.Count, after.LS.LS, before.Epoch, before.Count, before.LS.LS)
+	}
+	// Cross-check against a from-scratch solve over the mutated CSVs, in a
+	// dictionary of its own.
+	sl := csvio.NewLoader()
+	scratch, err := sl.LoadDir(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := func(s string) int64 {
+		v, err := sl.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	cur := replayPrefix(t, scratch, []relation.Update{
+		{Rel: "R1", Row: relation.Tuple{se("carol"), se("x")}, Insert: true},
+		{Rel: "R2", Row: relation.Tuple{se("x"), se("green")}, Insert: true},
+		{Rel: "R1", Row: relation.Tuple{se("bob"), se("x")}, Insert: false},
+	}, 3)
+	want, err := core.LocalSensitivity(q2, cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Count != want.Count || after.LS.LS != want.LS {
+		t.Fatalf("recovered (%d, %d), scratch (%d, %d)", after.Count, after.LS.LS, want.Count, want.LS)
+	}
+}

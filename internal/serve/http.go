@@ -131,10 +131,23 @@ type registerRequest struct {
 	Drift  float64 `json:"drift"`
 }
 
+// decodeStrict decodes a JSON request body rejecting unknown fields: a
+// misspelled option ("wait_epoc", "budge") must fail with 400, not silently
+// drop the semantics the client asked for (read-your-writes, a budget cap —
+// exactly the fields whose silent loss is least visible and most costly).
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
 func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Query == "" {
@@ -282,8 +295,8 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		var req updatesRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		if err := decodeStrict(r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
 		wait, waitEpoch = req.Wait, req.WaitEpoch
@@ -344,15 +357,22 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	st := a.srv.Stats()
-	// The joined cut is the minimum shard watermark; mid-round it can run
-	// ahead of the published epoch (views lag the barrier), never behind.
+	// Two distinct notions of progress, reported under distinct names:
+	// "epoch" is the PUBLISHED consistent cut — what every view read
+	// reflects — while "joined" is the fold frontier, the minimum per-shard
+	// watermark. Mid-round the frontier runs ahead of the published epoch
+	// (every shard may have folded the round while the coordinator is still
+	// merging views), so published ≤ joined always, and equality holds at
+	// rest. Nothing readable through /queries reflects "joined" before it
+	// is published (TestServeEpochPublishedNeverAheadOfJoined pins the
+	// invariant under a stalled shard).
 	var joined int64
 	for i, wm := range st.Watermarks {
 		if i == 0 || wm < joined {
 			joined = wm
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"epoch":      st.Epoch,
 		"joined":     joined,
 		"shards":     st.Shards,
@@ -361,7 +381,12 @@ func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		"pending":    st.Appended - st.Epoch,
 		"skipped":    st.Skipped,
 		"queries":    st.Queries,
-	})
+	}
+	if st.WAL {
+		out["wal"] = true
+		out["durable_epoch"] = st.DurableEpoch
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // viewJSON renders a published view, decoding witness tuples through the

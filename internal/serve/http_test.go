@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"tsens/internal/core"
@@ -205,4 +206,134 @@ func TestAPIBudgetExhaustion(t *testing.T) {
 	if !strings.Contains(fmt.Sprint(out["error"]), "budget exhausted") {
 		t.Fatalf("exhaustion error: %v", out)
 	}
+}
+
+// TestAPIStrictJSONDecoding: a misspelled field in a JSON body must fail
+// with 400 instead of being silently dropped. The canonical victim:
+// "wait_epoc" used to decode fine and silently lose read-your-writes.
+func TestAPIStrictJSONDecoding(t *testing.T) {
+	db := testDB(t, 8, 3, 31, "R1", "R2", "R3")
+	ts, _ := startAPI(t, db)
+	doJSON(t, "POST", ts.URL+"/queries", map[string]any{
+		"id":    "q",
+		"query": "R1(A,B), R2(B,C)",
+	}, http.StatusCreated)
+
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"updates misspelled wait_epoch", "/updates",
+			`{"updates": [{"op": "+", "rel": "R1", "row": ["1","2"]}], "wait_epoc": true}`, http.StatusBadRequest},
+		{"updates misspelled wait", "/updates",
+			`{"updates": [{"op": "+", "rel": "R1", "row": ["1","2"]}], "wait_shards": true}`, http.StatusBadRequest},
+		{"updates unknown field in element", "/updates",
+			`{"updates": [{"op": "+", "rel": "R1", "row": ["1","2"], "relation": "R1"}]}`, http.StatusBadRequest},
+		{"updates bare garbage", "/updates", `{"ops": []}`, http.StatusBadRequest},
+		{"updates malformed JSON", "/updates", `{"updates": [`, http.StatusBadRequest},
+		{"register misspelled budget", "/queries",
+			`{"id": "q2", "query": "R1(A,B)", "budge": 2}`, http.StatusBadRequest},
+		{"register unknown release field", "/queries",
+			`{"id": "q3", "query": "R1(A,B)", "release": {"epsilon": 1, "bond": 5}}`, http.StatusBadRequest},
+		{"release any body at all", "/queries/q/release", `{"seed": 1}`, http.StatusBadRequest},
+		// Correctly spelled bodies still work (the strict decoder must not
+		// over-reject).
+		{"updates well-formed", "/updates",
+			`{"updates": [{"op": "+", "rel": "R1", "row": ["1","2"]}], "wait_epoch": true}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Fatalf("%s: status %d (want %d): %s", c.name, resp.StatusCode, c.status, raw)
+		}
+	}
+}
+
+// TestServeEpochPublishedNeverAheadOfJoined is the hostile-scheduler
+// regression test for the /epoch contract: the published epoch may lag the
+// joined fold frontier (mid-round, or with a shard paused) but must never
+// run ahead of it, because views only publish at cuts every shard reached.
+func TestServeEpochPublishedNeverAheadOfJoined(t *testing.T) {
+	db := testDB(t, 16, 6, 71, "R1", "R2", "R3")
+	srv, err := New(db, Options{Shards: 2, Parallelism: 2, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(NewAPI(srv, nil, 42))
+	defer ts.Close()
+	if _, _, err := srv.Register(QueryConfig{ID: "q", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(when string) (epoch, joined float64) {
+		t.Helper()
+		ep := doJSON(t, "GET", ts.URL+"/epoch", nil, http.StatusOK)
+		epoch, joined = ep["epoch"].(float64), ep["joined"].(float64)
+		if epoch > joined {
+			t.Fatalf("%s: published epoch %v ahead of joined cut %v (%v)", when, epoch, joined, ep)
+		}
+		return epoch, joined
+	}
+
+	// Phase 1: hammer /epoch from the side while many small rounds drain,
+	// sampling the mid-round window where joined runs ahead of published.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			check("during drain")
+		}
+	}()
+	var ups []relation.Update
+	for k := int64(0); k < 40; k++ {
+		ups = append(ups, relation.Update{Rel: "R1", Row: relation.Tuple{k % 6, k % 5}, Insert: true})
+	}
+	if _, to, err := srv.Append(ups); err != nil {
+		t.Fatal(err)
+	} else if err := srv.WaitApplied(to); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// Phase 2: park one shard mid-round and assert the torn round is
+	// invisible — published stays at the old cut, joined never below it.
+	gateCh := make(chan struct{})
+	var gateOnce sync.Once
+	releaseGate := func() { gateOnce.Do(func() { close(gateCh) }) }
+	defer releaseGate()
+	entered := make(chan struct{}, 1)
+	gate := func(int) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-gateCh
+	}
+	slow := srv.ShardOf(relation.Update{Rel: "R2", Row: relation.Tuple{1, 1}, Insert: true})
+	srv.shards[slow].gate.Store(&gate)
+	before := srv.Epoch()
+	if _, _, err := srv.Append([]relation.Update{{Rel: "R2", Row: relation.Tuple{1, 1}, Insert: true}}); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	epoch, joined := check("shard parked")
+	if int64(epoch) != before {
+		t.Fatalf("published epoch %v moved with a shard parked (was %d)", epoch, before)
+	}
+	if int64(joined) < before {
+		t.Fatalf("joined cut %v regressed below %d", joined, before)
+	}
+	releaseGate()
+	if err := srv.WaitApplied(before + 1); err != nil {
+		t.Fatal(err)
+	}
+	check("after release")
 }

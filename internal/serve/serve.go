@@ -111,6 +111,29 @@ type Options struct {
 	// Unlisted relations route on column 0. Entries must name existing
 	// relations and in-range columns.
 	PartitionColumns map[string]int
+	// WALDir, when non-empty, makes the server durable: every Append,
+	// Register/Unregister, and fresh ε-spend is journaled to a write-ahead
+	// log there before it is acknowledged, and periodic checkpoints bound
+	// recovery replay (durable.go; docs/SERVING.md "Durability"). New
+	// recovers an existing directory — registered queries, their epochs,
+	// and their exact spent ε come back — and seeds a fresh one with an
+	// initial checkpoint, after which the directory alone suffices to
+	// restart (the db argument may then be nil).
+	WALDir string
+	// SyncEvery is the WAL fsync cadence in records: 1 (the default) syncs
+	// before every acknowledgment — the only setting under which an
+	// acknowledged write survives an arbitrary crash — while larger values
+	// batch fsyncs and bound loss to the unsynced suffix.
+	SyncEvery int
+	// CheckpointEvery is the number of drained log entries between
+	// checkpoint captures. 0 means DefaultCheckpointEvery; negative
+	// checkpoints only at boot and graceful Close.
+	CheckpointEvery int
+	// WALCodec renders tuple values to their durable textual form (and
+	// re-encodes them on recovery). nil means IntCodec; pass the csvio
+	// loader of the snapshot so string-valued data round-trips through one
+	// dictionary.
+	WALCodec Codec
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +154,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards < 1 {
 		o.Shards = 1
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 1
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = DefaultCheckpointEvery
 	}
 	return o
 }
@@ -248,6 +277,11 @@ type Stats struct {
 	// while a round is being published, = Epoch at rest).
 	Shards     int
 	Watermarks []int64
+	// WAL reports whether the server is durable (Options.WALDir);
+	// DurableEpoch is then the epoch covered by the last installed
+	// checkpoint (recovery replays the WAL tail past it).
+	WAL          bool
+	DurableEpoch int64
 }
 
 // servedQuery is the per-query state. The shard writers mutate the unit
@@ -261,6 +295,7 @@ type servedQuery struct {
 	partVar string // partition variable; "" for fallback queries
 	private string
 	cfg     mechanism.TSensDPConfig
+	sopts   core.Options // solver options as registered (for journaling)
 	drift   float64
 	ledger  *mechanism.Ledger
 
@@ -289,12 +324,18 @@ type Server struct {
 	logBase int64 // absolute log sequence number of log[0]
 	regCuts map[int]int64
 	nextReg int
-	closed  bool
+	closed  bool // CloseNow: stop immediately, abandon the backlog
+	drain   bool // Close: refuse new appends, drain the backlog, then stop
+
+	// wal is the durability glue (nil without Options.WALDir): journaled
+	// appends/registrations/spends and the checkpoint writer (durable.go).
+	wal *durableLog
 
 	stateMu  sync.Mutex
 	master   *relation.Database
 	rowpos   map[string]*relation.RowSet
 	nextID   int
+	regSeq   int64           // journaled registration sequence (durable.go)
 	reserved map[string]bool // IDs mid-registration (solve in flight)
 
 	qmu     sync.RWMutex
@@ -314,20 +355,49 @@ type Server struct {
 }
 
 // New starts a server over a private copy of db. Close it when done.
+//
+// With Options.WALDir set the server is durable: a fresh directory is
+// seeded with a checkpoint of db, an existing one is recovered — every
+// registered query comes back at its exact epoch with its exact spent ε,
+// and acknowledged appends are never lost. On recovery db is ignored (and
+// may be nil): the WAL directory is the authoritative state.
 func New(db *relation.Database, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.WALDir != "" {
+		return openDurable(db, opts)
+	}
 	if db == nil {
 		return nil, fmt.Errorf("serve: nil database")
 	}
-	opts = opts.withDefaults()
+	return newServer(db.Clone(), opts, serverInit{}, nil)
+}
+
+// serverInit carries recovered counters into newServer: the epoch the
+// master rows describe (log entries already folded into them) and the skip
+// count accumulated getting there.
+type serverInit struct {
+	epoch   int64
+	skipped int64
+}
+
+// newServer assembles and starts a server around master (ownership
+// transfers; callers clone). init positions the log counters for recovery;
+// dl, when non-nil, attaches the WAL before any goroutine starts.
+func newServer(master *relation.Database, opts Options, init serverInit, dl *durableLog) (*Server, error) {
 	s := &Server{
 		opts:     opts,
-		master:   db.Clone(),
+		master:   master,
+		wal:      dl,
+		logBase:  init.epoch,
 		queries:  make(map[string]*servedQuery),
 		reserved: make(map[string]bool),
 		regCuts:  make(map[int]int64),
 		epochCh:  make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.epoch.Store(init.epoch)
+	s.appended.Store(init.epoch)
+	s.skipped.Store(init.skipped)
 	s.logCond = sync.NewCond(&s.logMu)
 	s.rowpos = make(map[string]*relation.RowSet, len(s.master.Names()))
 	s.pcols = make(map[string]int, len(s.master.Names()))
@@ -354,29 +424,65 @@ func New(db *relation.Database, opts Options) (*Server, error) {
 	s.shards = make([]*shard, opts.Shards)
 	for i := range s.shards {
 		s.shards[i] = &shard{id: i, in: make(chan *round)}
+		s.shards[i].watermark.Store(init.epoch)
 	}
 	s.wg.Add(1 + len(s.shards))
 	go s.writer()
 	for _, sh := range s.shards {
 		go sh.run(s)
 	}
+	if dl != nil {
+		go func() {
+			defer close(dl.ckptDone)
+			for ck := range dl.ckptCh {
+				// Best-effort: a failed periodic write leaves the previous
+				// checkpoint in place and the uncovered segments unpruned —
+				// recovery just replays a longer tail.
+				_ = s.writeCheckpoint(ck)
+			}
+		}()
+	}
 	return s, nil
 }
 
-// Close stops the coordinator and the shard writers (pending log entries
-// are dropped) and releases the owned pool. Reads keep answering from the
-// last published views.
-func (s *Server) Close() {
+// Close stops the server gracefully: new appends are refused, the already
+// acknowledged backlog is drained through the shards to a consistent cut
+// (so an Append that returned success is never lost by a clean shutdown),
+// a final checkpoint is written when durable, and the owned pool is
+// released. Reads keep answering from the last published views. Use
+// CloseNow to abandon the backlog instead.
+func (s *Server) Close() { s.close(false) }
+
+// CloseNow stops the coordinator and the shard writers immediately,
+// abandoning appended-but-undrained log entries — the pre-durability Close
+// behavior, and the crash stand-in the recovery tests kill servers with.
+// With a WAL attached the abandoned entries are still on disk: a restart
+// recovers and folds them.
+func (s *Server) CloseNow() { s.close(true) }
+
+func (s *Server) close(now bool) {
 	s.logMu.Lock()
-	if s.closed {
+	if s.closed || s.drain {
 		s.logMu.Unlock()
 		return
 	}
-	s.closed = true
+	if now {
+		s.closed = true
+	} else {
+		s.drain = true
+	}
 	s.logCond.Broadcast()
 	s.logMu.Unlock()
 	close(s.done)
 	s.wg.Wait()
+	if s.wal != nil {
+		close(s.wal.ckptCh)
+		<-s.wal.ckptDone
+		if !now && s.wal.enabled() {
+			_ = s.checkpointSync()
+		}
+		_ = s.wal.log.Close()
+	}
 	if s.ownsPool {
 		s.pool.Close()
 	}
@@ -478,6 +584,7 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 		q:       cfg.Query,
 		private: cfg.Private,
 		cfg:     cfg.Release,
+		sopts:   cfg.Options,
 		drift:   cfg.Drift,
 		ledger:  ledger,
 	}
@@ -574,6 +681,15 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	if err := sq.publish(cur, s.opts.DriftFraction); err != nil {
 		return "", nil, err
 	}
+	// Journal the registration before it becomes visible, so a crash after
+	// a successful Register always recovers the query (and a crash before
+	// the record is durable recovers a server that never acknowledged it).
+	if s.wal.enabled() {
+		if err := s.wal.appendJSON(recRegister, registerRecord{Seq: s.regSeq + 1, Config: sq.configJSON()}); err != nil {
+			return "", nil, err
+		}
+		s.regSeq++
+	}
 	for _, u := range sq.units {
 		sh := s.shards[u.shard]
 		sh.units = append(sh.units, u)
@@ -593,6 +709,12 @@ func (s *Server) Unregister(id string) error {
 	sq, ok := s.queries[id]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoQuery, id)
+	}
+	if s.wal.enabled() {
+		if err := s.wal.appendJSON(recUnregister, unregisterRecord{Seq: s.regSeq + 1, ID: id}); err != nil {
+			return err
+		}
+		s.regSeq++
 	}
 	delete(s.queries, id)
 	for _, sh := range s.shards {
@@ -628,15 +750,24 @@ func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
 	}
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
-	if s.closed {
+	if s.closed || s.drain {
 		return 0, 0, fmt.Errorf("serve: server closed")
 	}
-	to = s.appended.Load()
-	from = to
+	from = s.appended.Load()
+	cloned := make([]relation.Update, 0, len(ups))
 	for _, up := range ups {
-		s.log = append(s.log, relation.Update{Rel: up.Rel, Row: up.Row.Clone(), Insert: up.Insert})
-		to++
+		cloned = append(cloned, relation.Update{Rel: up.Rel, Row: up.Row.Clone(), Insert: up.Insert})
 	}
+	// Journal before acknowledging: once appendUpdates returns, the batch is
+	// as durable as Options.SyncEvery promises, and only then does it enter
+	// the in-memory log. A WAL failure refuses the append outright (and the
+	// sticky WAL error keeps refusing) rather than acknowledging an update
+	// a restart would lose.
+	if err := s.wal.appendUpdates(from, cloned); err != nil {
+		return 0, 0, err
+	}
+	s.log = append(s.log, cloned...)
+	to = from + int64(len(cloned))
 	s.appended.Store(to)
 	s.logCond.Broadcast()
 	return from, to, nil
@@ -733,6 +864,18 @@ func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Journal the spend (and the run, so replays after recovery return
+		// the same noisy value) before handing out the answer. On a WAL
+		// failure the noisy value is withheld: the in-memory spend stands —
+		// conservatively so, since budget charged for an answer never
+		// released can only overstate spending, never reset it.
+		if s.wal.enabled() {
+			if werr := s.wal.appendJSON(recRelease, releaseRecord{
+				ID: sq.id, Seq: sq.releases + 1, Spent: sq.cfg.Epsilon, Count: v.Count, Run: *run,
+			}); werr != nil {
+				return nil, werr
+			}
+		}
 		sq.lastRun = run
 		sq.lastCount = v.Count
 		sq.releases++
@@ -793,7 +936,7 @@ func (s *Server) Stats() Stats {
 	for i, sh := range s.shards {
 		wm[i] = sh.watermark.Load()
 	}
-	return Stats{
+	st := Stats{
 		Epoch:      s.epoch.Load(),
 		Appended:   s.appended.Load(),
 		Skipped:    s.skipped.Load(),
@@ -801,6 +944,11 @@ func (s *Server) Stats() Stats {
 		Shards:     len(s.shards),
 		Watermarks: wm,
 	}
+	if s.wal != nil {
+		st.WAL = true
+		st.DurableEpoch = s.wal.durableEpoch.Load()
+	}
+	return st
 }
 
 func (s *Server) lookup(id string) (*servedQuery, error) {
@@ -818,7 +966,7 @@ func (s *Server) lookup(id string) (*servedQuery, error) {
 // barrier — merges and publishes the new epoch.
 func (s *Server) writer() {
 	defer s.wg.Done()
-	drained := int64(0)
+	drained := s.epoch.Load() // non-zero when recovering from a checkpoint
 	for {
 		batch := s.nextBatch(drained)
 		if batch == nil {
@@ -853,6 +1001,9 @@ func (s *Server) writer() {
 		// takes over the lock reads an epoch consistent with the master
 		// rows it snapshots.
 		s.epoch.Store(newEpoch)
+		if s.wal != nil {
+			s.maybeCheckpointLocked(newEpoch)
+		}
 		s.stateMu.Unlock()
 		drained = newEpoch
 		s.notify()
@@ -886,8 +1037,10 @@ func (s *Server) notify() {
 }
 
 // nextBatch blocks until log entries past off exist and returns at most
-// BatchSize of them. A closed server returns nil immediately: Close drops
-// the backlog instead of making the caller wait out a full drain.
+// BatchSize of them. A CloseNow'd server returns nil immediately (the
+// backlog is abandoned); a gracefully closing one (drain) keeps returning
+// batches until every acknowledged entry has been folded, then nil — the
+// guarantee that a successful Append is never lost by a clean shutdown.
 //
 // It also compacts the log: everything before the drained offset has been
 // applied and is never read again — except by a registration catching up
@@ -909,7 +1062,7 @@ func (s *Server) nextBatch(off int64) []relation.Update {
 		s.log = append([]relation.Update(nil), s.log[pre:]...)
 		s.logBase = keep
 	}
-	for s.logBase+int64(len(s.log)) <= off && !s.closed {
+	for s.logBase+int64(len(s.log)) <= off && !s.closed && !s.drain {
 		s.logCond.Wait()
 	}
 	if s.closed || s.logBase+int64(len(s.log)) <= off {

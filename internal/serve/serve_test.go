@@ -599,3 +599,87 @@ func TestServeSensRefreshAfterRebuild(t *testing.T) {
 		t.Fatalf("post-rebuild view kept the snapshot of epoch %d (view epoch %d)", v.SensEpoch, v.Epoch)
 	}
 }
+
+// TestServeCloseDrainsAcknowledged is the regression test for the
+// acknowledged-write-loss bug: a successful Append must be folded into the
+// published views by a graceful Close, even when Close races the drain.
+// (The old Close abandoned the backlog, silently dropping updates whose
+// Append had already returned success.)
+func TestServeCloseDrainsAcknowledged(t *testing.T) {
+	db := testDB(t, 10, 4, 21, "R1", "R2", "R3")
+	srv, err := New(db, Options{Parallelism: 2, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := srv.Register(QueryConfig{Query: pathQuery(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long stream against a tiny batch size guarantees a deep backlog is
+	// still pending when Close runs.
+	stream := workload.UpdateStream(db, 200, 0.4, 22)
+	_, to, err := srv.Append(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // no WaitApplied: Close itself must finish the fold
+	if got := srv.Epoch(); got != to {
+		t.Fatalf("epoch %d after graceful close, want %d (acknowledged appends lost)", got, to)
+	}
+	v, err := srv.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := replayPrefix(t, db, stream, len(stream))
+	want, err := core.LocalSensitivity(pathQuery(t), cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Epoch != to || v.Count != want.Count || v.LS.LS != want.LS {
+		t.Fatalf("post-close view (epoch %d: %d, %d), want (epoch %d: %d, %d)",
+			v.Epoch, v.Count, v.LS.LS, to, want.Count, want.LS)
+	}
+	// Appends after Close are refused; a second Close is a no-op.
+	if _, _, err := srv.Append(stream[:1]); err == nil {
+		t.Fatal("append accepted after Close")
+	}
+	srv.Close()
+}
+
+// TestServeCloseNowAbandonsBacklog pins the old behavior under its new
+// name: CloseNow stops without waiting out the backlog, and reads keep
+// answering from whatever was last published.
+func TestServeCloseNowAbandons(t *testing.T) {
+	db := testDB(t, 10, 4, 23, "R1", "R2", "R3")
+	srv, err := New(db, Options{Parallelism: 2, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := srv.Register(QueryConfig{Query: pathQuery(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := workload.UpdateStream(db, 100, 0.4, 24)
+	if _, _, err := srv.Append(stream); err != nil {
+		t.Fatal(err)
+	}
+	srv.CloseNow()
+	// Whatever epoch was reached, the published view is still readable and
+	// self-consistent.
+	v, err := srv.View(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := replayPrefix(t, db, stream, int(v.Epoch))
+	want, err := core.LocalSensitivity(pathQuery(t), cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Count != want.Count || v.LS.LS != want.LS {
+		t.Fatalf("post-CloseNow view at epoch %d (%d, %d), scratch (%d, %d)",
+			v.Epoch, v.Count, v.LS.LS, want.Count, want.LS)
+	}
+	if _, _, err := srv.Append(stream[:1]); err == nil {
+		t.Fatal("append accepted after CloseNow")
+	}
+}

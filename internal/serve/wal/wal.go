@@ -1,0 +1,508 @@
+// Package wal implements the durability substrate of the serving layer: a
+// segmented, length-prefixed, checksummed write-ahead log plus atomically
+// installed checkpoint files, the log+snapshot split of docs/SERVING.md's
+// "Durability" section.
+//
+// The layer is deliberately dumb: a record is an opaque (kind, payload)
+// pair, and the package promises exactly three things —
+//
+//  1. Append is durable once it returns with the configured sync cadence
+//     (SyncEvery ≤ 1 fsyncs before every acknowledgment; larger values batch
+//     fsyncs and trade the unsynced suffix for latency).
+//  2. Replay yields every durable record exactly once, in append order,
+//     truncating a torn tail (a crash mid-write: the suspect bytes run to
+//     end-of-file) off the final segment; a broken frame anywhere else —
+//     including one followed by further records in the final segment — is
+//     reported as corruption, never skipped.
+//  3. WriteCheckpoint installs a checkpoint atomically (temp file + fsync +
+//     rename + directory fsync) and then prunes every segment and checkpoint
+//     of an older generation, so the directory's size is proportional to the
+//     live tail, not the server's history.
+//
+// What the records mean — update batches, query registrations, budget
+// spends — and which of them a recovery must re-apply is the serve layer's
+// business (internal/serve, recovery invariants in docs/SERVING.md).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrCorrupt reports a frame that is structurally broken somewhere other
+// than the replayable torn tail of the last segment.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	ckptPrefix = "checkpoint-"
+	ckptSuffix = ".ckpt"
+
+	// frameHeader is uint32 payload length + uint32 CRC32-C of the payload.
+	frameHeader = 8
+	// maxFrame bounds a single record; anything larger is treated as a
+	// corrupt length prefix rather than an allocation request.
+	maxFrame = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures a Log.
+type Options struct {
+	// SyncEvery is the number of appended records per fsync: 1 (or less)
+	// syncs before every Append returns — the default, and the only setting
+	// under which an acknowledged record survives an arbitrary crash.
+	// Larger values acknowledge after the buffered write and fsync every
+	// N-th record (and on Roll/Close), bounding loss to the unsynced
+	// suffix.
+	SyncEvery int
+}
+
+// Log is an append-only record log over numbered segment files in one
+// directory, with checkpoint files installed beside them. Safe for
+// concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // current append segment; nil until StartAppending
+	gen      int64    // generation of the current append segment
+	maxSeen  int64    // highest segment generation present on disk
+	unsynced int
+	err      error // sticky failure: a log that failed a write never acks again
+}
+
+// Open prepares dir (creating it if needed) and scans the existing state.
+// No segment is opened for appending yet: call Replay to recover, then
+// StartAppending.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if n := len(segs); n > 0 {
+		l.maxSeen = segs[n-1]
+	}
+	if cks, err := l.checkpoints(); err != nil {
+		return nil, err
+	} else if n := len(cks); n > 0 && cks[n-1] > l.maxSeen {
+		l.maxSeen = cks[n-1]
+	}
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// HasState reports whether the directory holds any recoverable state (a
+// checkpoint or at least one segment).
+func (l *Log) HasState() (bool, error) {
+	segs, err := l.segments()
+	if err != nil {
+		return false, err
+	}
+	cks, err := l.checkpoints()
+	if err != nil {
+		return false, err
+	}
+	return len(segs) > 0 || len(cks) > 0, nil
+}
+
+// HasState reports whether dir holds recoverable WAL state, without
+// creating, locking, or touching anything — a missing directory is simply
+// "no state". Lets a caller decide whether a snapshot load is even needed
+// before opening the log.
+func HasState(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("wal: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if (strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix)) ||
+			(strings.HasPrefix(name, ckptPrefix) && strings.HasSuffix(name, ckptSuffix)) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (l *Log) segPath(gen int64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", segPrefix, gen, segSuffix))
+}
+
+func (l *Log) ckptPath(gen int64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", ckptPrefix, gen, ckptSuffix))
+}
+
+// scanGen lists the generations of files matching prefix/suffix, sorted
+// ascending.
+func (l *Log) scanGen(prefix, suffix string) ([]int64, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var gens []int64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		g, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+		if err != nil {
+			continue // stray file; never ours (we zero-pad decimal)
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+func (l *Log) segments() ([]int64, error)    { return l.scanGen(segPrefix, segSuffix) }
+func (l *Log) checkpoints() ([]int64, error) { return l.scanGen(ckptPrefix, ckptSuffix) }
+
+// LatestCheckpoint returns the payload of the newest readable checkpoint
+// and its generation. ok is false when no checkpoint exists. Older
+// checkpoints are consulted only if a newer file is unreadable (which the
+// temp+rename install protocol makes abnormal, not routine).
+func (l *Log) LatestCheckpoint() (data []byte, gen int64, ok bool, err error) {
+	cks, err := l.checkpoints()
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var lastErr error
+	for i := len(cks) - 1; i >= 0; i-- {
+		raw, err := os.ReadFile(l.ckptPath(cks[i]))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, rest, err := readFrame(raw)
+		if err != nil || len(rest) != 0 || len(payload) == 0 {
+			lastErr = fmt.Errorf("%w: checkpoint %d", ErrCorrupt, cks[i])
+			continue
+		}
+		return payload[1:], cks[i], true, nil // strip the zero kind byte WriteCheckpoint framed with
+	}
+	if lastErr != nil {
+		return nil, 0, false, fmt.Errorf("wal: no readable checkpoint: %w", lastErr)
+	}
+	return nil, 0, false, nil
+}
+
+// Replay streams every durable record of every segment, in order, to fn. A
+// torn tail on the last segment is truncated off (a crash mid-write); a
+// broken frame anywhere else fails with ErrCorrupt. Returning an error from
+// fn aborts the replay.
+func (l *Log) Replay(fn func(kind byte, data []byte) error) error {
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i, gen := range segs {
+		last := i == len(segs)-1
+		if err := l.replaySegment(gen, last, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) replaySegment(gen int64, last bool, fn func(kind byte, data []byte) error) error {
+	path := l.segPath(gen)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	rest := raw
+	for len(rest) > 0 {
+		payload, next, err := readFrame(rest)
+		if err != nil {
+			off := len(raw) - len(rest)
+			if !last {
+				return fmt.Errorf("%w: segment %d offset %d: %v", ErrCorrupt, gen, off, err)
+			}
+			// A torn tail — the suspect bytes run to end-of-file — is a
+			// crash mid-write: truncate it off so the next boot does not
+			// re-trip over it, keeping everything durable before it. But a
+			// fully-contained frame that fails its checksum with MORE data
+			// after it is mid-log corruption even in the last segment:
+			// truncating there would silently drop durable (possibly
+			// fsync-acknowledged) records that follow, so refuse loudly
+			// instead.
+			if len(rest) >= frameHeader {
+				if n := binary.LittleEndian.Uint32(rest); n > 0 && n <= maxFrame &&
+					uint64(frameHeader)+uint64(n) < uint64(len(rest)) {
+					return fmt.Errorf("%w: segment %d offset %d: %v", ErrCorrupt, gen, off, err)
+				}
+			}
+			return os.Truncate(path, int64(off))
+		}
+		if len(payload) == 0 {
+			return fmt.Errorf("%w: segment %d: empty payload", ErrCorrupt, gen)
+		}
+		if err := fn(payload[0], payload[1:]); err != nil {
+			return err
+		}
+		rest = next
+	}
+	return nil
+}
+
+// StartAppending opens a fresh segment (one generation past everything on
+// disk) for Append. Call it once, after Replay.
+func (l *Log) StartAppending() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		return fmt.Errorf("wal: already appending")
+	}
+	return l.openSegmentLocked(l.maxSeen + 1)
+}
+
+func (l *Log) openSegmentLocked(gen int64) error {
+	f, err := os.OpenFile(l.segPath(gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.f = f
+	l.gen = gen
+	l.maxSeen = gen
+	l.unsynced = 0
+	return nil
+}
+
+// Append writes one record and, at the configured cadence, fsyncs before
+// returning — the caller may acknowledge its client as soon as Append
+// returns nil (with SyncEvery ≤ 1, that acknowledgment is crash-durable).
+// A log that has ever failed a write keeps failing: a gap mid-log would
+// break replay, so the sticky error forces the server to stop acking.
+func (l *Log) Append(kind byte, data []byte) error {
+	if len(data)+1 > maxFrame {
+		// Enforce the reader's bound at write time: an oversized frame
+		// would install fine and then be unreadable forever.
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil {
+		return fmt.Errorf("wal: not appending (StartAppending not called)")
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+1+len(data)), kind, data)
+	if _, err := l.f.Write(frame); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return l.err
+	}
+	l.unsynced++
+	if l.opts.SyncEvery <= 1 || l.unsynced >= l.opts.SyncEvery {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// Sync flushes any unsynced appends to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.f == nil || l.unsynced == 0 {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: sync: %w", err)
+		return l.err
+	}
+	l.unsynced = 0
+	return nil
+}
+
+// Roll syncs and seals the current segment and opens the next one,
+// returning the new segment's generation. Records appended before the Roll
+// live in generations < gen; a checkpoint capturing state after a Roll
+// therefore covers every record of every older segment (the pruning rule of
+// WriteCheckpoint).
+func (l *Log) Roll() (gen int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: not appending")
+	}
+	if l.unsynced > 0 {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if err := l.f.Close(); err != nil {
+		l.err = fmt.Errorf("wal: roll: %w", err)
+		return 0, l.err
+	}
+	l.f = nil
+	if err := l.openSegmentLocked(l.gen + 1); err != nil {
+		l.err = err
+		return 0, err
+	}
+	return l.gen, nil
+}
+
+// WriteCheckpoint durably installs a checkpoint for generation gen (as
+// returned by the Roll that preceded the state capture) and prunes every
+// segment and checkpoint of an older generation. The install is atomic:
+// temp file, fsync, rename, directory fsync — a crash leaves either the
+// old state or the new, never a half-written checkpoint under the real
+// name.
+func (l *Log) WriteCheckpoint(data []byte, gen int64) error {
+	if len(data)+1 > maxFrame {
+		// A checkpoint past the frame limit would install, prune every
+		// older generation, and then be unreadable — the directory could
+		// never recover. Refuse up front; the previous checkpoint stays.
+		return fmt.Errorf("wal: checkpoint of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
+	}
+	final := l.ckptPath(gen)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+1+len(data)), 0, data)
+	// The checkpoint payload is framed with a zero kind byte purely to share
+	// the checksummed frame format; readFrame strips it in LatestCheckpoint.
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := l.syncDir(); err != nil {
+		return err
+	}
+	l.prune(gen)
+	return nil
+}
+
+// prune removes segments and checkpoints older than gen. Best-effort: a
+// file that cannot be removed is retried implicitly at the next checkpoint,
+// and replay tolerates covered records (the serve layer's skip rules make
+// re-applying them no-ops).
+func (l *Log) prune(gen int64) {
+	if segs, err := l.segments(); err == nil {
+		for _, g := range segs {
+			if g < gen {
+				_ = os.Remove(l.segPath(g))
+			}
+		}
+	}
+	if cks, err := l.checkpoints(); err == nil {
+		for _, g := range cks {
+			if g < gen {
+				_ = os.Remove(l.ckptPath(g))
+			}
+		}
+	}
+}
+
+func (l *Log) syncDir() error {
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the current segment. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.unsynced > 0 && l.err == nil {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close: %w", cerr)
+	}
+	l.f = nil
+	return err
+}
+
+// appendFrame appends [len][crc][kind payload...] to buf.
+func appendFrame(buf []byte, kind byte, data []byte) []byte {
+	payloadLen := 1 + len(data)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	crc := crc32.Update(crc32.Checksum([]byte{kind}, crcTable), crcTable, data)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	buf = append(buf, kind)
+	return append(buf, data...)
+}
+
+// readFrame decodes one frame from the front of b, returning its payload
+// (kind byte first) and the remaining bytes.
+func readFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) < frameHeader {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n == 0 || n > maxFrame {
+		return nil, nil, fmt.Errorf("bad frame length %d", n)
+	}
+	want := binary.LittleEndian.Uint32(b[4:])
+	if uint64(frameHeader)+uint64(n) > uint64(len(b)) {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	payload = b[frameHeader : frameHeader+n]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, b[frameHeader+n:], nil
+}

@@ -1,0 +1,332 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	kind byte
+	data string
+}
+
+func replayAll(t *testing.T, l *Log) []rec {
+	t.Helper()
+	var got []rec
+	if err := l.Replay(func(kind byte, data []byte) error {
+		got = append(got, rec{kind, string(data)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := l.HasState(); has {
+		t.Fatal("fresh dir reports state")
+	}
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	want := []rec{{'U', "one"}, {'Q', "two"}, {'R', ""}, {'U', strings.Repeat("x", 5000)}}
+	for _, r := range want {
+		if err := l.Append(r.kind, []byte(r.data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := l2.HasState(); !has {
+		t.Fatal("no state after appends")
+	}
+	got := replayAll(t, l2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Append('U', []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: append a partial frame to the last segment.
+	segs, err := l.segments()
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	path := l.segPath(segs[0])
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, clean...), 0x10, 0x00, 0x00, 0x00, 0xde, 0xad)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _ := Open(dir, Options{})
+	got := replayAll(t, l2)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after torn tail, want 3", len(got))
+	}
+	// The tail must have been truncated off so the next boot reads clean.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, clean) {
+		t.Fatalf("torn tail not truncated: %d bytes, want %d", len(after), len(clean))
+	}
+}
+
+func TestCorruptMidLogFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('U', []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('U', []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in the FIRST segment: that is corruption, not a
+	// torn tail, and replay must refuse rather than silently skip.
+	segs, _ := l.segments()
+	path := l.segPath(segs[0])
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := Open(dir, Options{})
+	err := l2.Replay(func(byte, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-log corruption replayed: %v", err)
+	}
+}
+
+func TestCheckpointPrunesOldGenerations(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('U', []byte("covered")); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := l.Roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('U', []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteCheckpoint([]byte("state-at-roll"), gen); err != nil {
+		t.Fatal(err)
+	}
+	// The pre-roll segment is covered by the checkpoint and must be gone.
+	segs, _ := l.segments()
+	if len(segs) != 1 || segs[0] != gen {
+		t.Fatalf("segments after checkpoint: %v, want [%d]", segs, gen)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, _ := Open(dir, Options{})
+	data, g, ok, err := l2.LatestCheckpoint()
+	if err != nil || !ok || g != gen || string(data) != "state-at-roll" {
+		t.Fatalf("checkpoint: %q gen %d ok %v err %v", data, g, ok, err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != 1 || got[0].data != "tail" {
+		t.Fatalf("replay after prune: %+v", got)
+	}
+
+	// A second checkpoint supersedes (and removes) the first.
+	if err := l2.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := l2.Roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.WriteCheckpoint([]byte("newer"), gen2); err != nil {
+		t.Fatal(err)
+	}
+	cks, _ := l2.checkpoints()
+	if len(cks) != 1 || cks[0] != gen2 {
+		t.Fatalf("checkpoints after second install: %v, want [%d]", cks, gen2)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointInstallIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := l.Roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteCheckpoint([]byte("good"), gen); err != nil {
+		t.Fatal(err)
+	}
+	// A stray temp file from a crashed later install must not shadow the
+	// good checkpoint, and a corrupt newer checkpoint falls back.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("checkpoint-%016d.ckpt.tmp", gen+5)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(l.ckptPath(gen+6), []byte("not a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, g, ok, err := l.LatestCheckpoint()
+	if err != nil || !ok || g != gen || string(data) != "good" {
+		t.Fatalf("checkpoint fallback: %q gen %d ok %v err %v", data, g, ok, err)
+	}
+	l.Close()
+}
+
+func TestSyncEveryBatchesFsyncs(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{SyncEvery: 4})
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append('U', []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.unsynced != 2 { // 10 appends, synced at 4 and 8
+		t.Fatalf("unsynced = %d, want 2", l.unsynced)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.unsynced != 0 {
+		t.Fatalf("unsynced after Sync = %d", l.unsynced)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := Open(dir, Options{})
+	if got := replayAll(t, l2); len(got) != 10 {
+		t.Fatalf("replayed %d, want 10", len(got))
+	}
+}
+
+func TestAppendErrorIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	// Close the file behind the log's back so the next write fails.
+	l.f.Close()
+	if err := l.Append('U', []byte("x")); err == nil {
+		t.Fatal("append to closed file succeeded")
+	}
+	if err := l.Append('U', []byte("y")); err == nil {
+		t.Fatal("append after failure not sticky")
+	}
+}
+
+func TestOpenNonWritableDirFails(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits not enforced")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(parent, 0o755)
+	if _, err := Open(filepath.Join(parent, "wal"), Options{}); err == nil {
+		t.Fatal("unwritable dir accepted")
+	}
+}
+
+// TestCorruptLastSegmentWithDataAfterFails: even in the final segment, a
+// checksum-failed frame FOLLOWED by more records is corruption — truncating
+// there would silently drop durable records after it. Only a suspect region
+// running to end-of-file is a torn tail.
+func TestCorruptLastSegmentWithDataAfterFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('U', []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('R', []byte("spend-that-must-not-vanish")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := l.segments()
+	path := l.segPath(segs[0])
+	raw, _ := os.ReadFile(path)
+	// Flip a payload byte of the FIRST frame (offset frameHeader+1 is
+	// inside its payload); the second frame stays intact after it.
+	raw[frameHeader+2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := Open(dir, Options{})
+	err := l2.Replay(func(byte, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-segment corruption with records after it replayed as torn tail: %v", err)
+	}
+	// And the file was NOT truncated: the durable second record survives
+	// for forensics/repair.
+	after, _ := os.ReadFile(path)
+	if len(after) != len(raw) {
+		t.Fatalf("corrupt segment truncated from %d to %d bytes", len(raw), len(after))
+	}
+}

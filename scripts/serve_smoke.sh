@@ -3,7 +3,10 @@
 # replay the update stream through the HTTP update log, and compare the
 # served count/LS against the incremental CLI's -verify'd answer (which
 # itself cross-checks a from-scratch solve). Also exercises registration,
-# a budget-accounted DP release, and the malformed-stream diagnostics.
+# a budget-accounted DP release, the malformed-stream diagnostics, and the
+# durability restart round-trip: SIGTERM the server, restart it from its
+# WAL directory, and verify the epoch, the answers, and the remaining ε
+# budget all come back unchanged.
 #
 # Requires: go, curl, jq. Run from anywhere inside the repo.
 set -euo pipefail
@@ -17,7 +20,10 @@ BASE="http://127.0.0.1:$PORT"
 workdir=$(mktemp -d)
 server_pid=""
 cleanup() {
-  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  if [ -n "$server_pid" ]; then
+    kill "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true # let the final checkpoint land before rm
+  fi
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -43,15 +49,19 @@ fi
 grep -q "bad.stream:2" "$workdir/err.txt" || { echo "FAIL: no file:line in:"; cat "$workdir/err.txt"; exit 1; }
 cat "$workdir/err.txt"
 
-echo "--- starting server"
-"$workdir/tsens" serve -data "$workdir/data" -addr "127.0.0.1:$PORT" \
-  -query "$QUERY" -id smoke &
-server_pid=$!
-for _ in $(seq 1 100); do
-  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
-  sleep 0.1
-done
-curl -fsS "$BASE/healthz" >/dev/null
+start_server() {
+  "$workdir/tsens" serve -data "$workdir/data" -addr "127.0.0.1:$PORT" \
+    -query "$QUERY" -id smoke -wal "$workdir/wal" &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  curl -fsS "$BASE/healthz" >/dev/null
+}
+
+echo "--- starting server (durable: -wal)"
+start_server
 
 echo "--- registering a second (cyclic) query with a release budget"
 curl -fsS -X POST "$BASE/queries" -d '{
@@ -91,5 +101,34 @@ pending=$(curl -fsS "$BASE/epoch" | jq -r .pending)
 joined=$(curl -fsS "$BASE/epoch" | jq -r .joined)
 epoch=$(curl -fsS "$BASE/epoch" | jq -r .epoch)
 [ "$joined" = "$epoch" ] || { echo "FAIL: joined cut $joined != epoch $epoch at rest"; exit 1; }
+[ "$(curl -fsS "$BASE/epoch" | jq -r .wal)" = "true" ] || { echo "FAIL: /epoch does not report wal"; exit 1; }
 
-echo "serve smoke OK: count=$got_count ls=$got_ls"
+echo "--- restart round-trip: SIGTERM, recover from WAL, state unchanged"
+remaining_before=$(echo "$rel2" | jq -r .remaining)
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "FAIL: server exited non-zero on SIGTERM"; exit 1; }
+server_pid=""
+start_server
+
+epoch2=$(curl -fsS "$BASE/epoch" | jq -r .epoch)
+[ "$epoch2" = "$epoch" ] || { echo "FAIL: recovered epoch $epoch2 != pre-restart $epoch"; exit 1; }
+durable=$(curl -fsS "$BASE/epoch" | jq -r .durable_epoch)
+[ "$durable" = "$epoch" ] || { echo "FAIL: durable epoch $durable != $epoch after graceful shutdown"; exit 1; }
+
+got2=$(curl -fsS "$BASE/queries/smoke/ls")
+echo "$got2" | jq -c .
+got2_count=$(echo "$got2" | jq -r .count)
+got2_ls=$(echo "$got2" | jq -r .ls)
+if [ "$got2_count" != "$want_count" ] || [ "$got2_ls" != "$want_ls" ]; then
+  echo "FAIL: recovered (count=$got2_count, ls=$got2_ls), want (count=$want_count, ls=$want_ls)"
+  exit 1
+fi
+
+rel3=$(curl -fsS -X POST "$BASE/queries/tri/release")
+echo "$rel3" | jq -c .
+[ "$(echo "$rel3" | jq -r .fresh)" = "false" ] || { echo "FAIL: post-restart release re-spent budget (amnesia)"; exit 1; }
+[ "$(echo "$rel3" | jq -r .noisy)" = "$(echo "$rel2" | jq -r .noisy)" ] || { echo "FAIL: replayed noisy value changed across restart"; exit 1; }
+remaining_after=$(echo "$rel3" | jq -r .remaining)
+[ "$remaining_after" = "$remaining_before" ] || { echo "FAIL: remaining ε $remaining_after != $remaining_before across restart"; exit 1; }
+
+echo "serve smoke OK: count=$got_count ls=$got_ls (restart verified: epoch=$epoch2, remaining ε=$remaining_after)"

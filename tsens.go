@@ -36,6 +36,11 @@
 // views publish only at consistent cuts joined across every shard's
 // watermark. Budget-accounted ε-DP releases and an HTTP/JSON front end ride
 // on top (NewServerAPI, the tsens serve command; see docs/SERVING.md).
+// With ServerOptions.WALDir set the server is durable: appends, query
+// registrations, and every fresh ε-spend are journaled to a checksummed
+// write-ahead log before acknowledgment, periodic checkpoints bound
+// recovery replay, and a restart recovers every registered query at its
+// exact epoch with its exact spent budget (tsens serve -wal).
 //
 // Quick start:
 //
@@ -164,8 +169,12 @@ type (
 	Server = serve.Server
 	// ServerOptions configures NewServer (shard count and routing columns,
 	// writer batch size, fan-out parallelism, drift gating, tombstone
-	// compaction watermark).
+	// compaction watermark, and WAL durability: WALDir, SyncEvery,
+	// CheckpointEvery, WALCodec).
 	ServerOptions = serve.Options
+	// BudgetLedgerState is the exportable accounting of a BudgetLedger,
+	// the part a durable deployment must persist across restarts.
+	BudgetLedgerState = mechanism.LedgerState
 	// ServerQuery registers one counting query with a Server (query,
 	// solver options, private relation, release config, ε budget).
 	ServerQuery = serve.QueryConfig
@@ -188,7 +197,13 @@ type (
 
 // NewServer starts a serving process over a private copy of db; register
 // queries with Server.Register, feed updates through Server.Append, and
-// read views/releases concurrently. Close it when done.
+// read views/releases concurrently. Close it when done — gracefully: the
+// acknowledged backlog is drained first (Server.CloseNow abandons it).
+//
+// With opts.WALDir set the server is durable: a fresh directory is seeded
+// with a checkpoint of db, an existing one is recovered (db may then be
+// nil) — registered queries, their epochs, and their exact spent ε come
+// back, and an acknowledged Append or release is never lost to a crash.
 func NewServer(db *Database, opts ServerOptions) (*Server, error) {
 	return serve.New(db, opts)
 }
@@ -205,6 +220,14 @@ func NewServerAPI(srv *Server, codec ServerCodec, seed int64) *ServerAPI {
 // unlimited, only recording what is spent).
 func NewBudgetLedger(budget float64) (*BudgetLedger, error) {
 	return mechanism.NewLedger(budget)
+}
+
+// RestoreBudgetLedger rebuilds a ledger from persisted accounting (the
+// inverse of BudgetLedger.Export): embedders running their own durability
+// must carry spent ε across restarts, or a crash resets every query's
+// budget and voids the sequential-composition guarantee.
+func RestoreBudgetLedger(st BudgetLedgerState) (*BudgetLedger, error) {
+	return mechanism.RestoreLedger(st)
 }
 
 // NewWorkerPool starts a pool of n persistent workers (n < 1 means
