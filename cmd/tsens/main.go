@@ -6,6 +6,8 @@
 //	tsens -data ./mydata -query "R1(A,B), R2(B,C) where R2.C >= 5" [flags]
 //	tsens updates -data ./mydata -query "R1(A,B), R2(B,C)" [-stream f] [-batch n]
 //	tsens serve -data ./mydata [-addr host:port] [-query ... -private R2] [-replay f] [-shards n]
+//	tsens serve -wal ./wal -replicate host:port [-lease f]      (replicating leader)
+//	tsens serve -wal ./wal2 -follow host:port [-lease f]        (read-serving follower)
 //
 // The data directory holds one <RelationName>.csv file per relation, first
 // row being the column names. Values may be integers or arbitrary strings
@@ -25,6 +27,14 @@
 // their relation's routing column (-partition), and queries sharing a
 // variable across all atoms at those columns are maintained as one
 // sub-session per shard.
+//
+// A durable server (-wal) can replicate: -replicate starts the WAL-shipping
+// listener followers connect to, -follow runs the process as a follower of
+// that address (wait-free epoch reads, writes and releases refused with 503
+// — the ε-ledger has exactly one writer). With -lease both sides arbitrate
+// leadership through a lease file: the leader renews it and fences itself
+// on loss; a follower promotes itself through the ordinary WAL recovery
+// when the lease expires (docs/SERVING.md, "Replication & failover").
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"tsens/internal/core"
 	"tsens/internal/csvio"
@@ -51,6 +62,7 @@ import (
 	"tsens/internal/query"
 	"tsens/internal/relation"
 	"tsens/internal/serve"
+	"tsens/internal/serve/replica"
 )
 
 func main() {
@@ -117,11 +129,174 @@ func parseFlags(fs *flag.FlagSet, args []string) error {
 
 // serveCmd is the assembled state of tsens serve, split from runServe so
 // tests can drive the handler without binding a port for real traffic.
+// Exactly one of srv/follower is live at a time: srv for a standalone or
+// leading process (leader/replLn set when it also replicates), follower
+// until a promotion installs the recovered server in its place.
 type serveCmd struct {
-	srv    *serve.Server
 	api    *serve.API
 	ln     net.Listener
 	replay func() error // nil without -replay
+
+	lease    replica.LeaseStore // nil without -lease
+	holder   string
+	ttl      time.Duration
+	replAddr string                 // -replicate; a promoted follower re-listens here
+	fopts    replica.FollowerOptions // to restart following after a refused promotion
+
+	mu       sync.Mutex
+	stopped  bool
+	srv      *serve.Server
+	follower *replica.Follower
+	leader   *replica.Leader
+	replLn   net.Listener
+}
+
+// shutdown tears the process down in dependency order: stop shipping (and
+// release the lease) before the server writes its final checkpoint; a
+// follower just stops mirroring. Idempotent — the signal path and runServe's
+// defer both reach it.
+func (c *serveCmd) shutdown() {
+	c.mu.Lock()
+	c.stopped = true
+	ld, f, srv, rln := c.leader, c.follower, c.srv, c.replLn
+	c.leader, c.follower, c.srv, c.replLn = nil, nil, nil, nil
+	c.mu.Unlock()
+	if rln != nil {
+		rln.Close()
+	}
+	if ld != nil {
+		ld.Close()
+	}
+	if f != nil {
+		f.Close()
+	}
+	if srv != nil {
+		srv.Close() // graceful: drain + final checkpoint
+	}
+}
+
+// holderName identifies this process in the lease file.
+func holderName() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "tsens"
+	}
+	return fmt.Sprintf("%s:%d", host, os.Getpid())
+}
+
+// promoteLoop watches the lease while following. The leader renews it every
+// TTL/3, so an unexpired lease means the leader is alive; an expired (or
+// gracefully released) one means the follower should take over. Promotion
+// runs the ordinary WAL recovery over the mirrored directory — acknowledged
+// writes and spent ε carry over exactly.
+func (c *serveCmd) promoteLoop(stop <-chan struct{}) {
+	tick := c.ttl / 3
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		f := c.follower
+		c.mu.Unlock()
+		if f == nil {
+			return // promoted (or shut down)
+		}
+		if f.Server() == nil {
+			continue // nothing replicated yet; promoting would refuse anyway
+		}
+		l, ok, err := c.lease.Get()
+		if err != nil || !ok {
+			continue // no leader has ever led under this lease file
+		}
+		if l.Holder != c.holder && time.Now().Before(l.Expires) {
+			continue // leader alive
+		}
+		c.tryPromote(f)
+	}
+}
+
+// tryPromote promotes f, installing the recovered server as the new leading
+// backend (and, with -replicate, a fresh shipping listener under a new
+// lineage). Promote consumes the follower regardless of outcome, so a
+// refusal — e.g. another follower won the lease race — restarts following.
+func (c *serveCmd) tryPromote(f *replica.Follower) {
+	fmt.Println("leader lease expired; promoting from replicated state")
+	srv, err := f.Promote(replica.PromoteOptions{Lease: c.lease, Holder: c.holder, TTL: c.ttl})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tsens serve: promotion refused:", err)
+		nf, ferr := replica.StartFollower(c.fopts)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "tsens serve: restarting follower:", ferr)
+			return
+		}
+		c.installFollower(nf)
+		return
+	}
+	ld, err := replica.NewLeader(srv, replica.LeaderOptions{Lease: c.lease, Holder: c.holder, TTL: c.ttl})
+	if err != nil {
+		// Someone else took the lease between Promote and here; they lead.
+		// Keep serving reads, but fence so no acknowledgment slips out.
+		srv.Fence(err)
+		fmt.Fprintln(os.Stderr, "tsens serve: lease lost after promotion; fenced:", err)
+	}
+	var rln net.Listener
+	if ld != nil && c.replAddr != "" {
+		if rln, err = net.Listen("tcp", c.replAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "tsens serve: replication listener:", err)
+		}
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		if rln != nil {
+			rln.Close()
+		}
+		if ld != nil {
+			ld.Close()
+		}
+		srv.Close()
+		return
+	}
+	c.follower, c.srv, c.leader, c.replLn = nil, srv, ld, rln
+	c.mu.Unlock()
+	c.api.SetServer(srv)
+	c.api.SetStatus(func() serve.Status { return serve.Status{State: serve.StateLeading} })
+	if rln != nil {
+		go serveReplication(ld, rln)
+	}
+	st := srv.Stats()
+	fmt.Printf("promoted: leading at epoch %d with %d queries\n", st.Epoch, st.Queries)
+}
+
+// installFollower swaps a freshly started follower in (after a refused
+// promotion), or closes it when the process is already shutting down.
+func (c *serveCmd) installFollower(f *replica.Follower) {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		f.Close()
+		return
+	}
+	c.follower = f
+	c.mu.Unlock()
+	c.api.SetServerFunc(f.Server)
+	c.api.SetStatus(f.Status)
+}
+
+// serveReplication runs the WAL-shipping accept loop; its error surfaces on
+// stderr rather than killing the HTTP side (reads stay up without
+// replication).
+func serveReplication(ld *replica.Leader, ln net.Listener) {
+	if err := ld.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "tsens serve: replication:", err)
+	}
 }
 
 // buildServe parses the serve flags, loads the snapshot, starts the server
@@ -150,9 +325,43 @@ func buildServe(args []string) (*serveCmd, error) {
 		walDir     = fs.String("wal", "", "durability directory: journal writes and ε spends, recover on restart (docs/SERVING.md)")
 		walSync    = fs.Int("wal-sync", 1, "WAL fsync cadence in records (1 = before every acknowledgment)")
 		ckptEvery  = fs.Int("checkpoint-every", 0, "log entries between WAL checkpoints (0 = default)")
+		replicate  = fs.String("replicate", "", "WAL-shipping listen address for replication followers (requires -wal)")
+		follow     = fs.String("follow", "", "run as a read-serving follower of this leader replication address (requires -wal)")
+		leasePath  = fs.String("lease", "", "lease file arbitrating leadership: the leader renews it, a follower promotes itself when it expires")
+		leaseTTL   = fs.Duration("lease-ttl", 3*time.Second, "lease duration; a crashed leader is succeeded after at most this long")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return nil, err
+	}
+	if *follow != "" {
+		switch {
+		case *walDir == "":
+			fs.Usage()
+			return nil, usagef("-follow requires -wal (the follower's own mirror directory)")
+		case *queryText != "" || *replayFile != "" || *dataDir != "":
+			return nil, usagef("-follow serves replicated state only; -data, -query, and -replay belong on the leader")
+		case *leaseTTL <= 0:
+			return nil, usagef("-lease-ttl must be positive")
+		}
+		// -replicate on a follower takes effect after a promotion: the new
+		// leader ships its WAL from there under a fresh lineage.
+		return buildFollower(*follow, *walDir, *leasePath, *leaseTTL, *addr, *replicate, serve.Options{
+			Parallelism:     *parN,
+			BatchSize:       *batch,
+			Shards:          *shards,
+			SyncEvery:       *walSync,
+			CheckpointEvery: *ckptEvery,
+		}, *seed)
+	}
+	if *replicate != "" && *walDir == "" {
+		fs.Usage()
+		return nil, usagef("-replicate requires -wal (followers are shipped the WAL)")
+	}
+	if *leasePath != "" && *replicate == "" {
+		return nil, usagef("-lease without -replicate or -follow has nothing to arbitrate")
+	}
+	if *leaseTTL <= 0 {
+		return nil, usagef("-lease-ttl must be positive")
 	}
 	if *dataDir == "" && *walDir == "" {
 		fs.Usage()
@@ -271,11 +480,35 @@ func buildServe(args []string) (*serveCmd, error) {
 		}
 		fmt.Printf("registered %s: |Q(D)| = %d, LS = %d\n", id, v.Count, v.LS.LS)
 	}
-	cmd := &serveCmd{srv: srv, api: serve.NewAPI(srv, loader, *seed)}
+	cmd := &serveCmd{srv: srv, api: serve.NewAPI(srv, loader, *seed), ttl: *leaseTTL, replAddr: *replicate}
+	cmd.api.SetStatus(func() serve.Status { return serve.Status{State: serve.StateLeading} })
+	if *replicate != "" {
+		lopts := replica.LeaderOptions{TTL: *leaseTTL}
+		if *leasePath != "" {
+			cmd.lease = replica.NewFileLease(*leasePath)
+			cmd.holder = holderName()
+			lopts.Lease, lopts.Holder = cmd.lease, cmd.holder
+		}
+		// ErrLeaseHeld here means another process leads: refuse to start
+		// rather than run a second writer against the same lease.
+		ld, err := replica.NewLeader(srv, lopts)
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		rln, err := net.Listen("tcp", *replicate)
+		if err != nil {
+			ld.Close()
+			srv.Close()
+			return nil, err
+		}
+		cmd.leader, cmd.replLn = ld, rln
+		fmt.Printf("replicating on %s (lineage %s)\n", rln.Addr(), ld.Lineage())
+	}
 	if *replayFile != "" {
 		ups, err := loader.LoadUpdates(*replayFile)
 		if err != nil {
-			srv.Close()
+			cmd.shutdown()
 			return nil, err
 		}
 		n := *replayN
@@ -297,7 +530,39 @@ func buildServe(args []string) (*serveCmd, error) {
 		}
 	}
 	if cmd.ln, err = net.Listen("tcp", *addr); err != nil {
-		srv.Close()
+		cmd.shutdown()
+		return nil, err
+	}
+	return cmd, nil
+}
+
+// buildFollower assembles follower mode: mirror the leader's WAL stream
+// into dir, serve wait-free epoch reads from the passive server it keeps
+// live, and — when a lease file arbitrates leadership — stand by to promote
+// through the ordinary WAL recovery the moment the lease expires.
+func buildFollower(leaderAddr, dir, leasePath string, ttl time.Duration, addr, replAddr string, sopts serve.Options, seed int64) (*serveCmd, error) {
+	loader := csvio.NewLoader()
+	sopts.WALCodec = loader
+	fopts := replica.FollowerOptions{Dir: dir, Addr: leaderAddr, Serve: sopts}
+	f, err := replica.StartFollower(fopts)
+	if err != nil {
+		return nil, err
+	}
+	cmd := &serveCmd{
+		api:      serve.NewAPI(nil, loader, seed),
+		ttl:      ttl,
+		replAddr: replAddr,
+		fopts:    fopts,
+		follower: f,
+	}
+	if leasePath != "" {
+		cmd.lease = replica.NewFileLease(leasePath)
+		cmd.holder = holderName()
+	}
+	cmd.api.SetServerFunc(f.Server)
+	cmd.api.SetStatus(f.Status)
+	if cmd.ln, err = net.Listen("tcp", addr); err != nil {
+		cmd.shutdown()
 		return nil, err
 	}
 	return cmd, nil
@@ -314,7 +579,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer cmd.srv.Close()
+	defer cmd.shutdown()
 	if cmd.replay != nil {
 		go func() {
 			if err := cmd.replay(); err != nil {
@@ -339,15 +604,36 @@ func runServe(args []string) error {
 			// drain must kill the process, not be swallowed.
 			signal.Stop(sig)
 			stop()
-			cmd.ln.Close() // unblocks http.Serve
+			cmd.ln.Close() // unblocks hs.Serve
 		case <-stopping:
 		}
 	}()
-	fmt.Printf("serving on http://%s\n", cmd.ln.Addr())
-	err = http.Serve(cmd.ln, cmd.api)
+	if cmd.leader != nil {
+		go serveReplication(cmd.leader, cmd.replLn)
+	}
+	if cmd.follower != nil {
+		if cmd.lease != nil {
+			go cmd.promoteLoop(stopping)
+			fmt.Printf("following %s (promotes on lease expiry); serving reads on http://%s\n", cmd.fopts.Addr, cmd.ln.Addr())
+		} else {
+			fmt.Printf("following %s; serving reads on http://%s\n", cmd.fopts.Addr, cmd.ln.Addr())
+		}
+	} else {
+		fmt.Printf("serving on http://%s\n", cmd.ln.Addr())
+	}
+	// ReadHeaderTimeout bounds a client that connects and never finishes its
+	// headers (slowloris); IdleTimeout reclaims parked keep-alive
+	// connections. Request bodies and long ?wait= responses stay unbounded —
+	// those waits are cancelled per request by the client hanging up.
+	hs := &http.Server{
+		Handler:           cmd.api,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	err = hs.Serve(cmd.ln)
 	select {
 	case <-stopping:
-		cmd.srv.Close() // graceful: drain + final checkpoint
+		cmd.shutdown() // graceful: drain + final checkpoint
 		return nil
 	default:
 		stop()

@@ -8,7 +8,9 @@ import (
 	"path/filepath"
 
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"tsens/internal/core"
 	"tsens/internal/csvio"
@@ -382,5 +384,157 @@ func TestBuildServeWALRestart(t *testing.T) {
 	bad := []string{"-data", dir, "-addr", "127.0.0.1:0", "-query", "R1(A,B)", "-id", "demo", "-wal", walDir}
 	if _, err := buildServe(bad); err == nil {
 		t.Fatal("changed -query under a recovered -id accepted")
+	}
+}
+
+// TestServeReplicationFailover assembles a replicating leader and a
+// follower through the real flag surface and drives the failover story end
+// to end: the follower serves the leader's replicated reads and refuses
+// writes with 503 + Retry-After, and when the leader goes away its lease
+// lapses and the follower promotes itself into a serving leader that
+// accepts writes.
+func TestServeReplicationFailover(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("R1.csv", "a,b\n1,1\n1,2\n2,2\n")
+	writeFile("R2.csv", "b,c\n1,x\n2,x\n2,y\n")
+	lease := filepath.Join(dir, "lease")
+
+	ld, err := buildServe([]string{
+		"-data", dir,
+		"-addr", "127.0.0.1:0",
+		"-query", "R1(A,B), R2(B,C)",
+		"-id", "demo",
+		"-wal", filepath.Join(dir, "wal-leader"),
+		"-replicate", "127.0.0.1:0",
+		"-lease", lease,
+		"-lease-ttl", "300ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.shutdown()
+	defer ld.ln.Close()
+	go serveReplication(ld.leader, ld.replLn)
+
+	fl, err := buildServe([]string{
+		"-follow", ld.replLn.Addr().String(),
+		"-addr", "127.0.0.1:0",
+		"-wal", filepath.Join(dir, "wal-follower"),
+		"-lease", lease,
+		"-lease-ttl", "300ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.shutdown()
+	defer fl.ln.Close()
+	stopPromote := make(chan struct{})
+	defer close(stopPromote)
+	go fl.promoteLoop(stopPromote)
+
+	lts := httptest.NewServer(ld.api)
+	defer lts.Close()
+	fts := httptest.NewServer(fl.api)
+	defer fts.Close()
+
+	post := func(url, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	type lsReply struct {
+		Epoch int64 `json:"epoch"`
+		Count int64 `json:"count"`
+		LS    int64 `json:"ls"`
+	}
+	getLS := func(url string) (lsReply, int) {
+		t.Helper()
+		resp, err := http.Get(url + "/queries/demo/ls")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ls lsReply
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&ls); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ls, resp.StatusCode
+	}
+	state := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rz struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+			t.Fatal(err)
+		}
+		return rz.State
+	}
+
+	// Write through the leader with read-your-writes, then the follower must
+	// catch up to the identical answer.
+	if resp := post(lts.URL+"/updates?wait=epoch", `{"updates":[{"op":"+","rel":"R2","row":["2","x"]}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("leader update: status %d", resp.StatusCode)
+	}
+	want, code := getLS(lts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("leader ls: status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, code := getLS(fts.URL)
+		if code == http.StatusOK && got == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v (status %d), want %+v", got, code, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st := state(fts.URL); st != "following" {
+		t.Fatalf("follower /readyz state %q, want following", st)
+	}
+
+	// Writes and releases are leader-only on the follower.
+	resp := post(fts.URL+"/updates", `{"updates":[{"op":"+","rel":"R2","row":["1","y"]}]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("follower write: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// The leader shuts down gracefully, releasing the lease; the follower's
+	// promote loop notices and takes over through the ordinary recovery.
+	ld.shutdown()
+	for {
+		if st := state(fts.URL); st == "leading" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never promoted (state %q)", state(fts.URL))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if resp := post(fts.URL+"/updates?wait=epoch", `{"updates":[{"op":"+","rel":"R2","row":["1","y"]}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted write: status %d", resp.StatusCode)
+	}
+	got, code := getLS(fts.URL)
+	if code != http.StatusOK || got.Epoch != want.Epoch+1 {
+		t.Fatalf("promoted ls: %+v (status %d), want epoch %d", got, code, want.Epoch+1)
 	}
 }

@@ -94,3 +94,33 @@ func TestServeCrashRecoveryPinned(t *testing.T) {
 		})
 	}
 }
+
+// TestServeClusterFailoverMatrix is the replicated failure matrix: the
+// differential script against a leader/follower pair with seeded leader
+// kills (promoting the follower on a healthy link, refusing and restarting
+// the old leader behind a partition), replication-link partitions, and an
+// injected WAL fsync failure — the surviving leader and the follower must
+// match the from-scratch solver and each other at every checkpoint.
+func TestServeClusterFailoverMatrix(t *testing.T) {
+	s := seed(t)
+	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
+	for _, shards := range shardCounts(t) {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			RunCluster(t, Config{Seed: s, Shards: shards})
+		})
+	}
+}
+
+// TestServeClusterFailoverPinned replays fixed failover scripts at both
+// shard extremes so every CI run covers a deterministic kill/promote/reset
+// sequence.
+func TestServeClusterFailoverPinned(t *testing.T) {
+	for _, c := range []Config{
+		{Seed: 5, Shards: 1},
+		{Seed: 6, Shards: 4},
+	} {
+		t.Run(fmt.Sprintf("seed=%d/shards=%d", c.Seed, c.Shards), func(t *testing.T) {
+			RunCluster(t, c)
+		})
+	}
+}

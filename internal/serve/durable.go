@@ -499,7 +499,7 @@ func (s *Server) checkpointSync() error {
 // ones are recovered by loading the newest checkpoint and replaying the WAL
 // tail through the ordinary serving machinery.
 func openDurable(db *relation.Database, opts Options) (*Server, error) {
-	wlog, err := wal.Open(opts.WALDir, wal.Options{SyncEvery: opts.SyncEvery})
+	wlog, err := wal.Open(opts.WALDir, wal.Options{SyncEvery: opts.SyncEvery, FS: opts.WALFS})
 	if err != nil {
 		return nil, err
 	}
@@ -536,7 +536,7 @@ func openDurable(db *relation.Database, opts Options) (*Server, error) {
 		}
 		return s, nil
 	}
-	s, err := recoverDurable(db, opts, dl)
+	s, err := recoverDurable(db, opts, dl, true)
 	if err != nil {
 		return nil, err
 	}
@@ -550,8 +550,12 @@ func openDurable(db *relation.Database, opts Options) (*Server, error) {
 // recoverDurable rebuilds a server from the WAL directory: checkpoint state
 // first, then the tail records, each gated by its skip rule so records
 // already covered by the checkpoint replay as no-ops regardless of how the
-// crash interleaved them with the capture.
-func recoverDurable(db *relation.Database, opts Options, dl *durableLog) (*Server, error) {
+// crash interleaved them with the capture. With activate the recovered
+// server takes over the directory (opens a fresh append segment and starts
+// journaling); without it the server stays passive — a replication follower
+// that keeps applying records via ApplyReplicated while the Mirror, not
+// this Log, owns the directory's write side.
+func recoverDurable(db *relation.Database, opts Options, dl *durableLog, activate bool) (*Server, error) {
 	data, _, ok, err := dl.log.LatestCheckpoint()
 	if err != nil {
 		return nil, err
@@ -603,11 +607,62 @@ func recoverDurable(db *relation.Database, opts Options, dl *durableLog) (*Serve
 	if err := s.WaitApplied(s.appended.Load()); err != nil {
 		return fail(err)
 	}
+	if !activate {
+		return s, nil
+	}
 	if err := dl.log.StartAppending(); err != nil {
 		return fail(err)
 	}
 	dl.active.Store(true)
 	return s, nil
+}
+
+// OpenFollower recovers a passive server from opts.WALDir: the newest
+// checkpoint plus the mirrored tail replay through the ordinary recovery
+// machinery, but the server neither opens an append segment nor journals —
+// the replication Mirror owns the directory's write side, and every record
+// it lands is applied live through ApplyReplicated. Reads (View/Count/LS,
+// Queries, Stats) serve exactly as on a leader. Promotion closes this
+// server and calls New(nil, opts) on the same directory — PR 5 recovery,
+// verbatim — so a follower can only ever promote to what is durable on its
+// own disk.
+func OpenFollower(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if opts.WALDir == "" {
+		return nil, fmt.Errorf("serve: follower requires WALDir")
+	}
+	wlog, err := wal.Open(opts.WALDir, wal.Options{SyncEvery: opts.SyncEvery, FS: opts.WALFS})
+	if err != nil {
+		return nil, err
+	}
+	codec := opts.WALCodec
+	if codec == nil {
+		codec = IntCodec{}
+	}
+	dl := &durableLog{
+		log:      wlog,
+		codec:    codec,
+		ckptCh:   make(chan *checkpoint, 1),
+		ckptDone: make(chan struct{}),
+	}
+	has, err := wlog.HasState()
+	if err != nil {
+		return nil, err
+	}
+	if !has {
+		return nil, fmt.Errorf("serve: follower state in %s is empty (mirror a checkpoint first)", opts.WALDir)
+	}
+	return recoverDurable(nil, opts, dl, false)
+}
+
+// ApplyReplicated applies one mirrored WAL record to a passive follower
+// server — the same replay path recovery uses, so the skip rules make a
+// record the local state already covers a no-op. The caller (the
+// replication layer) must have made the record durable in the follower's
+// own mirror before applying it, preserving "never serve what your own
+// disk could lose". Records must arrive in log order from one goroutine.
+func (s *Server) ApplyReplicated(kind byte, data []byte) error {
+	return s.replayRecord(kind, data)
 }
 
 // restoreQuery re-registers one checkpointed query and restores its

@@ -1,0 +1,229 @@
+// Package faultfs wraps the WAL's filesystem seam (wal.FS) with injectable
+// faults: a failed fsync, a short write, and a whole-machine crash that
+// rolls every file back to its last fsynced prefix. It exists so the
+// difftest harness and the WAL's own error-path tests can exercise the
+// durability claims — "Append never acknowledges a record a crash can
+// lose" — against the failures those claims are about, not just clean
+// shutdowns.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"tsens/internal/serve/wal"
+)
+
+// ErrInjected is the root of every fault this package injects; tests match
+// it with errors.Is.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+type fileState struct {
+	size   int64 // bytes written (including unsynced)
+	synced int64 // bytes guaranteed to survive CrashAndRestore
+}
+
+// FS wraps an inner wal.FS (nil = the real OS) and tracks, per file, how
+// many bytes have been fsynced — the prefix a simulated crash preserves.
+// Safe for concurrent use; one FS instance is meant to be shared across the
+// "reboots" of a single simulated machine so the tracking survives reopen.
+type FS struct {
+	inner wal.FS
+
+	mu         sync.Mutex
+	files      map[string]*fileState
+	syncsLeft  int // countdown to an injected fsync failure; -1 = disarmed
+	writesLeft int // countdown to an injected short write; -1 = disarmed
+}
+
+// New returns a fault-injecting FS over inner (nil = wal.OSFS).
+func New(inner wal.FS) *FS {
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	return &FS{inner: inner, files: make(map[string]*fileState), syncsLeft: -1, writesLeft: -1}
+}
+
+// FailNthSync arms a failure on the n-th upcoming data-file fsync (1 = the
+// very next). The failed fsync does NOT advance the file's durable prefix,
+// so a subsequent CrashAndRestore drops the bytes it claimed to lose.
+// Directory fsyncs are not counted. One-shot; re-arm for another.
+func (f *FS) FailNthSync(n int) {
+	f.mu.Lock()
+	f.syncsLeft = n
+	f.mu.Unlock()
+}
+
+// FailNthWrite arms a short write on the n-th upcoming data-file Write
+// (1 = next): half the buffer reaches the file, then the write errors.
+// One-shot.
+func (f *FS) FailNthWrite(n int) {
+	f.mu.Lock()
+	f.writesLeft = n
+	f.mu.Unlock()
+}
+
+// Disarm cancels any pending injected fault.
+func (f *FS) Disarm() {
+	f.mu.Lock()
+	f.syncsLeft, f.writesLeft = -1, -1
+	f.mu.Unlock()
+}
+
+// CrashAndRestore simulates losing the machine: every tracked file is
+// truncated back to its last successfully fsynced size — the bytes a real
+// kernel could still have been holding in the page cache vanish. The caller
+// abandons (does not Close) whatever Log/Mirror was open over this FS and
+// reopens from the directory afterwards.
+func (f *FS) CrashAndRestore() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for path, st := range f.files {
+		if st.size == st.synced {
+			continue
+		}
+		if err := f.inner.Truncate(path, st.synced); err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				delete(f.files, path)
+				continue
+			}
+			return fmt.Errorf("faultfs: crash restore %s: %w", path, err)
+		}
+		st.size = st.synced
+	}
+	return nil
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error)   { return f.inner.ReadDir(name) }
+func (f *FS) ReadFile(name string) ([]byte, error)         { return f.inner.ReadFile(name) }
+func (f *FS) OpenDir(name string) (wal.File, error)        { return f.inner.OpenDir(name) }
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if st, ok := f.files[oldpath]; ok {
+		f.files[newpath] = st
+		delete(f.files, oldpath)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.files, name)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FS) Truncate(name string, size int64) error {
+	if err := f.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if st, ok := f.files[name]; ok {
+		if st.size > size {
+			st.size = size
+		}
+		if st.synced > size {
+			st.synced = size
+		}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (wal.File, error) {
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	st, ok := f.files[name]
+	if !ok || flag&os.O_TRUNC != 0 {
+		st = &fileState{}
+		f.files[name] = st
+	}
+	if !ok && flag&os.O_APPEND != 0 {
+		// A pre-existing file opened for append (a Mirror resuming): its
+		// current contents are the durable baseline.
+		if raw, rerr := f.inner.ReadFile(name); rerr == nil {
+			st.size, st.synced = int64(len(raw)), int64(len(raw))
+		}
+	}
+	f.mu.Unlock()
+	return &file{fs: f, path: name, inner: inner}, nil
+}
+
+type file struct {
+	fs    *FS
+	path  string
+	inner wal.File
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	w.fs.mu.Lock()
+	short := false
+	if w.fs.writesLeft > 0 {
+		w.fs.writesLeft--
+		short = w.fs.writesLeft == 0
+		if short {
+			w.fs.writesLeft = -1
+		}
+	}
+	w.fs.mu.Unlock()
+	if short {
+		n, _ := w.inner.Write(p[:len(p)/2])
+		w.track(n)
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", ErrInjected, n, len(p))
+	}
+	n, err := w.inner.Write(p)
+	w.track(n)
+	return n, err
+}
+
+func (w *file) track(n int) {
+	if n <= 0 {
+		return
+	}
+	w.fs.mu.Lock()
+	if st, ok := w.fs.files[w.path]; ok {
+		st.size += int64(n)
+	}
+	w.fs.mu.Unlock()
+}
+
+func (w *file) Sync() error {
+	w.fs.mu.Lock()
+	fail := false
+	if w.fs.syncsLeft > 0 {
+		w.fs.syncsLeft--
+		fail = w.fs.syncsLeft == 0
+		if fail {
+			w.fs.syncsLeft = -1
+		}
+	}
+	w.fs.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: fsync %s", ErrInjected, w.path)
+	}
+	if err := w.inner.Sync(); err != nil {
+		return err
+	}
+	w.fs.mu.Lock()
+	if st, ok := w.fs.files[w.path]; ok && st.synced < st.size {
+		st.synced = st.size
+	}
+	w.fs.mu.Unlock()
+	return nil
+}
+
+func (w *file) Close() error { return w.inner.Close() }

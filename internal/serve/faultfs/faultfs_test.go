@@ -1,0 +1,144 @@
+package faultfs_test
+
+import (
+	"errors"
+	"testing"
+
+	"tsens/internal/serve/faultfs"
+	"tsens/internal/serve/wal"
+)
+
+func openLog(t *testing.T, dir string, fs *faultfs.FS, syncEvery int) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(dir, wal.Options{FS: fs, SyncEvery: syncEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func replayKinds(t *testing.T, l *wal.Log) []string {
+	t.Helper()
+	var got []string
+	if err := l.Replay(func(kind byte, data []byte) error {
+		got = append(got, string(data))
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+// TestSyncFaultRefusesAcknowledgment: a failed fsync surfaces from Append
+// (the record was NOT acknowledged), the log goes sticky, and a simulated
+// crash confirms the refused record really was losable — reopening yields
+// only the records acknowledged before the fault.
+func TestSyncFaultRefusesAcknowledgment(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(nil)
+	l := openLog(t, dir, fs, 1)
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('U', []byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.FailNthSync(1)
+	if err := l.Append('U', []byte("lost")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("append with failing fsync: %v, want ErrInjected", err)
+	}
+	fs.Disarm()
+	if err := l.Append('U', []byte("after")); err == nil {
+		t.Fatal("append after a failed fsync succeeded; the log must go sticky")
+	}
+
+	// The machine dies; the abandoned Log's unsynced bytes evaporate.
+	if err := fs.CrashAndRestore(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, fs, 1)
+	defer l2.Close()
+	got := replayKinds(t, l2)
+	if len(got) != 1 || got[0] != "acked" {
+		t.Fatalf("recovered %q, want only the acknowledged record", got)
+	}
+}
+
+// TestShortWriteTornTailRecovered: a write that lands only half its frame
+// surfaces an error, and an ordinary reopen truncates the torn tail and
+// recovers every record acknowledged before it.
+func TestShortWriteTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(nil)
+	l := openLog(t, dir, fs, 1)
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"a", "b"} {
+		if err := l.Append('U', []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.FailNthWrite(1)
+	if err := l.Append('U', []byte("torn-record")); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("short write: %v, want ErrInjected", err)
+	}
+
+	l2 := openLog(t, dir, fs, 1)
+	defer l2.Close()
+	got := replayKinds(t, l2)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("recovered %q, want the two acknowledged records", got)
+	}
+	// The reopened log keeps working where the old one died.
+	if err := l2.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append('U', []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashDropsUnsyncedSuffix: with batched fsyncs (SyncEvery > 1) a crash
+// loses exactly the unsynced suffix — and an explicit Sync moves the durable
+// frontier so a later crash loses nothing.
+func TestCrashDropsUnsyncedSuffix(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.New(nil)
+	l := openLog(t, dir, fs, 100)
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"a", "b", "c"} {
+		if err := l.Append('U', []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.CrashAndRestore(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openLog(t, dir, fs, 100)
+	if got := replayKinds(t, l2); len(got) != 0 {
+		t.Fatalf("unsynced records survived the crash: %q", got)
+	}
+	if err := l2.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{"x", "y"} {
+		if err := l2.Append('U', []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.CrashAndRestore(); err != nil {
+		t.Fatal(err)
+	}
+	l3 := openLog(t, dir, fs, 100)
+	defer l3.Close()
+	if got := replayKinds(t, l3); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("synced records lost by the crash: %q", got)
+	}
+}

@@ -10,7 +10,8 @@ package serve
 //	DELETE /queries/{id}         unregister
 //	POST   /updates              append updates (JSON, or text/csv stream)
 //	GET    /epoch                writer progress
-//	GET    /healthz              liveness
+//	GET    /healthz              liveness (the process is up; nothing more)
+//	GET    /readyz               readiness + role: leading/following/recovering
 //
 // Reads answer from published epoch views and never wait on the writers;
 // POST /updates?wait=1 (or "wait": true) blocks until the shards owning the
@@ -39,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tsens/internal/core"
 	"tsens/internal/csvio"
@@ -73,14 +75,112 @@ func (IntCodec) Encode(field string) (int64, error) {
 // Decode renders v in base 10.
 func (IntCodec) Decode(v int64) string { return strconv.FormatInt(v, 10) }
 
+// Role states reported by /readyz and used to gate writes.
+const (
+	// StateRecovering: the process is up but still replaying its WAL (or
+	// mirrored) tail; reads would answer from an old cut, so /readyz is 503.
+	StateRecovering = "recovering"
+	// StateFollowing: a replication follower — wait-free epoch reads are
+	// served here, state changes are refused with 503 + Retry-After (the
+	// ε-ledger has exactly one writer: the leader).
+	StateFollowing = "following"
+	// StateLeading: the full API. A standalone server (no replication) is
+	// always leading.
+	StateLeading = "leading"
+)
+
+// Status is what /readyz reports and the write gate consults.
+type Status struct {
+	// State is one of StateRecovering/StateFollowing/StateLeading.
+	State string `json:"state"`
+	// Leader, when known on a follower, is the leader's replication address
+	// — a hint for the failure-mode table, not a redirect target (the HTTP
+	// address is deployment-specific).
+	Leader string `json:"leader,omitempty"`
+}
+
 // API is the HTTP front end of a Server.
 type API struct {
-	srv   *Server
 	codec Codec
 	mux   *http.ServeMux
 
+	// srv resolves the backing server per request. Fixed for a standalone
+	// server, but a replication follower's backend moves underneath the
+	// handler: nil until the first checkpoint lands, a fresh passive server
+	// after a lineage reset, the recovered leading server after promotion —
+	// so handlers resolve it per request instead of capturing one pointer.
+	srv atomic.Pointer[func() *Server]
+
+	// status reports the process role (nil = always leading, the standalone
+	// default). Swapped atomically by the serve command as the process
+	// recovers, follows, or promotes.
+	status atomic.Pointer[func() Status]
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
+}
+
+// SetServer points the API at a fixed backing server (possibly replacing a
+// resolver installed with SetServerFunc — the promotion path does exactly
+// that).
+func (a *API) SetServer(srv *Server) { a.SetServerFunc(func() *Server { return srv }) }
+
+// SetServerFunc installs a dynamic backend resolver; fn returning nil means
+// there is no state to serve yet and reads answer 503.
+func (a *API) SetServerFunc(fn func() *Server) { a.srv.Store(&fn) }
+
+func (a *API) server() *Server {
+	if p := a.srv.Load(); p != nil {
+		return (*p)()
+	}
+	return nil
+}
+
+// backend resolves the serving backend, answering 503 + Retry-After when
+// none exists yet (a follower that has not received its first checkpoint);
+// reports whether the request may proceed.
+func (a *API) backend(w http.ResponseWriter) (*Server, bool) {
+	srv := a.server()
+	if srv == nil {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": "no state to serve yet",
+			"state": a.Status().State,
+		})
+		return nil, false
+	}
+	return srv, true
+}
+
+// SetStatus installs the role reporter backing /readyz and the write gate.
+func (a *API) SetStatus(fn func() Status) { a.status.Store(&fn) }
+
+// Status returns the current role (StateLeading when no reporter is set).
+func (a *API) Status() Status {
+	if p := a.status.Load(); p != nil {
+		return (*p)()
+	}
+	return Status{State: StateLeading}
+}
+
+// gateWrite refuses state-changing requests unless this process leads,
+// with Retry-After so a client retrying through a failover backs off
+// instead of hammering; reports whether the request may proceed.
+func (a *API) gateWrite(w http.ResponseWriter) bool {
+	st := a.Status()
+	if st.State == StateLeading {
+		return true
+	}
+	w.Header().Set("Retry-After", "1")
+	out := map[string]any{
+		"error": fmt.Sprintf("not leading (state %q): writes and releases are leader-only", st.State),
+		"state": st.State,
+	}
+	if st.Leader != "" {
+		out["leader"] = st.Leader
+	}
+	writeJSON(w, http.StatusServiceUnavailable, out)
+	return false
 }
 
 // NewAPI wraps srv in an http.Handler. codec translates wire values (nil
@@ -98,7 +198,8 @@ func NewAPI(srv *Server, codec Codec, seed int64) *API {
 		_, _ = crand.Read(b[:]) // never fails as of go 1.24
 		seed = int64(binary.LittleEndian.Uint64(b[:]))
 	}
-	a := &API{srv: srv, codec: codec, rng: rand.New(rand.NewSource(seed))}
+	a := &API{codec: codec, rng: rand.New(rand.NewSource(seed))}
+	a.SetServer(srv)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /queries", a.handleRegister)
 	mux.HandleFunc("GET /queries", a.handleList)
@@ -108,7 +209,18 @@ func NewAPI(srv *Server, codec Codec, seed int64) *API {
 	mux.HandleFunc("POST /updates", a.handleUpdates)
 	mux.HandleFunc("GET /epoch", a.handleEpoch)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up. A recovering server is alive but
+		// not ready — that distinction is /readyz's.
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		st := a.Status()
+		code := http.StatusOK
+		if st.State == StateRecovering {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, map[string]any{"ready": code == http.StatusOK, "state": st.State, "status": st})
 	})
 	a.mux = mux
 	return a
@@ -145,6 +257,13 @@ func decodeStrict(r *http.Request, v any) error {
 }
 
 func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if !a.gateWrite(w) {
+		return
+	}
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
 	var req registerRequest
 	if err := decodeStrict(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -192,7 +311,7 @@ func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
 		}
 		cfg.Options.Decomposition = d
 	}
-	id, v, err := a.srv.Register(cfg)
+	id, v, err := srv.Register(cfg)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -201,12 +320,20 @@ func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"queries": a.srv.Queries()})
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": srv.Queries()})
 }
 
 func (a *API) handleLS(w http.ResponseWriter, r *http.Request) {
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
-	v, err := a.srv.View(id)
+	v, err := srv.View(id)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
@@ -215,6 +342,16 @@ func (a *API) handleLS(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleRelease(w http.ResponseWriter, r *http.Request) {
+	// Releases spend from the ε-ledger, which has exactly one writer — the
+	// leader. A follower 503s with Retry-After rather than proxying, so the
+	// budget arithmetic stays in one process.
+	if !a.gateWrite(w) {
+		return
+	}
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
 	id := r.PathValue("id")
 	// The noise source is always the server's own seeded rng: a
 	// client-chosen seed would let the analyst predict the Laplace noise
@@ -232,7 +369,7 @@ func (a *API) handleRelease(w http.ResponseWriter, r *http.Request) {
 	a.rngMu.Lock()
 	rng := rand.New(rand.NewSource(a.rng.Int63()))
 	a.rngMu.Unlock()
-	res, err := a.srv.Release(id, rng)
+	res, err := srv.Release(id, rng)
 	if err != nil {
 		status := http.StatusUnprocessableEntity
 		if errors.Is(err, ErrNoQuery) {
@@ -258,7 +395,14 @@ func (a *API) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *API) handleUnregister(w http.ResponseWriter, r *http.Request) {
-	if err := a.srv.Unregister(r.PathValue("id")); err != nil {
+	if !a.gateWrite(w) {
+		return
+	}
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
+	if err := srv.Unregister(r.PathValue("id")); err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
@@ -281,6 +425,13 @@ type updatesRequest struct {
 }
 
 func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if !a.gateWrite(w) {
+		return
+	}
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
 	var (
 		ups             []relation.Update
 		wait, waitEpoch bool
@@ -323,8 +474,8 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			ups = append(ups, up)
 		}
 	}
-	owners := a.srv.Owners(ups)
-	from, to, err := a.srv.Append(ups)
+	owners := srv.Owners(ups)
+	from, to, err := srv.Append(ups)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -333,7 +484,9 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 	case q == "epoch" || waitEpoch:
 		// Full consistent-cut wait: a subsequent view read reflects these
 		// updates. Blocks on every shard (a stalled one stalls the cut).
-		if err := a.srv.WaitApplied(to); err != nil {
+		// Bounded by the request context: a client that hangs up stops
+		// waiting instead of parking a watermark waiter forever.
+		if err := srv.WaitAppliedCtx(r.Context(), to); err != nil {
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -341,7 +494,7 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		// Owning-shard wait: the updates are folded into the session state
 		// of the shards they route to. Never waits on an unrelated shard;
 		// views advance at the next joined cut.
-		if err := a.srv.WaitShards(owners, to); err != nil {
+		if err := srv.WaitShardsCtx(r.Context(), owners, to); err != nil {
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -351,12 +504,16 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		"from":     from,
 		"to":       to,
 		"owners":   owners,
-		"epoch":    a.srv.Epoch(),
+		"epoch":    srv.Epoch(),
 	})
 }
 
 func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {
-	st := a.srv.Stats()
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
+	st := srv.Stats()
 	// Two distinct notions of progress, reported under distinct names:
 	// "epoch" is the PUBLISHED consistent cut — what every view read
 	// reflects — while "joined" is the fold frontier, the minimum per-shard

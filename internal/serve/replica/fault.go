@@ -1,0 +1,133 @@
+package replica
+
+// Network fault injection for the replication transport: the difftest
+// cluster matrix wraps both ends' connections in a NetFault so a seeded
+// script can partition a follower, delay shipping, or drop a write at any
+// step — and then verify the invariants still hold (the follower either
+// catches up or resyncs from a checkpoint; it never serves state its disk
+// does not carry).
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrPartitioned is the error injected connections fail with while the
+// fault is active.
+var ErrPartitioned = errors.New("replica: injected partition")
+
+// NetFault injects faults into replication connections. Wrap both the
+// dialer (follower side) and the accepted conns (leader side) to make a
+// partition symmetric. The zero value injects nothing.
+type NetFault struct {
+	mu          sync.Mutex
+	partitioned bool
+	delay       time.Duration
+	dropWrites  int
+}
+
+// Partition starts or heals a partition: while active, every wrapped
+// connection's reads and writes fail and new dials are refused, so both
+// sides observe a broken pipe — exactly what a switch failure looks like.
+func (nf *NetFault) Partition(on bool) {
+	nf.mu.Lock()
+	nf.partitioned = on
+	nf.mu.Unlock()
+}
+
+// Delay makes every wrapped write sleep d first (one-way latency).
+func (nf *NetFault) Delay(d time.Duration) {
+	nf.mu.Lock()
+	nf.delay = d
+	nf.mu.Unlock()
+}
+
+// DropWrites silently discards the next n wrapped writes (the bytes vanish
+// mid-pipe). The reader's length-prefixed framing then desyncs and the
+// connection is torn down — the recovery path under test is the reconnect
+// handshake, not the drop itself.
+func (nf *NetFault) DropWrites(n int) {
+	nf.mu.Lock()
+	nf.dropWrites = n
+	nf.mu.Unlock()
+}
+
+func (nf *NetFault) broken() error {
+	nf.mu.Lock()
+	defer nf.mu.Unlock()
+	if nf.partitioned {
+		return ErrPartitioned
+	}
+	return nil
+}
+
+// Wrap returns c with this fault injected. A nil NetFault returns c
+// unchanged.
+func (nf *NetFault) Wrap(c net.Conn) net.Conn {
+	if nf == nil {
+		return c
+	}
+	return &faultConn{Conn: c, nf: nf}
+}
+
+// Dial wraps dial with the partition check (a partitioned network refuses
+// new connections too, not just existing ones).
+func (nf *NetFault) Dial(dial func(addr string) (net.Conn, error)) func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if nf != nil {
+			if err := nf.broken(); err != nil {
+				return nil, fmt.Errorf("dial %s: %w", addr, err)
+			}
+		}
+		c, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return nf.Wrap(c), nil
+	}
+}
+
+type faultConn struct {
+	net.Conn
+	nf *NetFault
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if err := fc.nf.broken(); err != nil {
+		return 0, err
+	}
+	n, err := fc.Conn.Read(p)
+	if err == nil {
+		if berr := fc.nf.broken(); berr != nil {
+			// The partition landed while we were blocked in Read: the bytes
+			// are already ours, but fail the NEXT interaction loudly.
+			return n, nil
+		}
+	}
+	return n, err
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	fc.nf.mu.Lock()
+	if fc.nf.partitioned {
+		fc.nf.mu.Unlock()
+		return 0, ErrPartitioned
+	}
+	delay := fc.nf.delay
+	drop := false
+	if fc.nf.dropWrites > 0 {
+		fc.nf.dropWrites--
+		drop = true
+	}
+	fc.nf.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if drop {
+		return len(p), nil // the pipe ate it
+	}
+	return fc.Conn.Write(p)
+}

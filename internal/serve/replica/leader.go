@@ -1,0 +1,311 @@
+package replica
+
+import (
+	"bufio"
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tsens/internal/serve"
+	"tsens/internal/serve/wal"
+)
+
+// LeaderOptions configures a Leader.
+type LeaderOptions struct {
+	// Lineage overrides the randomly drawn lineage ID (tests only).
+	Lineage string
+	// Lease, when set, makes the leader hold (and keep renewing) a lease:
+	// Acquire at start, Renew in the background, and Fence the server the
+	// moment a renewal fails — the double-leader guard. nil runs leaderless
+	// (a standalone durable server that merely ships its WAL).
+	Lease  LeaseStore
+	Holder string
+	TTL    time.Duration
+	// Fault wraps every accepted connection (tests).
+	Fault *NetFault
+	// BatchMax caps records read per shipping iteration (default 512).
+	BatchMax int
+	// HeartbeatEvery is the idle heartbeat cadence (default 1s).
+	HeartbeatEvery time.Duration
+	// WriteTimeout bounds one frame write to a follower; a follower too
+	// slow to drain its socket is dropped rather than allowed to park the
+	// shipping goroutine (default 5s). It reconnects and resumes — or
+	// resyncs from a checkpoint if pruning overtook it.
+	WriteTimeout time.Duration
+}
+
+func (o LeaderOptions) withDefaults() LeaderOptions {
+	if o.BatchMax == 0 {
+		o.BatchMax = 512
+	}
+	if o.HeartbeatEvery == 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 5 * time.Second
+	}
+	if o.TTL == 0 {
+		o.TTL = 3 * time.Second
+	}
+	return o
+}
+
+// Leader ships a durable server's WAL record stream to followers. One
+// Leader per process; every accepted connection gets its own shipping
+// goroutine reading the segment files directly (no per-follower buffers —
+// a slow follower can never block Append or another follower).
+type Leader struct {
+	srv     *serve.Server
+	log     *wal.Log
+	opts    LeaderOptions
+	lineage string
+	term    int64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewLeader wraps a durable leading server. With opts.Lease set the lease
+// is acquired here — an error (ErrLeaseHeld) means someone else leads and
+// this process must not.
+func NewLeader(srv *serve.Server, opts LeaderOptions) (*Leader, error) {
+	opts = opts.withDefaults()
+	log := srv.WAL()
+	if log == nil {
+		return nil, fmt.Errorf("replica: leader requires a durable server (Options.WALDir)")
+	}
+	lineage := opts.Lineage
+	if lineage == "" {
+		var b [8]byte
+		_, _ = crand.Read(b[:])
+		lineage = hex.EncodeToString(b[:])
+	}
+	ld := &Leader{
+		srv:     srv,
+		log:     log,
+		opts:    opts,
+		lineage: lineage,
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	if opts.Lease != nil {
+		holder := opts.Holder
+		if holder == "" {
+			holder = lineage
+		}
+		term, err := opts.Lease.Acquire(holder, opts.TTL)
+		if err != nil {
+			return nil, err
+		}
+		ld.term = term
+		ld.wg.Add(1)
+		go ld.renewLoop(holder, term)
+	}
+	return ld, nil
+}
+
+// Lineage returns the leader's lineage ID (one per activation).
+func (ld *Leader) Lineage() string { return ld.lineage }
+
+// Term returns the lease term this leader acquired (0 when leaderless).
+func (ld *Leader) Term() int64 { return ld.term }
+
+// Serve accepts follower connections on ln until Close. Blocking, like
+// http.Serve.
+func (ld *Leader) Serve(ln net.Listener) error {
+	ld.mu.Lock()
+	if ld.closed {
+		ld.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("replica: leader closed")
+	}
+	ld.ln = ln
+	ld.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-ld.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		wc := ld.opts.Fault.Wrap(c)
+		ld.mu.Lock()
+		if ld.closed {
+			ld.mu.Unlock()
+			wc.Close()
+			return nil
+		}
+		ld.conns[wc] = struct{}{}
+		ld.mu.Unlock()
+		ld.wg.Add(1)
+		go func() {
+			defer ld.wg.Done()
+			defer func() {
+				wc.Close()
+				ld.mu.Lock()
+				delete(ld.conns, wc)
+				ld.mu.Unlock()
+			}()
+			ld.ship(wc)
+		}()
+	}
+}
+
+// Close stops accepting, drops every follower, releases the lease (when a
+// graceful shutdown still holds it), and waits for the goroutines.
+func (ld *Leader) Close() {
+	ld.shutdown()
+	ld.wg.Wait()
+	if ld.opts.Lease != nil && ld.srv.WAL() != nil {
+		holder := ld.opts.Holder
+		if holder == "" {
+			holder = ld.lineage
+		}
+		_ = ld.opts.Lease.Release(holder, ld.term)
+	}
+}
+
+func (ld *Leader) shutdown() {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	if ld.closed {
+		return
+	}
+	ld.closed = true
+	close(ld.done)
+	if ld.ln != nil {
+		ld.ln.Close()
+	}
+	for c := range ld.conns {
+		c.Close()
+	}
+}
+
+// renewLoop keeps the lease alive; the moment it cannot, the server is
+// fenced BEFORE the shutdown drops followers — no acknowledgment can race
+// past a lost lease.
+func (ld *Leader) renewLoop(holder string, term int64) {
+	defer ld.wg.Done()
+	t := time.NewTicker(ld.opts.TTL / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-ld.done:
+			return
+		case <-t.C:
+			if err := ld.opts.Lease.Renew(holder, term, ld.opts.TTL); err != nil {
+				ld.srv.Fence(err)
+				ld.shutdown()
+				return
+			}
+		}
+	}
+}
+
+// ship streams records to one follower: handshake, then an endless loop of
+// read-durable-records → frame → send, falling back to a reset checkpoint
+// whenever the follower's position was pruned out from under it, and to
+// heartbeats when fully caught up.
+func (ld *Leader) ship(c net.Conn) {
+	_ = c.SetReadDeadline(time.Now().Add(ld.opts.WriteTimeout))
+	typ, payload, err := readFrame(c)
+	if err != nil || typ != frameHello {
+		return
+	}
+	var hello helloMsg
+	if err := json.Unmarshal(payload, &hello); err != nil {
+		return
+	}
+	_ = c.SetReadDeadline(time.Time{})
+
+	bw := bufio.NewWriterSize(c, 64<<10)
+	send := func(typ byte, payload []byte) error {
+		_ = c.SetWriteDeadline(time.Now().Add(ld.opts.WriteTimeout))
+		return writeFrame(bw, typ, payload)
+	}
+	flush := func() error {
+		_ = c.SetWriteDeadline(time.Now().Add(ld.opts.WriteTimeout))
+		return bw.Flush()
+	}
+	if err := writeJSONFrame(bw, frameWelcome, welcomeMsg{Lineage: ld.lineage}); err != nil {
+		return
+	}
+
+	gen, idx := hello.Gen, hello.Idx
+	reset := hello.Lineage != ld.lineage
+	var sentCkpt int64 = -1
+	for {
+		select {
+		case <-ld.done:
+			return
+		default:
+		}
+		if reset {
+			// The follower's history is unusable (different lineage, or its
+			// position was pruned): ship the newest checkpoint with the reset
+			// flag and resume the stream at its generation.
+			data, cg, ok, err := ld.log.LatestCheckpoint()
+			if err != nil || !ok {
+				return // a durable server always has one; treat absence as fatal
+			}
+			if err := send(frameCheckpoint, encodeCheckpointFrame(true, cg, data)); err != nil {
+				return
+			}
+			gen, idx = cg, 0
+			sentCkpt = cg
+			reset = false
+		}
+		if cg, ok, _ := ld.log.CheckpointGen(); ok && cg > sentCkpt && gen >= cg {
+			// A newer checkpoint fully behind the follower's position: ship it
+			// non-reset so the follower can prune its mirror like we pruned.
+			if data, g, ok2, err := ld.log.LatestCheckpoint(); err == nil && ok2 && g >= cg {
+				if err := send(frameCheckpoint, encodeCheckpointFrame(false, g, data)); err != nil {
+					return
+				}
+				sentCkpt = g
+			}
+		}
+		notify := ld.log.DurableNotify() // before ReadFrom: no missed wakeups
+		ngen, nidx, n, err := ld.log.ReadFrom(gen, idx, ld.opts.BatchMax, func(g, i int64, kind byte, data []byte) error {
+			return send(frameRecord, encodeRecord(g, i, kind, data))
+		})
+		if errors.Is(err, wal.ErrPruned) {
+			reset = true
+			continue
+		}
+		if err != nil {
+			return
+		}
+		gen, idx = ngen, nidx
+		if n > 0 {
+			if flush() != nil {
+				return
+			}
+			continue
+		}
+		// Caught up: tell the follower where the durable frontier is, then
+		// wait for it to move.
+		if send(frameHeartbeat, encodePosition(gen, idx)) != nil || flush() != nil {
+			return
+		}
+		select {
+		case <-notify:
+		case <-time.After(ld.opts.HeartbeatEvery):
+		case <-ld.done:
+			return
+		}
+	}
+}

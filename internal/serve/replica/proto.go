@@ -1,0 +1,161 @@
+// Package replica replicates a durable serving process (internal/serve)
+// across machines: a leader ships its WAL record stream — sealed segments
+// plus the live tail, never past its durable frontier — over a
+// length-prefixed stream protocol to followers, which mirror every record
+// into their own WAL directory (wal.Mirror) and apply it live through the
+// ordinary recovery replay (Server.ApplyReplicated). A follower therefore
+// serves wait-free epoch reads from state its own disk could reproduce,
+// and promotion is not a special code path: it closes the passive server
+// and runs the PR 5 recovery (serve.New on the mirrored directory)
+// verbatim.
+//
+// DP releases stay leader-only — the ε-ledger has exactly one writer — and
+// a leader that can no longer prove it holds the lease fences itself
+// (serve.Server.Fence) before a successor can acquire it, so two processes
+// never both acknowledge spends. docs/SERVING.md "Replication & failover"
+// has the failure-mode table.
+//
+// Wire protocol: frames of [u32 length][type byte][payload] (no per-frame
+// checksum — TCP already checksums the pipe, and the follower re-frames
+// every record with a CRC when it lands in its mirror). Types:
+//
+//	'H' hello      follower→leader: JSON {lineage, gen, idx} — resume point
+//	'W' welcome    leader→follower: JSON {lineage} — the leader's lineage ID
+//	'C' checkpoint leader→follower: [flags][uvarint gen][payload]; flag bit
+//	               0 = reset (wipe the mirror and rebuild from this)
+//	'r' record     leader→follower: [uvarint gen][uvarint idx][kind][data]
+//	'h' heartbeat  leader→follower: [uvarint gen][uvarint idx] — durable
+//	               frontier, sent when there is nothing to ship
+//
+// Positions are (segment generation, record index) pairs and are
+// meaningful only within one lineage: every leader activation draws a
+// fresh lineage ID, and a follower whose stored lineage differs wipes its
+// mirror and resyncs from a reset checkpoint — the cure for the diverged
+// tail an old leader's directory may carry after a failover.
+package replica
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+const (
+	frameHello      = 'H'
+	frameWelcome    = 'W'
+	frameCheckpoint = 'C'
+	frameRecord     = 'r'
+	frameHeartbeat  = 'h'
+
+	// maxNetFrame bounds one wire frame; matches the WAL's frame bound plus
+	// protocol overhead.
+	maxNetFrame = 1<<30 + 64
+
+	ckptFlagReset = 1
+)
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxNetFrame {
+		return 0, nil, fmt.Errorf("replica: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+type helloMsg struct {
+	Lineage string `json:"lineage"`
+	Gen     int64  `json:"gen"`
+	Idx     int64  `json:"idx"`
+}
+
+type welcomeMsg struct {
+	Lineage string `json:"lineage"`
+}
+
+func writeJSONFrame(w io.Writer, typ byte, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, typ, data)
+}
+
+func encodeRecord(gen, idx int64, kind byte, data []byte) []byte {
+	buf := binary.AppendUvarint(make([]byte, 0, 16+len(data)), uint64(gen))
+	buf = binary.AppendUvarint(buf, uint64(idx))
+	buf = append(buf, kind)
+	return append(buf, data...)
+}
+
+func decodeRecord(payload []byte) (gen, idx int64, kind byte, data []byte, err error) {
+	g, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return 0, 0, 0, nil, fmt.Errorf("replica: record frame: truncated gen")
+	}
+	payload = payload[used:]
+	i, used := binary.Uvarint(payload)
+	if used <= 0 || len(payload) == used {
+		return 0, 0, 0, nil, fmt.Errorf("replica: record frame: truncated idx/kind")
+	}
+	payload = payload[used:]
+	return int64(g), int64(i), payload[0], payload[1:], nil
+}
+
+func encodeCheckpointFrame(reset bool, gen int64, data []byte) []byte {
+	var flags byte
+	if reset {
+		flags |= ckptFlagReset
+	}
+	buf := append(make([]byte, 0, 16+len(data)), flags)
+	buf = binary.AppendUvarint(buf, uint64(gen))
+	return append(buf, data...)
+}
+
+func decodeCheckpointFrame(payload []byte) (reset bool, gen int64, data []byte, err error) {
+	if len(payload) < 2 {
+		return false, 0, nil, fmt.Errorf("replica: checkpoint frame: truncated")
+	}
+	flags := payload[0]
+	g, used := binary.Uvarint(payload[1:])
+	if used <= 0 {
+		return false, 0, nil, fmt.Errorf("replica: checkpoint frame: truncated gen")
+	}
+	return flags&ckptFlagReset != 0, int64(g), payload[1+used:], nil
+}
+
+func encodePosition(gen, idx int64) []byte {
+	buf := binary.AppendUvarint(make([]byte, 0, 16), uint64(gen))
+	return binary.AppendUvarint(buf, uint64(idx))
+}
+
+func decodePosition(payload []byte) (gen, idx int64, err error) {
+	g, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return 0, 0, fmt.Errorf("replica: position: truncated gen")
+	}
+	i, used2 := binary.Uvarint(payload[used:])
+	if used2 <= 0 {
+		return 0, 0, fmt.Errorf("replica: position: truncated idx")
+	}
+	return int64(g), int64(i), nil
+}

@@ -44,6 +44,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -57,10 +58,17 @@ import (
 	"tsens/internal/par"
 	"tsens/internal/query"
 	"tsens/internal/relation"
+	"tsens/internal/serve/wal"
 )
 
 // ErrNoQuery reports a request against an unregistered query ID.
 var ErrNoQuery = errors.New("serve: no such query")
+
+// ErrFenced reports a write refused because the server lost its claim to
+// leadership (replication failover demoted it). A fenced server keeps
+// serving reads from its published views but never acknowledges another
+// state change — the fencing half of the ε-single-writer rule.
+var ErrFenced = errors.New("serve: fenced: leadership lost")
 
 // DefaultBatchSize bounds how many log entries one coordinated round folds
 // into a single epoch. It sits below incremental.DefaultBulkThreshold so
@@ -134,6 +142,10 @@ type Options struct {
 	// loader of the snapshot so string-valued data round-trips through one
 	// dictionary.
 	WALCodec Codec
+	// WALFS substitutes the filesystem the WAL runs on. nil means the real
+	// OS; the fault-injection harness (internal/serve/faultfs) passes an FS
+	// that can fail fsyncs and simulate machine crashes.
+	WALFS wal.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -347,6 +359,11 @@ type Server struct {
 	appended atomic.Int64
 	skipped  atomic.Int64
 
+	// fence, once set, makes every state-changing entry point fail with the
+	// stored error (reads keep answering). Set by the replication layer when
+	// this process loses its lease — see Fence.
+	fence atomic.Pointer[error]
+
 	waitMu  sync.Mutex
 	epochCh chan struct{}
 
@@ -492,6 +509,28 @@ func (s *Server) close(now bool) {
 	s.waitMu.Unlock()
 }
 
+// Fence permanently demotes the server: every subsequent Append, Register,
+// Unregister, and Release fails with an error wrapping ErrFenced (reason,
+// when non-nil, is attached), while reads keep serving the last published
+// views. The replication layer fences a leader the moment it can no longer
+// prove it holds the lease, so a promoted successor and a demoted
+// predecessor can never both acknowledge writes — in particular never both
+// spend from the same ε-ledger.
+func (s *Server) Fence(reason error) {
+	err := ErrFenced
+	if reason != nil {
+		err = fmt.Errorf("%w: %v", ErrFenced, reason)
+	}
+	s.fence.CompareAndSwap(nil, &err) // first demotion wins; never unfence
+}
+
+func (s *Server) fenced() error {
+	if p := s.fence.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // Register opens incremental session state for cfg.Query and adds it to the
 // multiplexer. The expensive solve runs off the writer's lock: Register
 // snapshots the master at the current cut (briefly pausing the drain for a
@@ -501,6 +540,9 @@ func (s *Server) close(now bool) {
 // server's routing columns) gets one sub-session per shard; anything else
 // gets one full session on a designated shard.
 func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
+	if err := s.fenced(); err != nil {
+		return "", nil, err
+	}
 	if cfg.Query == nil {
 		return "", nil, fmt.Errorf("serve: nil query")
 	}
@@ -702,6 +744,9 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 
 // Unregister removes a query. Its sessions and views are dropped.
 func (s *Server) Unregister(id string) error {
+	if err := s.fenced(); err != nil {
+		return err
+	}
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	s.qmu.Lock()
@@ -738,6 +783,9 @@ func (s *Server) Unregister(id string) error {
 // live in the published views, WaitShards(Owners(ups), to) until the owning
 // shards have folded them.
 func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
+	if err := s.fenced(); err != nil {
+		return 0, 0, err
+	}
 	for i, up := range ups {
 		r := s.master.Relation(up.Rel) // schema is static: safe without stateMu
 		if r == nil {
@@ -780,6 +828,13 @@ func (s *Server) Epoch() int64 { return s.epoch.Load() }
 // WaitApplied blocks until the server epoch reaches lsn (as returned by
 // Append) or the server closes.
 func (s *Server) WaitApplied(lsn int64) error {
+	return s.WaitAppliedCtx(context.Background(), lsn)
+}
+
+// WaitAppliedCtx is WaitApplied honoring ctx: a cancelled request (the
+// client of a ?wait=epoch hung up) releases the waiter instead of parking
+// it until the epoch arrives.
+func (s *Server) WaitAppliedCtx(ctx context.Context, lsn int64) error {
 	for {
 		if s.epoch.Load() >= lsn {
 			return nil
@@ -793,8 +848,23 @@ func (s *Server) WaitApplied(lsn int64) error {
 		if s.epoch.Load() >= lsn {
 			return nil
 		}
-		<-ch
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
+}
+
+// WAL exposes the server's write-ahead log (nil when the server is not
+// durable) — the record stream internal/serve/replica ships to followers.
+// Callers must only read (ReadFrom, positions, LatestCheckpoint); the
+// server owns the write side.
+func (s *Server) WAL() *wal.Log {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.log
 }
 
 // View returns the last published view of a query — an atomic load; never
@@ -836,6 +906,9 @@ func (s *Server) LS(id string) (*core.Result, int64, error) {
 // of one query serialize among themselves (replay-cache consistency) but
 // never wait on the writers.
 func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
+	if err := s.fenced(); err != nil {
+		return nil, err
+	}
 	sq, err := s.lookup(id)
 	if err != nil {
 		return nil, err

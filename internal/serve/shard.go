@@ -25,6 +25,7 @@ package serve
 // exactly that).
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -201,6 +202,12 @@ func (s *Server) Owners(ups []relation.Update) []int {
 // to start the next round (which a stalled shard holds up). Published
 // views always advance only at joined cuts (WaitApplied).
 func (s *Server) WaitShards(shards []int, lsn int64) error {
+	return s.WaitShardsCtx(context.Background(), shards, lsn)
+}
+
+// WaitShardsCtx is WaitShards honoring ctx, so a disconnected ?wait=1
+// client releases its waiter.
+func (s *Server) WaitShardsCtx(ctx context.Context, shards []int, lsn int64) error {
 	for _, i := range shards {
 		if i < 0 || i >= len(s.shards) {
 			return fmt.Errorf("serve: no shard %d (have %d)", i, len(s.shards))
@@ -227,6 +234,10 @@ func (s *Server) WaitShards(shards []int, lsn int64) error {
 		if reached() {
 			return nil
 		}
-		<-ch
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 }

@@ -1,0 +1,46 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem seam the log runs on. Production uses OSFS; the
+// fault-injection harness (internal/serve/faultfs) substitutes an
+// implementation that can fail an fsync, short-write a frame, or roll a
+// directory back to its last-synced state to simulate a machine crash —
+// which is why every file operation the durability argument rests on goes
+// through this interface instead of the os package directly.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	// OpenFile opens a data file for writing (segments, checkpoint temps).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// OpenDir opens a directory for fsync after a rename install.
+	OpenDir(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+}
+
+// File is the subset of *os.File the log needs on its write paths.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OSFS is the passthrough FS over the os package — the default.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error    { return os.MkdirAll(path, perm) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error)      { return os.ReadDir(name) }
+func (OSFS) ReadFile(name string) ([]byte, error)            { return os.ReadFile(name) }
+func (OSFS) Rename(oldpath, newpath string) error            { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                        { return os.Remove(name) }
+func (OSFS) Truncate(name string, size int64) error          { return os.Truncate(name, size) }
+func (OSFS) OpenDir(name string) (File, error)               { return os.Open(name) }
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}

@@ -1,0 +1,396 @@
+package wal
+
+// Replication support: reading a log as a record stream for shipping to
+// followers, and mirroring a shipped stream into a follower's own directory.
+//
+// A stream position is (generation, index): the index-th record of segment
+// `generation`. Positions are meaningful only within one leader lineage —
+// the replica layer pairs them with a lineage identity and resets followers
+// whose positions come from another lineage. ReadFrom never reads past the
+// durable frontier (the last fsynced record), so a follower can never
+// observe — let alone serve — state the leader could still lose in a crash.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrPruned reports a read position whose segment a checkpoint has pruned:
+// the reader must restart from the latest checkpoint instead.
+var ErrPruned = errors.New("wal: position pruned")
+
+// Position returns the append frontier: the generation of the current
+// append segment and the number of records in it (the index the next Append
+// lands at). Zero before StartAppending.
+func (l *Log) Position() (gen, idx int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen, l.recsInSeg
+}
+
+// DurablePosition returns the durable frontier: every record strictly
+// before (gen, idx) has been fsynced. With SyncEvery ≤ 1 it equals the
+// append frontier between Appends.
+func (l *Log) DurablePosition() (gen, idx int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncedGen, l.syncedIdx
+}
+
+// DurableNotify returns a channel closed the next time the durable frontier
+// advances. Callers re-fetch after every receive (broadcast semantics).
+func (l *Log) DurableNotify() <-chan struct{} {
+	l.notifyMu.Lock()
+	defer l.notifyMu.Unlock()
+	return l.notifyCh
+}
+
+func (l *Log) notifyDurable() {
+	l.notifyMu.Lock()
+	close(l.notifyCh)
+	l.notifyCh = make(chan struct{})
+	l.notifyMu.Unlock()
+}
+
+// CheckpointGen returns the generation of the newest checkpoint file, if
+// any. Cheap (a directory scan, no payload read) — the shipping loop polls
+// it to notice installs.
+func (l *Log) CheckpointGen() (int64, bool, error) {
+	cks, err := l.checkpoints()
+	if err != nil || len(cks) == 0 {
+		return 0, false, err
+	}
+	return cks[len(cks)-1], true, nil
+}
+
+// ReadFrom streams up to max durable records starting at (gen, idx) to fn,
+// returning the position after the last delivered record and the count
+// delivered. It reads the segment files directly — sealed segments in full,
+// the live tail only up to the durable frontier — so it needs no buffering
+// or coordination with Append beyond the frontier snapshot. A position
+// whose segment has been pruned returns ErrPruned: the caller restarts the
+// follower from the latest checkpoint.
+func (l *Log) ReadFrom(gen, idx int64, max int, fn func(gen, idx int64, kind byte, data []byte) error) (int64, int64, int, error) {
+	sg, si := l.DurablePosition()
+	g, i := gen, idx
+	n := 0
+	for n < max {
+		if g > sg || (g == sg && i >= si) {
+			break // at the durable frontier
+		}
+		path := l.segPath(g)
+		raw, err := l.fs.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return g, i, n, ErrPruned
+			}
+			return g, i, n, fmt.Errorf("wal: %w", err)
+		}
+		cap := int64(-1) // records parseable in this segment; -1 = all
+		if g == sg {
+			cap = si
+		}
+		rest := raw
+		var rec int64
+		for len(rest) > 0 && (cap < 0 || rec < cap) {
+			payload, next, ferr := readFrame(rest)
+			if ferr != nil {
+				// Sealed segments and the sub-frontier prefix of the live one
+				// are fully durable: a broken frame there is corruption, not
+				// an in-progress write.
+				return g, i, n, fmt.Errorf("%w: segment %d record %d: %v", ErrCorrupt, g, rec, ferr)
+			}
+			if rec >= i {
+				if err := fn(g, rec, payload[0], payload[1:]); err != nil {
+					return g, rec, n, err
+				}
+				n++
+				i = rec + 1
+				if n >= max {
+					return g, i, n, nil
+				}
+			}
+			rec++
+			rest = next
+		}
+		if g < sg {
+			g, i = g+1, 0
+		} else {
+			break
+		}
+	}
+	return g, i, n, nil
+}
+
+// --- follower-side mirroring ---
+
+// Mirror appends a replicated record stream into a follower's own WAL
+// directory, framed identically to Append, preserving the leader's segment
+// generations and record indexes — so the directory recovers through the
+// ordinary Open/Replay path, and reconnect handshakes resume from a simple
+// directory scan. Safe for use by one replication goroutine at a time.
+type Mirror struct {
+	dir  string
+	fs   FS
+	opts Options
+
+	mu       sync.Mutex
+	f        File
+	gen      int64
+	idx      int64 // records in the current segment (next append index)
+	unsynced int
+	err      error // sticky, like Log: a mirror that failed a write stops
+}
+
+// OpenMirror prepares dir for mirroring. It scans the existing segments,
+// truncates a torn tail off the newest one (a crash mid-mirror), and
+// positions itself after the last complete record.
+func OpenMirror(dir string, opts Options) (*Mirror, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	m := &Mirror{dir: dir, fs: opts.FS, opts: opts}
+	segs, err := scanGenDir(m.fs, dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return m, nil
+	}
+	m.gen = segs[len(segs)-1]
+	path := m.segPath(m.gen)
+	raw, err := m.fs.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	rest := raw
+	for len(rest) > 0 {
+		_, next, ferr := readFrame(rest)
+		if ferr != nil {
+			off := len(raw) - len(rest)
+			// Same torn-tail rule as Replay: a fully-contained frame failing
+			// its checksum with more data after it is corruption, not a torn
+			// write — refuse rather than silently drop durable records.
+			if len(rest) >= frameHeader {
+				if n := binary.LittleEndian.Uint32(rest); n > 0 && n <= maxFrame &&
+					uint64(frameHeader)+uint64(n) < uint64(len(rest)) {
+					return nil, fmt.Errorf("%w: mirror segment %d offset %d: %v", ErrCorrupt, m.gen, off, ferr)
+				}
+			}
+			if err := m.fs.Truncate(path, int64(off)); err != nil {
+				return nil, fmt.Errorf("wal: %w", err)
+			}
+			break
+		}
+		m.idx++
+		rest = next
+	}
+	return m, nil
+}
+
+func (m *Mirror) segPath(gen int64) string {
+	return filepath.Join(m.dir, fmt.Sprintf("%s%016d%s", segPrefix, gen, segSuffix))
+}
+
+// Position returns where the next mirrored record must land: the handshake
+// position a follower resumes from.
+func (m *Mirror) Position() (gen, idx int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen, m.idx
+}
+
+// CheckpointGen returns the newest locally installed checkpoint generation.
+func (m *Mirror) CheckpointGen() (int64, bool, error) {
+	cks, err := scanGenDir(m.fs, m.dir, ckptPrefix, ckptSuffix)
+	if err != nil || len(cks) == 0 {
+		return 0, false, err
+	}
+	return cks[len(cks)-1], true, nil
+}
+
+// Append mirrors one record at the leader's (gen, idx). A gen advance seals
+// the current segment (sync + close) and starts the next file; an idx that
+// does not match the expected next position reports a desync — the caller
+// drops the connection and re-handshakes.
+func (m *Mirror) Append(gen, idx int64, kind byte, data []byte) error {
+	if len(data)+1 > maxFrame {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if gen < m.gen || (gen == m.gen && idx != m.idx) || (gen > m.gen && idx != 0) {
+		return fmt.Errorf("wal: mirror desync: record at (%d,%d), expected (%d,%d)", gen, idx, m.gen, m.idx)
+	}
+	if gen > m.gen {
+		if err := m.sealLocked(); err != nil {
+			return err
+		}
+		m.gen, m.idx = gen, 0
+	}
+	if m.f == nil {
+		f, err := m.fs.OpenFile(m.segPath(m.gen), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			m.err = fmt.Errorf("wal: mirror: %w", err)
+			return m.err
+		}
+		m.f = f
+	}
+	frame := appendFrame(make([]byte, 0, frameHeader+1+len(data)), kind, data)
+	if _, err := m.f.Write(frame); err != nil {
+		m.err = fmt.Errorf("wal: mirror append: %w", err)
+		return m.err
+	}
+	m.idx++
+	m.unsynced++
+	if m.opts.SyncEvery <= 1 || m.unsynced >= m.opts.SyncEvery {
+		return m.syncLocked()
+	}
+	return nil
+}
+
+func (m *Mirror) sealLocked() error {
+	if m.f == nil {
+		return nil
+	}
+	if m.unsynced > 0 {
+		if err := m.syncLocked(); err != nil {
+			return err
+		}
+	}
+	if err := m.f.Close(); err != nil {
+		m.err = fmt.Errorf("wal: mirror seal: %w", err)
+		return m.err
+	}
+	m.f = nil
+	return nil
+}
+
+func (m *Mirror) syncLocked() error {
+	if err := m.f.Sync(); err != nil {
+		m.err = fmt.Errorf("wal: mirror sync: %w", err)
+		return m.err
+	}
+	m.unsynced = 0
+	return nil
+}
+
+// Sync flushes any unsynced mirrored records — the durable horizon a
+// promotion is allowed to trust.
+func (m *Mirror) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if m.f == nil || m.unsynced == 0 {
+		return nil
+	}
+	return m.syncLocked()
+}
+
+// InstallCheckpoint durably installs a shipped checkpoint and prunes every
+// older generation, exactly as the leader's WriteCheckpoint does. If the
+// mirror's current segment is itself covered (gen below the checkpoint's),
+// it is closed and the position advances to (gen, 0) — the stream resumes
+// there after a reset.
+func (m *Mirror) InstallCheckpoint(data []byte, gen int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := installCheckpoint(m.fs, m.dir, data, gen); err != nil {
+		return err
+	}
+	if m.gen < gen {
+		if m.f != nil {
+			_ = m.f.Close()
+			m.f = nil
+		}
+		m.gen, m.idx = gen, 0
+		m.unsynced = 0
+	}
+	pruneDir(m.fs, m.dir, gen)
+	return nil
+}
+
+// Reset wipes every segment and checkpoint — a follower joining a different
+// leader lineage must discard its local mirror entirely before resyncing.
+func (m *Mirror) Reset() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f != nil {
+		_ = m.f.Close()
+		m.f = nil
+	}
+	segs, err := scanGenDir(m.fs, m.dir, segPrefix, segSuffix)
+	if err != nil {
+		return err
+	}
+	cks, err := scanGenDir(m.fs, m.dir, ckptPrefix, ckptSuffix)
+	if err != nil {
+		return err
+	}
+	for _, g := range segs {
+		if err := m.fs.Remove(m.segPath(g)); err != nil {
+			return fmt.Errorf("wal: mirror reset: %w", err)
+		}
+	}
+	for _, g := range cks {
+		path := filepath.Join(m.dir, fmt.Sprintf("%s%016d%s", ckptPrefix, g, ckptSuffix))
+		if err := m.fs.Remove(path); err != nil {
+			return fmt.Errorf("wal: mirror reset: %w", err)
+		}
+	}
+	m.gen, m.idx, m.unsynced, m.err = 0, 0, 0, nil
+	return nil
+}
+
+// Close seals the mirror.
+func (m *Mirror) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sealCloseLocked()
+}
+
+func (m *Mirror) sealCloseLocked() error {
+	if m.f == nil {
+		return nil
+	}
+	var err error
+	if m.unsynced > 0 && m.err == nil {
+		err = m.syncLocked()
+	}
+	if cerr := m.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: mirror close: %w", cerr)
+	}
+	m.f = nil
+	return err
+}
+
+// pruneDir removes segments and checkpoints older than gen (best-effort,
+// like Log.prune).
+func pruneDir(fs FS, dir string, gen int64) {
+	if segs, err := scanGenDir(fs, dir, segPrefix, segSuffix); err == nil {
+		for _, g := range segs {
+			if g < gen {
+				_ = fs.Remove(filepath.Join(dir, fmt.Sprintf("%s%016d%s", segPrefix, g, segSuffix)))
+			}
+		}
+	}
+	if cks, err := scanGenDir(fs, dir, ckptPrefix, ckptSuffix); err == nil {
+		for _, g := range cks {
+			if g < gen {
+				_ = fs.Remove(filepath.Join(dir, fmt.Sprintf("%s%016d%s", ckptPrefix, g, ckptSuffix)))
+			}
+		}
+	}
+}

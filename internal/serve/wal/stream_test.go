@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type posRec struct {
+	gen, idx int64
+	kind     byte
+	data     string
+}
+
+func readAllFrom(t *testing.T, l *Log, gen, idx int64) ([]posRec, int64, int64) {
+	t.Helper()
+	var got []posRec
+	for {
+		ngen, nidx, n, err := l.ReadFrom(gen, idx, 3, func(g, i int64, kind byte, data []byte) error {
+			got = append(got, posRec{g, i, kind, string(data)})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ReadFrom(%d,%d): %v", gen, idx, err)
+		}
+		gen, idx = ngen, nidx
+		if n == 0 {
+			return got, gen, idx
+		}
+	}
+}
+
+func TestReadFromStreamsDurableRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i, s := range []string{"a", "b", "c"} {
+		if err := l.Append('U', []byte(s)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if _, err := l.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('Q', []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, gen, idx := readAllFrom(t, l, 1, 0)
+	want := []posRec{{1, 0, 'U', "a"}, {1, 1, 'U', "b"}, {1, 2, 'U', "c"}, {2, 0, 'Q', "d"}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	dg, di := l.DurablePosition()
+	if gen != dg || idx != di {
+		t.Fatalf("reader stopped at (%d,%d), durable frontier (%d,%d)", gen, idx, dg, di)
+	}
+
+	// Resume mid-stream.
+	got2, _, _ := readAllFrom(t, l, 1, 2)
+	if len(got2) != 2 || got2[0] != want[2] || got2[1] != want[3] {
+		t.Fatalf("resume at (1,2): got %+v", got2)
+	}
+}
+
+func TestReadFromNeverPassesDurableFrontier(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEvery: 100}) // batch fsyncs: appends stay unsynced
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, s := range []string{"a", "b"} {
+		if err := l.Append('U', []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, _ := readAllFrom(t, l, 1, 0)
+	if len(got) != 0 {
+		t.Fatalf("unsynced records visible to ReadFrom: %+v", got)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = readAllFrom(t, l, 1, 0)
+	if len(got) != 2 {
+		t.Fatalf("after Sync: got %d records, want 2", len(got))
+	}
+}
+
+func TestReadFromPrunedPositionErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append('U', []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := l.Roll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append('U', []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteCheckpoint([]byte("ckpt"), gen); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = l.ReadFrom(1, 0, 10, func(int64, int64, byte, []byte) error { return nil })
+	if !errors.Is(err, ErrPruned) {
+		t.Fatalf("reading pruned segment: got %v, want ErrPruned", err)
+	}
+	if cg, ok, _ := l.CheckpointGen(); !ok || cg != gen {
+		t.Fatalf("CheckpointGen = %d,%v, want %d,true", cg, ok, gen)
+	}
+}
+
+func TestMirrorRoundTripThroughRecovery(t *testing.T) {
+	src := t.TempDir()
+	dst := t.TempDir()
+	l, err := Open(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StartAppending(); err != nil {
+		t.Fatal(err)
+	}
+	recs := []rec{{'U', "one"}, {'Q', "two"}, {'R', "three"}}
+	for _, r := range recs[:2] {
+		if err := l.Append(r.kind, []byte(r.data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Roll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(recs[2].kind, []byte(recs[2].data)); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := OpenMirror(dst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallCheckpoint([]byte("seed"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := l.ReadFrom(1, 0, 100, m.Append); err != nil {
+		t.Fatal(err)
+	}
+	if mg, mi := m.Position(); mg != 2 || mi != 1 {
+		t.Fatalf("mirror position (%d,%d), want (2,1)", mg, mi)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The mirrored directory recovers through the ordinary Open/Replay.
+	l2, err := Open(dst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, gen, ok, err := l2.LatestCheckpoint(); err != nil || !ok || string(data) != "seed" || gen != 1 {
+		t.Fatalf("mirrored checkpoint: %q gen %d ok=%v err=%v", data, gen, ok, err)
+	}
+	got := replayAll(t, l2)
+	if len(got) != len(recs) {
+		t.Fatalf("mirrored replay: %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("mirrored record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	l.Close()
+}
+
+func TestMirrorResumesAndDetectsDesync(t *testing.T) {
+	dir := t.TempDir()
+	m, err := OpenMirror(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(1, 0, 'U', []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(1, 1, 'U', []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := OpenMirror(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, i := m2.Position(); g != 1 || i != 2 {
+		t.Fatalf("resumed position (%d,%d), want (1,2)", g, i)
+	}
+	if err := m2.Append(1, 5, 'U', []byte("skip")); err == nil {
+		t.Fatal("desynced append (idx jump) accepted")
+	}
+	// The mirror is sticky-error-free on desync (protocol error, not IO):
+	// the in-order record still lands.
+	if err := m2.Append(1, 2, 'U', []byte("c")); err != nil {
+		t.Fatalf("in-order append after desync report: %v", err)
+	}
+	m2.Close()
+}
+
+func TestMirrorTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	m, err := OpenMirror(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(1, 0, 'U', []byte("whole")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(1, 1, 'U', []byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "wal-0000000000000001.seg")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(len(raw)-3)); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := OpenMirror(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopening torn mirror: %v", err)
+	}
+	if g, i := m2.Position(); g != 1 || i != 1 {
+		t.Fatalf("post-truncation position (%d,%d), want (1,1)", g, i)
+	}
+	// The torn record can now be re-mirrored at its old index.
+	if err := m2.Append(1, 1, 'U', []byte("torn")); err != nil {
+		t.Fatalf("re-mirroring truncated record: %v", err)
+	}
+	m2.Close()
+}
+
+func TestMirrorReset(t *testing.T) {
+	dir := t.TempDir()
+	m, err := OpenMirror(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InstallCheckpoint([]byte("old"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(1, 0, 'U', []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if g, i := m.Position(); g != 0 || i != 0 {
+		t.Fatalf("post-reset position (%d,%d)", g, i)
+	}
+	if has, _ := HasState(dir); has {
+		t.Fatal("reset left recoverable state behind")
+	}
+	if err := m.InstallCheckpoint([]byte("new"), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(7, 0, 'Q', []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+}

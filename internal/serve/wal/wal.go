@@ -66,6 +66,10 @@ type Options struct {
 	// N-th record (and on Roll/Close), bounding loss to the unsynced
 	// suffix.
 	SyncEvery int
+	// FS is the filesystem the log runs on. nil means OSFS; the
+	// fault-injection harness (internal/serve/faultfs) substitutes one that
+	// can fail fsyncs, short-write frames, and simulate crashes.
+	FS FS
 }
 
 // Log is an append-only record log over numbered segment files in one
@@ -74,23 +78,39 @@ type Options struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu       sync.Mutex
-	f        *os.File // current append segment; nil until StartAppending
-	gen      int64    // generation of the current append segment
-	maxSeen  int64    // highest segment generation present on disk
+	f        File  // current append segment; nil until StartAppending
+	gen      int64 // generation of the current append segment
+	maxSeen  int64 // highest segment generation present on disk
 	unsynced int
 	err      error // sticky failure: a log that failed a write never acks again
+
+	// recsInSeg counts records appended to the current segment (segments
+	// opened by this process are always fresh, so the count is also the
+	// record index the next Append lands at). synced{Gen,Idx} is the durable
+	// frontier: every record strictly before it has been fsynced — the
+	// shipping boundary of ReadFrom.
+	recsInSeg int64
+	syncedGen int64
+	syncedIdx int64
+
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
 }
 
 // Open prepares dir (creating it if needed) and scans the existing state.
 // No segment is opened for appending yet: call Replay to recover, then
 // StartAppending.
 func Open(dir string, opts Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS, notifyCh: make(chan struct{})}
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
@@ -156,10 +176,10 @@ func (l *Log) ckptPath(gen int64) string {
 	return filepath.Join(l.dir, fmt.Sprintf("%s%016d%s", ckptPrefix, gen, ckptSuffix))
 }
 
-// scanGen lists the generations of files matching prefix/suffix, sorted
-// ascending.
-func (l *Log) scanGen(prefix, suffix string) ([]int64, error) {
-	entries, err := os.ReadDir(l.dir)
+// scanGenDir lists the generations of files matching prefix/suffix in dir,
+// sorted ascending. Shared by Log and Mirror.
+func scanGenDir(fs FS, dir, prefix, suffix string) ([]int64, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -179,8 +199,8 @@ func (l *Log) scanGen(prefix, suffix string) ([]int64, error) {
 	return gens, nil
 }
 
-func (l *Log) segments() ([]int64, error)    { return l.scanGen(segPrefix, segSuffix) }
-func (l *Log) checkpoints() ([]int64, error) { return l.scanGen(ckptPrefix, ckptSuffix) }
+func (l *Log) segments() ([]int64, error)    { return scanGenDir(l.fs, l.dir, segPrefix, segSuffix) }
+func (l *Log) checkpoints() ([]int64, error) { return scanGenDir(l.fs, l.dir, ckptPrefix, ckptSuffix) }
 
 // LatestCheckpoint returns the payload of the newest readable checkpoint
 // and its generation. ok is false when no checkpoint exists. Older
@@ -193,7 +213,7 @@ func (l *Log) LatestCheckpoint() (data []byte, gen int64, ok bool, err error) {
 	}
 	var lastErr error
 	for i := len(cks) - 1; i >= 0; i-- {
-		raw, err := os.ReadFile(l.ckptPath(cks[i]))
+		raw, err := l.fs.ReadFile(l.ckptPath(cks[i]))
 		if err != nil {
 			lastErr = err
 			continue
@@ -231,7 +251,7 @@ func (l *Log) Replay(fn func(kind byte, data []byte) error) error {
 
 func (l *Log) replaySegment(gen int64, last bool, fn func(kind byte, data []byte) error) error {
 	path := l.segPath(gen)
-	raw, err := os.ReadFile(path)
+	raw, err := l.fs.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -257,7 +277,7 @@ func (l *Log) replaySegment(gen int64, last bool, fn func(kind byte, data []byte
 					return fmt.Errorf("%w: segment %d offset %d: %v", ErrCorrupt, gen, off, err)
 				}
 			}
-			return os.Truncate(path, int64(off))
+			return l.fs.Truncate(path, int64(off))
 		}
 		if len(payload) == 0 {
 			return fmt.Errorf("%w: segment %d: empty payload", ErrCorrupt, gen)
@@ -282,7 +302,7 @@ func (l *Log) StartAppending() error {
 }
 
 func (l *Log) openSegmentLocked(gen int64) error {
-	f, err := os.OpenFile(l.segPath(gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(l.segPath(gen), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -290,6 +310,11 @@ func (l *Log) openSegmentLocked(gen int64) error {
 	l.gen = gen
 	l.maxSeen = gen
 	l.unsynced = 0
+	l.recsInSeg = 0
+	// A fresh (empty) segment is trivially durable through index 0, and
+	// every record of older segments is durable (Roll syncs before sealing).
+	l.syncedGen, l.syncedIdx = gen, 0
+	l.notifyDurable()
 	return nil
 }
 
@@ -317,6 +342,7 @@ func (l *Log) Append(kind byte, data []byte) error {
 		l.err = fmt.Errorf("wal: append: %w", err)
 		return l.err
 	}
+	l.recsInSeg++
 	l.unsynced++
 	if l.opts.SyncEvery <= 1 || l.unsynced >= l.opts.SyncEvery {
 		return l.syncLocked()
@@ -343,6 +369,8 @@ func (l *Log) syncLocked() error {
 		return l.err
 	}
 	l.unsynced = 0
+	l.syncedGen, l.syncedIdx = l.gen, l.recsInSeg
+	l.notifyDurable()
 	return nil
 }
 
@@ -384,15 +412,26 @@ func (l *Log) Roll() (gen int64, err error) {
 // old state or the new, never a half-written checkpoint under the real
 // name.
 func (l *Log) WriteCheckpoint(data []byte, gen int64) error {
+	if err := installCheckpoint(l.fs, l.dir, data, gen); err != nil {
+		return err
+	}
+	l.prune(gen)
+	return nil
+}
+
+// installCheckpoint durably writes a checkpoint file for gen via the
+// temp+fsync+rename+dir-fsync protocol. Shared by the leader's Log and the
+// follower's Mirror (which installs checkpoints shipped over the wire).
+func installCheckpoint(fs FS, dir string, data []byte, gen int64) error {
 	if len(data)+1 > maxFrame {
 		// A checkpoint past the frame limit would install, prune every
 		// older generation, and then be unreadable — the directory could
 		// never recover. Refuse up front; the previous checkpoint stays.
 		return fmt.Errorf("wal: checkpoint of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
 	}
-	final := l.ckptPath(gen)
+	final := filepath.Join(dir, fmt.Sprintf("%s%016d%s", ckptPrefix, gen, ckptSuffix))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
@@ -401,27 +440,23 @@ func (l *Log) WriteCheckpoint(data []byte, gen int64) error {
 	// the checksummed frame format; readFrame strips it in LatestCheckpoint.
 	if _, err := f.Write(frame); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fs.Rename(tmp, final); err != nil {
+		fs.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	if err := l.syncDir(); err != nil {
-		return err
-	}
-	l.prune(gen)
-	return nil
+	return syncDir(fs, dir)
 }
 
 // prune removes segments and checkpoints older than gen. Best-effort: a
@@ -432,21 +467,21 @@ func (l *Log) prune(gen int64) {
 	if segs, err := l.segments(); err == nil {
 		for _, g := range segs {
 			if g < gen {
-				_ = os.Remove(l.segPath(g))
+				_ = l.fs.Remove(l.segPath(g))
 			}
 		}
 	}
 	if cks, err := l.checkpoints(); err == nil {
 		for _, g := range cks {
 			if g < gen {
-				_ = os.Remove(l.ckptPath(g))
+				_ = l.fs.Remove(l.ckptPath(g))
 			}
 		}
 	}
 }
 
-func (l *Log) syncDir() error {
-	d, err := os.Open(l.dir)
+func syncDir(fs FS, dir string) error {
+	d, err := fs.OpenDir(dir)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}

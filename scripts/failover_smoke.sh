@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Failover smoke for replicated `tsens serve`: a leader ships its WAL to a
+# live follower process; the follower serves byte-identical reads and
+# refuses writes and releases with 503 + Retry-After (the ε-ledger has one
+# writer). Then the leader is SIGKILLed — no drain, no final checkpoint —
+# and the follower promotes itself through the lease file: the epoch, the
+# query answers, the replayed noisy release, and the remaining ε budget must
+# all come through unchanged, and the promoted leader must accept writes.
+#
+# Requires: go, curl, jq. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/lib/poll.sh
+
+QUERY='R1(A,B), R2(B,C), R3(C,D)'
+N=150
+LPORT="${LPORT:-8195}"
+FPORT="${FPORT:-8196}"
+RPORT="${RPORT:-8197}"
+LBASE="http://127.0.0.1:$LPORT"
+FBASE="http://127.0.0.1:$FPORT"
+
+workdir=$(mktemp -d)
+leader_pid=""
+follower_pid=""
+cleanup() {
+  for p in "$leader_pid" "$follower_pid"; do
+    if [ -n "$p" ]; then
+      kill "$p" 2>/dev/null || true
+      wait "$p" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/tsens" ./cmd/tsens
+go build -o "$workdir/datagen" ./cmd/datagen
+
+"$workdir/datagen" -kind facebook -nodes 50 -edges 300 -circles 60 \
+  -out "$workdir/data" -updates "$N" -update-del-frac 0.4
+
+state_is() { [ "$(curl -fsS "$1/readyz" | jq -r .state)" = "$2" ]; }
+
+echo "--- starting replicating leader (lease-arbitrated)"
+"$workdir/tsens" serve -data "$workdir/data" -addr "127.0.0.1:$LPORT" \
+  -query "$QUERY" -id smoke -wal "$workdir/wal-leader" \
+  -replicate "127.0.0.1:$RPORT" -lease "$workdir/lease" -lease-ttl 500ms &
+leader_pid=$!
+poll_until 15 "leader /healthz" curl -fsS "$LBASE/healthz"
+poll_until 15 "leader leading" state_is "$LBASE" leading
+
+echo "--- starting follower"
+"$workdir/tsens" serve -follow "127.0.0.1:$RPORT" -addr "127.0.0.1:$FPORT" \
+  -wal "$workdir/wal-follower" -lease "$workdir/lease" -lease-ttl 500ms &
+follower_pid=$!
+poll_until 15 "follower /healthz" curl -fsS "$FBASE/healthz"
+
+echo "--- leader: register a budget query, replay the stream, spend some ε"
+curl -fsS -X POST "$LBASE/queries" -d '{
+  "id": "tri",
+  "query": "R1(A,B), R2(B,C), R3(C,A)",
+  "private": "R2",
+  "release": {"epsilon": 1, "bound": 50},
+  "budget": 2
+}' | jq -c .
+curl -fsS -X POST "$LBASE/updates?wait=epoch" -H 'Content-Type: text/csv' \
+  --data-binary @"$workdir/data/updates.stream" | jq -c .
+rel1=$(curl -fsS -X POST "$LBASE/queries/tri/release")
+echo "$rel1" | jq -c .
+[ "$(echo "$rel1" | jq -r .fresh)" = "true" ] || { echo "FAIL: first release not fresh"; exit 1; }
+rel2=$(curl -fsS -X POST "$LBASE/queries/tri/release")
+remaining_before=$(echo "$rel2" | jq -r .remaining)
+noisy_before=$(echo "$rel2" | jq -r .noisy)
+epoch=$(curl -fsS "$LBASE/epoch" | jq -r .epoch)
+want=$(curl -fsS "$LBASE/queries/smoke/ls")
+want_count=$(echo "$want" | jq -r .count)
+want_ls=$(echo "$want" | jq -r .ls)
+
+echo "--- follower catches up and serves the identical answer"
+follower_at_epoch() { [ "$(curl -fsS "$FBASE/epoch" | jq -r .epoch)" = "$epoch" ]; }
+poll_until 20 "follower catch-up to epoch $epoch" follower_at_epoch
+poll_until 15 "follower /readyz following" state_is "$FBASE" following
+got=$(curl -fsS "$FBASE/queries/smoke/ls")
+echo "$got" | jq -c .
+got_count=$(echo "$got" | jq -r .count)
+got_ls=$(echo "$got" | jq -r .ls)
+if [ "$got_count" != "$want_count" ] || [ "$got_ls" != "$want_ls" ]; then
+  echo "FAIL: follower (count=$got_count, ls=$got_ls), leader (count=$want_count, ls=$want_ls)"
+  exit 1
+fi
+
+echo "--- follower refuses writes and releases (503 + Retry-After)"
+hdrs=$(mktemp)
+code=$(curl -s -o /dev/null -D "$hdrs" -w '%{http_code}' -X POST "$FBASE/updates" \
+  -d '{"updates":[{"op":"+","rel":"R1","row":["1","2"]}]}')
+[ "$code" = "503" ] || { echo "FAIL: follower write got $code, want 503"; exit 1; }
+grep -qi '^retry-after:' "$hdrs" || { echo "FAIL: follower 503 without Retry-After"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$FBASE/queries/tri/release")
+[ "$code" = "503" ] || { echo "FAIL: follower release got $code, want 503"; exit 1; }
+rm -f "$hdrs"
+
+echo "--- SIGKILL the leader; the follower must promote via the lease"
+kill -9 "$leader_pid"
+wait "$leader_pid" 2>/dev/null || true
+leader_pid=""
+poll_until 20 "follower promotion to leading" state_is "$FBASE" leading
+
+echo "--- promoted state: epoch, answers, and remaining ε unchanged"
+epoch2=$(curl -fsS "$FBASE/epoch" | jq -r .epoch)
+[ "$epoch2" = "$epoch" ] || { echo "FAIL: promoted epoch $epoch2 != $epoch"; exit 1; }
+got2=$(curl -fsS "$FBASE/queries/smoke/ls")
+echo "$got2" | jq -c .
+got2_count=$(echo "$got2" | jq -r .count)
+got2_ls=$(echo "$got2" | jq -r .ls)
+if [ "$got2_count" != "$want_count" ] || [ "$got2_ls" != "$want_ls" ]; then
+  echo "FAIL: promoted (count=$got2_count, ls=$got2_ls), want (count=$want_count, ls=$want_ls)"
+  exit 1
+fi
+rel3=$(curl -fsS -X POST "$FBASE/queries/tri/release")
+echo "$rel3" | jq -c .
+[ "$(echo "$rel3" | jq -r .fresh)" = "false" ] || { echo "FAIL: promoted release re-spent budget (amnesia)"; exit 1; }
+[ "$(echo "$rel3" | jq -r .noisy)" = "$noisy_before" ] || { echo "FAIL: replayed noisy value changed across failover"; exit 1; }
+remaining_after=$(echo "$rel3" | jq -r .remaining)
+[ "$remaining_after" = "$remaining_before" ] || { echo "FAIL: remaining ε $remaining_after != $remaining_before across failover"; exit 1; }
+
+echo "--- promoted leader accepts writes"
+curl -fsS -X POST "$FBASE/updates?wait=epoch" -H 'Content-Type: text/csv' \
+  --data-binary @<(head -1 "$workdir/data/updates.stream") | jq -c .
+epoch3=$(curl -fsS "$FBASE/epoch" | jq -r .epoch)
+[ "$epoch3" -gt "$epoch2" ] || { echo "FAIL: promoted epoch did not advance past $epoch2"; exit 1; }
+
+echo "failover smoke OK: count=$got2_count ls=$got2_ls (promoted at epoch $epoch2, remaining ε=$remaining_after)"

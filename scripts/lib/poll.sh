@@ -1,0 +1,35 @@
+# poll.sh — bounded retry with exponential backoff and jitter, shared by the
+# smoke scripts. Fixed `sleep 0.1` loops either waste wall-clock on fast
+# machines or flake on slow ones; this helper retries a command until it
+# succeeds, doubling the delay from 50ms up to 800ms with full jitter (so
+# several pollers — e.g. a leader and a follower starting together — do not
+# hammer in lockstep), and fails loudly at a hard deadline.
+#
+# Usage: poll_until <timeout_seconds> <description> <command...>
+# Returns 0 the first time <command...> succeeds; prints a FAIL line and
+# returns 1 once timeout_seconds have elapsed without a success.
+poll_until() {
+  local timeout=$1 what=$2
+  shift 2
+  local deadline=$((($(date +%s%N) / 1000000) + timeout * 1000))
+  local delay_ms=50
+  while true; do
+    if "$@" >/dev/null 2>&1; then
+      return 0
+    fi
+    local now=$(($(date +%s%N) / 1000000))
+    if ((now >= deadline)); then
+      echo "FAIL: timed out after ${timeout}s waiting for $what" >&2
+      return 1
+    fi
+    # Full jitter in [delay/2, delay], never sleeping past the deadline.
+    local jit=$((delay_ms / 2 + RANDOM % (delay_ms / 2 + 1)))
+    if ((now + jit > deadline)); then
+      jit=$((deadline - now))
+    fi
+    sleep "$(awk "BEGIN{printf \"%.3f\", $jit/1000}")"
+    if ((delay_ms < 800)); then
+      delay_ms=$((delay_ms * 2))
+    fi
+  done
+}

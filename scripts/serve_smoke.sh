@@ -11,6 +11,7 @@
 # Requires: go, curl, jq. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. scripts/lib/poll.sh
 
 QUERY='R1(A,B), R2(B,C), R3(C,D), R4(D,E)'
 N=200
@@ -53,11 +54,7 @@ start_server() {
   "$workdir/tsens" serve -data "$workdir/data" -addr "127.0.0.1:$PORT" \
     -query "$QUERY" -id smoke -wal "$workdir/wal" &
   server_pid=$!
-  for _ in $(seq 1 100); do
-    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
-    sleep 0.1
-  done
-  curl -fsS "$BASE/healthz" >/dev/null
+  poll_until 15 "server /healthz" curl -fsS "$BASE/healthz"
 }
 
 echo "--- starting server (durable: -wal)"
