@@ -1,0 +1,249 @@
+// The bench subcommand runs a fixed scenario suite and emits one
+// schema-stable JSON document per run, the unit of the cross-PR benchmark
+// trajectory: scripts/bench_trajectory.sh invokes it on every PR and the
+// BENCH_<date>.json artifacts line up key-for-key, so a regression shows as
+// a number moving, never as a schema diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tsens/internal/core"
+	"tsens/internal/incremental"
+	"tsens/internal/obs"
+	"tsens/internal/relation"
+	"tsens/internal/serve"
+	"tsens/internal/workload"
+)
+
+// benchSchema identifies the JSON layout. Bump only when a key is added,
+// removed, or renamed — rerunning the same binary must reproduce the exact
+// same key set.
+const benchSchema = "tsens-bench/v1"
+
+const benchSeed = 20200409 // arXiv date of the paper, as in bench_test.go
+
+type benchReport struct {
+	Schema     string         `json:"schema"`
+	Date       string         `json:"date"`
+	Go         string         `json:"go"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Fast       bool           `json:"fast"`
+	Benchmarks []benchEntry   `json:"benchmarks"`
+	Serve      benchServeStat `json:"serve"`
+}
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchServeStat is the live-server scenario: sustained LS reads against a
+// server draining a background update stream, with the latency percentiles
+// pulled from the same obs registry /metrics would serve.
+type benchServeStat struct {
+	ReadsPerSec   float64 `json:"reads_per_sec"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	UpdateP50Ms   float64 `json:"update_p50_ms"`
+	UpdateP90Ms   float64 `json:"update_p90_ms"`
+	UpdateP99Ms   float64 `json:"update_p99_ms"`
+	DrainP50Ms    float64 `json:"drain_round_p50_ms"`
+	DrainP99Ms    float64 `json:"drain_round_p99_ms"`
+}
+
+// runBench executes the suite and writes the report. The scenario sizes are
+// fixed per mode (-fast for CI, full otherwise) so numbers are comparable
+// across runs of the same mode; the JSON key set is identical in both.
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("tsens bench", flag.ContinueOnError)
+	var (
+		out  = fs.String("out", "", `output file (default "BENCH_<date>.json"; "-" for stdout)`)
+		fast = fs.Bool("fast", false, "CI-sized fixtures (seconds, not minutes)")
+	)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	now := time.Now().UTC()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+	}
+
+	nodes, edges, circles, streamN := 120, 1200, 250, 8192
+	if *fast {
+		nodes, edges, circles, streamN = 60, 400, 80, 2048
+	}
+	fmt.Fprintf(os.Stderr, "bench: generating fixture (%d nodes, %d edges)\n", nodes, edges)
+	db := workload.FacebookDataSized(nodes, edges, circles, benchSeed)
+	specs := workload.Facebook()
+
+	report := benchReport{
+		Schema:     benchSchema,
+		Date:       now.Format(time.RFC3339),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Fast:       *fast,
+	}
+
+	// From-scratch solves and single-update session maintenance, one pair
+	// per workload query, via the stdlib benchmark harness (auto-scaled N).
+	for _, s := range specs {
+		spec := s
+		fmt.Fprintf(os.Stderr, "bench: ls_scratch/%s\n", spec.Name)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.LocalSensitivity(spec.Query, db, spec.Options()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, toEntry("ls_scratch/"+spec.Name, r))
+
+		fmt.Fprintf(os.Stderr, "bench: session_update/%s\n", spec.Name)
+		row := db.Relation(spec.PrimaryPrivate).Rows[0].Clone()
+		sess, err := incremental.Open(spec.Query, db, incremental.Options{Options: spec.Options()})
+		if err != nil {
+			return err
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					err = sess.Insert(spec.PrimaryPrivate, row)
+				} else {
+					err = sess.Delete(spec.PrimaryPrivate, row)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.LS(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Benchmarks = append(report.Benchmarks, toEntry("session_update/"+spec.Name, r))
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: serve_throughput (%d-update stream)\n", streamN)
+	st, err := benchServe(db, streamN)
+	if err != nil {
+		return err
+	}
+	report.Serve = st
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s\n", *out)
+	return nil
+}
+
+func toEntry(name string, r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(r.N, 1)),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// benchServe measures sustained reader throughput against a live server
+// while a background goroutine feeds the update log, then reads the update
+// and drain-round latency percentiles off the server's metrics registry —
+// the same numbers a /metrics scrape of a production process reports.
+func benchServe(db *relation.Database, streamN int) (benchServeStat, error) {
+	reg := obs.NewRegistry()
+	stream := workload.UpdateStream(db, streamN, 0.4, benchSeed)
+	srv, err := serve.New(db, serve.Options{Metrics: reg})
+	if err != nil {
+		return benchServeStat{}, err
+	}
+	defer srv.Close()
+	var ids []string
+	for _, s := range workload.Facebook() {
+		id, _, err := srv.Register(serve.QueryConfig{ID: s.Name, Query: s.Query, Options: s.Options()})
+		if err != nil {
+			return benchServeStat{}, err
+		}
+		ids = append(ids, id)
+	}
+	stop := make(chan struct{})
+	feederDone := make(chan struct{})
+	var feedErr error
+	go func() {
+		// Backpressure bounds the backlog so a steady state is measured,
+		// not an unbounded queue (same discipline as BenchmarkServeThroughput).
+		defer close(feederDone)
+		const chunk = 16
+		for off := 0; ; off = (off + chunk) % len(stream) {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if st := srv.Stats(); st.Appended-st.Epoch <= 512 {
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			if _, _, err := srv.Append(stream[off:end]); err != nil {
+				feedErr = err
+				return
+			}
+		}
+	}()
+	startEpoch := srv.Epoch()
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := srv.LS(ids[i%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	elapsed := r.T.Seconds()
+	close(stop)
+	<-feederDone
+	if feedErr != nil {
+		return benchServeStat{}, feedErr
+	}
+	st := benchServeStat{}
+	if elapsed > 0 {
+		st.ReadsPerSec = float64(r.N) / elapsed
+		st.UpdatesPerSec = float64(srv.Epoch()-startEpoch) / elapsed
+	}
+	ms := func(sample string) float64 {
+		v, _ := reg.Value(sample)
+		return v * 1000
+	}
+	st.UpdateP50Ms = ms("tsens_session_update_seconds_p50")
+	st.UpdateP90Ms = ms("tsens_session_update_seconds_p90")
+	st.UpdateP99Ms = ms("tsens_session_update_seconds_p99")
+	st.DrainP50Ms = ms("tsens_serve_drain_round_seconds_p50")
+	st.DrainP99Ms = ms("tsens_serve_drain_round_seconds_p99")
+	return st, nil
+}

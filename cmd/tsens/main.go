@@ -58,6 +58,7 @@ import (
 	"tsens/internal/ghd"
 	"tsens/internal/incremental"
 	"tsens/internal/mechanism"
+	"tsens/internal/obs"
 	"tsens/internal/parser"
 	"tsens/internal/query"
 	"tsens/internal/relation"
@@ -81,6 +82,8 @@ func realMain(args []string) int {
 		err = runUpdates(args[1:])
 	case len(args) > 0 && args[0] == "serve":
 		err = runServe(args[1:])
+	case len(args) > 0 && args[0] == "bench":
+		err = runBench(args[1:])
 	default:
 		err = run(args)
 	}
@@ -329,6 +332,7 @@ func buildServe(args []string) (*serveCmd, error) {
 		follow     = fs.String("follow", "", "run as a read-serving follower of this leader replication address (requires -wal)")
 		leasePath  = fs.String("lease", "", "lease file arbitrating leadership: the leader renews it, a follower promotes itself when it expires")
 		leaseTTL   = fs.Duration("lease-ttl", 3*time.Second, "lease duration; a crashed leader is succeeded after at most this long")
+		debug      = fs.Bool("debug", false, "expose pprof profiling under /debug/pprof/ (metrics at /metrics are always on)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return nil, err
@@ -351,6 +355,7 @@ func buildServe(args []string) (*serveCmd, error) {
 			Shards:          *shards,
 			SyncEvery:       *walSync,
 			CheckpointEvery: *ckptEvery,
+			Debug:           *debug,
 		}, *seed)
 	}
 	if *replicate != "" && *walDir == "" {
@@ -401,6 +406,7 @@ func buildServe(args []string) (*serveCmd, error) {
 		BatchSize:        *batch,
 		Shards:           *shards,
 		PartitionColumns: pcols,
+		Debug:            *debug,
 	}
 	if *walDir != "" {
 		sopts.WALDir = *walDir
@@ -543,6 +549,12 @@ func buildServe(args []string) (*serveCmd, error) {
 func buildFollower(leaderAddr, dir, leasePath string, ttl time.Duration, addr, replAddr string, sopts serve.Options, seed int64) (*serveCmd, error) {
 	loader := csvio.NewLoader()
 	sopts.WALCodec = loader
+	// One process-level registry, pinned on the API: the mirror, the passive
+	// server, its replacements after checkpoint resets, and a promoted
+	// successor all record here, so /metrics keeps its history across every
+	// backend swap.
+	reg := obs.NewRegistry()
+	sopts.Metrics = reg
 	fopts := replica.FollowerOptions{Dir: dir, Addr: leaderAddr, Serve: sopts}
 	f, err := replica.StartFollower(fopts)
 	if err != nil {
@@ -554,6 +566,10 @@ func buildFollower(leaderAddr, dir, leasePath string, ttl time.Duration, addr, r
 		replAddr: replAddr,
 		fopts:    fopts,
 		follower: f,
+	}
+	cmd.api.SetMetrics(reg)
+	if sopts.Debug {
+		cmd.api.EnableDebug()
 	}
 	if leasePath != "" {
 		cmd.lease = replica.NewFileLease(leasePath)

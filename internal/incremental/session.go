@@ -29,8 +29,10 @@ package incremental
 
 import (
 	"fmt"
+	"time"
 
 	"tsens/internal/core"
+	"tsens/internal/obs"
 	"tsens/internal/query"
 	"tsens/internal/relation"
 )
@@ -62,6 +64,11 @@ type Options struct {
 	// check Rebuilds() and re-request them when streaming deletes with this
 	// option set.
 	RebuildTombstoneRatio float64
+	// Metrics, when set, receives per-update delta-propagation and rebuild
+	// latency histograms plus update/rebuild counters (shared across every
+	// session opened against the same registry). Nil disables
+	// instrumentation entirely — no clocks on the per-update path.
+	Metrics *obs.Registry
 }
 
 // memberRef addresses one member of one unit of the solver.
@@ -92,6 +99,12 @@ type Session struct {
 	maxDegree     int
 	updates       int
 	rebuilds      int
+
+	// Instruments from Options.Metrics; all nil when no registry was given.
+	updateSecs    *obs.Histogram
+	rebuildSecs   *obs.Histogram
+	updatesTotal  *obs.Counter
+	rebuildsTotal *obs.Counter
 }
 
 // Open pins q's join tree over a private clone of db and materializes the
@@ -106,6 +119,16 @@ func Open(q *query.Query, db *relation.Database, opts Options) (*Session, error)
 		opts.BulkThreshold = DefaultBulkThreshold
 	}
 	s := &Session{q: q, opts: opts, db: db.Clone()}
+	if opts.Metrics != nil {
+		s.updateSecs = opts.Metrics.Histogram("tsens_session_update_seconds",
+			"Per-update delta propagation latency across sessions.", nil)
+		s.rebuildSecs = opts.Metrics.Histogram("tsens_session_rebuild_seconds",
+			"Full session rebuild latency (bulk batches, compaction, explicit Rebuild).", nil)
+		s.updatesTotal = opts.Metrics.Counter("tsens_session_updates_total",
+			"Single-tuple updates applied across sessions.")
+		s.rebuildsTotal = opts.Metrics.Counter("tsens_session_rebuilds_total",
+			"Full session rebuilds across sessions.")
+	}
 	s.rowsets = make(map[string]*relation.RowSet, len(s.db.Names()))
 	for _, name := range s.db.Names() {
 		s.rowsets[name] = relation.NewRowSet(s.db.Relation(name))
@@ -252,6 +275,10 @@ func (s *Session) applyRow(up Update) (memberRef, bool, error) {
 // applyOne applies a single update through delta propagation, compacting
 // afterwards when the tombstone watermark is crossed.
 func (s *Session) applyOne(up Update) error {
+	if s.updateSecs != nil {
+		s.updatesTotal.Inc()
+		defer s.updateSecs.ObserveSince(time.Now())
+	}
 	ref, ok, err := s.applyRow(up)
 	if err != nil {
 		return err
@@ -423,6 +450,10 @@ func (s *Session) Rebuild() error { return s.rebuild() }
 
 func (s *Session) rebuild() error {
 	s.rebuilds++
+	if s.rebuildsTotal != nil {
+		s.rebuildsTotal.Inc()
+		defer s.rebuildSecs.ObserveSince(time.Now())
+	}
 	return s.build()
 }
 

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatalf("re-registration did not return the same counter")
+	}
+	g := r.Gauge("temp", "temperature")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+
+	cv := r.CounterVec("by_kind_total", "per kind", "kind")
+	cv.With("a").Add(3)
+	cv.With("b").Inc()
+	if got := cv.With("a").Value(); got != 3 {
+		t.Fatalf("vec counter = %d, want 3", got)
+	}
+	cv.Delete("a")
+	if got := cv.With("a").Value(); got != 0 {
+		t.Fatalf("deleted series retained value %d", got)
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("negative Add did not panic")
+		}
+	}()
+	NewRegistry().Counter("c", "").Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestNilRegistryDetached(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("detached counter broken")
+	}
+	h := r.HistogramVec("h", "", nil, "shard").With("0")
+	h.Observe(0.001)
+	if h.Count() != 1 {
+		t.Fatalf("detached histogram broken")
+	}
+	done := r.Span("s", h)
+	done()
+	if h.Count() != 2 {
+		t.Fatalf("detached span did not observe")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry exposition = %q, %v", sb.String(), err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatalf("nil registry snapshot not empty")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 13 {
+		t.Fatalf("sum = %v, want 13", got)
+	}
+	// Buckets: le=1 -> 2, le=2 -> 2, le=4 -> 1, +Inf -> 1.
+	want := []uint64{2, 2, 1, 1}
+	buckets, total := h.snapshotCounts()
+	if total != 6 {
+		t.Fatalf("total = %d", total)
+	}
+	for i, w := range want {
+		if buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d", i, buckets[i], w)
+		}
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 2 {
+		t.Fatalf("p50 = %v, want in (0,2]", q)
+	}
+	// Overflow samples clamp to the largest finite bound.
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("p100 = %v, want 4", q)
+	}
+	if q := (&Histogram{bounds: []float64{1}, counts: make([]atomic.Uint64, 2)}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a help\nwith newline").Add(7)
+	r.GaugeVec("g", "g help", "q").With(`we"ird\val`).Set(1.25)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_total a help\\nwith newline\n",
+		"# TYPE a_total counter\n",
+		"a_total 7\n",
+		`g{q="we\"ird\\val"} 1.25`,
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 0.5005\n",
+		"lat_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := checkExposition(out); err != nil {
+		t.Fatalf("exposition not parseable: %v\n%s", err, out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(3)
+	r.GaugeVec("g", "", "k").With("v").Set(1.5)
+	h := r.Histogram("h_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	snap := r.Snapshot()
+	if snap["c_total"] != 3 {
+		t.Fatalf("c_total = %v", snap["c_total"])
+	}
+	if snap[`g{k="v"}`] != 1.5 {
+		t.Fatalf("g = %v", snap[`g{k="v"}`])
+	}
+	if snap["h_seconds_count"] != 2 || snap["h_seconds_sum"] != 2 {
+		t.Fatalf("histogram snapshot: %v", snap)
+	}
+	if _, ok := snap["h_seconds_p99"]; !ok {
+		t.Fatalf("missing p99 in snapshot")
+	}
+	if v, ok := r.Value("c_total"); !ok || v != 3 {
+		t.Fatalf("Value(c_total) = %v, %v", v, ok)
+	}
+}
+
+func TestSpanHooks(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_seconds", "", nil)
+	var gotName string
+	var gotD time.Duration
+	r.OnSpan(func(name string, d time.Duration) { gotName, gotD = name, d })
+	stop := r.Span("work", h)
+	time.Sleep(time.Millisecond)
+	stop()
+	if gotName != "work" || gotD <= 0 {
+		t.Fatalf("hook saw (%q, %v)", gotName, gotD)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count = %d", h.Count())
+	}
+}
+
+// TestRegistryRaceScrape hammers one registry from 8 goroutines while a
+// scraper renders the exposition, asserting monotone counters and
+// parseable output at every scrape. Run under -race this is the
+// satellite concurrency guarantee for the metrics layer.
+func TestRegistryRaceScrape(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			c := r.Counter("hammer_total", "shared counter")
+			cv := r.CounterVec("hammer_by_writer_total", "per writer", "writer")
+			g := r.Gauge("hammer_gauge", "shared gauge")
+			h := r.HistogramVec("hammer_seconds", "latencies", nil, "writer").With(strconv.Itoa(w))
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				cv.With(strconv.Itoa(w)).Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%7) / 1000)
+				if i%64 == 0 {
+					r.Span("hammer", h)()
+				}
+			}
+		}(w)
+	}
+
+	scrapeDone := make(chan error, 1)
+	go func() {
+		defer close(scrapeDone)
+		var lastTotal float64
+		for i := 0; ; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				scrapeDone <- fmt.Errorf("scrape %d: %v", i, err)
+				return
+			}
+			out := sb.String()
+			if err := checkExposition(out); err != nil {
+				scrapeDone <- fmt.Errorf("scrape %d unparseable: %v", i, err)
+				return
+			}
+			total, ok := r.Value("hammer_total")
+			if ok && total < lastTotal {
+				scrapeDone <- fmt.Errorf("scrape %d: counter went backwards %v -> %v", i, lastTotal, total)
+				return
+			}
+			if ok {
+				lastTotal = total
+			}
+			if lastTotal == writers*perWriter {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+	if err, ok := <-scrapeDone; ok && err != nil {
+		t.Fatal(err)
+	}
+
+	if got, _ := r.Value("hammer_total"); got != writers*perWriter {
+		t.Fatalf("hammer_total = %v, want %d", got, writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		if got, _ := r.Value(fmt.Sprintf(`hammer_by_writer_total{writer="%d"}`, w)); got != perWriter {
+			t.Fatalf("writer %d counter = %v, want %d", w, got, perWriter)
+		}
+	}
+}
+
+// checkExposition is a strict line-level validator for the Prometheus
+// text format: every non-comment line must be `name{labels} value` with
+// a parseable float value, every histogram's +Inf bucket must equal its
+// _count, and cumulative buckets must be non-decreasing in le order.
+func checkExposition(out string) error {
+	type histState struct {
+		lastCum  float64
+		infCount float64
+		count    float64
+		hasInf   bool
+		hasCount bool
+	}
+	hists := make(map[string]*histState)
+	for ln, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return fmt.Errorf("line %d: no value separator: %q", ln+1, line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "NaN" {
+			return fmt.Errorf("line %d: bad value %q", ln+1, valStr)
+		}
+		if math.IsNaN(val) || val < 0 {
+			return fmt.Errorf("line %d: negative/NaN sample %q", ln+1, line)
+		}
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			if !strings.HasSuffix(base, "}") {
+				return fmt.Errorf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			base = base[:i]
+		}
+		switch {
+		case strings.HasSuffix(base, "_bucket"):
+			key := strings.TrimSuffix(base, "_bucket")
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			if strings.Contains(name, `le="+Inf"`) {
+				st.infCount, st.hasInf = val, true
+				st.lastCum = 0 // next series of same family restarts
+			} else {
+				if val+1e-9 < st.lastCum {
+					return fmt.Errorf("line %d: bucket not cumulative: %q after %v", ln+1, line, st.lastCum)
+				}
+				st.lastCum = val
+			}
+		case strings.HasSuffix(base, "_count"):
+			key := strings.TrimSuffix(base, "_count")
+			if st := hists[key]; st != nil {
+				st.count, st.hasCount = val, true
+			}
+		}
+	}
+	for name, st := range hists {
+		if st.hasInf && st.hasCount && st.infCount != st.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", name, st.infCount, st.count)
+		}
+	}
+	return nil
+}

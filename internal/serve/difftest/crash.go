@@ -131,6 +131,19 @@ func RunCrash(t *testing.T, cfg Config, walDir string, crashes int) {
 				fatalf("%s: query %s ledger spent %g, model %g", when, info.ID, info.Spent, want)
 			}
 		}
+		// acked == journaled, per record kind: every acknowledgment this
+		// instance handed out wrote exactly one WAL record of the same kind
+		// first. Both counters start at zero with the instance (recovery
+		// replay touches neither side), so they must agree at every quiesce
+		// point — the durability identity, read off /metrics.
+		snap := srv.Metrics().Snapshot()
+		for _, kind := range []string{"updates", "register", "unregister", "release"} {
+			acks := snap[fmt.Sprintf("tsens_serve_acks_total{kind=%q}", kind)]
+			recs := snap[fmt.Sprintf("tsens_wal_records_total{kind=%q}", kind)]
+			if acks != recs {
+				fatalf("%s: kind %s: %g acknowledgments, %g journaled records", when, kind, acks, recs)
+			}
+		}
 	}
 
 	crash := func(step int) {

@@ -276,6 +276,32 @@ func Run(t *testing.T, cfg Config) {
 				fatalf("query %s ledger spent %g, model %g", info.ID, info.Spent, want)
 			}
 		}
+		// The /metrics surface must agree with the model at every quiesce
+		// point: these are the identities monitoring dashboards lean on, so
+		// the differential harness holds them to the same exactness as the
+		// query answers.
+		mv := func(sample string) float64 {
+			v, _ := srv.Metrics().Value(sample)
+			return v
+		}
+		if got := mv("tsens_serve_epoch"); got != float64(total) {
+			fatalf("metric tsens_serve_epoch %g, model epoch %d", got, total)
+		}
+		if got := mv("tsens_serve_appended"); got != float64(total) {
+			fatalf("metric tsens_serve_appended %g, model %d", got, total)
+		}
+		if got := mv("tsens_serve_skipped"); got != float64(cursor.skipped) {
+			fatalf("metric tsens_serve_skipped %g, model %d", got, cursor.skipped)
+		}
+		if got := mv("tsens_serve_queries"); got != float64(len(registered)) {
+			fatalf("metric tsens_serve_queries %g, %d registered", got, len(registered))
+		}
+		for _, info := range srv.Queries() {
+			sample := fmt.Sprintf("tsens_epsilon_spent{query=%q}", info.ID)
+			if got := mv(sample); math.Abs(got-info.Spent) > 1e-9 {
+				fatalf("metric %s %g, ledger %g", sample, got, info.Spent)
+			}
+		}
 	}
 
 	for step := 0; step < cfg.Steps; step++ {

@@ -73,6 +73,11 @@ type durableLog struct {
 	log   *wal.Log
 	codec Codec
 
+	// m counts journaled records per kind (the right side of the
+	// acked==journaled identity); set by newServer, nil in tests that
+	// build a durableLog directly.
+	m *serverMetrics
+
 	// active is false while recovery replays the existing WAL through the
 	// live server: replayed operations must not be re-journaled.
 	active atomic.Bool
@@ -103,7 +108,13 @@ func (d *durableLog) appendUpdates(from int64, ups []relation.Update) error {
 	for _, up := range ups {
 		buf = csvio.AppendUpdateRecord(buf, up, d.codec.Decode)
 	}
-	return d.log.Append(recUpdates, buf)
+	if err := d.log.Append(recUpdates, buf); err != nil {
+		return err
+	}
+	if d.m != nil {
+		d.m.walRecords.With(recKindName(recUpdates)).Inc()
+	}
+	return nil
 }
 
 func (d *durableLog) appendJSON(kind byte, v any) error {
@@ -114,7 +125,13 @@ func (d *durableLog) appendJSON(kind byte, v any) error {
 	if err != nil {
 		return fmt.Errorf("serve: wal record: %w", err)
 	}
-	return d.log.Append(kind, data)
+	if err := d.log.Append(kind, data); err != nil {
+		return err
+	}
+	if d.m != nil {
+		d.m.walRecords.With(recKindName(kind)).Inc()
+	}
+	return nil
 }
 
 // --- journaled record and checkpoint schemas ---
@@ -499,7 +516,7 @@ func (s *Server) checkpointSync() error {
 // ones are recovered by loading the newest checkpoint and replaying the WAL
 // tail through the ordinary serving machinery.
 func openDurable(db *relation.Database, opts Options) (*Server, error) {
-	wlog, err := wal.Open(opts.WALDir, wal.Options{SyncEvery: opts.SyncEvery, FS: opts.WALFS})
+	wlog, err := wal.Open(opts.WALDir, wal.Options{SyncEvery: opts.SyncEvery, FS: opts.WALFS, Metrics: opts.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -631,7 +648,7 @@ func OpenFollower(opts Options) (*Server, error) {
 	if opts.WALDir == "" {
 		return nil, fmt.Errorf("serve: follower requires WALDir")
 	}
-	wlog, err := wal.Open(opts.WALDir, wal.Options{SyncEvery: opts.SyncEvery, FS: opts.WALFS})
+	wlog, err := wal.Open(opts.WALDir, wal.Options{SyncEvery: opts.SyncEvery, FS: opts.WALFS, Metrics: opts.Metrics})
 	if err != nil {
 		return nil, err
 	}
@@ -686,6 +703,7 @@ func (s *Server) restoreQuery(cq ckptQuery) error {
 			return fmt.Errorf("serve: recovering ledger of %q: %w", cq.Config.ID, err)
 		}
 		sq.ledger = ledger
+		s.budgetMetrics(sq)
 	}
 	sq.relMu.Lock()
 	sq.releases = cq.Releases
@@ -787,6 +805,7 @@ func (s *Server) replayRecord(kind byte, data []byte) error {
 		sq.lastRun = &run
 		sq.lastCount = rec.Count
 		sq.releases = rec.Seq
+		s.budgetMetrics(sq)
 		return nil
 	default:
 		return fmt.Errorf("serve: unknown wal record kind %q", kind)

@@ -37,12 +37,14 @@ import (
 	"errors"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"tsens/internal/core"
+	"tsens/internal/obs"
 	"tsens/internal/csvio"
 	"tsens/internal/ghd"
 	"tsens/internal/mechanism"
@@ -97,6 +99,28 @@ type Status struct {
 	// — a hint for the failure-mode table, not a redirect target (the HTTP
 	// address is deployment-specific).
 	Leader string `json:"leader,omitempty"`
+	// Epoch and Applied are a follower's replicated progress: the published
+	// consistent cut its reads answer from, and the update LSN it has
+	// applied. Zero on a leader (read /epoch there).
+	Epoch   int64 `json:"epoch,omitempty"`
+	Applied int64 `json:"applied,omitempty"`
+	// LeaderAppended is the leader's acknowledged update LSN from the last
+	// replication heartbeat; Lag is how far Applied trails it — the
+	// staleness signal a bounded-staleness router reads from /readyz.
+	LeaderAppended int64 `json:"leader_appended,omitempty"`
+	Lag            int64 `json:"lag,omitempty"`
+	// RetryAfterSeconds is the backoff a 503 response carries: on a
+	// follower, observed replication lag times mean apply latency (clamped
+	// to [1, 30]); 1 otherwise.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// retryAfter renders the Retry-After header value for a 503 under st.
+func (st Status) retryAfter() string {
+	if st.RetryAfterSeconds > 0 {
+		return strconv.Itoa(st.RetryAfterSeconds)
+	}
+	return "1"
 }
 
 // API is the HTTP front end of a Server.
@@ -115,6 +139,10 @@ type API struct {
 	// default). Swapped atomically by the serve command as the process
 	// recovers, follows, or promotes.
 	status atomic.Pointer[func() Status]
+
+	// metrics, when set, pins the registry behind /metrics and /debug/vars
+	// (nil falls back to the backend server's).
+	metrics atomic.Pointer[obs.Registry]
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -142,10 +170,11 @@ func (a *API) server() *Server {
 func (a *API) backend(w http.ResponseWriter) (*Server, bool) {
 	srv := a.server()
 	if srv == nil {
-		w.Header().Set("Retry-After", "1")
+		st := a.Status()
+		w.Header().Set("Retry-After", st.retryAfter())
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"error": "no state to serve yet",
-			"state": a.Status().State,
+			"state": st.State,
 		})
 		return nil, false
 	}
@@ -171,7 +200,10 @@ func (a *API) gateWrite(w http.ResponseWriter) bool {
 	if st.State == StateLeading {
 		return true
 	}
-	w.Header().Set("Retry-After", "1")
+	// A follower's Retry-After tracks how stale it actually is: lag times
+	// its observed mean apply latency, so a client backing off rejoins
+	// roughly when the failover or catch-up has had time to land.
+	w.Header().Set("Retry-After", st.retryAfter())
 	out := map[string]any{
 		"error": fmt.Sprintf("not leading (state %q): writes and releases are leader-only", st.State),
 		"state": st.State,
@@ -214,16 +246,59 @@ func NewAPI(srv *Server, codec Codec, seed int64) *API {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// The status body carries a follower's replicated epoch, applied
+		// LSN, and lag behind the leader — the bounded-staleness signal.
 		st := a.Status()
 		code := http.StatusOK
 		if st.State == StateRecovering {
 			code = http.StatusServiceUnavailable
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", st.retryAfter())
 		}
 		writeJSON(w, code, map[string]any{"ready": code == http.StatusOK, "state": st.State, "status": st})
 	})
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/vars", a.handleVars)
 	a.mux = mux
+	if srv != nil && srv.opts.Debug {
+		a.EnableDebug()
+	}
 	return a
+}
+
+// SetMetrics pins the registry /metrics and /debug/vars render — the serve
+// command passes its process-level registry so scrapes survive a
+// follower's checkpoint resets and promotion. Without it, the handlers
+// read the current backend server's registry.
+func (a *API) SetMetrics(reg *obs.Registry) { a.metrics.Store(reg) }
+
+func (a *API) registry() *obs.Registry {
+	if r := a.metrics.Load(); r != nil {
+		return r
+	}
+	if srv := a.server(); srv != nil {
+		return srv.Metrics()
+	}
+	return nil // nil renders empty: obs is nil-receiver safe
+}
+
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.registry().WritePrometheus(w)
+}
+
+func (a *API) handleVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, a.registry().Snapshot())
+}
+
+// EnableDebug mounts net/http/pprof under /debug/pprof/. Opt-in
+// (Options.Debug or the serve command's -debug flag): profiles expose
+// operational detail no untrusted network should see.
+func (a *API) EnableDebug() {
+	a.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	a.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	a.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	a.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	a.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }

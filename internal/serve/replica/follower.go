@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tsens/internal/obs"
 	"tsens/internal/serve"
 	"tsens/internal/serve/wal"
 )
@@ -78,8 +79,13 @@ type Follower struct {
 
 	// leaderGen/leaderIdx is the leader's durable frontier from the last
 	// heartbeat — observability only; the shipped stream itself never runs
-	// past the leader's durable horizon.
+	// past the leader's durable horizon. leaderAppended is the leader's
+	// acknowledged update LSN from the same heartbeat: the reference point
+	// for staleness (zero until a post-PR-7 leader heartbeats).
 	leaderGen, leaderIdx atomic.Int64
+	leaderAppended       atomic.Int64
+
+	fm followerMetrics
 
 	done    chan struct{}
 	stopped chan struct{}
@@ -93,13 +99,20 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("replica: follower requires Dir")
 	}
-	m, err := wal.OpenMirror(opts.Dir, wal.Options{SyncEvery: opts.Serve.SyncEvery, FS: opts.Serve.WALFS})
+	if opts.Serve.Metrics == nil {
+		// One registry for the mirror, the passive server, any promoted
+		// successor, and the follower gauges — a scrape survives checkpoint
+		// resets and promotion.
+		opts.Serve.Metrics = obs.NewRegistry()
+	}
+	m, err := wal.OpenMirror(opts.Dir, wal.Options{SyncEvery: opts.Serve.SyncEvery, FS: opts.Serve.WALFS, Metrics: opts.Serve.Metrics})
 	if err != nil {
 		return nil, err
 	}
 	f := &Follower{
 		opts:    opts,
 		mirror:  m,
+		fm:      newFollowerMetrics(opts.Serve.Metrics),
 		done:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
@@ -133,13 +146,27 @@ func (f *Follower) Server() *serve.Server {
 	return f.srv
 }
 
-// Status reports the follower's role for /readyz: following once it has
-// state to serve, recovering before that.
+// Status reports the follower's role and staleness for /readyz: following
+// once it has state to serve, recovering before that, plus the replicated
+// epoch, applied LSN, the leader's acknowledged LSN from the last
+// heartbeat, the resulting lag, and the Retry-After a gated write should
+// carry (lag times observed mean apply latency, clamped to [1, 30]s).
 func (f *Follower) Status() serve.Status {
-	st := serve.Status{State: serve.StateRecovering, Leader: f.opts.Addr}
-	if f.Server() != nil {
-		st.State = serve.StateFollowing
+	st := serve.Status{State: serve.StateRecovering, Leader: f.opts.Addr, RetryAfterSeconds: 1}
+	srv := f.Server()
+	if srv == nil {
+		return st
 	}
+	st.State = serve.StateFollowing
+	stats := srv.Stats()
+	st.Epoch = stats.Epoch
+	st.Applied = stats.Appended
+	st.LeaderAppended = f.leaderAppended.Load()
+	if lag := st.LeaderAppended - st.Applied; lag > 0 {
+		st.Lag = lag
+	}
+	st.RetryAfterSeconds = retryAfterSeconds(st.Lag, f.fm.applySecs)
+	f.fm.lag.Set(float64(st.Lag))
 	return st
 }
 
@@ -271,12 +298,22 @@ func (f *Follower) stream(c net.Conn) error {
 				return err
 			}
 		case frameHeartbeat:
-			hg, hi, err := decodePosition(payload)
+			hg, hi, happ, err := decodeHeartbeat(payload)
 			if err != nil {
 				return err
 			}
 			f.leaderGen.Store(hg)
 			f.leaderIdx.Store(hi)
+			f.leaderAppended.Store(happ)
+			f.fm.heartbeats.Inc()
+			f.fm.leaderAppended.Set(float64(happ))
+			if srv := f.Server(); srv != nil {
+				if lag := happ - srv.Stats().Appended; lag > 0 {
+					f.fm.lag.Set(float64(lag))
+				} else {
+					f.fm.lag.Set(0)
+				}
+			}
 		default:
 			return fmt.Errorf("replica: unknown frame %q", typ)
 		}
@@ -289,6 +326,7 @@ func (f *Follower) applyCheckpoint(lineage string, reset bool, gen int64, data [
 		// server's state covers it — just install and prune the mirror.
 		return f.mirror.InstallCheckpoint(data, gen)
 	}
+	f.fm.resets.Inc()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.srv != nil {
@@ -314,6 +352,7 @@ func (f *Follower) applyCheckpoint(lineage string, reset bool, gen int64, data [
 }
 
 func (f *Follower) applyRecord(gen, idx int64, kind byte, data []byte) error {
+	defer f.fm.applySecs.ObserveSince(time.Now())
 	// Durable first, then visible: the mirror lands (and at the configured
 	// cadence fsyncs) the record before the live server applies it, so the
 	// follower never serves state its own disk could lose.
@@ -326,12 +365,17 @@ func (f *Follower) applyRecord(gen, idx int64, kind byte, data []byte) error {
 	if srv == nil {
 		return fmt.Errorf("replica: record before first checkpoint")
 	}
-	return srv.ApplyReplicated(kind, data)
+	if err := srv.ApplyReplicated(kind, data); err != nil {
+		return err
+	}
+	f.fm.applied.With(kindLabel(kind)).Inc()
+	return nil
 }
 
 // scorch abandons the local replicated state after a failed apply; the
 // next connection starts from a reset checkpoint.
 func (f *Follower) scorch() {
+	f.fm.resets.Inc()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.srv != nil {

@@ -71,6 +71,8 @@ type Leader struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
+	m leaderMetrics
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -96,6 +98,7 @@ func NewLeader(srv *serve.Server, opts LeaderOptions) (*Leader, error) {
 		opts:    opts,
 		lineage: lineage,
 		conns:   make(map[net.Conn]struct{}),
+		m:       newLeaderMetrics(srv.Metrics()),
 		done:    make(chan struct{}),
 	}
 	if opts.Lease != nil {
@@ -220,6 +223,8 @@ func (ld *Leader) renewLoop(holder string, term int64) {
 // whenever the follower's position was pruned out from under it, and to
 // heartbeats when fully caught up.
 func (ld *Leader) ship(c net.Conn) {
+	ld.m.followers.Add(1)
+	defer ld.m.followers.Add(-1)
 	_ = c.SetReadDeadline(time.Now().Add(ld.opts.WriteTimeout))
 	typ, payload, err := readFrame(c)
 	if err != nil || typ != frameHello {
@@ -264,6 +269,7 @@ func (ld *Leader) ship(c net.Conn) {
 			if err := send(frameCheckpoint, encodeCheckpointFrame(true, cg, data)); err != nil {
 				return
 			}
+			ld.m.checkpoints.Inc()
 			gen, idx = cg, 0
 			sentCkpt = cg
 			reset = false
@@ -275,6 +281,7 @@ func (ld *Leader) ship(c net.Conn) {
 				if err := send(frameCheckpoint, encodeCheckpointFrame(false, g, data)); err != nil {
 					return
 				}
+				ld.m.checkpoints.Inc()
 				sentCkpt = g
 			}
 		}
@@ -291,16 +298,21 @@ func (ld *Leader) ship(c net.Conn) {
 		}
 		gen, idx = ngen, nidx
 		if n > 0 {
-			if flush() != nil {
+			// A heartbeat rides along with every batch so a catching-up
+			// follower keeps a fresh view of how far behind it still is.
+			if send(frameHeartbeat, encodeHeartbeat(gen, idx, ld.srv.Stats().Appended)) != nil || flush() != nil {
 				return
 			}
+			ld.m.records.Add(int64(n))
+			ld.m.heartbeats.Inc()
 			continue
 		}
 		// Caught up: tell the follower where the durable frontier is, then
 		// wait for it to move.
-		if send(frameHeartbeat, encodePosition(gen, idx)) != nil || flush() != nil {
+		if send(frameHeartbeat, encodeHeartbeat(gen, idx, ld.srv.Stats().Appended)) != nil || flush() != nil {
 			return
 		}
+		ld.m.heartbeats.Inc()
 		select {
 		case <-notify:
 		case <-time.After(ld.opts.HeartbeatEvery):

@@ -1,0 +1,92 @@
+package replica
+
+// Replication instruments. The leader's live on the led server's registry;
+// the follower's live on FollowerOptions.Serve.Metrics, which StartFollower
+// defaults so the mirror, the passive server, a promoted successor, and
+// these gauges all share one process-level registry — a scrape of the
+// follower keeps its history across checkpoint resets and promotion.
+
+import (
+	"math"
+
+	"tsens/internal/obs"
+)
+
+type leaderMetrics struct {
+	followers   *obs.Gauge
+	records     *obs.Counter
+	checkpoints *obs.Counter
+	heartbeats  *obs.Counter
+}
+
+func newLeaderMetrics(reg *obs.Registry) leaderMetrics {
+	return leaderMetrics{
+		followers:   reg.Gauge("tsens_repl_followers", "Connected follower replication streams."),
+		records:     reg.Counter("tsens_repl_shipped_records_total", "WAL records shipped to followers."),
+		checkpoints: reg.Counter("tsens_repl_shipped_checkpoints_total", "Checkpoints shipped to followers (reset and routine)."),
+		heartbeats:  reg.Counter("tsens_repl_shipped_heartbeats_total", "Heartbeats sent to followers."),
+	}
+}
+
+type followerMetrics struct {
+	lag            *obs.Gauge // leader acknowledged LSN minus locally applied LSN
+	leaderAppended *obs.Gauge
+	applied        *obs.CounterVec // label kind
+	applySecs      *obs.Histogram
+	heartbeats     *obs.Counter
+	resets         *obs.Counter
+}
+
+func newFollowerMetrics(reg *obs.Registry) followerMetrics {
+	return followerMetrics{
+		lag: reg.Gauge("tsens_repl_lag_entries",
+			"Follower staleness: update-log entries the leader has acknowledged beyond the locally applied LSN."),
+		leaderAppended: reg.Gauge("tsens_repl_leader_appended",
+			"Leader's acknowledged update LSN from the last heartbeat."),
+		applied: reg.CounterVec("tsens_repl_applied_records_total",
+			"Replicated WAL records applied to the passive server, by kind.", "kind"),
+		applySecs: reg.Histogram("tsens_repl_apply_seconds",
+			"Latency of applying one replicated record (mirror append + replay).", nil),
+		heartbeats: reg.Counter("tsens_repl_heartbeats_total", "Heartbeats received from the leader."),
+		resets: reg.Counter("tsens_repl_resets_total",
+			"Checkpoint resets and scorches: times local replicated state was discarded and resynced."),
+	}
+}
+
+// kindLabel names a serve WAL record kind for the applied-records counter.
+// Mirrors the serve layer's kind bytes, which are fixed on-disk format.
+func kindLabel(kind byte) string {
+	switch kind {
+	case 'U':
+		return "updates"
+	case 'Q':
+		return "register"
+	case 'X':
+		return "unregister"
+	case 'R':
+		return "release"
+	}
+	return "unknown"
+}
+
+// retryAfterSeconds estimates how long a writer should back off before the
+// follower catches up: observed lag times the mean per-record apply time,
+// clamped to [1, 30] whole seconds. With no apply samples yet the floor
+// applies — 1s, matching the old hard-coded header.
+func retryAfterSeconds(lag int64, applySecs *obs.Histogram) int {
+	if lag <= 0 {
+		return 1
+	}
+	mean := 0.0
+	if n := applySecs.Count(); n > 0 {
+		mean = applySecs.Sum() / float64(n)
+	}
+	est := math.Ceil(float64(lag) * mean)
+	if est < 1 {
+		return 1
+	}
+	if est > 30 {
+		return 30
+	}
+	return int(est)
+}

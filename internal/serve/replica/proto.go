@@ -159,3 +159,36 @@ func decodePosition(payload []byte) (gen, idx int64, err error) {
 	}
 	return int64(g), int64(i), nil
 }
+
+// encodeHeartbeat extends the position payload with the leader's
+// acknowledged update LSN, the reference point for follower staleness.
+// decodePosition ignores trailing bytes, so old followers read the first
+// two uvarints and stay compatible.
+func encodeHeartbeat(gen, idx, appended int64) []byte {
+	buf := binary.AppendUvarint(make([]byte, 0, 24), uint64(gen))
+	buf = binary.AppendUvarint(buf, uint64(idx))
+	return binary.AppendUvarint(buf, uint64(appended))
+}
+
+// decodeHeartbeat reads a heartbeat payload; a two-uvarint payload from an
+// old leader decodes with appended = 0 (meaning "unknown").
+func decodeHeartbeat(payload []byte) (gen, idx, appended int64, err error) {
+	g, used := binary.Uvarint(payload)
+	if used <= 0 {
+		return 0, 0, 0, fmt.Errorf("replica: heartbeat: truncated gen")
+	}
+	payload = payload[used:]
+	i, used2 := binary.Uvarint(payload)
+	if used2 <= 0 {
+		return 0, 0, 0, fmt.Errorf("replica: heartbeat: truncated idx")
+	}
+	payload = payload[used2:]
+	if len(payload) == 0 {
+		return int64(g), int64(i), 0, nil
+	}
+	a, used3 := binary.Uvarint(payload)
+	if used3 <= 0 {
+		return 0, 0, 0, fmt.Errorf("replica: heartbeat: truncated appended LSN")
+	}
+	return int64(g), int64(i), int64(a), nil
+}

@@ -51,10 +51,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tsens/internal/core"
 	"tsens/internal/incremental"
 	"tsens/internal/mechanism"
+	"tsens/internal/obs"
 	"tsens/internal/par"
 	"tsens/internal/query"
 	"tsens/internal/relation"
@@ -146,6 +148,18 @@ type Options struct {
 	// OS; the fault-injection harness (internal/serve/faultfs) passes an FS
 	// that can fail fsyncs and simulate machine crashes.
 	WALFS wal.FS
+	// Metrics is the registry every layer of the server records into
+	// (drain rounds, shard patches, WAL timings, session timings, ε
+	// gauges); exposed at GET /metrics and GET /debug/vars by the HTTP API.
+	// nil makes the server create a private one (Server.Metrics returns
+	// it). Pass one process-level registry when several servers share a
+	// process — a replication follower's passive server and its promoted
+	// successor, for instance — so the scrape endpoint survives the swap.
+	Metrics *obs.Registry
+	// Debug opts into the pprof handlers (GET /debug/pprof/*) on the HTTP
+	// API. Off by default: profiles expose operational detail the public
+	// serving surface should not.
+	Debug bool
 }
 
 func (o Options) withDefaults() Options {
@@ -172,6 +186,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery == 0 {
 		o.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
 	}
 	return o
 }
@@ -329,6 +346,7 @@ type Server struct {
 	pool     *par.Pool
 	ownsPool bool
 	pcols    map[string]int // relation → routing column
+	m        *serverMetrics
 
 	logMu   sync.Mutex
 	logCond *sync.Cond
@@ -415,6 +433,14 @@ func newServer(master *relation.Database, opts Options, init serverInit, dl *dur
 	s.epoch.Store(init.epoch)
 	s.appended.Store(init.epoch)
 	s.skipped.Store(init.skipped)
+	s.m = newServerMetrics(opts.Metrics)
+	s.m.epoch.Set(float64(init.epoch))
+	s.m.appended.Set(float64(init.epoch))
+	s.m.skipped.Set(float64(init.skipped))
+	s.m.queries.Set(0)
+	if dl != nil {
+		dl.m = s.m
+	}
 	s.logCond = sync.NewCond(&s.logMu)
 	s.rowpos = make(map[string]*relation.RowSet, len(s.master.Names()))
 	s.pcols = make(map[string]int, len(s.master.Names()))
@@ -440,7 +466,7 @@ func newServer(master *relation.Database, opts Options, init serverInit, dl *dur
 	}
 	s.shards = make([]*shard, opts.Shards)
 	for i := range s.shards {
-		s.shards[i] = &shard{id: i, in: make(chan *round)}
+		s.shards[i] = &shard{id: i, in: make(chan *round), patch: s.m.shardPatch.With(shardLabel(i))}
 		s.shards[i].watermark.Store(init.epoch)
 	}
 	s.wg.Add(1 + len(s.shards))
@@ -543,6 +569,7 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	if err := s.fenced(); err != nil {
 		return "", nil, err
 	}
+	defer s.m.reg.Span("serve.register", s.m.registerSecs)()
 	if cfg.Query == nil {
 		return "", nil, fmt.Errorf("serve: nil query")
 	}
@@ -576,6 +603,7 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	sopts := incremental.Options{
 		Options:       copts,
 		BulkThreshold: s.opts.BulkThreshold,
+		Metrics:       s.m.reg,
 	}
 	if s.opts.RebuildTombstoneRatio > 0 {
 		sopts.RebuildTombstoneRatio = s.opts.RebuildTombstoneRatio
@@ -732,13 +760,16 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 		}
 		s.regSeq++
 	}
+	s.ackMetric("register")
 	for _, u := range sq.units {
 		sh := s.shards[u.shard]
 		sh.units = append(sh.units, u)
 	}
 	s.qmu.Lock()
 	s.queries[id] = sq
+	s.m.queries.Set(float64(len(s.queries)))
 	s.qmu.Unlock()
+	s.budgetMetrics(sq)
 	return id, sq.view.Load(), nil
 }
 
@@ -761,7 +792,10 @@ func (s *Server) Unregister(id string) error {
 		}
 		s.regSeq++
 	}
+	s.ackMetric("unregister")
 	delete(s.queries, id)
+	s.m.queries.Set(float64(len(s.queries)))
+	s.dropQueryMetrics(id)
 	for _, sh := range s.shards {
 		keep := sh.units[:0]
 		for _, u := range sh.units {
@@ -814,9 +848,11 @@ func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
 	if err := s.wal.appendUpdates(from, cloned); err != nil {
 		return 0, 0, err
 	}
+	s.ackMetric("updates")
 	s.log = append(s.log, cloned...)
 	to = from + int64(len(cloned))
 	s.appended.Store(to)
+	s.m.appended.Set(float64(to))
 	s.logCond.Broadcast()
 	return from, to, nil
 }
@@ -878,6 +914,7 @@ func (s *Server) View(id string) (*View, error) {
 	if v.Err != nil {
 		return nil, fmt.Errorf("serve: query %q failed at epoch %d: %w", id, v.Epoch, v.Err)
 	}
+	s.m.viewReads.Inc()
 	return v, nil
 }
 
@@ -927,6 +964,7 @@ func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
 		run := *sq.lastRun
 		mechanism.Rebase(&run, v.Count)
 		res.Run = &run
+		s.m.releases.With("false").Inc()
 	} else {
 		if err := sq.ledger.Spend(sq.cfg.Epsilon); err != nil {
 			return nil, err
@@ -952,6 +990,8 @@ func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
 		sq.lastRun = run
 		sq.lastCount = v.Count
 		sq.releases++
+		s.ackMetric("release")
+		s.m.releases.With("true").Inc()
 		out := *run
 		res.Run = &out
 		res.Fresh = true
@@ -959,6 +999,7 @@ func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
 	}
 	res.TotalSpent = sq.ledger.Spent()
 	res.Remaining, res.HasBudget = sq.ledger.Remaining()
+	s.budgetMetrics(sq)
 	return res, nil
 }
 
@@ -1048,6 +1089,8 @@ func (s *Server) writer() {
 			}
 			return
 		}
+		stopRound := s.m.reg.Span("serve.drain_round", s.m.drainRound)
+		s.m.drainBatch.Observe(float64(len(batch)))
 		s.stateMu.Lock()
 		valid := batch[:0:0]
 		for _, up := range batch {
@@ -1057,6 +1100,7 @@ func (s *Server) writer() {
 				s.skipped.Add(1)
 			}
 		}
+		s.m.skipped.Set(float64(s.skipped.Load()))
 		routed := make([][]relation.Update, len(s.shards))
 		for _, up := range valid {
 			i := s.routeOf(up)
@@ -1069,15 +1113,20 @@ func (s *Server) writer() {
 			sh.in <- rd
 		}
 		rd.wg.Wait()
+		publishStart := time.Now()
 		s.publishAll(newEpoch)
+		s.m.publishView.ObserveSince(publishStart)
 		// The epoch advances before stateMu releases, so a Register that
 		// takes over the lock reads an epoch consistent with the master
 		// rows it snapshots.
 		s.epoch.Store(newEpoch)
+		s.m.epoch.Set(float64(newEpoch))
 		if s.wal != nil {
 			s.maybeCheckpointLocked(newEpoch)
 		}
 		s.stateMu.Unlock()
+		stopRound()
+		s.m.rounds.Inc()
 		drained = newEpoch
 		s.notify()
 	}

@@ -30,9 +30,11 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tsens/internal/core"
 	"tsens/internal/incremental"
+	"tsens/internal/obs"
 	"tsens/internal/par"
 	"tsens/internal/relation"
 )
@@ -58,6 +60,7 @@ type shard struct {
 	id    int
 	in    chan *round
 	units []*unit
+	patch *obs.Histogram // per-round patch latency for this shard
 
 	// watermark is the LSN through which every entry routed to this shard
 	// has been folded into its sessions.
@@ -94,6 +97,7 @@ func (sh *shard) run(s *Server) {
 		}
 		units := sh.units
 		routed := rd.routed[sh.id]
+		start := time.Now()
 		// Units share no mutable state (distinct sessions), so a shard with
 		// several queries fans out across them exactly as the PR 3 single
 		// writer did. Plain par.Do, not pool.Do: a session rebuild inside
@@ -103,6 +107,7 @@ func (sh *shard) run(s *Server) {
 			units[i].step(rd, routed)
 			return nil
 		})
+		sh.patch.ObserveSince(start)
 		sh.watermark.Store(rd.cut)
 		s.notify()
 		rd.wg.Done()

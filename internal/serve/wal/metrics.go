@@ -1,0 +1,42 @@
+package wal
+
+// WAL instruments. Built from Options.Metrics, which may be nil: obs
+// constructors on a nil registry return detached but functional
+// instruments, so the log body carries no nil guards. A leader Log and a
+// follower Mirror sharing one process registry share these families —
+// counters and histograms accumulate across both, and the segment gauge is
+// Set from whichever log last learned its directory's count (only one is
+// actively appending at a time).
+
+import "tsens/internal/obs"
+
+type walMetrics struct {
+	appendSecs *obs.Histogram // frame write + cadence fsync
+	fsyncSecs  *obs.Histogram
+	ckptSecs   *obs.Histogram // atomic checkpoint install
+
+	fsyncs      *obs.Counter
+	rolls       *obs.Counter
+	checkpoints *obs.Counter
+	bytes       *obs.Counter
+
+	segments *obs.Gauge
+}
+
+func newWalMetrics(reg *obs.Registry) walMetrics {
+	return walMetrics{
+		appendSecs: reg.Histogram("tsens_wal_append_seconds",
+			"WAL record append latency, including the fsync when the SyncEvery cadence fires.", nil),
+		fsyncSecs: reg.Histogram("tsens_wal_fsync_seconds",
+			"WAL segment fsync latency.", nil),
+		ckptSecs: reg.Histogram("tsens_wal_checkpoint_seconds",
+			"Checkpoint install latency (temp write, fsync, rename, directory fsync).", nil),
+
+		fsyncs:      reg.Counter("tsens_wal_fsyncs_total", "WAL segment fsyncs."),
+		rolls:       reg.Counter("tsens_wal_rolls_total", "Segments sealed and rolled."),
+		checkpoints: reg.Counter("tsens_wal_checkpoints_total", "Checkpoints durably installed."),
+		bytes:       reg.Counter("tsens_wal_appended_bytes_total", "Framed bytes appended (records and mirrored records)."),
+
+		segments: reg.Gauge("tsens_wal_segments", "Live segment files in the WAL directory."),
+	}
+}

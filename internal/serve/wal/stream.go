@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // ErrPruned reports a read position whose segment a checkpoint has pruned:
@@ -144,6 +145,8 @@ type Mirror struct {
 	idx      int64 // records in the current segment (next append index)
 	unsynced int
 	err      error // sticky, like Log: a mirror that failed a write stops
+
+	m walMetrics
 }
 
 // OpenMirror prepares dir for mirroring. It scans the existing segments,
@@ -157,6 +160,7 @@ func OpenMirror(dir string, opts Options) (*Mirror, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	m := &Mirror{dir: dir, fs: opts.FS, opts: opts}
+	m.m = newWalMetrics(opts.Metrics)
 	segs, err := scanGenDir(m.fs, dir, segPrefix, segSuffix)
 	if err != nil {
 		return nil, err
@@ -246,16 +250,21 @@ func (m *Mirror) Append(gen, idx int64, kind byte, data []byte) error {
 		}
 		m.f = f
 	}
+	start := time.Now()
 	frame := appendFrame(make([]byte, 0, frameHeader+1+len(data)), kind, data)
 	if _, err := m.f.Write(frame); err != nil {
 		m.err = fmt.Errorf("wal: mirror append: %w", err)
 		return m.err
 	}
+	m.m.bytes.Add(int64(len(frame)))
 	m.idx++
 	m.unsynced++
 	if m.opts.SyncEvery <= 1 || m.unsynced >= m.opts.SyncEvery {
-		return m.syncLocked()
+		err := m.syncLocked()
+		m.m.appendSecs.ObserveSince(start)
+		return err
 	}
+	m.m.appendSecs.ObserveSince(start)
 	return nil
 }
 
@@ -277,10 +286,13 @@ func (m *Mirror) sealLocked() error {
 }
 
 func (m *Mirror) syncLocked() error {
+	start := time.Now()
 	if err := m.f.Sync(); err != nil {
 		m.err = fmt.Errorf("wal: mirror sync: %w", err)
 		return m.err
 	}
+	m.m.fsyncSecs.ObserveSince(start)
+	m.m.fsyncs.Inc()
 	m.unsynced = 0
 	return nil
 }
@@ -307,9 +319,12 @@ func (m *Mirror) Sync() error {
 func (m *Mirror) InstallCheckpoint(data []byte, gen int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	start := time.Now()
 	if err := installCheckpoint(m.fs, m.dir, data, gen); err != nil {
 		return err
 	}
+	m.m.ckptSecs.ObserveSince(start)
+	m.m.checkpoints.Inc()
 	if m.gen < gen {
 		if m.f != nil {
 			_ = m.f.Close()

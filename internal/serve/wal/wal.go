@@ -36,6 +36,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsens/internal/obs"
 )
 
 // ErrCorrupt reports a frame that is structurally broken somewhere other
@@ -70,6 +74,10 @@ type Options struct {
 	// fault-injection harness (internal/serve/faultfs) substitutes one that
 	// can fail fsyncs, short-write frames, and simulate crashes.
 	FS FS
+	// Metrics, when set, receives append/fsync/checkpoint timings and
+	// segment counts. Nil still records into detached instruments — the
+	// log body is unconditional.
+	Metrics *obs.Registry
 }
 
 // Log is an append-only record log over numbered segment files in one
@@ -98,6 +106,9 @@ type Log struct {
 
 	notifyMu sync.Mutex
 	notifyCh chan struct{}
+
+	m        walMetrics
+	segCount atomic.Int64 // live segment files (prune runs outside mu)
 }
 
 // Open prepares dir (creating it if needed) and scans the existing state.
@@ -111,6 +122,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, fs: opts.FS, notifyCh: make(chan struct{})}
+	l.m = newWalMetrics(opts.Metrics)
 	segs, err := l.segments()
 	if err != nil {
 		return nil, err
@@ -118,6 +130,8 @@ func Open(dir string, opts Options) (*Log, error) {
 	if n := len(segs); n > 0 {
 		l.maxSeen = segs[n-1]
 	}
+	l.segCount.Store(int64(len(segs)))
+	l.m.segments.Set(float64(len(segs)))
 	if cks, err := l.checkpoints(); err != nil {
 		return nil, err
 	} else if n := len(cks); n > 0 && cks[n-1] > l.maxSeen {
@@ -311,6 +325,7 @@ func (l *Log) openSegmentLocked(gen int64) error {
 	l.maxSeen = gen
 	l.unsynced = 0
 	l.recsInSeg = 0
+	l.m.segments.Set(float64(l.segCount.Add(1)))
 	// A fresh (empty) segment is trivially durable through index 0, and
 	// every record of older segments is durable (Roll syncs before sealing).
 	l.syncedGen, l.syncedIdx = gen, 0
@@ -337,16 +352,21 @@ func (l *Log) Append(kind byte, data []byte) error {
 	if l.f == nil {
 		return fmt.Errorf("wal: not appending (StartAppending not called)")
 	}
+	start := time.Now()
 	frame := appendFrame(make([]byte, 0, frameHeader+1+len(data)), kind, data)
 	if _, err := l.f.Write(frame); err != nil {
 		l.err = fmt.Errorf("wal: append: %w", err)
 		return l.err
 	}
+	l.m.bytes.Add(int64(len(frame)))
 	l.recsInSeg++
 	l.unsynced++
 	if l.opts.SyncEvery <= 1 || l.unsynced >= l.opts.SyncEvery {
-		return l.syncLocked()
+		err := l.syncLocked()
+		l.m.appendSecs.ObserveSince(start)
+		return err
 	}
+	l.m.appendSecs.ObserveSince(start)
 	return nil
 }
 
@@ -364,10 +384,13 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal: sync: %w", err)
 		return l.err
 	}
+	l.m.fsyncSecs.ObserveSince(start)
+	l.m.fsyncs.Inc()
 	l.unsynced = 0
 	l.syncedGen, l.syncedIdx = l.gen, l.recsInSeg
 	l.notifyDurable()
@@ -402,6 +425,7 @@ func (l *Log) Roll() (gen int64, err error) {
 		l.err = err
 		return 0, err
 	}
+	l.m.rolls.Inc()
 	return l.gen, nil
 }
 
@@ -412,9 +436,12 @@ func (l *Log) Roll() (gen int64, err error) {
 // old state or the new, never a half-written checkpoint under the real
 // name.
 func (l *Log) WriteCheckpoint(data []byte, gen int64) error {
+	start := time.Now()
 	if err := installCheckpoint(l.fs, l.dir, data, gen); err != nil {
 		return err
 	}
+	l.m.ckptSecs.ObserveSince(start)
+	l.m.checkpoints.Inc()
 	l.prune(gen)
 	return nil
 }
@@ -465,11 +492,16 @@ func installCheckpoint(fs FS, dir string, data []byte, gen int64) error {
 // re-applying them no-ops).
 func (l *Log) prune(gen int64) {
 	if segs, err := l.segments(); err == nil {
+		kept := 0
 		for _, g := range segs {
 			if g < gen {
 				_ = l.fs.Remove(l.segPath(g))
+			} else {
+				kept++
 			}
 		}
+		l.segCount.Store(int64(kept))
+		l.m.segments.Set(float64(kept))
 	}
 	if cks, err := l.checkpoints(); err == nil {
 		for _, g := range cks {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Cross-PR benchmark trajectory: run `tsens bench` and leave one
+# schema-stable BENCH_<date>.json per run. CI uploads the file as an
+# artifact on every PR, so plotting the repo's performance over time is a
+# jq one-liner across artifacts — provided the schema never drifts, which
+# this script asserts: every run must produce exactly the key set below,
+# or the trajectory breaks and the run fails loudly.
+#
+# Usage: scripts/bench_trajectory.sh [out.json]
+#   BENCH_FAST=0 runs the full-size fixtures (minutes, for local deep dives);
+#   the default is the CI-sized -fast mode (seconds).
+#
+# Requires: go, jq. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_$(date +%F).json}"
+args=(-out "$OUT")
+if [ "${BENCH_FAST:-1}" = "1" ]; then
+  args+=(-fast)
+fi
+
+go run ./cmd/tsens bench "${args[@]}"
+
+echo "--- schema check: $OUT must match tsens-bench/v1 exactly"
+jq -e '.schema == "tsens-bench/v1"' "$OUT" >/dev/null \
+  || { echo "FAIL: schema field is $(jq -r .schema "$OUT")"; exit 1; }
+
+want_top='benchmarks date fast go gomaxprocs schema serve'
+got_top=$(jq -r 'keys | sort | join(" ")' "$OUT")
+[ "$got_top" = "$want_top" ] || { echo "FAIL: top-level keys '$got_top', want '$want_top'"; exit 1; }
+
+want_entry='allocs_per_op bytes_per_op iterations name ns_per_op'
+jq -r '.benchmarks[] | keys | sort | join(" ")' "$OUT" | sort -u | while read -r got; do
+  [ "$got" = "$want_entry" ] || { echo "FAIL: benchmark entry keys '$got', want '$want_entry'"; exit 1; }
+done
+
+want_serve='drain_round_p50_ms drain_round_p99_ms reads_per_sec update_p50_ms update_p90_ms update_p99_ms updates_per_sec'
+got_serve=$(jq -r '.serve | keys | sort | join(" ")' "$OUT")
+[ "$got_serve" = "$want_serve" ] || { echo "FAIL: serve keys '$got_serve', want '$want_serve'"; exit 1; }
+
+jq -e '.benchmarks | length > 0' "$OUT" >/dev/null || { echo "FAIL: no benchmark entries"; exit 1; }
+jq -e '.serve.reads_per_sec > 0' "$OUT" >/dev/null || { echo "FAIL: serve scenario reported zero reads/sec"; exit 1; }
+
+echo "bench trajectory OK: $(jq -r '.benchmarks | length' "$OUT") benchmarks, \
+$(jq -r '.serve.reads_per_sec | floor' "$OUT") reads/sec -> $OUT"

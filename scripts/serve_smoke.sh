@@ -100,6 +100,35 @@ epoch=$(curl -fsS "$BASE/epoch" | jq -r .epoch)
 [ "$joined" = "$epoch" ] || { echo "FAIL: joined cut $joined != epoch $epoch at rest"; exit 1; }
 [ "$(curl -fsS "$BASE/epoch" | jq -r .wal)" = "true" ] || { echo "FAIL: /epoch does not report wal"; exit 1; }
 
+echo "--- /metrics scrape: core series present and non-zero after traffic"
+metrics=$(curl -fsS "$BASE/metrics")
+ctype=$(curl -fsSI "$BASE/metrics" | tr -d '\r' | awk -F': ' 'tolower($1)=="content-type" {print $2}')
+case "$ctype" in
+  "text/plain; version=0.0.4"*) ;;
+  *) echo "FAIL: /metrics Content-Type is '$ctype'"; exit 1 ;;
+esac
+metric_nonzero() { # <sample regex> — assert the series exists with value > 0
+  val=$(echo "$metrics" | awk -v pat="^$1 " '$0 ~ pat {print $2; exit}')
+  if [ -z "$val" ] || [ "$(echo "$val" | awk '{print ($1 > 0) ? 1 : 0}')" != "1" ]; then
+    echo "FAIL: metric $1 missing or zero (got '${val:-absent}')"; exit 1
+  fi
+  echo "  $1 = $val"
+}
+metric_nonzero 'tsens_serve_drain_rounds_total'
+metric_nonzero 'tsens_serve_drain_round_seconds_count'
+metric_nonzero 'tsens_serve_epoch'
+metric_nonzero 'tsens_wal_fsyncs_total'
+metric_nonzero 'tsens_wal_fsync_seconds_count'
+metric_nonzero 'tsens_wal_records_total\{kind="updates"\}'
+metric_nonzero 'tsens_serve_acks_total\{kind="updates"\}'
+metric_nonzero 'tsens_epsilon_spent\{query="tri"\}'
+metric_nonzero 'tsens_session_update_seconds_count'
+
+echo "--- /debug/vars parses as JSON and agrees with /metrics on the epoch"
+vars_epoch=$(curl -fsS "$BASE/debug/vars" | jq -r '."tsens_serve_epoch"')
+prom_epoch=$(echo "$metrics" | awk '$1 == "tsens_serve_epoch" {print $2}')
+[ "$vars_epoch" = "$prom_epoch" ] || { echo "FAIL: /debug/vars epoch $vars_epoch != /metrics $prom_epoch"; exit 1; }
+
 echo "--- restart round-trip: SIGTERM, recover from WAL, state unchanged"
 remaining_before=$(echo "$rel2" | jq -r .remaining)
 kill -TERM "$server_pid"
