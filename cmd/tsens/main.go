@@ -143,8 +143,10 @@ type serveCmd struct {
 	lease    replica.LeaseStore // nil without -lease
 	holder   string
 	ttl      time.Duration
-	replAddr string                 // -replicate; a promoted follower re-listens here
+	replAddr string                  // -replicate; a promoted follower re-listens here
 	fopts    replica.FollowerOptions // to restart following after a refused promotion
+
+	log *obs.Logger // structured operational log (never nil after buildServe)
 
 	mu       sync.Mutex
 	stopped  bool
@@ -230,13 +232,13 @@ func (c *serveCmd) promoteLoop(stop <-chan struct{}) {
 // lineage). Promote consumes the follower regardless of outcome, so a
 // refusal — e.g. another follower won the lease race — restarts following.
 func (c *serveCmd) tryPromote(f *replica.Follower) {
-	fmt.Println("leader lease expired; promoting from replicated state")
+	c.log.Info("leader lease expired; promoting from replicated state")
 	srv, err := f.Promote(replica.PromoteOptions{Lease: c.lease, Holder: c.holder, TTL: c.ttl})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tsens serve: promotion refused:", err)
+		c.log.Warn("promotion refused; restarting follower", "err", err)
 		nf, ferr := replica.StartFollower(c.fopts)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "tsens serve: restarting follower:", ferr)
+			c.log.Error("restarting follower failed", "err", ferr)
 			return
 		}
 		c.installFollower(nf)
@@ -247,12 +249,12 @@ func (c *serveCmd) tryPromote(f *replica.Follower) {
 		// Someone else took the lease between Promote and here; they lead.
 		// Keep serving reads, but fence so no acknowledgment slips out.
 		srv.Fence(err)
-		fmt.Fprintln(os.Stderr, "tsens serve: lease lost after promotion; fenced:", err)
+		c.log.Error("lease lost after promotion; fenced", "err", err)
 	}
 	var rln net.Listener
 	if ld != nil && c.replAddr != "" {
 		if rln, err = net.Listen("tcp", c.replAddr); err != nil {
-			fmt.Fprintln(os.Stderr, "tsens serve: replication listener:", err)
+			c.log.Error("replication listener failed", "err", err)
 		}
 	}
 	c.mu.Lock()
@@ -272,10 +274,10 @@ func (c *serveCmd) tryPromote(f *replica.Follower) {
 	c.api.SetServer(srv)
 	c.api.SetStatus(func() serve.Status { return serve.Status{State: serve.StateLeading} })
 	if rln != nil {
-		go serveReplication(ld, rln)
+		go serveReplication(c.log, ld, rln)
 	}
 	st := srv.Stats()
-	fmt.Printf("promoted: leading at epoch %d with %d queries\n", st.Epoch, st.Queries)
+	c.log.Info("promoted: leading", "epoch", st.Epoch, "queries", st.Queries)
 }
 
 // installFollower swaps a freshly started follower in (after a refused
@@ -294,11 +296,11 @@ func (c *serveCmd) installFollower(f *replica.Follower) {
 }
 
 // serveReplication runs the WAL-shipping accept loop; its error surfaces on
-// stderr rather than killing the HTTP side (reads stay up without
-// replication).
-func serveReplication(ld *replica.Leader, ln net.Listener) {
+// the structured log rather than killing the HTTP side (reads stay up
+// without replication).
+func serveReplication(log *obs.Logger, ld *replica.Leader, ln net.Listener) {
 	if err := ld.Serve(ln); err != nil {
-		fmt.Fprintln(os.Stderr, "tsens serve: replication:", err)
+		log.Error("replication listener exited", "err", err)
 	}
 }
 
@@ -333,10 +335,22 @@ func buildServe(args []string) (*serveCmd, error) {
 		leasePath  = fs.String("lease", "", "lease file arbitrating leadership: the leader renews it, a follower promotes itself when it expires")
 		leaseTTL   = fs.Duration("lease-ttl", 3*time.Second, "lease duration; a crashed leader is succeeded after at most this long")
 		debug      = fs.Bool("debug", false, "expose pprof profiling under /debug/pprof/ (metrics at /metrics are always on)")
+		logLevel   = fs.String("log-level", "info", "minimum structured-log level: debug, info, warn, or error")
+		logJSON    = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of key=value text")
+		slowMS     = fs.Int("slow-ms", 0, "slow-trace threshold in milliseconds: traces at or over it are always kept in /debug/traces and logged (0 = default 100ms)")
 	)
 	if err := parseFlags(fs, args); err != nil {
 		return nil, err
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return nil, usagef("-log-level: %v", err)
+	}
+	if *slowMS < 0 {
+		return nil, usagef("-slow-ms must be non-negative (milliseconds)")
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+	slow := time.Duration(*slowMS) * time.Millisecond
 	if *follow != "" {
 		switch {
 		case *walDir == "":
@@ -356,6 +370,8 @@ func buildServe(args []string) (*serveCmd, error) {
 			SyncEvery:       *walSync,
 			CheckpointEvery: *ckptEvery,
 			Debug:           *debug,
+			SlowThreshold:   slow,
+			Logger:          logger,
 		}, *seed)
 	}
 	if *replicate != "" && *walDir == "" {
@@ -394,7 +410,8 @@ func buildServe(args []string) (*serveCmd, error) {
 		// Replaying the same stream into recovered state would append every
 		// update a second time and double the database. New updates go
 		// through POST /updates.
-		fmt.Printf("wal %s recovered; skipping -replay %s (already journaled; POST /updates for new ones)\n", *walDir, *replayFile)
+		logger.Warn("wal recovered; skipping -replay (already journaled; POST /updates for new ones)",
+			"wal", *walDir, "replay", *replayFile)
 		*replayFile = ""
 	}
 	pcols, err := parsePartition(*partition)
@@ -407,6 +424,8 @@ func buildServe(args []string) (*serveCmd, error) {
 		Shards:           *shards,
 		PartitionColumns: pcols,
 		Debug:            *debug,
+		SlowThreshold:    slow,
+		Logger:           logger,
 	}
 	if *walDir != "" {
 		sopts.WALDir = *walDir
@@ -425,7 +444,7 @@ func buildServe(args []string) (*serveCmd, error) {
 		for _, info := range infos {
 			recovered[info.ID] = info.Query
 		}
-		fmt.Printf("wal %s: epoch %d, %d queries recovered\n", *walDir, st.Epoch, len(infos))
+		logger.Info("wal recovered", "wal", *walDir, "epoch", st.Epoch, "queries", len(infos))
 	}
 	if *queryText != "" {
 		if prev, ok := recovered[*queryID]; ok {
@@ -444,7 +463,7 @@ func buildServe(args []string) (*serveCmd, error) {
 				return nil, fmt.Errorf("wal %s recovered query %q as %q, but -query asks for %q; unregister it first or pick another -id",
 					*walDir, *queryID, prev, q.String())
 			}
-			fmt.Printf("startup query %s already recovered; skipping registration\n", *queryID)
+			logger.Info("startup query already recovered; skipping registration", "id", *queryID)
 			*queryText = ""
 		}
 	}
@@ -484,9 +503,9 @@ func buildServe(args []string) (*serveCmd, error) {
 			srv.Close()
 			return nil, err
 		}
-		fmt.Printf("registered %s: |Q(D)| = %d, LS = %d\n", id, v.Count, v.LS.LS)
+		logger.Info("registered startup query", "id", id, "count", v.Count, "ls", v.LS.LS)
 	}
-	cmd := &serveCmd{srv: srv, api: serve.NewAPI(srv, loader, *seed), ttl: *leaseTTL, replAddr: *replicate}
+	cmd := &serveCmd{srv: srv, api: serve.NewAPI(srv, loader, *seed), ttl: *leaseTTL, replAddr: *replicate, log: logger}
 	cmd.api.SetStatus(func() serve.Status { return serve.Status{State: serve.StateLeading} })
 	if *replicate != "" {
 		lopts := replica.LeaderOptions{TTL: *leaseTTL}
@@ -509,7 +528,7 @@ func buildServe(args []string) (*serveCmd, error) {
 			return nil, err
 		}
 		cmd.leader, cmd.replLn = ld, rln
-		fmt.Printf("replicating on %s (lineage %s)\n", rln.Addr(), ld.Lineage())
+		logger.Info("replicating", "addr", rln.Addr(), "lineage", ld.Lineage())
 	}
 	if *replayFile != "" {
 		ups, err := loader.LoadUpdates(*replayFile)
@@ -531,7 +550,7 @@ func buildServe(args []string) (*serveCmd, error) {
 					return fmt.Errorf("replaying %s at update %d: %w", *replayFile, off, err)
 				}
 			}
-			fmt.Printf("replayed %d updates from %s\n", len(ups), *replayFile)
+			logger.Info("replayed update stream", "updates", len(ups), "stream", *replayFile)
 			return nil
 		}
 	}
@@ -555,6 +574,11 @@ func buildFollower(leaderAddr, dir, leasePath string, ttl time.Duration, addr, r
 	// backend swap.
 	reg := obs.NewRegistry()
 	sopts.Metrics = reg
+	// The trace recorder is pinned the same way: replicated applies, the
+	// passive server, and a promoted successor all record into it, and
+	// /debug/traces keeps its flight history across every backend swap.
+	rec := obs.NewTraceRecorder(reg, 0, sopts.SlowThreshold)
+	sopts.Traces = rec
 	fopts := replica.FollowerOptions{Dir: dir, Addr: leaderAddr, Serve: sopts}
 	f, err := replica.StartFollower(fopts)
 	if err != nil {
@@ -566,8 +590,10 @@ func buildFollower(leaderAddr, dir, leasePath string, ttl time.Duration, addr, r
 		replAddr: replAddr,
 		fopts:    fopts,
 		follower: f,
+		log:      sopts.Logger,
 	}
 	cmd.api.SetMetrics(reg)
+	cmd.api.SetTraces(rec)
 	if sopts.Debug {
 		cmd.api.EnableDebug()
 	}
@@ -599,7 +625,7 @@ func runServe(args []string) error {
 	if cmd.replay != nil {
 		go func() {
 			if err := cmd.replay(); err != nil {
-				fmt.Fprintln(os.Stderr, "tsens serve:", err)
+				cmd.log.Error("replay failed", "err", err)
 			}
 		}()
 	}
@@ -615,7 +641,7 @@ func runServe(args []string) error {
 	go func() {
 		select {
 		case s := <-sig:
-			fmt.Printf("received %v; draining and shutting down (again to force-quit)\n", s)
+			cmd.log.Info("signal received; draining and shutting down (again to force-quit)", "signal", s)
 			// Restore default disposition: a second signal during a slow
 			// drain must kill the process, not be swallowed.
 			signal.Stop(sig)
@@ -625,17 +651,17 @@ func runServe(args []string) error {
 		}
 	}()
 	if cmd.leader != nil {
-		go serveReplication(cmd.leader, cmd.replLn)
+		go serveReplication(cmd.log, cmd.leader, cmd.replLn)
 	}
 	if cmd.follower != nil {
 		if cmd.lease != nil {
 			go cmd.promoteLoop(stopping)
-			fmt.Printf("following %s (promotes on lease expiry); serving reads on http://%s\n", cmd.fopts.Addr, cmd.ln.Addr())
+			cmd.log.Info("following; serving reads", "leader", cmd.fopts.Addr, "addr", cmd.ln.Addr(), "promotes", "on lease expiry")
 		} else {
-			fmt.Printf("following %s; serving reads on http://%s\n", cmd.fopts.Addr, cmd.ln.Addr())
+			cmd.log.Info("following; serving reads", "leader", cmd.fopts.Addr, "addr", cmd.ln.Addr())
 		}
 	} else {
-		fmt.Printf("serving on http://%s\n", cmd.ln.Addr())
+		cmd.log.Info("serving", "addr", cmd.ln.Addr())
 	}
 	// ReadHeaderTimeout bounds a client that connects and never finishes its
 	// headers (slowloris); IdleTimeout reclaims parked keep-alive

@@ -283,6 +283,8 @@ func TestExitCodes(t *testing.T) {
 		{"updates bad batch", []string{"updates", "-data", dir, "-query", "R1(A,B)", "-batch", "0"}, 2},
 		{"updates runtime error", []string{"updates", "-data", dir, "-query", "R1(A,B)"}, 1}, // no updates.stream
 		{"serve bad flag", []string{"serve", "-nope"}, 2},
+		{"serve bad log level", []string{"serve", "-data", dir, "-addr", "127.0.0.1:0", "-log-level", "loud"}, 2},
+		{"serve negative slow-ms", []string{"serve", "-data", dir, "-addr", "127.0.0.1:0", "-slow-ms", "-5"}, 2},
 		{"serve missing data and wal", []string{"serve", "-addr", "127.0.0.1:0"}, 2},
 		{"serve unwritable wal dir", []string{"serve", "-addr", "127.0.0.1:0", "-data", dir,
 			"-wal", filepath.Join(blocker, "wal")}, 1},
@@ -420,7 +422,7 @@ func TestServeReplicationFailover(t *testing.T) {
 	}
 	defer ld.shutdown()
 	defer ld.ln.Close()
-	go serveReplication(ld.leader, ld.replLn)
+	go serveReplication(ld.log, ld.leader, ld.replLn)
 
 	fl, err := buildServe([]string{
 		"-follow", ld.replLn.Addr().String(),
@@ -537,4 +539,125 @@ func TestServeReplicationFailover(t *testing.T) {
 	if code != http.StatusOK || got.Epoch != want.Epoch+1 {
 		t.Fatalf("promoted ls: %+v (status %d), want epoch %d", got, code, want.Epoch+1)
 	}
+}
+
+// TestServeTraceAcrossReplication drives one traced update through a
+// replicating leader and its follower and asserts the tracing layer's core
+// promise: the leader's flight recorder holds the update's trace with every
+// write-path stage, and the follower holds a replicated-update trace under
+// the SAME trace ID with the mirror and apply stages — one request joined
+// across two processes, the ID riding inside the shipped WAL record.
+func TestServeTraceAcrossReplication(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("R1.csv", "a,b\n1,1\n1,2\n2,2\n")
+	writeFile("R2.csv", "b,c\n1,x\n2,x\n2,y\n")
+
+	ld, err := buildServe([]string{
+		"-data", dir,
+		"-addr", "127.0.0.1:0",
+		"-query", "R1(A,B), R2(B,C)",
+		"-id", "demo",
+		"-wal", filepath.Join(dir, "wal-leader"),
+		"-replicate", "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.shutdown()
+	defer ld.ln.Close()
+	go serveReplication(ld.log, ld.leader, ld.replLn)
+
+	fl, err := buildServe([]string{
+		"-follow", ld.replLn.Addr().String(),
+		"-addr", "127.0.0.1:0",
+		"-wal", filepath.Join(dir, "wal-follower"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.shutdown()
+	defer fl.ln.Close()
+
+	lts := httptest.NewServer(ld.api)
+	defer lts.Close()
+	fts := httptest.NewServer(fl.api)
+	defer fts.Close()
+
+	resp, err := http.Post(lts.URL+"/updates?wait=epoch", "application/json",
+		strings.NewReader(`{"updates":[{"op":"+","rel":"R2","row":["2","x"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		Trace string `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ack.Trace == "" {
+		t.Fatalf("update: status %d, trace %q", resp.StatusCode, ack.Trace)
+	}
+
+	// stagesOf fetches /debug/traces and returns the stage-name set of the
+	// trace with the wanted name and ID, or nil while it has not appeared.
+	stagesOf := func(url, name, id string) map[string]bool {
+		t.Helper()
+		resp, err := http.Get(url + "/debug/traces?name=" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Traces []struct {
+				ID     string `json:"id"`
+				Stages []struct {
+					Name string `json:"name"`
+				} `json:"stages"`
+			} `json:"traces"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range out.Traces {
+			if tr.ID != id {
+				continue
+			}
+			stages := make(map[string]bool, len(tr.Stages))
+			for _, st := range tr.Stages {
+				stages[st.Name] = true
+			}
+			return stages
+		}
+		return nil
+	}
+	waitStages := func(url, name string, want []string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if stages := stagesOf(url, name, ack.Trace); stages != nil {
+				for _, s := range want {
+					if !stages[s] {
+						t.Fatalf("%s trace %s: stage %q missing in %v", name, ack.Trace, s, stages)
+					}
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("trace %s never appeared in %s/debug/traces?name=%s", ack.Trace, url, name)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	// The leader finishes the trace when the drain round publishes; the
+	// follower records its half when the shipped record applies.
+	waitStages(lts.URL, "update", []string{"ingress", "shard-route", "wal-append", "drain", "patch", "publish"})
+	waitStages(fts.URL, "replicated-update", []string{"mirror", "apply"})
 }

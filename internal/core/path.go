@@ -195,4 +195,3 @@ func PathLocalSensitivity(q *query.Query, db *relation.Database) (*Result, error
 	}
 	return res, nil
 }
-

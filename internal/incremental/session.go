@@ -69,6 +69,10 @@ type Options struct {
 	// session opened against the same registry). Nil disables
 	// instrumentation entirely — no clocks on the per-update path.
 	Metrics *obs.Registry
+	// Logger, when set, receives one structured line per full rebuild —
+	// rebuilds are the session's only expensive, operator-visible event.
+	// Nil keeps the session silent.
+	Logger *obs.Logger
 }
 
 // memberRef addresses one member of one unit of the solver.
@@ -450,11 +454,22 @@ func (s *Session) Rebuild() error { return s.rebuild() }
 
 func (s *Session) rebuild() error {
 	s.rebuilds++
+	start := time.Now()
 	if s.rebuildsTotal != nil {
 		s.rebuildsTotal.Inc()
-		defer s.rebuildSecs.ObserveSince(time.Now())
+		defer s.rebuildSecs.ObserveSince(start)
 	}
-	return s.build()
+	err := s.build()
+	if s.opts.Logger != nil {
+		if err != nil {
+			s.opts.Logger.Error("session rebuild failed",
+				"query", s.q.Name, "rebuilds", s.rebuilds, "took", time.Since(start), "err", err)
+		} else {
+			s.opts.Logger.Info("session rebuild",
+				"query", s.q.Name, "rebuilds", s.rebuilds, "rows", s.db.Size(), "took", time.Since(start))
+		}
+	}
+	return err
 }
 
 // Updates returns the number of updates applied since Open.

@@ -312,8 +312,17 @@ type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
 
-	hookMu sync.RWMutex
-	hooks  []SpanHook
+	hookMu     sync.RWMutex
+	hooks      []spanHookEntry // copy-on-write: replaced wholesale, never mutated
+	nextHookID uint64
+}
+
+// spanHookEntry pairs a hook with the identity OnSpan's remove closure
+// deletes by. The slice holding entries is copy-on-write, so a Span that
+// snapshotted it keeps a consistent view while hooks churn.
+type spanHookEntry struct {
+	id   uint64
+	hook SpanHook
 }
 
 // NewRegistry returns an empty registry.
@@ -384,14 +393,34 @@ func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames
 	return &HistogramVec{f: r.family(name, help, KindHistogram, buckets, labelNames)}
 }
 
-// OnSpan registers a hook invoked for every completed span.
-func (r *Registry) OnSpan(h SpanHook) {
+// OnSpan registers a hook invoked for every completed span and returns a
+// function that unregisters it. The hook list is copy-on-write: spans that
+// already snapshotted it may still fire the hook once more after remove
+// returns, but no new snapshot will include it. Safe on a nil receiver
+// (the returned remove is a no-op).
+func (r *Registry) OnSpan(h SpanHook) (remove func()) {
 	if r == nil || h == nil {
-		return
+		return func() {}
 	}
 	r.hookMu.Lock()
-	r.hooks = append(r.hooks, h)
+	r.nextHookID++
+	id := r.nextHookID
+	next := make([]spanHookEntry, len(r.hooks), len(r.hooks)+1)
+	copy(next, r.hooks)
+	r.hooks = append(next, spanHookEntry{id: id, hook: h})
 	r.hookMu.Unlock()
+	return func() {
+		r.hookMu.Lock()
+		defer r.hookMu.Unlock()
+		for i, e := range r.hooks {
+			if e.id == id {
+				next := make([]spanHookEntry, 0, len(r.hooks)-1)
+				next = append(next, r.hooks[:i]...)
+				r.hooks = append(next, r.hooks[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // Span starts a span and returns its stop function. Stopping observes
@@ -412,8 +441,8 @@ func (r *Registry) Span(name string, hist *Histogram) func() {
 		r.hookMu.RLock()
 		hooks := r.hooks
 		r.hookMu.RUnlock()
-		for _, h := range hooks {
-			h(name, d)
+		for _, e := range hooks {
+			e.hook(name, d)
 		}
 	}
 }

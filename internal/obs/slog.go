@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Leveled structured logging without dependencies. One line per event,
+// either logfmt-style key=value text or JSON; both stamp ts/level/msg and
+// whatever key-value pairs the caller attached (With pre-binds pairs such
+// as the trace ID). All methods are safe on a nil receiver and for
+// concurrent use. Hot-path error sites use ErrorRL, which caps output at
+// one line per key per second and reports how many lines it swallowed.
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel reads a level name (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown log level %q (debug, info, warn, error)", s)
+}
+
+// Logger writes leveled structured lines to a shared sink. Derive
+// children with With; they share the sink, level, and rate limiter.
+type Logger struct {
+	core *loggerCore
+	kvs  []any // pre-bound key-value pairs, alternating key, value
+}
+
+type loggerCore struct {
+	mu    sync.Mutex
+	w     io.Writer
+	min   Level
+	jsonl bool
+	now   func() time.Time
+
+	rlMu   sync.Mutex
+	rlSeen map[string]*rlState
+}
+
+type rlState struct {
+	last       time.Time
+	suppressed int
+}
+
+// NewLogger returns a logger writing lines at or above min to w. jsonl
+// selects JSON-per-line output; false selects key=value text.
+func NewLogger(w io.Writer, min Level, jsonl bool) *Logger {
+	return &Logger{core: &loggerCore{
+		w: w, min: min, jsonl: jsonl,
+		now:    time.Now,
+		rlSeen: make(map[string]*rlState),
+	}}
+}
+
+// With returns a logger that adds the given alternating key-value pairs
+// to every line. Safe on nil (returns nil).
+func (l *Logger) With(kvs ...any) *Logger {
+	if l == nil || len(kvs) == 0 {
+		return l
+	}
+	merged := make([]any, 0, len(l.kvs)+len(kvs))
+	merged = append(merged, l.kvs...)
+	merged = append(merged, kvs...)
+	return &Logger{core: l.core, kvs: merged}
+}
+
+// Enabled reports whether a line at the given level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.core.min
+}
+
+func (l *Logger) Debug(msg string, kvs ...any) { l.log(LevelDebug, msg, kvs) }
+func (l *Logger) Info(msg string, kvs ...any)  { l.log(LevelInfo, msg, kvs) }
+func (l *Logger) Warn(msg string, kvs ...any)  { l.log(LevelWarn, msg, kvs) }
+func (l *Logger) Error(msg string, kvs ...any) { l.log(LevelError, msg, kvs) }
+
+// rlWindow is how long ErrorRL silences repeats of one key.
+const rlWindow = time.Second
+
+// ErrorRL logs an error at most once per second per key; suppressed
+// repeats are counted and reported on the next line that gets through
+// (suppressed=N). Use it on hot paths where a persistent fault would
+// otherwise log per request.
+func (l *Logger) ErrorRL(key, msg string, kvs ...any) {
+	if l == nil || LevelError < l.core.min {
+		return
+	}
+	c := l.core
+	c.rlMu.Lock()
+	st := c.rlSeen[key]
+	if st == nil {
+		st = &rlState{}
+		c.rlSeen[key] = st
+	}
+	now := c.now()
+	if now.Sub(st.last) < rlWindow {
+		st.suppressed++
+		c.rlMu.Unlock()
+		return
+	}
+	st.last = now
+	suppressed := st.suppressed
+	st.suppressed = 0
+	c.rlMu.Unlock()
+	if suppressed > 0 {
+		kvs = append(kvs, "suppressed", suppressed)
+	}
+	l.log(LevelError, msg, kvs)
+}
+
+func (l *Logger) log(level Level, msg string, kvs []any) {
+	if l == nil || level < l.core.min {
+		return
+	}
+	c := l.core
+	ts := c.now().UTC()
+	var line []byte
+	if c.jsonl {
+		obj := make(map[string]any, 3+(len(l.kvs)+len(kvs))/2)
+		obj["ts"] = ts.Format(time.RFC3339Nano)
+		obj["level"] = level.String()
+		obj["msg"] = msg
+		addPairs(obj, l.kvs)
+		addPairs(obj, kvs)
+		line, _ = json.Marshal(obj)
+		line = append(line, '\n')
+	} else {
+		var b strings.Builder
+		b.WriteString("ts=")
+		b.WriteString(ts.Format(time.RFC3339Nano))
+		b.WriteString(" level=")
+		b.WriteString(level.String())
+		b.WriteString(" msg=")
+		b.WriteString(quoteValue(msg))
+		writePairs(&b, l.kvs)
+		writePairs(&b, kvs)
+		b.WriteByte('\n')
+		line = []byte(b.String())
+	}
+	c.mu.Lock()
+	c.w.Write(line)
+	c.mu.Unlock()
+}
+
+func addPairs(obj map[string]any, kvs []any) {
+	for i := 0; i+1 < len(kvs); i += 2 {
+		k, ok := kvs[i].(string)
+		if !ok {
+			k = fmt.Sprint(kvs[i])
+		}
+		obj[k] = jsonValue(kvs[i+1])
+	}
+}
+
+// jsonValue keeps values that json.Marshal would reject (or render
+// uselessly) readable: errors and Stringers become their text.
+func jsonValue(v any) any {
+	switch t := v.(type) {
+	case error:
+		return t.Error()
+	case time.Duration:
+		return t.String()
+	case fmt.Stringer:
+		return t.String()
+	}
+	return v
+}
+
+func writePairs(b *strings.Builder, kvs []any) {
+	for i := 0; i+1 < len(kvs); i += 2 {
+		k, ok := kvs[i].(string)
+		if !ok {
+			k = fmt.Sprint(kvs[i])
+		}
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(quoteValue(formatValue(kvs[i+1])))
+	}
+}
+
+func formatValue(v any) string {
+	switch t := v.(type) {
+	case string:
+		return t
+	case error:
+		return t.Error()
+	case time.Duration:
+		return t.String()
+	case fmt.Stringer:
+		return t.String()
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	}
+	return fmt.Sprint(v)
+}
+
+// quoteValue quotes a value only when logfmt needs it (spaces, quotes,
+// '=', control characters), keeping common lines grep-friendly.
+func quoteValue(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

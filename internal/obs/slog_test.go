@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock(times ...time.Time) func() time.Time {
+	i := 0
+	return func() time.Time {
+		t := times[i%len(times)]
+		i++
+		return t
+	}
+}
+
+func TestLoggerText(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelInfo, false)
+	l.core.now = fixedClock(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	l.With("trace", TraceID(0xab).String()).Info("drain round", "epoch", 7, "took", 1500*time.Microsecond, "q", "has space")
+	got := sb.String()
+	want := `ts=2026-08-08T12:00:00Z level=info msg="drain round" trace=00000000000000ab epoch=7 took=1.5ms q="has space"` + "\n"
+	if got != want {
+		t.Fatalf("line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug, true)
+	l.core.now = fixedClock(time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC))
+	l.Error("apply failed", "err", errors.New("boom"), "lag", int64(3))
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &obj); err != nil {
+		t.Fatalf("not JSON: %v: %q", err, sb.String())
+	}
+	if obj["level"] != "error" || obj["msg"] != "apply failed" || obj["err"] != "boom" || obj["lag"] != float64(3) {
+		t.Fatalf("obj = %v", obj)
+	}
+}
+
+func TestLoggerLevelsAndNil(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelWarn, false)
+	l.Debug("d")
+	l.Info("i")
+	if sb.Len() != 0 {
+		t.Fatalf("below-min levels wrote %q", sb.String())
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Fatal("Enabled wrong")
+	}
+	l.Warn("w")
+	if !strings.Contains(sb.String(), "level=warn") {
+		t.Fatalf("warn line: %q", sb.String())
+	}
+
+	var nilLogger *Logger
+	nilLogger.Info("x", "k", "v")
+	nilLogger.ErrorRL("k", "x")
+	if nilLogger.With("k", "v") != nil {
+		t.Fatal("nil With != nil")
+	}
+	if nilLogger.Enabled(LevelError) {
+		t.Fatal("nil logger enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, " info ": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestLoggerErrorRL(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelInfo, false)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	// Clock sequence: first burst at t0 (5 calls), then one call past the
+	// window. Each ErrorRL reads the clock once; the line that gets through
+	// reads it once more in log().
+	times := []time.Time{base, base, base, base, base, base,
+		base.Add(2 * time.Second), base.Add(2 * time.Second)}
+	l.core.now = fixedClock(times...)
+	for i := 0; i < 5; i++ {
+		l.ErrorRL("wal", "append failed", "n", i)
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 1 {
+		t.Fatalf("burst logged %d lines, want 1: %q", lines, sb.String())
+	}
+	l.ErrorRL("wal", "append failed", "n", 5)
+	out := sb.String()
+	if strings.Count(out, "\n") != 2 {
+		t.Fatalf("post-window logged %d lines, want 2: %q", strings.Count(out, "\n"), out)
+	}
+	if !strings.Contains(out, "suppressed=4") {
+		t.Fatalf("no suppressed count: %q", out)
+	}
+	// Distinct keys rate-limit independently.
+	sb.Reset()
+	l2 := NewLogger(&sb, LevelInfo, false)
+	l2.core.now = fixedClock(base)
+	l2.ErrorRL("a", "m")
+	l2.ErrorRL("b", "m")
+	if strings.Count(sb.String(), "\n") != 2 {
+		t.Fatalf("independent keys: %q", sb.String())
+	}
+}

@@ -142,9 +142,9 @@ func TestExpandPlanDifferential(t *testing.T) {
 				delta.Cnt[i] = -delta.Cnt[i]
 			}
 		}
-		contained := randTable([]string{"B"}, 3, 4)          // probe step
-		connected := randTable([]string{"B", "C"}, 6, 4)     // index step
-		disconnected := randTable([]string{"D"}, 3, 4)       // scan step
+		contained := randTable([]string{"B"}, 3, 4)      // probe step
+		connected := randTable([]string{"B", "C"}, 6, 4) // index step
+		disconnected := randTable([]string{"D"}, 3, 4)   // scan step
 		keep := []string{"A", "C", "D"}
 		tables := []*Counted{contained, connected, disconnected}
 

@@ -40,6 +40,7 @@ import (
 	"tsens/internal/csvio"
 	"tsens/internal/ghd"
 	"tsens/internal/mechanism"
+	"tsens/internal/obs"
 	"tsens/internal/query"
 	"tsens/internal/relation"
 	"tsens/internal/serve/wal"
@@ -96,25 +97,82 @@ type durableLog struct {
 
 func (d *durableLog) enabled() bool { return d != nil && d.active.Load() }
 
-// appendUpdates journals one Append batch: its starting LSN, count, and the
-// updates as binary records. Called under logMu before the batch enters the
-// in-memory log; a nil error means the acknowledgment is safe to hand out.
-func (d *durableLog) appendUpdates(from int64, ups []relation.Update) error {
+// appendUpdates journals one Append batch: its starting LSN, count, the
+// updates as binary records, and a trailing trace ID. Called under logMu
+// before the batch enters the in-memory log; a nil error means the
+// acknowledgment is safe to hand out. The stats report where the time
+// went for the batch's trace.
+//
+// The trace ID rides as a trailing uvarint: replayRecord reads exactly
+// count records and always tolerated trailing bytes, so records written
+// before tracing (no trailer) and after it replay identically, and the
+// replication stream — which ships record payloads verbatim — carries
+// the ID to followers with no protocol change.
+func (d *durableLog) appendUpdates(from int64, ups []relation.Update, id obs.TraceID) (wal.AppendStats, error) {
 	if !d.enabled() {
-		return nil
+		return wal.AppendStats{}, nil
 	}
 	buf := binary.AppendUvarint(nil, uint64(from))
 	buf = binary.AppendUvarint(buf, uint64(len(ups)))
 	for _, up := range ups {
 		buf = csvio.AppendUpdateRecord(buf, up, d.codec.Decode)
 	}
-	if err := d.log.Append(recUpdates, buf); err != nil {
-		return err
+	buf = binary.AppendUvarint(buf, uint64(id))
+	stats, err := d.log.AppendTimed(recUpdates, buf)
+	if err != nil {
+		return stats, err
 	}
 	if d.m != nil {
 		d.m.walRecords.With(recKindName(recUpdates)).Inc()
 	}
-	return nil
+	return stats, nil
+}
+
+// UpdatesTraceID extracts the trace ID a journaled update record ('U')
+// carries, or zero when the record predates tracing. It skips the update
+// payload by frame lengths alone — no value decoding, no dictionary — so
+// the replication apply path can tag its trace cheaply.
+func UpdatesTraceID(data []byte) obs.TraceID {
+	_, used := binary.Uvarint(data) // from
+	if used <= 0 {
+		return 0
+	}
+	data = data[used:]
+	n, used := binary.Uvarint(data) // count
+	if used <= 0 {
+		return 0
+	}
+	data = data[used:]
+	for j := uint64(0); j < n; j++ {
+		rest, ok := skipBinaryRecord(data)
+		if !ok {
+			return 0
+		}
+		data = rest
+	}
+	id, used := binary.Uvarint(data)
+	if used <= 0 {
+		return 0 // pre-tracing record: no trailer
+	}
+	return obs.TraceID(id)
+}
+
+// skipBinaryRecord advances past one csvio binary record (field count,
+// then length-prefixed fields) without materializing it.
+func skipBinaryRecord(b []byte) (rest []byte, ok bool) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, false
+	}
+	b = b[used:]
+	for i := uint64(0); i < n; i++ {
+		l, used := binary.Uvarint(b)
+		if used <= 0 || l > uint64(len(b[used:])) {
+			return nil, false
+		}
+		b = b[used+int(l):]
+	}
+	return b, true
 }
 
 func (d *durableLog) appendJSON(kind byte, v any) error {

@@ -42,12 +42,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tsens/internal/core"
-	"tsens/internal/obs"
 	"tsens/internal/csvio"
 	"tsens/internal/ghd"
 	"tsens/internal/mechanism"
+	"tsens/internal/obs"
 	"tsens/internal/parser"
 	"tsens/internal/query"
 	"tsens/internal/relation"
@@ -143,6 +144,11 @@ type API struct {
 	// metrics, when set, pins the registry behind /metrics and /debug/vars
 	// (nil falls back to the backend server's).
 	metrics atomic.Pointer[obs.Registry]
+
+	// traces, when set, pins the recorder behind /debug/traces and the one
+	// ingress traces start in (nil falls back to the backend server's) —
+	// the same process-level pinning as metrics.
+	traces atomic.Pointer[obs.TraceRecorder]
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -258,6 +264,7 @@ func NewAPI(srv *Server, codec Codec, seed int64) *API {
 	})
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", a.handleVars)
+	mux.HandleFunc("GET /debug/traces", a.handleTraces)
 	a.mux = mux
 	if srv != nil && srv.opts.Debug {
 		a.EnableDebug()
@@ -288,6 +295,53 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleVars(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.registry().Snapshot())
+}
+
+// SetTraces pins the trace recorder /debug/traces renders and ingress
+// records into — the serve command passes its process-level recorder so
+// traces survive a follower's backend swaps, mirroring SetMetrics.
+func (a *API) SetTraces(rec *obs.TraceRecorder) { a.traces.Store(rec) }
+
+func (a *API) recorder() *obs.TraceRecorder {
+	if rec := a.traces.Load(); rec != nil {
+		return rec
+	}
+	if srv := a.server(); srv != nil {
+		return srv.Traces()
+	}
+	return nil // nil recorder: Start and Traces are no-ops
+}
+
+// handleTraces serves the flight recorder's contents: sampled and slow
+// traces, newest first. Query parameters: name (exact trace name),
+// min_ms (minimum duration in milliseconds), limit (max traces).
+func (a *API) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var f obs.TraceFilter
+	q := r.URL.Query()
+	f.Name = q.Get("name")
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", v))
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		f.Limit = n
+	}
+	rec := a.recorder()
+	traces := rec.Traces(f)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slow_threshold_ms": float64(rec.SlowThreshold()) / float64(time.Millisecond),
+		"count":             len(traces),
+		"traces":            traces,
+	})
 }
 
 // EnableDebug mounts net/http/pprof under /debug/pprof/. Opt-in
@@ -500,6 +554,7 @@ type updatesRequest struct {
 }
 
 func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	ingressStart := time.Now()
 	if !a.gateWrite(w) {
 		return
 	}
@@ -550,7 +605,13 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	owners := srv.Owners(ups)
-	from, to, err := srv.Append(ups)
+	// The request's trace starts at the HTTP edge: "ingress" covers decode
+	// and routing up to the append; the server and its drain round add the
+	// wal-append/fsync, shard-route, patch, publish, and drain stages and
+	// finish the trace at publish.
+	tr := a.recorder().Start("update")
+	tr.StageAt("ingress", ingressStart, time.Since(ingressStart))
+	from, to, err := srv.AppendTraced(ups, tr)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
@@ -574,13 +635,17 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"accepted": len(ups),
 		"from":     from,
 		"to":       to,
 		"owners":   owners,
 		"epoch":    srv.Epoch(),
-	})
+	}
+	if id := tr.ID(); id != 0 {
+		out["trace"] = id.String()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {

@@ -27,10 +27,10 @@ type serverMetrics struct {
 	skipped  *obs.Gauge // refused deletes of absent tuples
 	queries  *obs.Gauge // registered queries
 
-	rounds       *obs.Counter   // drain rounds completed
-	drainRound   *obs.Histogram // whole-round latency (fold+barrier+publish)
-	drainBatch   *obs.Histogram // entries per round
-	publishView  *obs.Histogram // merge+publish portion of a round
+	rounds       *obs.Counter      // drain rounds completed
+	drainRound   *obs.Histogram    // whole-round latency (fold+barrier+publish)
+	drainBatch   *obs.Histogram    // entries per round
+	publishView  *obs.Histogram    // merge+publish portion of a round
 	shardPatch   *obs.HistogramVec // per-shard patch latency, label shard
 	registerSecs *obs.Histogram    // Register end to end
 	viewReads    *obs.Counter
@@ -101,6 +101,10 @@ func recKindName(kind byte) string {
 // Metrics returns the server's metrics registry (Options.Metrics, or the
 // private one the server created). Never nil.
 func (s *Server) Metrics() *obs.Registry { return s.m.reg }
+
+// Traces returns the server's trace recorder (Options.Traces, or the
+// server-created default).
+func (s *Server) Traces() *obs.TraceRecorder { return s.traces }
 
 // ackMetric counts one acknowledged client operation. Recovery replay and
 // replicated apply run the same Register/Append/Release code paths but

@@ -105,6 +105,12 @@ func StartFollower(opts FollowerOptions) (*Follower, error) {
 		// resets and promotion.
 		opts.Serve.Metrics = obs.NewRegistry()
 	}
+	if opts.Serve.Traces == nil {
+		// Same pinning for traces: the mirror+apply traces of replicated
+		// records land in one process-level recorder that survives
+		// checkpoint resets and promotion.
+		opts.Serve.Traces = obs.NewTraceRecorder(opts.Serve.Metrics, 0, opts.Serve.SlowThreshold)
+	}
 	m, err := wal.OpenMirror(opts.Dir, wal.Options{SyncEvery: opts.Serve.SyncEvery, FS: opts.Serve.WALFS, Metrics: opts.Serve.Metrics})
 	if err != nil {
 		return nil, err
@@ -352,23 +358,42 @@ func (f *Follower) applyCheckpoint(lineage string, reset bool, gen int64, data [
 }
 
 func (f *Follower) applyRecord(gen, idx int64, kind byte, data []byte) error {
-	defer f.fm.applySecs.ObserveSince(time.Now())
+	start := time.Now()
+	defer f.fm.applySecs.ObserveSince(start)
 	// Durable first, then visible: the mirror lands (and at the configured
 	// cadence fsyncs) the record before the live server applies it, so the
 	// follower never serves state its own disk could lose.
 	if err := f.mirror.Append(gen, idx, kind, data); err != nil {
 		return err
 	}
+	mirrorD := time.Since(start)
 	f.mu.Lock()
 	srv := f.srv
 	f.mu.Unlock()
 	if srv == nil {
 		return fmt.Errorf("replica: record before first checkpoint")
 	}
+	applyStart := time.Now()
 	if err := srv.ApplyReplicated(kind, data); err != nil {
 		return err
 	}
 	f.fm.applied.With(kindLabel(kind)).Inc()
+	// Update records carry the leader's trace ID in their payload; record
+	// the follower's half of the trace under the same ID, so one
+	// /debug/traces query on each process joins the full life of the
+	// update across the pair.
+	if kind == 'U' {
+		if id := serve.UpdatesTraceID(data); id != 0 {
+			f.opts.Serve.Traces.Record(&obs.Trace{
+				ID: id, IDText: id.String(), Name: "replicated-update",
+				Start: start, Duration: time.Since(start),
+				Stages: []obs.Stage{
+					{Name: "mirror", OffsetNS: 0, Duration: mirrorD},
+					{Name: "apply", OffsetNS: int64(applyStart.Sub(start)), Duration: time.Since(applyStart)},
+				},
+			})
+		}
+	}
 	return nil
 }
 

@@ -71,18 +71,20 @@ func kindLabel(kind byte) string {
 
 // retryAfterSeconds estimates how long a writer should back off before the
 // follower catches up: observed lag times the mean per-record apply time,
-// clamped to [1, 30] whole seconds. With no apply samples yet the floor
-// applies — 1s, matching the old hard-coded header.
+// clamped to [1, 30] whole seconds. A freshly started follower has no
+// samples yet (and a test-built one may have no histogram at all) — both
+// take the explicit zero-sample path to the 1s floor, matching the old
+// hard-coded header, instead of multiplying by a 0/0 mean.
 func retryAfterSeconds(lag int64, applySecs *obs.Histogram) int {
 	if lag <= 0 {
 		return 1
 	}
-	mean := 0.0
-	if n := applySecs.Count(); n > 0 {
-		mean = applySecs.Sum() / float64(n)
+	if applySecs == nil || applySecs.Count() == 0 {
+		return 1 // no applies observed yet: nothing to extrapolate from
 	}
+	mean := applySecs.Sum() / float64(applySecs.Count())
 	est := math.Ceil(float64(lag) * mean)
-	if est < 1 {
+	if est < 1 || math.IsNaN(est) {
 		return 1
 	}
 	if est > 30 {

@@ -1,0 +1,52 @@
+package replica
+
+import (
+	"testing"
+
+	"tsens/internal/obs"
+)
+
+// TestRetryAfterSeconds pins the backoff hint's zero-sample guard: a freshly
+// started follower has lag (the leader is ahead) but no apply samples yet, so
+// the estimate must take the explicit 1s floor instead of multiplying the lag
+// by a 0/0 mean — which is NaN, and int(math.Ceil(NaN)) is implementation-
+// defined garbage in a Retry-After header.
+func TestRetryAfterSeconds(t *testing.T) {
+	reg := obs.NewRegistry()
+	fresh := reg.Histogram("test_apply_seconds", "apply latency", nil)
+
+	cases := []struct {
+		name string
+		lag  int64
+		hist *obs.Histogram
+		want int
+	}{
+		{"no lag", 0, fresh, 1},
+		{"negative lag", -3, fresh, 1},
+		{"fresh follower: lag but zero samples", 1000, fresh, 1},
+		{"nil histogram (test-built follower)", 1000, nil, 1},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.lag, c.hist); got != c.want {
+			t.Errorf("%s: retryAfterSeconds(%d) = %d, want %d", c.name, c.lag, got, c.want)
+		}
+	}
+
+	seeded := reg.Histogram("test_apply_seconds_seeded", "apply latency", nil)
+	seeded.Observe(0.05)
+	seeded.Observe(0.15) // mean 0.1s per record
+	seededCases := []struct {
+		lag  int64
+		want int
+	}{
+		{5, 1},     // 0.5s rounds up to the 1s floor
+		{20, 2},    // 2.0s
+		{25, 3},    // 2.5s rounds up
+		{1000, 30}, // 100s clamps to the 30s ceiling
+	}
+	for _, c := range seededCases {
+		if got := retryAfterSeconds(c.lag, seeded); got != c.want {
+			t.Errorf("seeded: retryAfterSeconds(%d) = %d, want %d", c.lag, got, c.want)
+		}
+	}
+}

@@ -160,6 +160,21 @@ type Options struct {
 	// API. Off by default: profiles expose operational detail the public
 	// serving surface should not.
 	Debug bool
+	// Traces collects completed request traces (obs.TraceRecorder): every
+	// appended batch is traced from ingress through shard routing, WAL
+	// append/fsync, the drain round, per-shard patches, and publish, and
+	// served at GET /debug/traces. nil makes the server create its own
+	// over Metrics. Pass one process-level recorder when several servers
+	// share a process (follower resets, promotion), mirroring Metrics.
+	Traces *obs.TraceRecorder
+	// SlowThreshold marks traces slow (always kept by the recorder) and
+	// gates the slow-query log: any drain round or release over it logs
+	// one structured line with its trace breakdown. 0 means
+	// obs.DefaultSlowThreshold.
+	SlowThreshold time.Duration
+	// Logger receives the server's structured log lines (obs.Logger).
+	// nil disables logging — every log site is nil-safe.
+	Logger *obs.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -189,6 +204,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
+	}
+	if o.SlowThreshold <= 0 {
+		o.SlowThreshold = obs.DefaultSlowThreshold
+	}
+	if o.Traces == nil {
+		o.Traces = obs.NewTraceRecorder(o.Metrics, 0, o.SlowThreshold)
 	}
 	return o
 }
@@ -348,14 +369,22 @@ type Server struct {
 	pcols    map[string]int // relation → routing column
 	m        *serverMetrics
 
-	logMu   sync.Mutex
-	logCond *sync.Cond
-	log     []relation.Update
-	logBase int64 // absolute log sequence number of log[0]
-	regCuts map[int]int64
-	nextReg int
-	closed  bool // CloseNow: stop immediately, abandon the backlog
-	drain   bool // Close: refuse new appends, drain the backlog, then stop
+	// traces and logger are the request-tracing surfaces (Options.Traces /
+	// Options.Logger); traceLog runs parallel to log, holding each entry's
+	// in-flight trace (nil for untraced entries, e.g. recovery replay) so
+	// the drain round can stamp its stages onto the traces it folds.
+	traces *obs.TraceRecorder
+	logger *obs.Logger
+
+	logMu    sync.Mutex
+	logCond  *sync.Cond
+	log      []relation.Update
+	traceLog []*obs.ActiveTrace
+	logBase  int64 // absolute log sequence number of log[0]
+	regCuts  map[int]int64
+	nextReg  int
+	closed   bool // CloseNow: stop immediately, abandon the backlog
+	drain    bool // Close: refuse new appends, drain the backlog, then stop
 
 	// wal is the durability glue (nil without Options.WALDir): journaled
 	// appends/registrations/spends and the checkpoint writer (durable.go).
@@ -430,6 +459,8 @@ func newServer(master *relation.Database, opts Options, init serverInit, dl *dur
 		epochCh:  make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	s.traces = opts.Traces
+	s.logger = opts.Logger
 	s.epoch.Store(init.epoch)
 	s.appended.Store(init.epoch)
 	s.skipped.Store(init.skipped)
@@ -604,6 +635,7 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 		Options:       copts,
 		BulkThreshold: s.opts.BulkThreshold,
 		Metrics:       s.m.reg,
+		Logger:        s.logger,
 	}
 	if s.opts.RebuildTombstoneRatio > 0 {
 		sopts.RebuildTombstoneRatio = s.opts.RebuildTombstoneRatio
@@ -817,6 +849,16 @@ func (s *Server) Unregister(id string) error {
 // live in the published views, WaitShards(Owners(ups), to) until the owning
 // shards have folded them.
 func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
+	return s.AppendTraced(ups, nil)
+}
+
+// AppendTraced is Append under an already-started trace (the HTTP ingress
+// starts one per request). tr may be nil: a live server then starts its
+// own, so library callers get traced too, while replicated and recovery
+// replays (which re-append journaled batches) stay untraced on this path
+// — the follower records its own mirror+apply trace under the leader's
+// ID.
+func (s *Server) AppendTraced(ups []relation.Update, tr *obs.ActiveTrace) (from, to int64, err error) {
 	if err := s.fenced(); err != nil {
 		return 0, 0, err
 	}
@@ -828,6 +870,14 @@ func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
 		if len(up.Row) != len(r.Attrs) {
 			return 0, 0, fmt.Errorf("serve: update %d: tuple arity %d does not match %s arity %d",
 				i, len(up.Row), up.Rel, len(r.Attrs))
+		}
+	}
+	if tr == nil {
+		// Same gate as ackMetric: a durable server replaying its WAL (or a
+		// follower applying replicated records) must not trace the replay as
+		// fresh traffic.
+		if d := s.wal; d == nil || d.log == nil || d.active.Load() {
+			tr = s.traces.Start("update")
 		}
 	}
 	s.logMu.Lock()
@@ -845,11 +895,26 @@ func (s *Server) Append(ups []relation.Update) (from, to int64, err error) {
 	// the in-memory log. A WAL failure refuses the append outright (and the
 	// sticky WAL error keeps refusing) rather than acknowledging an update
 	// a restart would lose.
-	if err := s.wal.appendUpdates(from, cloned); err != nil {
+	walStart := time.Now()
+	stats, err := s.wal.appendUpdates(from, cloned, tr.ID())
+	if err != nil {
 		return 0, 0, err
+	}
+	if stats.Total > 0 {
+		tr.StageAt("wal-append", walStart, stats.Total)
+		if stats.Synced {
+			tr.StageAt("wal-fsync", walStart.Add(stats.Total-stats.Fsync), stats.Fsync)
+		}
 	}
 	s.ackMetric("updates")
 	s.log = append(s.log, cloned...)
+	if s.traces != nil {
+		// Keep traceLog aligned with log even for untraced entries (nil
+		// ActiveTrace methods are no-ops downstream).
+		for range cloned {
+			s.traceLog = append(s.traceLog, tr)
+		}
+	}
 	to = from + int64(len(cloned))
 	s.appended.Store(to)
 	s.m.appended.Set(float64(to))
@@ -946,6 +1011,12 @@ func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
 	if err := s.fenced(); err != nil {
 		return nil, err
 	}
+	releaseStart := time.Now()
+	defer func() {
+		if d := time.Since(releaseStart); d >= s.traces.SlowThreshold() && s.traces.SlowThreshold() > 0 && s.logger != nil {
+			s.logger.Warn("slow release", "query", id, "took", d)
+		}
+	}()
 	sq, err := s.lookup(id)
 	if err != nil {
 		return nil, err
@@ -1082,13 +1153,14 @@ func (s *Server) writer() {
 	defer s.wg.Done()
 	drained := s.epoch.Load() // non-zero when recovering from a checkpoint
 	for {
-		batch := s.nextBatch(drained)
+		batch, btraces := s.nextBatch(drained)
 		if batch == nil {
 			for _, sh := range s.shards {
 				close(sh.in)
 			}
 			return
 		}
+		roundStart := time.Now()
 		stopRound := s.m.reg.Span("serve.drain_round", s.m.drainRound)
 		s.m.drainBatch.Observe(float64(len(batch)))
 		s.stateMu.Lock()
@@ -1101,21 +1173,26 @@ func (s *Server) writer() {
 			}
 		}
 		s.m.skipped.Set(float64(s.skipped.Load()))
+		routeStart := time.Now()
 		routed := make([][]relation.Update, len(s.shards))
 		for _, up := range valid {
 			i := s.routeOf(up)
 			routed[i] = append(routed[i], up)
 		}
+		routeD := time.Since(routeStart)
 		newEpoch := drained + int64(len(batch))
 		rd := &round{valid: valid, routed: routed, cut: newEpoch}
 		rd.wg.Add(len(s.shards))
+		patchStart := time.Now()
 		for _, sh := range s.shards {
 			sh.in <- rd
 		}
 		rd.wg.Wait()
+		patchD := time.Since(patchStart)
 		publishStart := time.Now()
 		s.publishAll(newEpoch)
-		s.m.publishView.ObserveSince(publishStart)
+		publishD := time.Since(publishStart)
+		s.m.publishView.Observe(publishD.Seconds())
 		// The epoch advances before stateMu releases, so a Register that
 		// takes over the lock reads an epoch consistent with the master
 		// rows it snapshots.
@@ -1127,8 +1204,41 @@ func (s *Server) writer() {
 		s.stateMu.Unlock()
 		stopRound()
 		s.m.rounds.Inc()
+		s.finishRound(btraces, newEpoch, len(batch), roundStart, routeStart, routeD, patchStart, patchD, publishStart, publishD)
 		drained = newEpoch
 		s.notify()
+	}
+}
+
+// finishRound stamps the drain round's stage timings onto every trace the
+// batch carried, completes them, and writes the slow-round log line when
+// the round blew the threshold. The batch's entries are contiguous per
+// Append, so deduplicating consecutive pointers visits each trace once.
+func (s *Server) finishRound(btraces []*obs.ActiveTrace, epoch int64, batchLen int,
+	roundStart, routeStart time.Time, routeD time.Duration,
+	patchStart time.Time, patchD time.Duration,
+	publishStart time.Time, publishD time.Duration) {
+	roundD := time.Since(roundStart)
+	var first obs.TraceID
+	var prev *obs.ActiveTrace
+	for _, tr := range btraces {
+		if tr == nil || tr == prev {
+			continue
+		}
+		prev = tr
+		if first == 0 {
+			first = tr.ID()
+		}
+		tr.StageAt("shard-route", routeStart, routeD)
+		tr.StageAt("patch", patchStart, patchD)
+		tr.StageAt("publish", publishStart, publishD)
+		tr.StageAt("drain", roundStart, roundD)
+		tr.Finish()
+	}
+	if roundD >= s.traces.SlowThreshold() && s.traces.SlowThreshold() > 0 && s.logger != nil {
+		s.logger.Warn("slow drain round",
+			"trace", first, "epoch", epoch, "batch", batchLen,
+			"took", roundD, "route", routeD, "patch", patchD, "publish", publishD)
 	}
 }
 
@@ -1171,7 +1281,7 @@ func (s *Server) notify() {
 // slice, the live tail moves to a fresh allocation and logBase advances.
 // The half-full trigger amortizes the copy to O(1) per entry while keeping
 // a long-lived server's log proportional to its backlog, not its history.
-func (s *Server) nextBatch(off int64) []relation.Update {
+func (s *Server) nextBatch(off int64) ([]relation.Update, []*obs.ActiveTrace) {
 	s.logMu.Lock()
 	defer s.logMu.Unlock()
 	keep := off
@@ -1182,20 +1292,28 @@ func (s *Server) nextBatch(off int64) []relation.Update {
 	}
 	if pre := keep - s.logBase; pre > 0 && 2*pre >= int64(len(s.log)) {
 		s.log = append([]relation.Update(nil), s.log[pre:]...)
+		if s.traceLog != nil {
+			// traceLog compacts in lockstep so entry i's trace stays at i.
+			s.traceLog = append([]*obs.ActiveTrace(nil), s.traceLog[pre:]...)
+		}
 		s.logBase = keep
 	}
 	for s.logBase+int64(len(s.log)) <= off && !s.closed && !s.drain {
 		s.logCond.Wait()
 	}
 	if s.closed || s.logBase+int64(len(s.log)) <= off {
-		return nil
+		return nil, nil
 	}
 	start := off - s.logBase
 	end := int64(len(s.log))
 	if end > start+int64(s.opts.BatchSize) {
 		end = start + int64(s.opts.BatchSize)
 	}
-	return s.log[start:end]
+	var traces []*obs.ActiveTrace
+	if s.traceLog != nil {
+		traces = s.traceLog[start:end]
+	}
+	return s.log[start:end], traces
 }
 
 // applyToMaster folds one update into the master rows, reporting false for

@@ -34,13 +34,13 @@ type File interface {
 // OSFS is the passthrough FS over the os package — the default.
 type OSFS struct{}
 
-func (OSFS) MkdirAll(path string, perm os.FileMode) error    { return os.MkdirAll(path, perm) }
-func (OSFS) ReadDir(name string) ([]os.DirEntry, error)      { return os.ReadDir(name) }
-func (OSFS) ReadFile(name string) ([]byte, error)            { return os.ReadFile(name) }
-func (OSFS) Rename(oldpath, newpath string) error            { return os.Rename(oldpath, newpath) }
-func (OSFS) Remove(name string) error                        { return os.Remove(name) }
-func (OSFS) Truncate(name string, size int64) error          { return os.Truncate(name, size) }
-func (OSFS) OpenDir(name string) (File, error)               { return os.Open(name) }
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (OSFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (OSFS) OpenDir(name string) (File, error)            { return os.Open(name) }
 func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }

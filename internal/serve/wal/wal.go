@@ -339,35 +339,53 @@ func (l *Log) openSegmentLocked(gen int64) error {
 // A log that has ever failed a write keeps failing: a gap mid-log would
 // break replay, so the sticky error forces the server to stop acking.
 func (l *Log) Append(kind byte, data []byte) error {
+	_, err := l.AppendTimed(kind, data)
+	return err
+}
+
+// AppendStats breaks an Append down for request tracing: the total time
+// under the log lock and, when this append triggered an fsync, how much
+// of it the fsync took.
+type AppendStats struct {
+	Total  time.Duration
+	Fsync  time.Duration
+	Synced bool
+}
+
+// AppendTimed is Append, also reporting where the time went.
+func (l *Log) AppendTimed(kind byte, data []byte) (AppendStats, error) {
+	var st AppendStats
 	if len(data)+1 > maxFrame {
 		// Enforce the reader's bound at write time: an oversized frame
 		// would install fine and then be unreadable forever.
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
+		return st, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(data), maxFrame)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
-		return l.err
+		return st, l.err
 	}
 	if l.f == nil {
-		return fmt.Errorf("wal: not appending (StartAppending not called)")
+		return st, fmt.Errorf("wal: not appending (StartAppending not called)")
 	}
 	start := time.Now()
 	frame := appendFrame(make([]byte, 0, frameHeader+1+len(data)), kind, data)
 	if _, err := l.f.Write(frame); err != nil {
 		l.err = fmt.Errorf("wal: append: %w", err)
-		return l.err
+		return st, l.err
 	}
 	l.m.bytes.Add(int64(len(frame)))
 	l.recsInSeg++
 	l.unsynced++
+	var err error
 	if l.opts.SyncEvery <= 1 || l.unsynced >= l.opts.SyncEvery {
-		err := l.syncLocked()
-		l.m.appendSecs.ObserveSince(start)
-		return err
+		syncStart := time.Now()
+		err = l.syncLocked()
+		st.Fsync, st.Synced = time.Since(syncStart), true
 	}
-	l.m.appendSecs.ObserveSince(start)
-	return nil
+	st.Total = time.Since(start)
+	l.m.appendSecs.Observe(st.Total.Seconds())
+	return st, err
 }
 
 // Sync flushes any unsynced appends to disk.

@@ -124,6 +124,16 @@ metric_nonzero 'tsens_serve_acks_total\{kind="updates"\}'
 metric_nonzero 'tsens_epsilon_spent\{query="tri"\}'
 metric_nonzero 'tsens_session_update_seconds_count'
 
+echo "--- /debug/traces holds a finished update trace with a wal-append stage"
+traces=$(curl -fsS "$BASE/debug/traces?name=update")
+echo "$traces" | jq -c '{count, slow_threshold_ms}'
+has_wal_stage=$(echo "$traces" | jq '[.traces[] | select(any(.stages[]?; .name == "wal-append"))] | length')
+if [ "$has_wal_stage" = "0" ]; then
+  echo "FAIL: no update trace with a wal-append stage after traffic"
+  echo "$traces" | jq .
+  exit 1
+fi
+
 echo "--- /debug/vars parses as JSON and agrees with /metrics on the epoch"
 vars_epoch=$(curl -fsS "$BASE/debug/vars" | jq -r '."tsens_serve_epoch"')
 prom_epoch=$(echo "$metrics" | awk '$1 == "tsens_serve_epoch" {print $2}')
