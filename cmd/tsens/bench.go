@@ -25,7 +25,7 @@ import (
 // benchSchema identifies the JSON layout. Bump only when a key is added,
 // removed, or renamed — rerunning the same binary must reproduce the exact
 // same key set.
-const benchSchema = "tsens-bench/v1"
+const benchSchema = "tsens-bench/v2" // v2: serve gains shard_epoch_min, ring_depth_max
 
 const benchSeed = 20200409 // arXiv date of the paper, as in bench_test.go
 
@@ -58,6 +58,8 @@ type benchServeStat struct {
 	UpdateP99Ms   float64 `json:"update_p99_ms"`
 	DrainP50Ms    float64 `json:"drain_round_p50_ms"`
 	DrainP99Ms    float64 `json:"drain_round_p99_ms"`
+	ShardEpochMin float64 `json:"shard_epoch_min"`
+	RingDepthMax  float64 `json:"ring_depth_max"`
 }
 
 // runBench executes the suite and writes the report. The scenario sizes are
@@ -245,5 +247,21 @@ func benchServe(db *relation.Database, streamN int) (benchServeStat, error) {
 	st.UpdateP99Ms = ms("tsens_session_update_seconds_p99")
 	st.DrainP50Ms = ms("tsens_serve_drain_round_seconds_p50")
 	st.DrainP99Ms = ms("tsens_serve_drain_round_seconds_p99")
+	// Settle the drain so the per-shard gauges read at rest: every
+	// watermark equals the appended frontier and the rings hold the final
+	// stamp, making the minimum deterministic instead of a mid-drain race.
+	if err := srv.WaitApplied(srv.Stats().Appended); err != nil {
+		return benchServeStat{}, err
+	}
+	for i := 0; i < srv.NumShards(); i++ {
+		if e, ok := reg.Value(fmt.Sprintf(`tsens_shard_epoch{shard="%d"}`, i)); ok {
+			if i == 0 || e < st.ShardEpochMin {
+				st.ShardEpochMin = e
+			}
+		}
+		if d, ok := reg.Value(fmt.Sprintf(`tsens_serve_ring_depth{shard="%d"}`, i)); ok && d > st.RingDepthMax {
+			st.RingDepthMax = d
+		}
+	}
 	return st, nil
 }

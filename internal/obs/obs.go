@@ -164,8 +164,13 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
 // within the containing bucket. Samples in the overflow bucket report the
 // largest finite bound. Returns 0 when the histogram is empty.
+//
+// The rank and the scan derive from one snapshot of the bucket counts: a
+// total taken in a separate pass could exceed the counts a later scan sees
+// (an Observe landing between the passes), silently reporting the overflow
+// bound for a mid-range quantile.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.Count()
+	counts, total := h.snapshotCounts()
 	if total == 0 {
 		return 0
 	}
@@ -178,7 +183,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 	rank := q * float64(total)
 	var cum float64
 	for i, bound := range h.bounds {
-		n := float64(h.counts[i].Load())
+		n := float64(counts[i])
 		if cum+n >= rank && n > 0 {
 			lo := 0.0
 			if i > 0 {

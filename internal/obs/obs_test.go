@@ -121,6 +121,42 @@ func TestHistogramBucketsAndQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileConcurrentObserve is the regression test for the
+// two-pass Quantile race: with the total taken in one pass and the rank
+// scan re-loading each bucket, an Observe landing between the passes could
+// push the rank past the scanned cumulative count and report the overflow
+// bound for a mid-range quantile. With both derived from one snapshot,
+// every quantile of a low-bucket-only load stays at the low bound no
+// matter how the writers interleave.
+func TestHistogramQuantileConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(0.5) // always the first bucket
+				}
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		if q := h.Quantile(0.5); q > 1 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("p50 = %v under concurrent observes of 0.5, want ≤ 1", q)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestPrometheusExposition(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a_total", "a help\nwith newline").Add(7)

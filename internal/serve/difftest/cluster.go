@@ -72,6 +72,7 @@ func RunCluster(t *testing.T, cfg Config) {
 			Shards:      cfg.Shards,
 			Parallelism: cfg.Parallelism,
 			BatchSize:   cfg.BatchSize,
+			AsyncEpochs: cfg.AsyncEpochs,
 			WALDir:      n.dir,
 			WALFS:       n.fs,
 			// Only the boot checkpoint: a periodic checkpoint racing an armed

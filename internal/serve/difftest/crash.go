@@ -50,6 +50,7 @@ func RunCrash(t *testing.T, cfg Config, walDir string, crashes int) {
 		Shards:          cfg.Shards,
 		Parallelism:     cfg.Parallelism,
 		BatchSize:       cfg.BatchSize,
+		AsyncEpochs:     cfg.AsyncEpochs,
 		WALDir:          walDir,
 		CheckpointEvery: 16, // small: crashes land on both sides of checkpoints
 	}

@@ -43,6 +43,10 @@ type Config struct {
 	// BatchSize is forwarded to the server (default 4, so most flushes span
 	// several coordinated rounds).
 	BatchSize int
+	// AsyncEpochs is forwarded to the server (nil = server default, async).
+	// The matrix runs every harness in both drain disciplines so the two
+	// implementations diff against each other.
+	AsyncEpochs *bool
 }
 
 // candidate is one query the script may register: the partitionable star
@@ -171,6 +175,7 @@ func Run(t *testing.T, cfg Config) {
 		Shards:      cfg.Shards,
 		Parallelism: cfg.Parallelism,
 		BatchSize:   cfg.BatchSize,
+		AsyncEpochs: cfg.AsyncEpochs,
 	})
 	if err != nil {
 		fatalf("new server: %v", err)

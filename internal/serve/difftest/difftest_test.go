@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"tsens/internal/serve"
 )
 
 // shardCounts returns the shard matrix: TSENS_TEST_SHARDS (comma-separated)
@@ -28,6 +30,28 @@ func shardCounts(t *testing.T) []int {
 	return out
 }
 
+// asyncModes returns the drain-discipline matrix: TSENS_TEST_ASYNC ("1",
+// "0", or a comma-separated combination) or the default both — the matrix
+// diffs the async and coordinated implementations against the same model.
+func asyncModes(t *testing.T) []bool {
+	spec := os.Getenv("TSENS_TEST_ASYNC")
+	if spec == "" {
+		spec = "1,0"
+	}
+	var out []bool
+	for _, f := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(f) {
+		case "1":
+			out = append(out, true)
+		case "0":
+			out = append(out, false)
+		default:
+			t.Fatalf("TSENS_TEST_ASYNC: bad field %q (want 1 or 0)", f)
+		}
+	}
+	return out
+}
+
 // seed returns TSENS_DIFF_SEED when set (replaying a recorded failure), or
 // a fresh time-derived seed. The seed is logged and embedded in every
 // failure message.
@@ -42,27 +66,37 @@ func seed(t *testing.T) int64 {
 	return time.Now().UnixNano()
 }
 
+func matrixName(shards int, async bool) string {
+	return fmt.Sprintf("shards=%d/async=%v", shards, async)
+}
+
 func TestServeDifferentialRandomized(t *testing.T) {
 	s := seed(t)
 	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
 	for _, shards := range shardCounts(t) {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			Run(t, Config{Seed: s, Shards: shards})
-		})
+		for _, async := range asyncModes(t) {
+			t.Run(matrixName(shards, async), func(t *testing.T) {
+				Run(t, Config{Seed: s, Shards: shards, AsyncEpochs: serve.Bool(async)})
+			})
+		}
 	}
 }
 
 // TestServeDifferentialPinned replays two fixed seeds so every CI run —
 // even without the env matrix — covers a deterministic script at both
-// shard extremes.
+// shard extremes and in both drain disciplines.
 func TestServeDifferentialPinned(t *testing.T) {
 	for _, c := range []Config{
 		{Seed: 1, Shards: 1},
 		{Seed: 2, Shards: 4},
 	} {
-		t.Run(fmt.Sprintf("seed=%d/shards=%d", c.Seed, c.Shards), func(t *testing.T) {
-			Run(t, c)
-		})
+		for _, async := range []bool{true, false} {
+			c := c
+			c.AsyncEpochs = serve.Bool(async)
+			t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async)), func(t *testing.T) {
+				Run(t, c)
+			})
+		}
 	}
 }
 
@@ -76,22 +110,29 @@ func TestServeCrashRecoveryMatrix(t *testing.T) {
 	s := seed(t)
 	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
 	for _, shards := range shardCounts(t) {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			RunCrash(t, Config{Seed: s, Shards: shards}, t.TempDir(), 4)
-		})
+		for _, async := range asyncModes(t) {
+			t.Run(matrixName(shards, async), func(t *testing.T) {
+				RunCrash(t, Config{Seed: s, Shards: shards, AsyncEpochs: serve.Bool(async)}, t.TempDir(), 4)
+			})
+		}
 	}
 }
 
 // TestServeCrashRecoveryPinned replays fixed crash scripts at both shard
-// extremes so every CI run covers a deterministic kill/reopen sequence.
+// extremes so every CI run covers a deterministic kill/reopen sequence in
+// both drain disciplines.
 func TestServeCrashRecoveryPinned(t *testing.T) {
 	for _, c := range []Config{
 		{Seed: 3, Shards: 1},
 		{Seed: 4, Shards: 4},
 	} {
-		t.Run(fmt.Sprintf("seed=%d/shards=%d", c.Seed, c.Shards), func(t *testing.T) {
-			RunCrash(t, c, t.TempDir(), 4)
-		})
+		for _, async := range []bool{true, false} {
+			c := c
+			c.AsyncEpochs = serve.Bool(async)
+			t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async)), func(t *testing.T) {
+				RunCrash(t, c, t.TempDir(), 4)
+			})
+		}
 	}
 }
 
@@ -105,22 +146,28 @@ func TestServeClusterFailoverMatrix(t *testing.T) {
 	s := seed(t)
 	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
 	for _, shards := range shardCounts(t) {
-		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
-			RunCluster(t, Config{Seed: s, Shards: shards})
-		})
+		for _, async := range asyncModes(t) {
+			t.Run(matrixName(shards, async), func(t *testing.T) {
+				RunCluster(t, Config{Seed: s, Shards: shards, AsyncEpochs: serve.Bool(async)})
+			})
+		}
 	}
 }
 
 // TestServeClusterFailoverPinned replays fixed failover scripts at both
 // shard extremes so every CI run covers a deterministic kill/promote/reset
-// sequence.
+// sequence in both drain disciplines.
 func TestServeClusterFailoverPinned(t *testing.T) {
 	for _, c := range []Config{
 		{Seed: 5, Shards: 1},
 		{Seed: 6, Shards: 4},
 	} {
-		t.Run(fmt.Sprintf("seed=%d/shards=%d", c.Seed, c.Shards), func(t *testing.T) {
-			RunCluster(t, c)
-		})
+		for _, async := range []bool{true, false} {
+			c := c
+			c.AsyncEpochs = serve.Bool(async)
+			t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async)), func(t *testing.T) {
+				RunCluster(t, c)
+			})
+		}
 	}
 }

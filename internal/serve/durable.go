@@ -466,9 +466,13 @@ func decodeCheckpoint(data []byte, codec Codec) (*checkpoint, error) {
 // --- capture and checkpoint writing ---
 
 // captureCheckpointLocked snapshots the recoverable state at the current
-// cut. Caller holds stateMu with no round in flight (the coordinator
-// between rounds, or boot/Close); the capture itself rolls the WAL first so
-// every record in older segments is covered by what it reads afterwards.
+// fold frontier. Caller holds stateMu (the coordinator between rounds, or
+// boot/Close), under which the master rows reflect exactly the frontier —
+// in async mode shards may still be draining queued rounds below it, but
+// those rounds are already folded into the master, so recovery replaying
+// the log past the frontier reconstructs the same state without any global
+// quiesce. The capture rolls the WAL first so every record in older
+// segments is covered by what it reads afterwards.
 func (s *Server) captureCheckpointLocked() (*checkpoint, error) {
 	gen, err := s.wal.log.Roll()
 	if err != nil {
@@ -476,7 +480,7 @@ func (s *Server) captureCheckpointLocked() (*checkpoint, error) {
 	}
 	ck := &checkpoint{
 		gen:     gen,
-		epoch:   s.epoch.Load(),
+		epoch:   s.frontier.Load(),
 		skipped: s.skipped.Load(),
 		regSeq:  s.regSeq,
 		master:  s.master.Clone(),

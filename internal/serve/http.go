@@ -604,6 +604,47 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			ups = append(ups, up)
 		}
 	}
+	// Resolve the wait directive before appending, so an invalid request is
+	// refused without having entered the log. Precedence (docs/SERVING.md
+	// "Waiting on writes"): the query string wins over the body, and
+	// directives that contradict each other — wait and wait_epoch both set
+	// in the body, or a query string naming a different wait than the body
+	// — are a 400 rather than a silent upgrade or downgrade.
+	const (
+		waitNone   = ""
+		waitShards = "shards"
+		waitEpoch_ = "epoch"
+	)
+	qKind := waitNone
+	switch q := r.URL.Query().Get("wait"); q {
+	case "":
+	case "1":
+		qKind = waitShards
+	case "epoch":
+		qKind = waitEpoch_
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad wait=%q (want 1 or epoch)", q))
+		return
+	}
+	bodyKind := waitNone
+	switch {
+	case wait && waitEpoch:
+		writeErr(w, http.StatusBadRequest, errors.New(`conflicting wait directives: body sets both "wait" and "wait_epoch"`))
+		return
+	case wait:
+		bodyKind = waitShards
+	case waitEpoch:
+		bodyKind = waitEpoch_
+	}
+	if qKind != waitNone && bodyKind != waitNone && qKind != bodyKind {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("conflicting wait directives: query string requests %q, body requests %q", qKind, bodyKind))
+		return
+	}
+	kind := qKind
+	if kind == waitNone {
+		kind = bodyKind
+	}
 	owners := srv.Owners(ups)
 	// The request's trace starts at the HTTP edge: "ingress" covers decode
 	// and routing up to the append; the server and its drain round add the
@@ -616,8 +657,8 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	switch q := r.URL.Query().Get("wait"); {
-	case q == "epoch" || waitEpoch:
+	switch kind {
+	case waitEpoch_:
 		// Full consistent-cut wait: a subsequent view read reflects these
 		// updates. Blocks on every shard (a stalled one stalls the cut).
 		// Bounded by the request context: a client that hangs up stops
@@ -626,7 +667,7 @@ func (a *API) handleUpdates(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		}
-	case q == "1" || wait:
+	case waitShards:
 		// Owning-shard wait: the updates are folded into the session state
 		// of the shards they route to. Never waits on an unrelated shard;
 		// views advance at the next joined cut.
@@ -656,13 +697,15 @@ func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {
 	st := srv.Stats()
 	// Two distinct notions of progress, reported under distinct names:
 	// "epoch" is the PUBLISHED consistent cut — what every view read
-	// reflects — while "joined" is the fold frontier, the minimum per-shard
-	// watermark. Mid-round the frontier runs ahead of the published epoch
-	// (every shard may have folded the round while the coordinator is still
-	// merging views), so published ≤ joined always, and equality holds at
-	// rest. Nothing readable through /queries reflects "joined" before it
-	// is published (TestServeEpochPublishedNeverAheadOfJoined pins the
-	// invariant under a stalled shard).
+	// reflects — while "joined" is the minimum per-shard watermark. The
+	// per-shard "watermarks" are the authoritative frontier: in async mode
+	// each shard advances its own entry independently and the epoch chases
+	// their join; in coordinated mode every shard may have folded a round
+	// while the coordinator is still merging views. Either way published ≤
+	// joined always, and equality holds at rest. Nothing readable through
+	// /queries reflects a cut past "joined"
+	// (TestServeEpochPublishedNeverAheadOfJoined pins the invariant under a
+	// stalled shard).
 	var joined int64
 	for i, wm := range st.Watermarks {
 		if i == 0 || wm < joined {
@@ -674,6 +717,7 @@ func (a *API) handleEpoch(w http.ResponseWriter, r *http.Request) {
 		"joined":     joined,
 		"shards":     st.Shards,
 		"watermarks": st.Watermarks,
+		"async":      st.Async,
 		"appended":   st.Appended,
 		"pending":    st.Appended - st.Epoch,
 		"skipped":    st.Skipped,

@@ -256,6 +256,61 @@ func TestAPIStrictJSONDecoding(t *testing.T) {
 	}
 }
 
+// TestAPIWaitPrecedence pins the wait-directive contract of POST /updates:
+// the query string wins over the body, agreeing directives are fine,
+// conflicting ones (including both body flags at once, or an unknown
+// wait= value) are a 400 — and a 400 must refuse the request before the
+// batch enters the log, not after.
+func TestAPIWaitPrecedence(t *testing.T) {
+	db := testDB(t, 8, 3, 32, "R1", "R2", "R3")
+	ts, srv := startAPI(t, db)
+
+	one := `"updates": [{"op": "+", "rel": "R1", "row": ["1","2"]}]`
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		// The original bug: ?wait=1 with a body wait_epoch silently
+		// upgraded to the full consistent-cut wait. Now an explicit 400.
+		{"query shards vs body epoch", "/updates?wait=1",
+			`{` + one + `, "wait_epoch": true}`, http.StatusBadRequest},
+		{"query epoch vs body shards", "/updates?wait=epoch",
+			`{` + one + `, "wait": true}`, http.StatusBadRequest},
+		{"body sets both", "/updates",
+			`{` + one + `, "wait": true, "wait_epoch": true}`, http.StatusBadRequest},
+		{"unknown wait value", "/updates?wait=yes",
+			`{` + one + `}`, http.StatusBadRequest},
+		{"agreeing shards", "/updates?wait=1",
+			`{` + one + `, "wait": true}`, http.StatusOK},
+		{"agreeing epoch", "/updates?wait=epoch",
+			`{` + one + `, "wait_epoch": true}`, http.StatusOK},
+		{"query only", "/updates?wait=epoch", `{` + one + `}`, http.StatusOK},
+		{"body only", "/updates", `{` + one + `, "wait_epoch": true}`, http.StatusOK},
+		{"no directive", "/updates", `{` + one + `}`, http.StatusOK},
+	}
+	for _, c := range cases {
+		before := srv.Stats().Appended
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Fatalf("%s: status %d (want %d): %s", c.name, resp.StatusCode, c.status, raw)
+		}
+		after := srv.Stats().Appended
+		if c.status == http.StatusBadRequest && after != before {
+			t.Fatalf("%s: refused request still appended %d entries", c.name, after-before)
+		}
+		if c.status == http.StatusOK && after != before+1 {
+			t.Fatalf("%s: accepted request appended %d entries, want 1", c.name, after-before)
+		}
+	}
+}
+
 // TestServeEpochPublishedNeverAheadOfJoined is the hostile-scheduler
 // regression test for the /epoch contract: the published epoch may lag the
 // joined fold frontier (mid-round, or with a shard paused) but must never

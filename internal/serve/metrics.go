@@ -32,6 +32,8 @@ type serverMetrics struct {
 	drainBatch   *obs.Histogram    // entries per round
 	publishView  *obs.Histogram    // merge+publish portion of a round
 	shardPatch   *obs.HistogramVec // per-shard patch latency, label shard
+	shardEpoch   *obs.GaugeVec     // per-shard watermark (folded LSN), label shard
+	ringDepth    *obs.GaugeVec     // deepest unit version ring per shard, label shard
 	registerSecs *obs.Histogram    // Register end to end
 	viewReads    *obs.Counter
 
@@ -65,6 +67,10 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 			"Merge-and-publish portion of a drain round.", nil),
 		shardPatch: reg.HistogramVec("tsens_serve_shard_patch_seconds",
 			"Per-shard session patch latency within a round.", nil, "shard"),
+		shardEpoch: reg.GaugeVec("tsens_shard_epoch",
+			"Per-shard watermark: the LSN through which the shard has folded its routed entries.", "shard"),
+		ringDepth: reg.GaugeVec("tsens_serve_ring_depth",
+			"Deepest unit version ring owned by the shard after its last round (async mode).", "shard"),
 		registerSecs: reg.Histogram("tsens_serve_register_seconds",
 			"Register end to end: snapshot, solve, catch-up, install.", nil),
 		viewReads: reg.Counter("tsens_serve_view_reads_total", "View lookups answered from published epochs."),

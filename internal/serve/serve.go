@@ -13,12 +13,18 @@
 //     a shard by the hash of its relation's partition-column value, and each
 //     shard owns a writer goroutine plus the session state reachable from
 //     its partition (shard.go). A coordinator goroutine drains the log in
-//     batches, folds each batch into the master rows, hands every shard the
-//     same round, and — once all shards have patched their slice in parallel
-//     — merges and publishes, per query, an immutable epoch view (count, LS
-//     result, and a drift-gated sensitivity snapshot) through an atomic
-//     pointer. Views therefore always describe one consistent cut of the
-//     log, never a mix of shards at different progress.
+//     batches, folds each batch into the master rows, and hands every shard
+//     the same round. In async mode (Options.AsyncEpochs, the default) each
+//     shard drains its queue of rounds at its own pace, publishing per-unit
+//     version-ring entries stamped with each round's cut; readers assemble a
+//     consistent cut at read time from the joined minimum of the relevant
+//     shards' watermarks, so one stalled shard delays only the queries it
+//     owns. In coordinated mode the coordinator waits for every shard on a
+//     per-round barrier and then merges and publishes, per query, an
+//     immutable epoch view (count, LS result, and a drift-gated sensitivity
+//     snapshot) through an atomic pointer. Either way a view always
+//     describes one consistent cut of the log, never a mix of shards at
+//     different progress.
 //   - Readers answer Count/LS/noisy-release requests from the last
 //     published view: a read is an atomic pointer load plus (for releases)
 //     a ledger debit. Readers never take the writer's lock, so they are
@@ -172,10 +178,22 @@ type Options struct {
 	// one structured line with its trace breakdown. 0 means
 	// obs.DefaultSlowThreshold.
 	SlowThreshold time.Duration
+	// AsyncEpochs selects the drain discipline (docs/SERVING.md "Consistent
+	// cuts"). nil or true (the default) lets every shard drain its rounds
+	// independently, with readers assembling consistent cuts from per-unit
+	// version rings at read time; false restores the coordinated per-round
+	// barrier, under which the coordinator publishes every view itself.
+	// Both modes expose identical semantics (the difftest matrix diffs
+	// them); async trades a slightly costlier read path for write-side
+	// isolation between shards. Use Bool to set it.
+	AsyncEpochs *bool
 	// Logger receives the server's structured log lines (obs.Logger).
 	// nil disables logging — every log site is nil-safe.
 	Logger *obs.Logger
 }
+
+// Bool boxes a bool for optional Options fields (AsyncEpochs).
+func Bool(v bool) *bool { return &v }
 
 func (o Options) withDefaults() Options {
 	if o.BatchSize == 0 {
@@ -324,9 +342,12 @@ type Stats struct {
 	Queries int
 	// Shards is the number of write-path shards; Watermarks[i] is the LSN
 	// through which shard i has folded its routed entries (each ≥ Epoch
-	// while a round is being published, = Epoch at rest).
+	// while a round is in flight, = Epoch at rest). In async mode the
+	// watermarks are the authoritative frontier — Epoch is their join.
 	Shards     int
 	Watermarks []int64
+	// Async reports the drain discipline (Options.AsyncEpochs).
+	Async bool
 	// WAL reports whether the server is durable (Options.WALDir);
 	// DurableEpoch is then the epoch covered by the last installed
 	// checkpoint (recovery replays the WAL tail past it).
@@ -401,10 +422,29 @@ type Server struct {
 	queries map[string]*servedQuery
 
 	shards []*shard
+	async  bool // Options.AsyncEpochs resolved (nil → true)
 
 	epoch    atomic.Int64
 	appended atomic.Int64
 	skipped  atomic.Int64
+
+	// frontier is the fold frontier: the LSN through which the coordinator
+	// has folded the log into the master rows (and enqueued rounds). Under
+	// stateMu the master always reflects exactly frontier — which in async
+	// mode may lead epoch, the joined cut the views have reached. In
+	// coordinated mode the two advance together.
+	frontier atomic.Int64
+
+	// epochGaugeMu serializes refreshing the epoch gauge against the
+	// shard-side CAS races of async mode: a shard that wins the CAS but is
+	// preempted before the gauge write must not later clobber a newer value,
+	// so writers re-load the epoch under this mutex before setting it.
+	epochGaugeMu sync.Mutex
+
+	// testRegChase, when set, runs at the top of each off-lock catch-up
+	// chase iteration of Register (no locks held) — a hostile-scheduler
+	// test hook that can grow the backlog to force further chases.
+	testRegChase func(chase int, cut, frontier int64)
 
 	// fence, once set, makes every state-changing entry point fail with the
 	// stored error (reads keep answering). Set by the replication layer when
@@ -461,7 +501,9 @@ func newServer(master *relation.Database, opts Options, init serverInit, dl *dur
 	}
 	s.traces = opts.Traces
 	s.logger = opts.Logger
+	s.async = opts.AsyncEpochs == nil || *opts.AsyncEpochs
 	s.epoch.Store(init.epoch)
+	s.frontier.Store(init.epoch)
 	s.appended.Store(init.epoch)
 	s.skipped.Store(init.skipped)
 	s.m = newServerMetrics(opts.Metrics)
@@ -497,8 +539,11 @@ func newServer(master *relation.Database, opts Options, init serverInit, dl *dur
 	}
 	s.shards = make([]*shard, opts.Shards)
 	for i := range s.shards {
-		s.shards[i] = &shard{id: i, in: make(chan *round), patch: s.m.shardPatch.With(shardLabel(i))}
-		s.shards[i].watermark.Store(init.epoch)
+		sh := &shard{id: i, patch: s.m.shardPatch.With(shardLabel(i))}
+		sh.cond = sync.NewCond(&sh.mu)
+		sh.watermark.Store(init.epoch)
+		s.m.shardEpoch.With(shardLabel(i)).Set(float64(init.epoch))
+		s.shards[i] = sh
 	}
 	s.wg.Add(1 + len(s.shards))
 	go s.writer()
@@ -573,12 +618,19 @@ func (s *Server) close(now bool) {
 // prove it holds the lease, so a promoted successor and a demoted
 // predecessor can never both acknowledge writes — in particular never both
 // spend from the same ε-ledger.
+// Fencing also wakes parked WaitApplied/WaitShards waiters: a client
+// waiting for an epoch on a just-demoted leader gets the fence error
+// immediately instead of hanging to its own deadline. A waiter whose
+// target was already reached still succeeds (the reached check runs
+// first); one fenced mid-wait fails even if the remaining backlog would
+// eventually drain — the caller should re-resolve the leader anyway.
 func (s *Server) Fence(reason error) {
 	err := ErrFenced
 	if reason != nil {
 		err = fmt.Errorf("%w: %v", ErrFenced, reason)
 	}
 	s.fence.CompareAndSwap(nil, &err) // first demotion wins; never unfence
+	s.notify()                        // wake waiters so they observe the fence
 }
 
 func (s *Server) fenced() error {
@@ -661,7 +713,11 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	}
 	s.reserved[id] = true
 	snap := s.master.Clone()
-	cut := s.epoch.Load()
+	// The snapshot reflects the fold frontier, not the published epoch —
+	// in async mode the coordinator may have folded (and enqueued) rounds
+	// the shards have not finished, and those entries are already in the
+	// master rows the clone copied.
+	cut := s.frontier.Load()
 	s.logMu.Lock()
 	token := s.nextReg
 	s.nextReg++
@@ -750,12 +806,15 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	// The chase is bounded: if the feed outruns the replay, give up after
 	// a few chunks and finish under the lock (a stall, but never livelock).
 	for chase := 0; chase < 8; chase++ {
+		if hook := s.testRegChase; hook != nil {
+			hook(chase, cut, s.frontier.Load()) // off-lock, before the gap check
+		}
 		s.stateMu.Lock()
-		if s.epoch.Load()-cut <= tail {
+		if s.frontier.Load()-cut <= tail {
 			s.stateMu.Unlock()
 			break
 		}
-		chunkEnd := s.epoch.Load()
+		chunkEnd := s.frontier.Load()
 		s.logMu.Lock()
 		missed := append([]relation.Update(nil), s.log[cut-s.logBase:chunkEnd-s.logBase]...)
 		s.regCuts[token] = chunkEnd // compaction may reclaim the replayed prefix
@@ -768,7 +827,7 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	}
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
-	cur := s.epoch.Load()
+	cur := s.frontier.Load()
 	s.logMu.Lock()
 	delete(s.regCuts, token)
 	missed := append([]relation.Update(nil), s.log[cut-s.logBase:cur-s.logBase]...)
@@ -794,8 +853,14 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 	}
 	s.ackMetric("register")
 	for _, u := range sq.units {
+		u.installCut = cur // queued rounds at or below cur were replayed above
+		if s.async {
+			u.publishVersion(cur, s.opts.DriftFraction) // seed the ring pre-install
+		}
 		sh := s.shards[u.shard]
+		sh.umu.Lock()
 		sh.units = append(sh.units, u)
+		sh.umu.Unlock()
 	}
 	s.qmu.Lock()
 	s.queries[id] = sq
@@ -829,6 +894,7 @@ func (s *Server) Unregister(id string) error {
 	s.m.queries.Set(float64(len(s.queries)))
 	s.dropQueryMetrics(id)
 	for _, sh := range s.shards {
+		sh.umu.Lock()
 		keep := sh.units[:0]
 		for _, u := range sh.units {
 			if u.sq != sq {
@@ -839,6 +905,7 @@ func (s *Server) Unregister(id string) error {
 			sh.units[i] = nil
 		}
 		sh.units = keep
+		sh.umu.Unlock()
 	}
 	return nil
 }
@@ -934,11 +1001,15 @@ func (s *Server) WaitApplied(lsn int64) error {
 
 // WaitAppliedCtx is WaitApplied honoring ctx: a cancelled request (the
 // client of a ?wait=epoch hung up) releases the waiter instead of parking
-// it until the epoch arrives.
+// it until the epoch arrives. On a fenced server a wait whose target has
+// not been reached returns the fence error (see Fence).
 func (s *Server) WaitAppliedCtx(ctx context.Context, lsn int64) error {
 	for {
 		if s.epoch.Load() >= lsn {
 			return nil
+		}
+		if err := s.fenced(); err != nil {
+			return err
 		}
 		s.waitMu.Lock()
 		ch := s.epochCh
@@ -968,14 +1039,20 @@ func (s *Server) WAL() *wal.Log {
 	return s.wal.log
 }
 
-// View returns the last published view of a query — an atomic load; never
-// blocked by the writers.
+// View returns the freshest consistent view of a query. In coordinated
+// mode that is the last published view — one atomic load. In async mode
+// the read assembles the consistent cut at the query's joined watermark
+// from the unit version rings (atomic loads plus a merge; falling back to
+// the cached view under extreme skew). Never blocked by the writers.
 func (s *Server) View(id string) (*View, error) {
 	sq, err := s.lookup(id)
 	if err != nil {
 		return nil, err
 	}
 	v := sq.view.Load()
+	if s.async {
+		v = s.currentView(sq)
+	}
 	if v.Err != nil {
 		return nil, fmt.Errorf("serve: query %q failed at epoch %d: %w", id, v.Epoch, v.Err)
 	}
@@ -1025,6 +1102,9 @@ func (s *Server) Release(id string, rng *rand.Rand) (*ReleaseResult, error) {
 		return nil, fmt.Errorf("serve: query %q has no private relation; register with Private set", id)
 	}
 	v := sq.view.Load()
+	if s.async {
+		v = s.currentView(sq)
+	}
 	if v.Err != nil {
 		return nil, fmt.Errorf("serve: query %q failed at epoch %d: %w", id, v.Epoch, v.Err)
 	}
@@ -1085,6 +1165,9 @@ func (s *Server) Queries() []QueryInfo {
 	out := make([]QueryInfo, 0, len(sqs))
 	for _, sq := range sqs {
 		v := sq.view.Load()
+		if s.async {
+			v = s.currentView(sq)
+		}
 		info := QueryInfo{
 			ID:           sq.id,
 			Query:        sq.text,
@@ -1128,6 +1211,7 @@ func (s *Server) Stats() Stats {
 		Queries:    n,
 		Shards:     len(s.shards),
 		Watermarks: wm,
+		Async:      s.async,
 	}
 	if s.wal != nil {
 		st.WAL = true
@@ -1147,21 +1231,27 @@ func (s *Server) lookup(id string) (*servedQuery, error) {
 }
 
 // writer is the coordinator: it drains the log in batches, folds each batch
-// into the master rows, hands every shard the same round, and — after the
-// barrier — merges and publishes the new epoch.
+// into the master rows, and hands every shard the same round. In async mode
+// it then moves straight on to the next batch — the shards drain their
+// queues independently and the epoch advances as their watermark join does.
+// In coordinated mode it waits on the round's barrier and merges and
+// publishes the new epoch itself.
 func (s *Server) writer() {
 	defer s.wg.Done()
-	drained := s.epoch.Load() // non-zero when recovering from a checkpoint
+	drained := s.frontier.Load() // non-zero when recovering from a checkpoint
 	for {
 		batch, btraces := s.nextBatch(drained)
 		if batch == nil {
 			for _, sh := range s.shards {
-				close(sh.in)
+				sh.closeQueue()
 			}
 			return
 		}
 		roundStart := time.Now()
-		stopRound := s.m.reg.Span("serve.drain_round", s.m.drainRound)
+		var stopRound func()
+		if !s.async {
+			stopRound = s.m.reg.Span("serve.drain_round", s.m.drainRound)
+		}
 		s.m.drainBatch.Observe(float64(len(batch)))
 		s.stateMu.Lock()
 		valid := batch[:0:0]
@@ -1182,10 +1272,39 @@ func (s *Server) writer() {
 		routeD := time.Since(routeStart)
 		newEpoch := drained + int64(len(batch))
 		rd := &round{valid: valid, routed: routed, cut: newEpoch}
+		// The frontier advances before stateMu releases, so a Register that
+		// takes over the lock reads a cut consistent with the master rows it
+		// snapshots (in async mode the published epoch may still trail).
+		s.frontier.Store(newEpoch)
+
+		if s.async {
+			rd.pending.Store(int32(len(s.shards)))
+			rd.btraces = btraces
+			rd.start, rd.routeStart, rd.routeD = roundStart, routeStart, routeD
+			rd.batchLen = len(batch)
+			var prev *obs.ActiveTrace
+			for _, tr := range btraces {
+				if tr == nil || tr == prev {
+					continue
+				}
+				prev = tr
+				tr.StageAt("shard-route", routeStart, routeD)
+			}
+			for _, sh := range s.shards {
+				sh.enqueue(rd)
+			}
+			if s.wal != nil {
+				s.maybeCheckpointLocked(newEpoch)
+			}
+			s.stateMu.Unlock()
+			drained = newEpoch
+			continue
+		}
+
 		rd.wg.Add(len(s.shards))
 		patchStart := time.Now()
 		for _, sh := range s.shards {
-			sh.in <- rd
+			sh.enqueue(rd)
 		}
 		rd.wg.Wait()
 		patchD := time.Since(patchStart)
@@ -1193,9 +1312,6 @@ func (s *Server) writer() {
 		s.publishAll(newEpoch)
 		publishD := time.Since(publishStart)
 		s.m.publishView.Observe(publishD.Seconds())
-		// The epoch advances before stateMu releases, so a Register that
-		// takes over the lock reads an epoch consistent with the master
-		// rows it snapshots.
 		s.epoch.Store(newEpoch)
 		s.m.epoch.Set(float64(newEpoch))
 		if s.wal != nil {
@@ -1208,6 +1324,201 @@ func (s *Server) writer() {
 		drained = newEpoch
 		s.notify()
 	}
+}
+
+// advanceEpoch (async mode) moves the published epoch up to the joined
+// minimum of every shard's watermark. Called by each shard after it stores
+// its own watermark; the CAS loop makes concurrent shards race forward
+// monotonically, and the gauge refresh re-loads under epochGaugeMu so a
+// preempted winner cannot publish a stale gauge over a newer one.
+func (s *Server) advanceEpoch() {
+	join := s.joinedCut()
+	for {
+		cur := s.epoch.Load()
+		if cur >= join {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, join) {
+			s.epochGaugeMu.Lock()
+			s.m.epoch.Set(float64(s.epoch.Load()))
+			s.epochGaugeMu.Unlock()
+			return
+		}
+	}
+}
+
+// joinedCut returns the minimum watermark over all shards — the largest LSN
+// every shard has folded.
+func (s *Server) joinedCut() int64 {
+	join := s.shards[0].watermark.Load()
+	for _, sh := range s.shards[1:] {
+		if w := sh.watermark.Load(); w < join {
+			join = w
+		}
+	}
+	return join
+}
+
+// joinFor returns the joined cut relevant to one query: all shards for a
+// partitioned query, the single owning shard for a fallback one (which is
+// fed whole batches, so its watermark alone bounds the query's progress).
+func (s *Server) joinFor(sq *servedQuery) int64 {
+	if len(sq.units) == 1 && sq.units[0].part < 0 {
+		return s.shards[sq.units[0].shard].watermark.Load()
+	}
+	return s.joinedCut()
+}
+
+// finishAsyncRound is run by the last shard to fold a round: it stamps the
+// drain stages onto the batch's traces, completes them, bumps the round
+// counters, and emits the slow-round log line (mirroring finishRound for
+// the coordinated path). ActiveTrace is internally locked, so finishing
+// from a shard goroutine is safe.
+func (s *Server) finishAsyncRound(rd *round) {
+	roundD := time.Since(rd.start)
+	s.m.drainRound.Observe(roundD.Seconds())
+	s.m.rounds.Inc()
+	var first obs.TraceID
+	var prev *obs.ActiveTrace
+	for _, tr := range rd.btraces {
+		if tr == nil || tr == prev {
+			continue
+		}
+		prev = tr
+		if first == 0 {
+			first = tr.ID()
+		}
+		tr.StageAt("shard-drain", rd.routeStart.Add(rd.routeD), roundD-rd.routeD)
+		tr.StageAt("drain", rd.start, roundD)
+		tr.Finish()
+	}
+	if roundD >= s.traces.SlowThreshold() && s.traces.SlowThreshold() > 0 && s.logger != nil {
+		s.logger.Warn("slow drain round",
+			"trace", first, "epoch", rd.cut, "batch", rd.batchLen,
+			"took", roundD, "route", rd.routeD)
+	}
+}
+
+// refreshViews re-assembles the cached view of every distinct query among
+// units (async mode, called by a shard after its round): write traffic
+// keeps views fresh even with no readers, which WaitApplied — defined over
+// the epoch the views have reached — depends on.
+func (s *Server) refreshViews(units []*unit) {
+	var prev *servedQuery
+	for _, u := range units {
+		if u.sq == prev {
+			continue
+		}
+		prev = u.sq
+		s.currentView(u.sq)
+	}
+}
+
+// currentView returns the freshest consistent view of sq (async mode): the
+// cached view if it already sits at the query's joined cut, else a fresh
+// assembly from the unit version rings. Assembly failures (a ring entry
+// already evicted under heavy skew) fall back to the cached view — older,
+// but still one consistent cut. Never blocks on the writers.
+func (s *Server) currentView(sq *servedQuery) *View {
+	cached := sq.view.Load()
+	if cached.Err != nil {
+		return cached
+	}
+	join := s.joinFor(sq)
+	if cached.Epoch >= join {
+		return cached
+	}
+	v := sq.assemble(join)
+	if v == nil {
+		return cached
+	}
+	if v.Err != nil {
+		sq.view.Store(v) // tombstone: persists, like the coordinated path
+		return v
+	}
+	// CAS forward only: concurrent assemblies race, newest cut wins.
+	for {
+		cur := sq.view.Load()
+		if cur.Err != nil {
+			return cur
+		}
+		if cur.Epoch >= v.Epoch {
+			return cur
+		}
+		if sq.view.CompareAndSwap(cur, v) {
+			return v
+		}
+	}
+}
+
+// assemble builds a consistent view of sq at (at most) the joined cut: per
+// unit, the newest ring entry at-or-below the target, tightened until every
+// unit agrees on one exact stamp. Because all shards fold the same round
+// cuts and publish one ring entry per round, entries with equal stamps are
+// exactly the consistent cut at that stamp; requiring an exact common stamp
+// is what makes a mixed pick impossible even after ring eviction. Returns
+// nil when no common stamp survives in the rings (unbounded skew) — the
+// caller then serves the cached view.
+func (sq *servedQuery) assemble(join int64) *View {
+	picks := make([]*unitVersion, len(sq.units))
+	target := join
+	for i, u := range sq.units {
+		v := u.versionAt(target)
+		if v == nil {
+			return nil
+		}
+		picks[i] = v
+		if v.stamp < target {
+			target = v.stamp
+		}
+	}
+	// Tighten: every pick must sit exactly at the final target. A pick above
+	// it re-resolves; a unit with no entry at the target fails the assembly.
+	for i, u := range sq.units {
+		if picks[i].stamp == target {
+			continue
+		}
+		v := u.versionAt(target)
+		if v == nil || v.stamp != target {
+			return nil
+		}
+		picks[i] = v
+	}
+	var (
+		count    int64
+		rebuilds int
+		parts    = make([]*core.Result, len(picks))
+	)
+	for i, v := range picks {
+		if v.err != nil {
+			return &View{Epoch: target, Parts: len(sq.units), Err: v.err}
+		}
+		count = relation.AddSat(count, v.count)
+		rebuilds += v.rebuilds
+		parts[i] = v.res
+	}
+	out := &View{
+		Epoch:    target,
+		Count:    count,
+		LS:       incremental.MergeResults(parts),
+		Rebuilds: rebuilds,
+		Parts:    len(sq.units),
+	}
+	if sq.private != "" {
+		var sens []int64
+		sensEpoch := int64(-1)
+		var sensCount int64
+		for _, v := range picks {
+			sens = append(sens, v.sens...)
+			if sensEpoch < 0 || v.sensEpoch < sensEpoch {
+				sensEpoch = v.sensEpoch
+			}
+			sensCount = relation.AddSat(sensCount, v.sensCount)
+		}
+		sort.Slice(sens, func(i, j int) bool { return sens[i] < sens[j] })
+		out.Sens, out.SensEpoch, out.SensCount = sens, sensEpoch, sensCount
+	}
+	return out
 }
 
 // finishRound stamps the drain round's stage timings onto every trace the

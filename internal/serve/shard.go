@@ -12,22 +12,36 @@ package serve
 //     single designated shard (stable hash of its ID) and fed the whole
 //     batch — correctness never depends on partitionability, only speed.
 //
-// Epochs stay consistent cuts: the coordinator hands every shard the same
-// round (a validated batch plus its routes and target cut), waits for all
-// of them, and only then merges and publishes per-query views at the new
-// epoch. Per-shard watermarks advance as soon as a shard finishes its part
-// of a round — WaitShards (`POST /updates?wait=1`) keys off them, so
-// within the in-flight round a caller's fold acknowledgment never waits on
-// a stalled sibling shard (entries past the round's cut do wait for the
-// coordinator to start the next round) — and nothing readable through
-// View/Count/LS//epoch ever reflects a cut some shard has not reached
-// (TestServeShardWatermarkJoin pauses a shard mid-batch and asserts
+// Two drain disciplines share this file (Options.AsyncEpochs):
+//
+// Coordinated mode: the coordinator hands every shard the same round (a
+// validated batch plus its routes and target cut), waits for all of them on
+// the round's barrier, and only then merges and publishes per-query views
+// at the new epoch.
+//
+// Async mode (the default): there is no per-round barrier. The coordinator
+// still cuts rounds at common LSN boundaries (so every shard's fold history
+// is the same sequence of cuts), but pushes each round onto every shard's
+// unbounded FIFO queue and moves on. Each shard drains its queue at its own
+// pace; after folding a round it publishes, for every unit it owns, a new
+// entry in the unit's version ring stamped with the round's cut, advances
+// its watermark, and tries to move the published epoch up to the joined
+// minimum of all watermarks. Readers assemble a consistent cut at read time
+// (Server.assemble): per unit, the newest ring entry at-or-below the join,
+// tightened to one common stamp — because stamps are round cuts and rings
+// are dense (one entry per processed round), the assembled vector is exactly
+// the consistent cut at that stamp. A stalled shard therefore stalls only
+// the queries whose units it owns; everything else keeps advancing
+// (TestServeAsyncStalledShardIndependence), and nothing readable through
+// View/Count/LS//epoch ever reflects a cut some relevant shard has not
+// reached (TestServeShardWatermarkJoin pauses a shard mid-batch and asserts
 // exactly that).
 
 import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,28 +53,59 @@ import (
 	"tsens/internal/relation"
 )
 
-// round is one coordinated drain step: the validated batch, the same batch
-// bucketed per owning shard (computed once by the coordinator), and the
-// epoch the batch advances the server to. All shards process the same
-// round; wg is the barrier the coordinator waits on before publishing
-// views for cut.
+// ringDepth bounds each unit's version ring. A shard may run this many
+// rounds ahead of a query's joined cut before the exact entry a reader
+// needs is evicted; past that, reads fall back to the query's last
+// assembled view (an older but still consistent cut) until the join
+// catches back into the ring. Bounded skew stays perfectly fresh; an
+// unbounded stall degrades to staleness, never to a torn read.
+const ringDepth = 16
+
+// round is one drain step: the validated batch, the same batch bucketed per
+// owning shard (computed once by the coordinator), and the epoch the batch
+// advances the server to. All shards process the same round. In coordinated
+// mode wg is the barrier the coordinator waits on before publishing views
+// for cut; in async mode pending counts the shards still to fold it, and
+// the last one finishes the round's traces.
 type round struct {
 	valid  []relation.Update
 	routed [][]relation.Update
 	cut    int64
 	wg     sync.WaitGroup
+
+	// Async-mode trace plumbing: the batch's in-flight traces plus the
+	// coordinator-side timings, stamped by whichever shard drains the round
+	// last (pending hits zero).
+	pending    atomic.Int32
+	btraces    []*obs.ActiveTrace
+	start      time.Time
+	routeStart time.Time
+	routeD     time.Duration
+	batchLen   int
 }
 
 // shard owns one slice of the write path: a writer goroutine (run), the
 // units whose session state it patches, and the watermark of log entries it
-// has folded. units is mutated only under the server's stateMu while no
-// round is in flight (Register/Unregister), and read by the worker only
-// inside rounds, so the two never race.
+// has folded.
 type shard struct {
 	id    int
-	in    chan *round
 	units []*unit
 	patch *obs.Histogram // per-round patch latency for this shard
+
+	// umu guards units: Register/Unregister mutate the slice while (in
+	// async mode) a round may be in flight, so the worker snapshots it
+	// under umu at the start of every round.
+	umu sync.Mutex
+
+	// mu/cond/q is the shard's round queue: unbounded FIFO so a slow shard
+	// never backpressures the coordinator onto its siblings (a bounded
+	// queue would re-couple the shards the async mode exists to decouple).
+	// Memory is bounded by the acknowledged backlog, which Append already
+	// admits.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	q       []*round
+	qclosed bool
 
 	// watermark is the LSN through which every entry routed to this shard
 	// has been folded into its sessions.
@@ -71,11 +116,72 @@ type shard struct {
 	gate atomic.Pointer[func(shard int)]
 }
 
+// enqueue pushes one round onto the shard's queue.
+func (sh *shard) enqueue(rd *round) {
+	sh.mu.Lock()
+	sh.q = append(sh.q, rd)
+	sh.mu.Unlock()
+	sh.cond.Signal()
+}
+
+// next blocks for the next queued round, or returns nil once the queue is
+// closed and fully drained — queued rounds are already folded into the
+// master and (in coordinated mode) barrier-awaited, so they always finish.
+func (sh *shard) next() *round {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for len(sh.q) == 0 && !sh.qclosed {
+		sh.cond.Wait()
+	}
+	if len(sh.q) == 0 {
+		return nil
+	}
+	rd := sh.q[0]
+	sh.q[0] = nil
+	sh.q = sh.q[1:]
+	return rd
+}
+
+func (sh *shard) closeQueue() {
+	sh.mu.Lock()
+	sh.qclosed = true
+	sh.mu.Unlock()
+	sh.cond.Broadcast()
+}
+
+// snapshotUnits copies the unit list for one round under umu.
+func (sh *shard) snapshotUnits() []*unit {
+	sh.umu.Lock()
+	units := append([]*unit(nil), sh.units...)
+	sh.umu.Unlock()
+	return units
+}
+
+// unitVersion is one published epoch of one unit: the immutable outputs of
+// its session exactly at the round cut `stamp`. Ring entries are published
+// only by the unit's owning shard (or by Register before the unit is
+// installed) and read lock-free by view assembly.
+type unitVersion struct {
+	stamp    int64
+	count    int64
+	res      *core.Result
+	rebuilds int
+	err      error
+
+	// sens is the unit's sorted per-tuple sensitivity vector over its
+	// slice of the private relation, taken at sensEpoch with drift
+	// baseline sensCount (both unit-local). Carried over between versions
+	// while the unit's count stays within the drift fraction.
+	sens      []int64
+	sensEpoch int64
+	sensCount int64
+}
+
 // unit is one patchable piece of one query's session state: partition
 // `part` of a partitionable query (part == shard), or the whole session of
 // an unpartitionable one (part < 0). count/res/err are the unit's cached
 // outputs: written by the owning shard during rounds (or by Register at
-// install, under stateMu), read by the coordinator after the barrier.
+// install), read by the coordinator after the barrier in coordinated mode.
 type unit struct {
 	sq    *servedQuery
 	sess  *incremental.Session
@@ -85,17 +191,95 @@ type unit struct {
 	count int64
 	res   *core.Result
 	err   error
+
+	// installCut is the cut the unit's session already reflected when
+	// Register installed it; queued rounds at or below it are skipped
+	// (async mode — their updates were replayed during catch-up).
+	installCut int64
+
+	// ring holds the unit's recent published versions, ascending by stamp
+	// (async mode only; empty in coordinated mode).
+	ring atomic.Pointer[[]*unitVersion]
 }
 
-// run is the shard's writer loop: patch the owned units for each round,
-// advance the watermark, wake waiters, and report to the barrier.
+// newestVersion returns the ring's newest entry, or nil.
+func (u *unit) newestVersion() *unitVersion {
+	if r := u.ring.Load(); r != nil && len(*r) > 0 {
+		return (*r)[len(*r)-1]
+	}
+	return nil
+}
+
+// versionAt returns the newest ring entry with stamp ≤ cut, or nil when
+// the ring holds none (evicted, or the unit was installed past cut).
+func (u *unit) versionAt(cut int64) *unitVersion {
+	r := u.ring.Load()
+	if r == nil {
+		return nil
+	}
+	ring := *r
+	i := sort.Search(len(ring), func(i int) bool { return ring[i].stamp > cut })
+	if i == 0 {
+		return nil
+	}
+	return ring[i-1]
+}
+
+// publishVersion appends the unit's current outputs to its ring, stamped
+// with the given cut, and returns the new ring depth. Single-writer
+// (owning shard, or Register pre-install): copy-on-write against
+// concurrent readers. Eviction keeps the newest ringDepth entries.
+func (u *unit) publishVersion(stamp int64, driftFrac float64) int {
+	v := &unitVersion{stamp: stamp, count: u.count, res: u.res, err: u.err}
+	prev := u.newestVersion()
+	if v.err == nil {
+		v.rebuilds = u.sess.Rebuilds()
+		if u.sq.private != "" {
+			if prev != nil && prev.err == nil && prev.sens != nil && prev.rebuilds == v.rebuilds &&
+				driftFrac >= 0 && !drifted(v.count, prev.sensCount, driftFrac) {
+				v.sens, v.sensEpoch, v.sensCount = prev.sens, prev.sensEpoch, prev.sensCount
+			} else if fn, err := u.sess.SensitivityFn(u.sq.private); err != nil {
+				v.err = err
+			} else {
+				var sens []int64
+				for _, row := range u.sess.Rows(u.sq.private) {
+					sens = append(sens, fn(row))
+				}
+				sort.Slice(sens, func(i, j int) bool { return sens[i] < sens[j] })
+				v.sens, v.sensEpoch, v.sensCount = sens, stamp, v.count
+			}
+		}
+	}
+	var old []*unitVersion
+	if r := u.ring.Load(); r != nil {
+		old = *r
+	}
+	start := 0
+	if len(old) >= ringDepth {
+		start = len(old) - ringDepth + 1
+	}
+	next := make([]*unitVersion, 0, len(old)-start+1)
+	next = append(next, old[start:]...)
+	next = append(next, v)
+	u.ring.Store(&next)
+	return len(next)
+}
+
+// run is the shard's writer loop: fold the owned units for each round,
+// publish their new versions (async), advance the watermark, wake waiters.
 func (sh *shard) run(s *Server) {
 	defer s.wg.Done()
-	for rd := range sh.in {
+	epochGauge := s.m.shardEpoch.With(shardLabel(sh.id))
+	ringGauge := s.m.ringDepth.With(shardLabel(sh.id))
+	for {
+		rd := sh.next()
+		if rd == nil {
+			return
+		}
 		if gate := sh.gate.Load(); gate != nil {
 			(*gate)(sh.id)
 		}
-		units := sh.units
+		units := sh.snapshotUnits()
 		routed := rd.routed[sh.id]
 		start := time.Now()
 		// Units share no mutable state (distinct sessions), so a shard with
@@ -108,9 +292,33 @@ func (sh *shard) run(s *Server) {
 			return nil
 		})
 		sh.patch.ObserveSince(start)
+		if s.async {
+			depth := 0
+			publishStart := time.Now()
+			for _, u := range units {
+				if rd.cut <= u.installCut {
+					continue // replayed by Register's catch-up; ring starts at installCut
+				}
+				if d := u.publishVersion(rd.cut, s.opts.DriftFraction); d > depth {
+					depth = d
+				}
+			}
+			s.m.publishView.Observe(time.Since(publishStart).Seconds())
+			ringGauge.Set(float64(depth))
+		}
 		sh.watermark.Store(rd.cut)
-		s.notify()
-		rd.wg.Done()
+		epochGauge.Set(float64(rd.cut))
+		if s.async {
+			s.advanceEpoch()
+			s.refreshViews(units)
+			if rd.pending.Add(-1) == 0 {
+				s.finishAsyncRound(rd)
+			}
+			s.notify()
+		} else {
+			s.notify()
+			rd.wg.Done()
+		}
 	}
 }
 
@@ -121,7 +329,7 @@ func (sh *shard) run(s *Server) {
 // round does not touch keeps its cached outputs, which still describe its
 // unchanged session.
 func (u *unit) step(rd *round, routed []relation.Update) {
-	if u.err != nil {
+	if u.err != nil || rd.cut <= u.installCut {
 		return
 	}
 	ups := rd.valid
@@ -199,19 +407,19 @@ func (s *Server) Owners(ups []relation.Update) []int {
 }
 
 // WaitShards blocks until every listed shard's watermark reaches lsn (all
-// their entries below lsn folded) or the server closes. Unlike
-// WaitApplied, it does not wait for unrelated shards — but the isolation
-// is bounded by the round structure: entries inside the in-flight round
-// are folded by healthy shards even while another shard of that round is
-// stalled, whereas entries past the round's cut wait for the coordinator
-// to start the next round (which a stalled shard holds up). Published
-// views always advance only at joined cuts (WaitApplied).
+// their entries below lsn folded) or the server closes. Unlike WaitApplied,
+// it does not wait for unrelated shards. In async mode the isolation is
+// complete — a healthy shard folds every round of its own queue no matter
+// what its siblings do; in coordinated mode entries past the in-flight
+// round's cut still wait for the coordinator to start the next round
+// (which a stalled shard holds up).
 func (s *Server) WaitShards(shards []int, lsn int64) error {
 	return s.WaitShardsCtx(context.Background(), shards, lsn)
 }
 
 // WaitShardsCtx is WaitShards honoring ctx, so a disconnected ?wait=1
-// client releases its waiter.
+// client releases its waiter. A fenced server fails waiters whose target
+// has not been reached with the fence error (see WaitAppliedCtx).
 func (s *Server) WaitShardsCtx(ctx context.Context, shards []int, lsn int64) error {
 	for _, i := range shards {
 		if i < 0 || i >= len(s.shards) {
@@ -229,6 +437,9 @@ func (s *Server) WaitShardsCtx(ctx context.Context, shards []int, lsn int64) err
 	for {
 		if reached() {
 			return nil
+		}
+		if err := s.fenced(); err != nil {
+			return err
 		}
 		s.waitMu.Lock()
 		ch := s.epochCh

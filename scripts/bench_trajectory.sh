@@ -22,8 +22,8 @@ fi
 
 go run ./cmd/tsens bench "${args[@]}"
 
-echo "--- schema check: $OUT must match tsens-bench/v1 exactly"
-jq -e '.schema == "tsens-bench/v1"' "$OUT" >/dev/null \
+echo "--- schema check: $OUT must match tsens-bench/v2 exactly"
+jq -e '.schema == "tsens-bench/v2"' "$OUT" >/dev/null \
   || { echo "FAIL: schema field is $(jq -r .schema "$OUT")"; exit 1; }
 
 want_top='benchmarks date fast go gomaxprocs schema serve'
@@ -35,12 +35,14 @@ jq -r '.benchmarks[] | keys | sort | join(" ")' "$OUT" | sort -u | while read -r
   [ "$got" = "$want_entry" ] || { echo "FAIL: benchmark entry keys '$got', want '$want_entry'"; exit 1; }
 done
 
-want_serve='drain_round_p50_ms drain_round_p99_ms reads_per_sec update_p50_ms update_p90_ms update_p99_ms updates_per_sec'
+want_serve='drain_round_p50_ms drain_round_p99_ms reads_per_sec ring_depth_max shard_epoch_min update_p50_ms update_p90_ms update_p99_ms updates_per_sec'
 got_serve=$(jq -r '.serve | keys | sort | join(" ")' "$OUT")
 [ "$got_serve" = "$want_serve" ] || { echo "FAIL: serve keys '$got_serve', want '$want_serve'"; exit 1; }
 
 jq -e '.benchmarks | length > 0' "$OUT" >/dev/null || { echo "FAIL: no benchmark entries"; exit 1; }
 jq -e '.serve.reads_per_sec > 0' "$OUT" >/dev/null || { echo "FAIL: serve scenario reported zero reads/sec"; exit 1; }
+jq -e '.serve.shard_epoch_min > 0' "$OUT" >/dev/null || { echo "FAIL: shard watermarks never advanced"; exit 1; }
+jq -e '.serve.ring_depth_max >= 1' "$OUT" >/dev/null || { echo "FAIL: no version ring was ever published"; exit 1; }
 
 echo "bench trajectory OK: $(jq -r '.benchmarks | length' "$OUT") benchmarks, \
 $(jq -r '.serve.reads_per_sec | floor' "$OUT") reads/sec -> $OUT"

@@ -51,8 +51,10 @@ grep -q "bad.stream:2" "$workdir/err.txt" || { echo "FAIL: no file:line in:"; ca
 cat "$workdir/err.txt"
 
 start_server() {
+  # -shards 2 so the watermark assertions below see a real multi-shard
+  # frontier, not the degenerate single-entry array.
   "$workdir/tsens" serve -data "$workdir/data" -addr "127.0.0.1:$PORT" \
-    -query "$QUERY" -id smoke -wal "$workdir/wal" &
+    -query "$QUERY" -id smoke -shards 2 -wal "$workdir/wal" &
   server_pid=$!
   poll_until 15 "server /healthz" curl -fsS "$BASE/healthz"
 }
@@ -98,7 +100,15 @@ pending=$(curl -fsS "$BASE/epoch" | jq -r .pending)
 joined=$(curl -fsS "$BASE/epoch" | jq -r .joined)
 epoch=$(curl -fsS "$BASE/epoch" | jq -r .epoch)
 [ "$joined" = "$epoch" ] || { echo "FAIL: joined cut $joined != epoch $epoch at rest"; exit 1; }
-[ "$(curl -fsS "$BASE/epoch" | jq -r .wal)" = "true" ] || { echo "FAIL: /epoch does not report wal"; exit 1; }
+# Async epochs: the per-shard watermarks are the authoritative frontier —
+# one entry per shard, and at rest every one of them sits at the epoch.
+epoch_doc=$(curl -fsS "$BASE/epoch")
+shards=$(echo "$epoch_doc" | jq -r .shards)
+wm_len=$(echo "$epoch_doc" | jq -r '.watermarks | length')
+[ "$wm_len" = "$shards" ] || { echo "FAIL: /epoch watermarks has $wm_len entries for $shards shards"; exit 1; }
+wm_bad=$(echo "$epoch_doc" | jq -r --argjson e "$epoch" '[.watermarks[] | select(. != $e)] | length')
+[ "$wm_bad" = "0" ] || { echo "FAIL: $wm_bad shard watermarks differ from epoch $epoch at rest: $(echo "$epoch_doc" | jq -c .watermarks)"; exit 1; }
+[ "$(echo "$epoch_doc" | jq -r .wal)" = "true" ] || { echo "FAIL: /epoch does not report wal"; exit 1; }
 
 echo "--- /metrics scrape: core series present and non-zero after traffic"
 metrics=$(curl -fsS "$BASE/metrics")
