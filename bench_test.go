@@ -399,6 +399,65 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkServeManyQueries: per-update drain cost as the number of
+// registered queries grows with heavy overlap — the sweep cycles the four
+// Facebook queries, so at 128 registrations each distinct text has 32
+// byte-identical copies sharing one hash-consed plan via the per-shard
+// PlanStore. The headline metric is ns/update/query: with sharing, the
+// 128-query per-update cost must stay far below 128× the 1-query cost
+// (one shared patch plus cheap memo replays, instead of 128 independent
+// delta propagations). The same sweep feeds the serve_many_queries block
+// of the bench trajectory (cmd/tsens bench).
+func BenchmarkServeManyQueries(b *testing.B) {
+	db := facebookDB()
+	specs := workload.Facebook()
+	stream := GenerateUpdateStream(db, 8192, 0.4, benchSeed)
+	for _, nq := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("queries=%d", nq), func(b *testing.B) {
+			srv, err := NewServer(db, ServerOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			for i := 0; i < nq; i++ {
+				s := specs[i%len(specs)]
+				q := ServerQuery{ID: fmt.Sprintf("%s#%d", s.Name, i), Query: s.Query, Options: s.Options()}
+				if _, _, err := srv.Register(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for applied, off := 0, 0; applied < b.N; {
+				end := off + 64
+				if end > len(stream) {
+					end = len(stream)
+				}
+				if rem := b.N - applied; end-off > rem {
+					end = off + rem
+				}
+				// Wrapping past the end replays the stream; stale deletes
+				// are skipped by the writer.
+				if _, _, err := srv.Append(stream[off:end]); err != nil {
+					b.Fatal(err)
+				}
+				applied += end - off
+				off = end % len(stream)
+				// Bounded backlog: measure steady-state drain, not queueing.
+				if st := srv.Stats(); st.Appended-st.Epoch > 512 {
+					if err := srv.WaitApplied(st.Appended); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := srv.WaitApplied(srv.Stats().Appended); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nq), "ns/update/query")
+		})
+	}
+}
+
 // BenchmarkServeShardedThroughput: update-drain throughput of the sharded
 // write path across 1/2/4/8 shards on a multi-key workload. The query is a
 // three-way star sharing its key variable across every atom, so it

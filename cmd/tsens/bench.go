@@ -25,7 +25,7 @@ import (
 // benchSchema identifies the JSON layout. Bump only when a key is added,
 // removed, or renamed — rerunning the same binary must reproduce the exact
 // same key set.
-const benchSchema = "tsens-bench/v2" // v2: serve gains shard_epoch_min, ring_depth_max
+const benchSchema = "tsens-bench/v3" // v3: adds the serve_many_queries sharing sweep
 
 const benchSeed = 20200409 // arXiv date of the paper, as in bench_test.go
 
@@ -37,6 +37,11 @@ type benchReport struct {
 	Fast       bool           `json:"fast"`
 	Benchmarks []benchEntry   `json:"benchmarks"`
 	Serve      benchServeStat `json:"serve"`
+	// ServeMany is the multi-query sharing sweep: per-update drain cost
+	// with 1/16/128 heavily overlapping registered queries. With the
+	// shared subplan DAG, the per-update cost at 128 queries must stay far
+	// below 128× the 1-query cost.
+	ServeMany []benchManyStat `json:"serve_many_queries"`
 }
 
 type benchEntry struct {
@@ -60,6 +65,17 @@ type benchServeStat struct {
 	DrainP99Ms    float64 `json:"drain_round_p99_ms"`
 	ShardEpochMin float64 `json:"shard_epoch_min"`
 	RingDepthMax  float64 `json:"ring_depth_max"`
+}
+
+// benchManyStat is one point of the sharing sweep: the steady-state drain
+// cost of one update with Queries registered (the four Facebook queries,
+// cycled, so sharing kicks in from 5 registrations up), and the shared-node
+// count the plan stores reported at the end of the run.
+type benchManyStat struct {
+	Queries             int     `json:"queries"`
+	NsPerUpdate         float64 `json:"ns_per_update"`
+	NsPerUpdatePerQuery float64 `json:"ns_per_update_per_query"`
+	PlanNodesShared     float64 `json:"plan_nodes_shared"`
 }
 
 // runBench executes the suite and writes the report. The scenario sizes are
@@ -143,6 +159,15 @@ func runBench(args []string) error {
 	}
 	report.Serve = st
 
+	for _, nq := range []int{1, 16, 128} {
+		fmt.Fprintf(os.Stderr, "bench: serve_many_queries (%d queries)\n", nq)
+		ms, err := benchManyQueries(db, nq, streamN)
+		if err != nil {
+			return err
+		}
+		report.ServeMany = append(report.ServeMany, ms)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -167,6 +192,64 @@ func toEntry(name string, r testing.BenchmarkResult) benchEntry {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Iterations:  r.N,
 	}
+}
+
+// benchManyQueries drains a pre-generated update stream through a server
+// with nq heavily overlapping registered queries (the four Facebook
+// queries, cycled — byte-identical copies share one hash-consed plan per
+// shard) and reports the steady-state per-update cost.
+func benchManyQueries(db *relation.Database, nq, streamN int) (benchManyStat, error) {
+	reg := obs.NewRegistry()
+	stream := workload.UpdateStream(db, streamN, 0.4, benchSeed)
+	srv, err := serve.New(db, serve.Options{Metrics: reg})
+	if err != nil {
+		return benchManyStat{}, err
+	}
+	defer srv.Close()
+	specs := workload.Facebook()
+	for i := 0; i < nq; i++ {
+		s := specs[i%len(specs)]
+		q := serve.QueryConfig{ID: fmt.Sprintf("%s#%d", s.Name, i), Query: s.Query, Options: s.Options()}
+		if _, _, err := srv.Register(q); err != nil {
+			return benchManyStat{}, err
+		}
+	}
+	var applied int
+	r := testing.Benchmark(func(b *testing.B) {
+		for done, off := 0, 0; done < b.N; {
+			end := off + 64
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if rem := b.N - done; end-off > rem {
+				end = off + rem
+			}
+			// Wrapping replays the stream; stale deletes are skipped.
+			if _, _, err := srv.Append(stream[off:end]); err != nil {
+				b.Fatal(err)
+			}
+			done += end - off
+			off = end % len(stream)
+			if st := srv.Stats(); st.Appended-st.Epoch > 512 {
+				if err := srv.WaitApplied(st.Appended); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := srv.WaitApplied(srv.Stats().Appended); err != nil {
+			b.Fatal(err)
+		}
+		applied = b.N
+	})
+	st := benchManyStat{Queries: nq}
+	if applied > 0 {
+		st.NsPerUpdate = float64(r.T.Nanoseconds()) / float64(applied)
+		st.NsPerUpdatePerQuery = st.NsPerUpdate / float64(nq)
+	}
+	if v, ok := reg.Value("tsens_plan_nodes_shared"); ok {
+		st.PlanNodesShared = v
+	}
+	return st, nil
 }
 
 // benchServe measures sustained reader throughput against a live server

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+func fpTestDB(t *testing.T) *relation.Database {
+	t.Helper()
+	mk := func(name string, attrs []string, rows ...relation.Tuple) *relation.Relation {
+		r, err := relation.New(name, attrs, rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	db, err := relation.NewDatabase(
+		mk("R1", []string{"A", "B"}, relation.Tuple{1, 2}, relation.Tuple{2, 2}),
+		mk("R2", []string{"B", "C"}, relation.Tuple{2, 3}),
+		mk("R3", []string{"C", "D"}, relation.Tuple{3, 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func fpSolve(t *testing.T, q *query.Query, db *relation.Database) *PlanShape {
+	t.Helper()
+	sol, err := NewSolver(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol.PlanShape()
+}
+
+func TestPlanShapeStability(t *testing.T) {
+	db := fpTestDB(t)
+	atoms := []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "D"}},
+	}
+	q1 := query.MustNew("q1", atoms, nil)
+	q2 := query.MustNew("differently-named", atoms, nil)
+	a, b := fpSolve(t, q1, db), fpSolve(t, q2, db)
+	if a.Plan != b.Plan {
+		t.Fatal("identical atom lists fingerprint differently")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d fingerprint differs across identical queries", i)
+		}
+	}
+
+	// A shared prefix of a longer query agrees on the common leaf subtree
+	// but not on the plan fingerprint.
+	qp := query.MustNew("prefix", atoms[:2], nil)
+	p := fpSolve(t, qp, db)
+	common := map[string]bool{}
+	for _, fp := range p.Nodes {
+		common[fp] = true
+	}
+	overlap := 0
+	for _, fp := range a.Nodes {
+		if common[fp] {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Fatal("prefix query shares no subtree fingerprint with the full path")
+	}
+	if p.Plan == a.Plan {
+		t.Fatal("different queries share a plan fingerprint")
+	}
+}
+
+func TestPlanShapeDiscriminates(t *testing.T) {
+	db := fpTestDB(t)
+	atoms := []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}
+	base := fpSolve(t, query.MustNew("q", atoms, nil), db)
+
+	// A selection predicate changes the member's base content, so its node
+	// (and the plan) must fingerprint apart.
+	sel := fpSolve(t, query.MustNew("q", atoms,
+		map[string][]query.Predicate{"R1": {{Var: "A", Op: query.Le, Value: 1}}}), db)
+	if sel.Plan == base.Plan {
+		t.Fatal("selection did not change the plan fingerprint")
+	}
+
+	// A variable renaming yields isomorphic structure but different attrs;
+	// the conservative encoding must keep them apart.
+	ren := []query.Atom{
+		{Relation: "R1", Vars: []string{"X", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+	}
+	if got := fpSolve(t, query.MustNew("q", ren, nil), db); got.Plan == base.Plan {
+		t.Fatal("renamed-variable plan collides with the original")
+	}
+}

@@ -51,6 +51,15 @@ type tableSet struct {
 	zeroAt  map[*relation.Counted]map[int]struct{} // rows currently at count 0
 	tracked map[*relation.Counted]struct{}         // every maintained table
 	zeroes  int                                    // Σ len(zeroAt[*])
+
+	// shared maps hash-consed tables (see shared.go) to their index homes.
+	// The map itself is session-local — no other session ever reads it —
+	// but the sharedTabs values are owned by the store entries, so every
+	// subscriber compiles plans against the same indexes and whichever one
+	// leads a patch syncs them for all. Shared tables are excluded from the
+	// tombstone tally: compaction is a private-session affair (it rebuilds),
+	// and a shared table outlives any one subscriber's watermark.
+	shared map[*relation.Counted]*sharedTabs
 }
 
 func newTableSet() *tableSet {
@@ -86,8 +95,13 @@ func (ts *tableSet) totalRows() int {
 	return n
 }
 
-// indexFor is the relation.IndexProvider handed to CompileExpand.
+// indexFor is the relation.IndexProvider handed to CompileExpand. Shared
+// tables resolve through their store-owned index home so all subscribers
+// probe (and the patching lead syncs) one set of indexes.
 func (ts *tableSet) indexFor(c *relation.Counted, attrs []string) (*relation.RowIndex, error) {
+	if tabs, ok := ts.shared[c]; ok {
+		return tabs.index(c, attrs)
+	}
 	m := ts.byTable[c]
 	if m == nil {
 		m = make(map[string]*relation.RowIndex)
@@ -111,6 +125,10 @@ func (ts *tableSet) apply(c, d *relation.Counted) ([]int, error) {
 	changed, err := c.ApplyDelta(d)
 	if err != nil {
 		return nil, err
+	}
+	if tabs, ok := ts.shared[c]; ok {
+		tabs.sync()
+		return changed, nil
 	}
 	for _, ix := range ts.byTable[c] {
 		ix.Sync()
@@ -224,15 +242,36 @@ func (s *Session) propagate(ref memberRef, dbase *relation.Counted) error {
 	}
 	var pieceChanges []change
 
+	// Lead/follower election for shared state (all no-ops for a private
+	// session): for each shared entry on this update's path, the first
+	// subscriber to apply stream position s.pos computes the delta, patches
+	// the shared table, and memoizes the delta (lead); every later
+	// subscriber finds the entry already advanced past its cursor and
+	// replays the memo without touching the table (follower). Election is
+	// per entry, not per store — a session can lead one node and follow
+	// another when their subscriber sets differ — and is stable across the
+	// whole propagation because cursors only advance after it completes.
+	sb := s.sharedBaseOf(ref)
+	ln := s.sharedNodeOf(ref.ui)
+	lnLead := ln == nil || ln.pos == s.pos
+
 	// Phase 1: member base.
-	if _, err := s.tables.apply(md.Base, dbase); err != nil {
-		return err
+	if sb == nil || sb.pos == s.pos {
+		if _, err := s.tables.apply(md.Base, dbase); err != nil {
+			return err
+		}
 	}
 	pieceChanges = append(pieceChanges, change{md.Base, dbase})
 
 	// Phase 2: unit relation.
 	drel := dbase
-	if u.Rel != md.Base {
+	if !lnLead {
+		if e := ln.memo[s.pos]; e != nil && e.drel != nil {
+			drel = e.drel
+		} else {
+			drel = &relation.Counted{Attrs: u.Vars} // lead saw no bag survivors
+		}
+	} else if u.Rel != md.Base {
 		others := make([]*relation.Counted, 0, len(u.Members)-1)
 		for _, m2 := range u.Members {
 			if m2 != md {
@@ -250,6 +289,9 @@ func (s *Session) propagate(ref memberRef, dbase *relation.Counted) error {
 			}
 		}
 	}
+	if ln != nil && lnLead && len(drel.Rows) > 0 {
+		ln.memoSet(s.pos, drel, nil)
+	}
 
 	// Phase 3: botjoins up the path.
 	type botChange struct {
@@ -258,24 +300,48 @@ func (s *Session) propagate(ref memberRef, dbase *relation.Counted) error {
 	}
 	var botDeltas []botChange
 	if len(drel.Rows) > 0 {
-		childBots := make([]*relation.Counted, len(node.Children))
-		for k, c := range node.Children {
-			childBots[k] = sol.Bot[c.Index]
-		}
-		dbot, err := s.edgeDelta(sol.Bot[ref.ui], u.Rel, drel, childBots, node.ConnectorVars())
-		if err != nil {
-			return err
+		var dbot *relation.Counted
+		if lnLead {
+			childBots := make([]*relation.Counted, len(node.Children))
+			for k, c := range node.Children {
+				childBots[k] = sol.Bot[c.Index]
+			}
+			var err error
+			dbot, err = s.edgeDelta(sol.Bot[ref.ui], u.Rel, drel, childBots, node.ConnectorVars())
+			if err != nil {
+				return err
+			}
+		} else if e := ln.memo[s.pos]; e != nil && e.dbot != nil {
+			dbot = e.dbot
+		} else {
+			dbot = &relation.Counted{Attrs: node.ConnectorVars()}
 		}
 		child, dchild := node, dbot
 		for len(dchild.Rows) > 0 {
-			if _, err := s.tables.apply(sol.Bot[child.Index], dchild); err != nil {
-				return err
+			if sn := s.sharedNodeOf(child.Index); sn == nil || sn.pos == s.pos {
+				if _, err := s.tables.apply(sol.Bot[child.Index], dchild); err != nil {
+					return err
+				}
+				if sn != nil {
+					sn.memoSet(s.pos, nil, dchild)
+				}
 			}
 			pieceChanges = append(pieceChanges, change{sol.Bot[child.Index], dchild})
 			botDeltas = append(botDeltas, botChange{child.Index, dchild})
 			p := child.Parent
 			if p == nil {
 				break
+			}
+			if sn := s.sharedNodeOf(p.Index); sn != nil && sn.pos != s.pos {
+				// The parent's lead already climbed through here this
+				// position: replay its memo (absence = the climb died at
+				// the parent, for every subscriber alike).
+				e := sn.memo[s.pos]
+				if e == nil || e.dbot == nil {
+					break
+				}
+				child, dchild = p, e.dbot
+				continue
 			}
 			operands := []*relation.Counted{sol.Units[p.Index].Rel}
 			for _, c := range p.Children {
@@ -293,6 +359,15 @@ func (s *Session) propagate(ref memberRef, dbase *relation.Counted) error {
 		// grouped by the empty connector). Unchanged if the climb stopped.
 		rootIdx := sol.Comp[ref.ui]
 		sol.Totals[rootIdx] = sol.Bot[rootIdx].SumCnt()
+	}
+
+	// Phases 4–5 maintain the residual (topjoin + multiplicity-factor)
+	// state. When the whole-plan residue is shared, its lead patches it
+	// once on behalf of every subscriber and followers are already done —
+	// the collapse that makes N identical registered queries cost roughly
+	// one query's propagation per update.
+	if s.sres != nil && s.sres.Val.pos != s.pos {
+		return nil
 	}
 
 	// Phase 4: topjoins, BFS from the seeds.

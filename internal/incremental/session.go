@@ -104,6 +104,23 @@ type Session struct {
 	updates       int
 	rebuilds      int
 
+	// pruned holds the arity of database relations the query never
+	// references: Open does not clone them (satellite of the plan-sharing
+	// refactor), but updates addressed to them must still validate and
+	// no-op exactly as they did against a full clone.
+	pruned map[string]int
+
+	// Plan-sharing attachment (nil/zero when the session is private). See
+	// shared.go: store is the hash-cons domain, pos the session's cursor in
+	// the shared update stream, and sbase/snode/sres the refcounted entries
+	// this session holds. adopt records what Adopt shared versus donated.
+	store *PlanStore
+	pos   int64
+	sbase map[memberRef]*internedBase
+	snode []*internedNode
+	sres  *internedResidue
+	adopt AdoptStats
+
 	// Instruments from Options.Metrics; all nil when no registry was given.
 	updateSecs    *obs.Histogram
 	rebuildSecs   *obs.Histogram
@@ -122,7 +139,30 @@ func Open(q *query.Query, db *relation.Database, opts Options) (*Session, error)
 	if opts.BulkThreshold == 0 {
 		opts.BulkThreshold = DefaultBulkThreshold
 	}
-	s := &Session{q: q, opts: opts, db: db.Clone()}
+	// Clone only the relations the query references: unreferenced ones can
+	// never affect |Q(D)| or LS, so carrying them (and their rowsets)
+	// through every registered session is pure overhead. Their arities are
+	// remembered so updates addressed to them still validate and no-op
+	// exactly as against a full clone.
+	referenced := make(map[string]bool, len(q.Atoms))
+	for _, a := range q.Atoms {
+		referenced[a.Relation] = true
+	}
+	s := &Session{q: q, opts: opts, pruned: make(map[string]int)}
+	kept := make([]*relation.Relation, 0, len(q.Atoms))
+	for _, name := range db.Names() {
+		r := db.Relation(name)
+		if referenced[name] {
+			kept = append(kept, r.Clone())
+		} else {
+			s.pruned[name] = len(r.Attrs)
+		}
+	}
+	sub, err := relation.NewDatabase(kept...)
+	if err != nil {
+		return nil, err
+	}
+	s.db = sub
 	if opts.Metrics != nil {
 		s.updateSecs = opts.Metrics.Histogram("tsens_session_update_seconds",
 			"Per-update delta propagation latency across sessions.", nil)
@@ -233,7 +273,14 @@ func (s *Session) Delete(rel string, row relation.Tuple) error {
 // tuple) abort the batch at the failing update; updates before it remain
 // applied and the session stays consistent.
 func (s *Session) Apply(batch []Update) error {
+	// The bulk-rebuild shortcut detaches from any PlanStore first: the
+	// rebuild re-solves over private tables, and an attached session must
+	// not churn its database underneath shared state. Detaching never
+	// advances the store, so remaining subscribers stay aligned (the next
+	// to apply at the current position becomes lead). Callers that care
+	// about sharing should check Shared() after bulk batches.
 	if s.opts.BulkThreshold > 0 && len(batch) >= s.opts.BulkThreshold {
+		s.ReleaseShared()
 		for _, up := range batch {
 			if _, _, err := s.applyRow(up); err != nil {
 				// Keep the maintained state consistent with the rows already
@@ -260,6 +307,16 @@ func (s *Session) Apply(batch []Update) error {
 func (s *Session) applyRow(up Update) (memberRef, bool, error) {
 	r := s.db.Relation(up.Rel)
 	if r == nil {
+		if arity, ok := s.pruned[up.Rel]; ok {
+			// The relation exists but the query never references it: the
+			// update cannot affect any maintained state. Validate the shape
+			// and no-op, as a full clone would have.
+			if len(up.Row) != arity {
+				return memberRef{}, false, fmt.Errorf("incremental: tuple arity %d does not match %s arity %d", len(up.Row), up.Rel, arity)
+			}
+			s.updates++
+			return memberRef{}, false, nil
+		}
 		return memberRef{}, false, fmt.Errorf("incremental: no relation %q", up.Rel)
 	}
 	if len(up.Row) != len(r.Attrs) {
@@ -277,21 +334,35 @@ func (s *Session) applyRow(up Update) (memberRef, bool, error) {
 }
 
 // applyOne applies a single update through delta propagation, compacting
-// afterwards when the tombstone watermark is crossed.
+// afterwards when the tombstone watermark is crossed. When the session is
+// attached to a PlanStore the update consumes one shared stream position:
+// every exit path except a propagation failure advances the cursor
+// (validation errors and selection rejections are deterministic across
+// subscribers fed the same stream, so positions stay aligned); a
+// propagation error may leave a shared table half-patched and poisons the
+// whole store instead.
 func (s *Session) applyOne(up Update) error {
+	if s.store != nil {
+		if err := s.store.fail; err != nil {
+			return fmt.Errorf("incremental: plan store poisoned: %w", err)
+		}
+	}
 	if s.updateSecs != nil {
 		s.updatesTotal.Inc()
 		defer s.updateSecs.ObserveSince(time.Now())
 	}
 	ref, ok, err := s.applyRow(up)
 	if err != nil {
+		s.advanceShared()
 		return err
 	}
 	if !ok {
+		s.advanceShared()
 		return nil // relation not referenced by the query: |Q(D)| unaffected
 	}
 	md := s.sol.Units[ref.ui].Members[ref.mi]
 	if keep := s.selFn[up.Rel]; keep != nil && !keep(up.Row) {
+		s.advanceShared()
 		return nil // rows failing the atom's selection never enter the passes
 	}
 	delta := int64(1)
@@ -304,8 +375,10 @@ func (s *Session) applyOne(up Update) error {
 	}
 	dbase := &relation.Counted{Attrs: md.EffVars, Rows: []relation.Tuple{proj}, Cnt: []int64{delta}}
 	if err := s.propagate(ref, dbase); err != nil {
+		s.poisonStore(err)
 		return err
 	}
+	s.advanceShared()
 	return s.maybeCompact()
 }
 
@@ -453,6 +526,10 @@ func (s *Session) Rows(rel string) []relation.Tuple {
 func (s *Session) Rebuild() error { return s.rebuild() }
 
 func (s *Session) rebuild() error {
+	// A rebuild recomputes everything from the private database clone, so
+	// an attached session first drops its shared subscriptions (the
+	// no-sharing fallback): correctness never depends on staying attached.
+	s.ReleaseShared()
 	s.rebuilds++
 	start := time.Now()
 	if s.rebuildsTotal != nil {

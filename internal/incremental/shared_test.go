@@ -1,0 +1,322 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsens/internal/core"
+	"tsens/internal/query"
+	"tsens/internal/relation"
+)
+
+// openAdopted opens a session over db and attaches it to store.
+func openAdopted(t *testing.T, q *query.Query, db *relation.Database, opts core.Options, store *PlanStore) (*Session, AdoptStats) {
+	t.Helper()
+	s, err := Open(q, db, Options{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Adopt(store)
+	if err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	return s, st
+}
+
+// TestSharedDifferentialIdentical replays random update streams through
+// three identically-registered sessions attached to one PlanStore, rotating
+// which session applies first so lead/follower election is exercised from
+// every seat, and asserts each session equals the from-scratch solver after
+// every step. Covers every query shape of the private differential test.
+func TestSharedDifferentialIdentical(t *testing.T) {
+	for _, tc := range streamCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			q, db, opts := buildCase(t, tc, rng, 12, 4)
+			m := newMirror(db)
+			store := NewPlanStore()
+			var sessions []*Session
+			for i := 0; i < 3; i++ {
+				s, st := openAdopted(t, q, db, opts, store)
+				if i > 0 && (!st.FullShare() || !st.ResidueShared) {
+					t.Fatalf("session %d of identical query did not fully share: %+v", i, st)
+				}
+				sessions = append(sessions, s)
+			}
+			if got := store.Stats(); got.SharedResidues != 1 || got.Subscribers != 3 {
+				t.Fatalf("store stats after 3 identical adopts: %+v", got)
+			}
+			rels := tc.rels
+			if rels == nil {
+				for _, a := range tc.atoms {
+					rels = append(rels, a.Relation)
+				}
+			}
+			for step := 0; step < 60; step++ {
+				up := randomUpdate(rng, m, rels, 4)
+				m.apply(t, up)
+				for k := range sessions {
+					s := sessions[(step+k)%len(sessions)]
+					if err := s.Apply([]Update{up}); err != nil {
+						t.Fatalf("step %d: apply: %v", step, err)
+					}
+				}
+				for si, s := range sessions {
+					checkAgainstScratch(t, s, m, opts, step*10+si)
+				}
+				if step%15 == 7 {
+					for _, a := range tc.atoms {
+						if sk := opts.SkipRelations; len(sk) > 0 && sk[0] == a.Relation {
+							continue
+						}
+						checkSensitivityFn(t, sessions[step%len(sessions)], m, opts, a.Relation, step)
+					}
+				}
+			}
+			store.Trim()
+			if got := store.Stats(); got.MemoEntries != 0 {
+				t.Fatalf("memos survived a full trim at quiescence: %+v", got)
+			}
+		})
+	}
+}
+
+// TestSharedDifferentialOverlap runs two different queries with a common
+// subtree — a 3-atom path and its 2-atom prefix — through one store: the
+// leaf node and its base intern once, everything else stays private, and
+// both sessions must stay exact while the stream also carries updates for
+// the relation only one of them references.
+func TestSharedDifferentialOverlap(t *testing.T) {
+	atoms3 := []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "D"}},
+	}
+	q3, err := query.New("path3", atoms3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := query.New("path2", atoms3[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	_, db, opts := buildCase(t, streamCase{name: "path", atoms: atoms3}, rng, 12, 4)
+	m := newMirror(db)
+
+	store := NewPlanStore()
+	a, _ := openAdopted(t, q3, db, opts, store)
+	b, st := openAdopted(t, q2, db, opts, store)
+	if st.NodesShared == 0 || st.BasesShared == 0 {
+		t.Fatalf("prefix query shared nothing: %+v", st)
+	}
+	if st.ResidueShared {
+		t.Fatalf("different queries must not share a residue: %+v", st)
+	}
+
+	rels := []string{"R1", "R2", "R3"}
+	for step := 0; step < 80; step++ {
+		up := randomUpdate(rng, m, rels, 4)
+		m.apply(t, up)
+		first, second := a, b
+		if step%2 == 1 {
+			first, second = b, a
+		}
+		if err := first.Apply([]Update{up}); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if err := second.Apply([]Update{up}); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		checkAgainstScratch(t, a, m, opts, step)
+		// The 2-atom session is checked against a mirror restricted to the
+		// relations it kept (R3 updates must be validated no-ops for it).
+		m2 := &mirror{attrs: map[string][]string{}, rows: map[string][]relation.Tuple{}}
+		for _, rel := range []string{"R1", "R2"} {
+			m2.attrs[rel] = m.attrs[rel]
+			m2.rows[rel] = m.rows[rel]
+		}
+		checkAgainstScratch(t, b, m2, opts, step)
+	}
+}
+
+// TestSharedAdoptQuiescence pins the quiescence precondition: when one
+// subscriber of a partially-shared store has applied an update the other
+// has not, entries sit at different positions and Adopt must refuse; once
+// the laggard catches up, Adopt succeeds again.
+func TestSharedAdoptQuiescence(t *testing.T) {
+	atoms3 := []query.Atom{
+		{Relation: "R1", Vars: []string{"A", "B"}},
+		{Relation: "R2", Vars: []string{"B", "C"}},
+		{Relation: "R3", Vars: []string{"C", "D"}},
+	}
+	q3 := query.MustNew("path3", atoms3, nil)
+	q2 := query.MustNew("path2", atoms3[:2], nil)
+	rng := rand.New(rand.NewSource(5))
+	_, db, opts := buildCase(t, streamCase{name: "path", atoms: atoms3}, rng, 8, 4)
+
+	store := NewPlanStore()
+	a, _ := openAdopted(t, q3, db, opts, store)
+	b, _ := openAdopted(t, q2, db, opts, store)
+
+	up := Update{Rel: "R1", Row: relation.Tuple{9, 9}, Insert: true}
+	if err := b.Apply([]Update{up}); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Open(q3, db, Options{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mid.Adopt(store); err == nil {
+		t.Fatal("Adopt succeeded against a mid-round store")
+	}
+	if err := a.Apply([]Update{up}); err != nil {
+		t.Fatal(err)
+	}
+	late, err := Open(q3, db, Options{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Insert("R1", relation.Tuple{9, 9}); err != nil {
+		t.Fatal(err) // catch the newcomer up to the stream before adopting
+	}
+	if _, err := late.Adopt(store); err != nil {
+		t.Fatalf("Adopt at quiescence: %v", err)
+	}
+	if a.Count() != late.Count() {
+		t.Fatalf("adopted newcomer count %d, incumbent %d", late.Count(), a.Count())
+	}
+}
+
+// TestSharedReleaseAndRefcounts pins refcount release: dropping one of two
+// identical subscribers leaves every entry live for the survivor (which
+// must keep answering exactly), and dropping the last empties the store.
+func TestSharedReleaseAndRefcounts(t *testing.T) {
+	tc := streamCases()[0] // path
+	rng := rand.New(rand.NewSource(31))
+	q, db, opts := buildCase(t, tc, rng, 12, 4)
+	m := newMirror(db)
+	store := NewPlanStore()
+	a, _ := openAdopted(t, q, db, opts, store)
+	b, st := openAdopted(t, q, db, opts, store)
+	if !st.FullShare() || !st.ResidueShared {
+		t.Fatalf("identical query did not fully share: %+v", st)
+	}
+
+	rels := []string{"R1", "R2", "R3"}
+	feedBoth := func(step int) {
+		up := randomUpdate(rng, m, rels, 4)
+		m.apply(t, up)
+		for _, s := range []*Session{a, b} {
+			if err := s.Apply([]Update{up}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	for step := 0; step < 20; step++ {
+		feedBoth(step)
+	}
+	before := store.Stats()
+	if before.SharedNodes == 0 || before.SharedResidues != 1 {
+		t.Fatalf("expected shared entries before release: %+v", before)
+	}
+
+	a.ReleaseShared()
+	after := store.Stats()
+	if after.Subscribers != 1 || after.SharedNodes != 0 || after.SharedResidues != 0 {
+		t.Fatalf("release of one subscriber: %+v", after)
+	}
+	if after.Nodes != before.Nodes || after.Residues != before.Residues {
+		t.Fatalf("entries vanished while still referenced: before %+v after %+v", before, after)
+	}
+	// The survivor keeps the canonical tables and stays exact as sole lead.
+	for step := 0; step < 20; step++ {
+		up := randomUpdate(rng, m, rels, 4)
+		m.apply(t, up)
+		if err := b.Apply([]Update{up}); err != nil {
+			t.Fatalf("survivor step %d: %v", step, err)
+		}
+		checkAgainstScratch(t, b, m, opts, 100+step)
+	}
+	b.ReleaseShared()
+	if got := store.Stats(); got.Bases != 0 || got.Nodes != 0 || got.Residues != 0 || got.Subscribers != 0 {
+		t.Fatalf("store not empty after last release: %+v", got)
+	}
+	if b.Shared() {
+		t.Fatal("session still reports attached after release")
+	}
+}
+
+// TestSharedRebuildDetaches pins the no-sharing fallback: an attached
+// session that rebuilds (explicitly here; tombstone compaction and bulk
+// batches route through the same path) silently detaches, keeps answering
+// exactly on private state, and leaves its former co-subscriber intact.
+func TestSharedRebuildDetaches(t *testing.T) {
+	tc := streamCases()[0] // path
+	rng := rand.New(rand.NewSource(43))
+	q, db, opts := buildCase(t, tc, rng, 12, 4)
+	m := newMirror(db)
+	store := NewPlanStore()
+	a, _ := openAdopted(t, q, db, opts, store)
+	b, _ := openAdopted(t, q, db, opts, store)
+
+	rels := []string{"R1", "R2", "R3"}
+	for step := 0; step < 10; step++ {
+		up := randomUpdate(rng, m, rels, 4)
+		m.apply(t, up)
+		for _, s := range []*Session{a, b} {
+			if err := s.Apply([]Update{up}); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := a.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Shared() {
+		t.Fatal("session still attached after rebuild")
+	}
+	if got := store.Stats(); got.Subscribers != 1 {
+		t.Fatalf("store after rebuild detach: %+v", got)
+	}
+	for step := 0; step < 20; step++ {
+		up := randomUpdate(rng, m, rels, 4)
+		m.apply(t, up)
+		for _, s := range []*Session{a, b} {
+			if err := s.Apply([]Update{up}); err != nil {
+				t.Fatalf("post-detach step %d: %v", step, err)
+			}
+		}
+		checkAgainstScratch(t, a, m, opts, 200+step)
+		checkAgainstScratch(t, b, m, opts, 300+step)
+	}
+}
+
+// TestOpenPrunesUnreferencedRelations pins the subset clone: relations the
+// query never references are not cloned, yet updates addressed to them
+// validate arity and no-op, and truly unknown relations still error.
+func TestOpenPrunesUnreferencedRelations(t *testing.T) {
+	tc := streamCases()[4] // disconnected_with_skip: carries UNUSED(Z)
+	rng := rand.New(rand.NewSource(3))
+	q, db, opts := buildCase(t, tc, rng, 8, 4)
+	s, err := Open(q, db, Options{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows("UNUSED") != nil {
+		t.Fatal("unreferenced relation was cloned into the session")
+	}
+	before := s.Count()
+	if err := s.Insert("UNUSED", relation.Tuple{1}); err != nil {
+		t.Fatalf("insert into unreferenced relation: %v", err)
+	}
+	if s.Count() != before {
+		t.Fatal("no-op update changed the count")
+	}
+	if err := s.Insert("UNUSED", relation.Tuple{1, 2}); err == nil {
+		t.Fatal("arity mismatch on unreferenced relation not rejected")
+	}
+	if err := s.Insert("NOPE", relation.Tuple{1}); err == nil {
+		t.Fatal("unknown relation accepted")
+	}
+}

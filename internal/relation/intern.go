@@ -1,0 +1,110 @@
+package relation
+
+// Canonical-key construction and refcounted interning (hash-consing).
+// The multi-query plan sharing layer (incremental.PlanStore) fingerprints
+// join-tree subtrees into canonical string keys and interns the maintained
+// tables behind them, so N registered queries with overlapping plans keep
+// one copy of each shared node. The primitives live here, next to the
+// tables they dedup, because the keys are built from the same vocabulary
+// the tables carry (relation names, attribute lists, predicate strings).
+
+import "strings"
+
+// canonSep separates the fields of a canonical key. It never occurs in
+// relation names, variable names, or predicate renderings (all caller
+// vocabularies are identifier-like), so joined keys cannot collide across
+// field boundaries; canonEscape guards the general case anyway.
+const canonSep = "\x1f"
+
+// CanonKey joins key fields into one canonical string. Fields containing
+// the separator are escaped, so distinct field vectors always produce
+// distinct keys.
+func CanonKey(fields ...string) string {
+	for _, f := range fields {
+		if strings.ContainsAny(f, canonSep+"\\") {
+			esc := make([]string, len(fields))
+			for i, g := range fields {
+				g = strings.ReplaceAll(g, `\`, `\\`)
+				esc[i] = strings.ReplaceAll(g, canonSep, `\x1f`)
+			}
+			return strings.Join(esc, canonSep)
+		}
+	}
+	return strings.Join(fields, canonSep)
+}
+
+// Interned is one hash-consed entry: the shared value plus its reference
+// count (the number of subscribers currently holding it).
+type Interned[V any] struct {
+	Key  string
+	Val  V
+	Refs int
+}
+
+// Interner is a refcounted hash-cons table from canonical keys to shared
+// values. It is a plain map wrapper — callers provide their own locking
+// (incremental.PlanStore serializes all access under its mutex).
+type Interner[V any] struct {
+	m map[string]*Interned[V]
+}
+
+// NewInterner returns an empty interner.
+func NewInterner[V any]() *Interner[V] {
+	return &Interner[V]{m: make(map[string]*Interned[V])}
+}
+
+// Lookup returns the entry for key without touching its refcount.
+func (in *Interner[V]) Lookup(key string) (*Interned[V], bool) {
+	e, ok := in.m[key]
+	return e, ok
+}
+
+// Retain bumps the refcount of an existing entry and returns it; creating
+// happens through Put.
+func (in *Interner[V]) Retain(e *Interned[V]) *Interned[V] {
+	e.Refs++
+	return e
+}
+
+// Put interns a new value under key with refcount 1. The key must be
+// absent — hash-consing never silently replaces a live shared value.
+func (in *Interner[V]) Put(key string, v V) *Interned[V] {
+	if _, ok := in.m[key]; ok {
+		panic("relation: Interner.Put over live key " + key)
+	}
+	e := &Interned[V]{Key: key, Val: v, Refs: 1}
+	in.m[key] = e
+	return e
+}
+
+// Release drops one reference and removes the entry when the count hits
+// zero, returning true exactly then.
+func (in *Interner[V]) Release(e *Interned[V]) bool {
+	e.Refs--
+	if e.Refs > 0 {
+		return false
+	}
+	delete(in.m, e.Key)
+	return true
+}
+
+// Len returns the number of interned entries.
+func (in *Interner[V]) Len() int { return len(in.m) }
+
+// Shared returns how many entries have more than one subscriber.
+func (in *Interner[V]) Shared() int {
+	n := 0
+	for _, e := range in.m {
+		if e.Refs > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Range calls fn for every interned entry.
+func (in *Interner[V]) Range(fn func(*Interned[V])) {
+	for _, e := range in.m {
+		fn(e)
+	}
+}

@@ -1,0 +1,55 @@
+package relation
+
+import "testing"
+
+func TestCanonKey(t *testing.T) {
+	if CanonKey("a", "b") == CanonKey("a,b") {
+		t.Fatal("field boundary lost")
+	}
+	// Separator bytes inside a field must not forge a boundary.
+	if CanonKey("a\x1fb") == CanonKey("a", "b") {
+		t.Fatal("embedded separator collides with a field boundary")
+	}
+	if CanonKey(`a\`, "b") == CanonKey("a", `\b`) {
+		t.Fatal("escape char collides across boundaries")
+	}
+	if CanonKey("x", "y") != CanonKey("x", "y") {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestInternerRefcounts(t *testing.T) {
+	in := NewInterner[int]()
+	if _, ok := in.Lookup("k"); ok {
+		t.Fatal("lookup hit on empty interner")
+	}
+	e := in.Put("k", 7)
+	if e.Refs != 1 || in.Len() != 1 || in.Shared() != 0 {
+		t.Fatalf("after Put: refs=%d len=%d shared=%d", e.Refs, in.Len(), in.Shared())
+	}
+	if got, ok := in.Lookup("k"); !ok || got != e {
+		t.Fatal("lookup after Put")
+	}
+	in.Retain(e)
+	if e.Refs != 2 || in.Shared() != 1 {
+		t.Fatalf("after Retain: refs=%d shared=%d", e.Refs, in.Shared())
+	}
+	if in.Release(e) {
+		t.Fatal("release reported drop while a reference remained")
+	}
+	if !in.Release(e) {
+		t.Fatal("last release did not report drop")
+	}
+	if in.Len() != 0 {
+		t.Fatal("entry survived last release")
+	}
+	// The key is free again after the drop.
+	in.Put("k", 8)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put over a live key did not panic")
+		}
+	}()
+	in.Put("k", 9)
+}

@@ -33,6 +33,15 @@ func parkShard(sh *shard) (entered chan struct{}, release func()) {
 	return entered, release
 }
 
+// unitShard returns the shard owning a registered query's sole unit. With
+// shared plans on, fallback queries route by query text rather than ID, so
+// tests read the installed unit instead of re-deriving the hash.
+func unitShard(s *Server, id string) int {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	return s.queries[id].units[0].shard
+}
+
 // TestServeAsyncStalledShardIndependence is the async-epochs acceptance
 // test: with one shard frozen mid-drain, a query not routed to it (a
 // fallback query owned by the healthy shard) keeps advancing to new
@@ -57,7 +66,7 @@ func TestServeAsyncStalledShardIndependence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	owner := srv.fallbackShard(pathID)
+	owner := unitShard(srv, pathID)
 	slow := 1 - owner // stall the shard the path query is NOT routed to
 
 	entered, release := parkShard(srv.shards[slow])
@@ -334,7 +343,7 @@ func BenchmarkServeStalledShardRead(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	owner := srv.fallbackShard(id)
+	owner := unitShard(srv, id)
 	slow := 1 - owner
 
 	entered, release := parkShard(srv.shards[slow])

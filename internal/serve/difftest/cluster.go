@@ -73,6 +73,7 @@ func RunCluster(t *testing.T, cfg Config) {
 			Parallelism: cfg.Parallelism,
 			BatchSize:   cfg.BatchSize,
 			AsyncEpochs: cfg.AsyncEpochs,
+			SharedPlans: cfg.SharedPlans,
 			WALDir:      n.dir,
 			WALFS:       n.fs,
 			// Only the boot checkpoint: a periodic checkpoint racing an armed

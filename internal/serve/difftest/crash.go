@@ -51,6 +51,7 @@ func RunCrash(t *testing.T, cfg Config, walDir string, crashes int) {
 		Parallelism:     cfg.Parallelism,
 		BatchSize:       cfg.BatchSize,
 		AsyncEpochs:     cfg.AsyncEpochs,
+		SharedPlans:     cfg.SharedPlans,
 		WALDir:          walDir,
 		CheckpointEvery: 16, // small: crashes land on both sides of checkpoints
 	}

@@ -47,6 +47,10 @@ type Config struct {
 	// The matrix runs every harness in both drain disciplines so the two
 	// implementations diff against each other.
 	AsyncEpochs *bool
+	// SharedPlans is forwarded to the server (nil = server default, on).
+	// The matrix runs every harness with and without subplan sharing so the
+	// hash-consed and fully-private session paths diff against each other.
+	SharedPlans *bool
 }
 
 // candidate is one query the script may register: the partitionable star
@@ -176,6 +180,7 @@ func Run(t *testing.T, cfg Config) {
 		Parallelism: cfg.Parallelism,
 		BatchSize:   cfg.BatchSize,
 		AsyncEpochs: cfg.AsyncEpochs,
+		SharedPlans: cfg.SharedPlans,
 	})
 	if err != nil {
 		fatalf("new server: %v", err)

@@ -30,11 +30,10 @@ func shardCounts(t *testing.T) []int {
 	return out
 }
 
-// asyncModes returns the drain-discipline matrix: TSENS_TEST_ASYNC ("1",
-// "0", or a comma-separated combination) or the default both — the matrix
-// diffs the async and coordinated implementations against the same model.
-func asyncModes(t *testing.T) []bool {
-	spec := os.Getenv("TSENS_TEST_ASYNC")
+// boolAxis parses a "1"/"0" comma-separated matrix env var, defaulting to
+// both values.
+func boolAxis(t *testing.T, env string) []bool {
+	spec := os.Getenv(env)
 	if spec == "" {
 		spec = "1,0"
 	}
@@ -46,11 +45,21 @@ func asyncModes(t *testing.T) []bool {
 		case "0":
 			out = append(out, false)
 		default:
-			t.Fatalf("TSENS_TEST_ASYNC: bad field %q (want 1 or 0)", f)
+			t.Fatalf("%s: bad field %q (want 1 or 0)", env, f)
 		}
 	}
 	return out
 }
+
+// asyncModes returns the drain-discipline matrix: TSENS_TEST_ASYNC ("1",
+// "0", or a comma-separated combination) or the default both — the matrix
+// diffs the async and coordinated implementations against the same model.
+func asyncModes(t *testing.T) []bool { return boolAxis(t, "TSENS_TEST_ASYNC") }
+
+// sharedModes returns the subplan-sharing matrix: TSENS_TEST_SHARED ("1",
+// "0", or both) or the default both — the matrix diffs the hash-consed and
+// fully-private session paths against the same model.
+func sharedModes(t *testing.T) []bool { return boolAxis(t, "TSENS_TEST_SHARED") }
 
 // seed returns TSENS_DIFF_SEED when set (replaying a recorded failure), or
 // a fresh time-derived seed. The seed is logged and embedded in every
@@ -66,36 +75,50 @@ func seed(t *testing.T) int64 {
 	return time.Now().UnixNano()
 }
 
-func matrixName(shards int, async bool) string {
-	return fmt.Sprintf("shards=%d/async=%v", shards, async)
+func matrixName(shards int, async, shared bool) string {
+	return fmt.Sprintf("shards=%d/async=%v/shared=%v", shards, async, shared)
+}
+
+// matrix invokes fn for every (shards, async, shared) combination of the
+// env-configurable axes.
+func matrix(t *testing.T, s int64, fn func(t *testing.T, cfg Config)) {
+	for _, shards := range shardCounts(t) {
+		for _, async := range asyncModes(t) {
+			for _, shared := range sharedModes(t) {
+				cfg := Config{Seed: s, Shards: shards,
+					AsyncEpochs: serve.Bool(async), SharedPlans: serve.Bool(shared)}
+				t.Run(matrixName(shards, async, shared), func(t *testing.T) {
+					fn(t, cfg)
+				})
+			}
+		}
+	}
 }
 
 func TestServeDifferentialRandomized(t *testing.T) {
 	s := seed(t)
 	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
-	for _, shards := range shardCounts(t) {
-		for _, async := range asyncModes(t) {
-			t.Run(matrixName(shards, async), func(t *testing.T) {
-				Run(t, Config{Seed: s, Shards: shards, AsyncEpochs: serve.Bool(async)})
-			})
-		}
-	}
+	matrix(t, s, func(t *testing.T, cfg Config) { Run(t, cfg) })
 }
 
 // TestServeDifferentialPinned replays two fixed seeds so every CI run —
 // even without the env matrix — covers a deterministic script at both
-// shard extremes and in both drain disciplines.
+// shard extremes, in both drain disciplines, and on both sides of the
+// subplan-sharing switch.
 func TestServeDifferentialPinned(t *testing.T) {
 	for _, c := range []Config{
 		{Seed: 1, Shards: 1},
 		{Seed: 2, Shards: 4},
 	} {
 		for _, async := range []bool{true, false} {
-			c := c
-			c.AsyncEpochs = serve.Bool(async)
-			t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async)), func(t *testing.T) {
-				Run(t, c)
-			})
+			for _, shared := range []bool{true, false} {
+				c := c
+				c.AsyncEpochs = serve.Bool(async)
+				c.SharedPlans = serve.Bool(shared)
+				t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async, shared)), func(t *testing.T) {
+					Run(t, c)
+				})
+			}
 		}
 	}
 }
@@ -109,29 +132,26 @@ func TestServeDifferentialPinned(t *testing.T) {
 func TestServeCrashRecoveryMatrix(t *testing.T) {
 	s := seed(t)
 	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
-	for _, shards := range shardCounts(t) {
-		for _, async := range asyncModes(t) {
-			t.Run(matrixName(shards, async), func(t *testing.T) {
-				RunCrash(t, Config{Seed: s, Shards: shards, AsyncEpochs: serve.Bool(async)}, t.TempDir(), 4)
-			})
-		}
-	}
+	matrix(t, s, func(t *testing.T, cfg Config) { RunCrash(t, cfg, t.TempDir(), 4) })
 }
 
 // TestServeCrashRecoveryPinned replays fixed crash scripts at both shard
 // extremes so every CI run covers a deterministic kill/reopen sequence in
-// both drain disciplines.
+// both drain disciplines and on both sides of the sharing switch.
 func TestServeCrashRecoveryPinned(t *testing.T) {
 	for _, c := range []Config{
 		{Seed: 3, Shards: 1},
 		{Seed: 4, Shards: 4},
 	} {
 		for _, async := range []bool{true, false} {
-			c := c
-			c.AsyncEpochs = serve.Bool(async)
-			t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async)), func(t *testing.T) {
-				RunCrash(t, c, t.TempDir(), 4)
-			})
+			for _, shared := range []bool{true, false} {
+				c := c
+				c.AsyncEpochs = serve.Bool(async)
+				c.SharedPlans = serve.Bool(shared)
+				t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async, shared)), func(t *testing.T) {
+					RunCrash(t, c, t.TempDir(), 4)
+				})
+			}
 		}
 	}
 }
@@ -145,27 +165,23 @@ func TestServeCrashRecoveryPinned(t *testing.T) {
 func TestServeClusterFailoverMatrix(t *testing.T) {
 	s := seed(t)
 	t.Logf("script seed %d (replay with TSENS_DIFF_SEED=%d)", s, s)
-	for _, shards := range shardCounts(t) {
-		for _, async := range asyncModes(t) {
-			t.Run(matrixName(shards, async), func(t *testing.T) {
-				RunCluster(t, Config{Seed: s, Shards: shards, AsyncEpochs: serve.Bool(async)})
-			})
-		}
-	}
+	matrix(t, s, func(t *testing.T, cfg Config) { RunCluster(t, cfg) })
 }
 
 // TestServeClusterFailoverPinned replays fixed failover scripts at both
 // shard extremes so every CI run covers a deterministic kill/promote/reset
-// sequence in both drain disciplines.
+// sequence in both drain disciplines. The sharing axis is pinned per seed
+// (failover scripts are the slowest harness; the full cross product runs
+// in the randomized matrix).
 func TestServeClusterFailoverPinned(t *testing.T) {
 	for _, c := range []Config{
-		{Seed: 5, Shards: 1},
-		{Seed: 6, Shards: 4},
+		{Seed: 5, Shards: 1, SharedPlans: serve.Bool(true)},
+		{Seed: 6, Shards: 4, SharedPlans: serve.Bool(false)},
 	} {
 		for _, async := range []bool{true, false} {
 			c := c
 			c.AsyncEpochs = serve.Bool(async)
-			t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async)), func(t *testing.T) {
+			t.Run(fmt.Sprintf("seed=%d/%s", c.Seed, matrixName(c.Shards, async, *c.SharedPlans)), func(t *testing.T) {
 				RunCluster(t, c)
 			})
 		}

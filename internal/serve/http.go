@@ -265,6 +265,7 @@ func NewAPI(srv *Server, codec Codec, seed int64) *API {
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/vars", a.handleVars)
 	mux.HandleFunc("GET /debug/traces", a.handleTraces)
+	mux.HandleFunc("GET /debug/plans", a.handlePlans)
 	a.mux = mux
 	if srv != nil && srv.opts.Debug {
 		a.EnableDebug()
@@ -295,6 +296,20 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (a *API) handleVars(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, a.registry().Snapshot())
+}
+
+// handlePlans reports per-shard subplan-sharing state (GET /debug/plans):
+// which plan stores exist, how many join-tree nodes each has interned, and
+// how many of those are maintained for more than one query.
+func (a *API) handlePlans(w http.ResponseWriter, r *http.Request) {
+	srv, ok := a.backend(w)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shared_plans": srv.sharedPlans,
+		"domains":      srv.PlanStats(),
+	})
 }
 
 // SetTraces pins the trace recorder /debug/traces renders and ingress

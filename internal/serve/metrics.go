@@ -48,6 +48,11 @@ type serverMetrics struct {
 	epsBudget    *obs.GaugeVec // per-query ε budget (0 = unlimited)
 	epsSpent     *obs.GaugeVec // per-query ε spent, == ledger total
 	epsRemaining *obs.GaugeVec // per-query ε remaining (budgeted queries)
+
+	planNodes  *obs.Gauge // interned join-tree nodes across all plan stores
+	planShared *obs.Gauge // interned nodes with more than one subscriber
+	planRefs   *obs.Gauge // total node subscriptions; refs/nodes = mean fan-out
+	planSubs   *obs.Gauge // sessions attached to a plan store
 }
 
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
@@ -86,6 +91,15 @@ func newServerMetrics(reg *obs.Registry) *serverMetrics {
 		epsBudget:    reg.GaugeVec("tsens_epsilon_budget", "Per-query ε budget (0 means unlimited).", "query"),
 		epsSpent:     reg.GaugeVec("tsens_epsilon_spent", "Per-query ε spent; equals the ledger's exported total.", "query"),
 		epsRemaining: reg.GaugeVec("tsens_epsilon_remaining", "Per-query ε remaining (budgeted queries only).", "query"),
+
+		planNodes: reg.Gauge("tsens_plan_nodes_total",
+			"Interned join-tree nodes across every shared plan store."),
+		planShared: reg.Gauge("tsens_plan_nodes_shared",
+			"Interned join-tree nodes maintained for more than one query."),
+		planRefs: reg.Gauge("tsens_plan_node_refs_total",
+			"Total node subscriptions; divided by tsens_plan_nodes_total gives the mean fan-out."),
+		planSubs: reg.Gauge("tsens_plan_subscribers",
+			"Sessions currently attached to a shared plan store."),
 	}
 }
 

@@ -1,0 +1,320 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"tsens/internal/core"
+	"tsens/internal/incremental"
+	"tsens/internal/relation"
+	"tsens/internal/workload"
+)
+
+// adoptStatsOf returns the adoption outcome of a registered query's first
+// unit (tests here register on a single shard, so there is exactly one).
+func adoptStatsOf(t *testing.T, s *Server, id string) incremental.AdoptStats {
+	t.Helper()
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	sq := s.queries[id]
+	if sq == nil {
+		t.Fatalf("query %q not registered", id)
+	}
+	return sq.units[0].sess.AdoptStats()
+}
+
+// planTotals sums the plan-store stats across every domain of the server.
+func planTotals(s *Server) incremental.PlanStoreStats {
+	var tot incremental.PlanStoreStats
+	for _, d := range s.PlanStats() {
+		for _, st := range []incremental.PlanStoreStats{d.Partitioned, d.Fallback} {
+			tot.Bases += st.Bases
+			tot.Nodes += st.Nodes
+			tot.Residues += st.Residues
+			tot.SharedNodes += st.SharedNodes
+			tot.NodeRefs += st.NodeRefs
+			tot.Subscribers += st.Subscribers
+		}
+	}
+	return tot
+}
+
+// TestSharedPlansIdenticalQueriesFullShare pins the headline sharing
+// property: a byte-identical second registration adopts 100% of its
+// botjoin nodes (and the whole residue) from the first, and unregistering
+// either query leaves the survivor's answers exact.
+func TestSharedPlansIdenticalQueriesFullShare(t *testing.T) {
+	db := testDB(t, 12, 4, 11, "R1", "R2", "R3")
+	srv, err := New(db, Options{Shards: 1, Parallelism: 2, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, _, err := srv.Register(QueryConfig{ID: "q1", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Register(QueryConfig{ID: "q2", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// q1 donated its tables; q2 must have shared every one of them.
+	if st := adoptStatsOf(t, srv, "q1"); st.NodesShared != 0 || !st.ResidueDonated {
+		t.Fatalf("donor adopt stats %+v, want all-donated", st)
+	}
+	st := adoptStatsOf(t, srv, "q2")
+	if !st.FullShare() || !st.ResidueShared {
+		t.Fatalf("adopter stats %+v, want FullShare with shared residue", st)
+	}
+	tot := planTotals(srv)
+	if tot.Subscribers != 2 || tot.SharedNodes != tot.Nodes || tot.Nodes == 0 {
+		t.Fatalf("plan totals %+v, want 2 subscribers sharing every node", tot)
+	}
+	if tot.NodeRefs != 2*tot.Nodes {
+		t.Fatalf("plan totals %+v, want fan-out of exactly 2 on every node", tot)
+	}
+
+	// Both answers stay exact while sharing one copy of the join state.
+	stream := workload.UpdateStream(db, 40, 0.4, 12)
+	verify := func(when string, ids ...string) {
+		t.Helper()
+		_, to, err := srv.Append(stream)
+		if err != nil {
+			t.Fatalf("%s: append: %v", when, err)
+		}
+		if err := srv.WaitApplied(to); err != nil {
+			t.Fatalf("%s: wait: %v", when, err)
+		}
+		cur := replayPrefix(t, db, stream, len(stream))
+		db = cur
+		stream = workload.UpdateStream(cur, 40, 0.4, to)
+		want, err := core.LocalSensitivity(pathQuery(t), cur, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			v, err := srv.View(id)
+			if err != nil {
+				t.Fatalf("%s: view %s: %v", when, id, err)
+			}
+			if v.Count != want.Count || v.LS.LS != want.LS {
+				t.Fatalf("%s: %s served (%d, %d), scratch (%d, %d)",
+					when, id, v.Count, v.LS.LS, want.Count, want.LS)
+			}
+		}
+	}
+	verify("both registered", "q1", "q2")
+
+	// Dropping the donor must leave the adopter intact: the store keeps
+	// the canonical tables alive until the last subscriber releases them.
+	if err := srv.Unregister("q1"); err != nil {
+		t.Fatal(err)
+	}
+	verify("after dropping donor", "q2")
+
+	if err := srv.Unregister("q2"); err != nil {
+		t.Fatal(err)
+	}
+	if tot := planTotals(srv); tot.Subscribers != 0 || tot.Nodes != 0 || tot.Bases != 0 || tot.Residues != 0 {
+		t.Fatalf("plan totals %+v after last unregister, want fully drained", tot)
+	}
+}
+
+// TestSharedPlansDeferredAdopt pins the busy-shard install path: a
+// registration landing while the owning shard is mid-round must not patch
+// shared tables under a live writer — the adoption defers to the top of
+// the shard's first round past the install cut, and from then on the unit
+// is a full sharer.
+func TestSharedPlansDeferredAdopt(t *testing.T) {
+	db := testDB(t, 10, 4, 31, "R1", "R2", "R3")
+	srv, err := New(db, Options{Shards: 1, Parallelism: 2, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, _, err := srv.Register(QueryConfig{ID: "a", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+	sh := srv.shards[unitShard(srv, "a")]
+	entered, release := parkShard(sh)
+	defer release()
+
+	stream := workload.UpdateStream(db, 12, 0.4, 32)
+	if _, _, err := srv.Append(stream[:6]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shard never entered the parked round")
+	}
+
+	// Mid-round registration: the session catches up from the log, but
+	// the store attach is deferred, so the store still has one subscriber.
+	if _, _, err := srv.Register(QueryConfig{ID: "b", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+	if st := adoptStatsOf(t, srv, "b"); st.NodesShared != 0 || st.NodesDonated != 0 {
+		t.Fatalf("adopt stats %+v while the shard is parked, want no adoption yet", st)
+	}
+	if tot := planTotals(srv); tot.Subscribers != 1 {
+		t.Fatalf("plan totals %+v while the shard is parked, want the donor alone", tot)
+	}
+
+	// The first round past b's install cut performs the adoption.
+	_, to, err := srv.Append(stream[6:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if err := srv.WaitApplied(to); err != nil {
+		t.Fatal(err)
+	}
+	if st := adoptStatsOf(t, srv, "b"); !st.FullShare() || !st.ResidueShared {
+		t.Fatalf("deferred adopt stats %+v, want FullShare with shared residue", st)
+	}
+	if tot := planTotals(srv); tot.Subscribers != 2 {
+		t.Fatalf("plan totals %+v after the deferred adopt, want both subscribers", tot)
+	}
+
+	cur := replayPrefix(t, db, stream, len(stream))
+	want, err := core.LocalSensitivity(pathQuery(t), cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		v, err := srv.View(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Count != want.Count || v.LS.LS != want.LS {
+			t.Fatalf("%s served (%d, %d), scratch (%d, %d)", id, v.Count, v.LS.LS, want.Count, want.LS)
+		}
+	}
+}
+
+// TestSharedPlansChurnUnderLoad races Register/Unregister churn of
+// overlapping queries against a live writer on the async path, exercising
+// deferred adoption (busy shard at install time) and deferred release
+// (unregister mid-round) under the race detector.
+func TestSharedPlansChurnUnderLoad(t *testing.T) {
+	db := testDB(t, 10, 4, 21, "R1", "R2", "R3")
+	srv, err := New(db, Options{Shards: 2, Parallelism: 2, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, _, err := srv.Register(QueryConfig{ID: "pin", Query: pathQuery(t)}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writer: an insert-only stream (replayable without tombstone
+	// bookkeeping for the final scratch check), capped so the join state
+	// stays small — each churn Register below solves from scratch, and an
+	// unbounded writer would outrun them quadratically.
+	stop := make(chan struct{})
+	var log []relation.Update
+	var writerWg sync.WaitGroup
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		rng := rand.New(rand.NewSource(22))
+		names := []string{"R1", "R2", "R3"}
+		for len(log) < 160 {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]relation.Update, 1+rng.Intn(4))
+			for i := range batch {
+				batch[i] = relation.Update{
+					Rel: names[rng.Intn(len(names))], Insert: true,
+					Row: relation.Tuple{int64(rng.Intn(8)), int64(rng.Intn(8))},
+				}
+			}
+			if _, _, err := srv.Append(batch); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			log = append(log, batch...)
+		}
+	}()
+
+	// Churners: overlapping registrations of the same two query texts, so
+	// every Register lands on a store with live subscribers and every
+	// Unregister drops a refcount another query still holds.
+	tq, td := triangleQuery(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				id := fmt.Sprintf("churn-%d-%d", g, i)
+				qc := QueryConfig{ID: id, Query: pathQuery(t)}
+				if i%3 == 0 {
+					qc.Query, qc.Options = tq, core.Options{Decomposition: td}
+				}
+				if _, _, err := srv.Register(qc); err != nil {
+					t.Errorf("register %s: %v", id, err)
+					return
+				}
+				if err := srv.Unregister(id); err != nil {
+					t.Errorf("unregister %s: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	writerWg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// One more round flushes any releases a busy shard deferred when the
+	// churners unregistered mid-round.
+	flush := []relation.Update{{Rel: "R1", Insert: true, Row: relation.Tuple{2, 3}}}
+	if _, _, err := srv.Append(flush); err != nil {
+		t.Fatal(err)
+	}
+	log = append(log, flush...)
+	total := int64(len(log))
+	stream := log
+	if err := srv.WaitApplied(total); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pinned query survived the churn with exact answers.
+	cur := replayPrefix(t, db, stream, len(stream))
+	want, err := core.LocalSensitivity(pathQuery(t), cur, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := srv.View("pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Count != want.Count || v.LS.LS != want.LS {
+		t.Fatalf("pin served (%d, %d), scratch (%d, %d)", v.Count, v.LS.LS, want.Count, want.LS)
+	}
+
+	// Every churned refcount was released: only the pinned query's
+	// subscriptions remain, and dropping it drains the stores to zero.
+	if tot := planTotals(srv); tot.Subscribers == 0 || tot.SharedNodes != 0 {
+		t.Fatalf("plan totals %+v after churn, want only the pinned subscriber", tot)
+	}
+	if err := srv.Unregister("pin"); err != nil {
+		t.Fatal(err)
+	}
+	if tot := planTotals(srv); tot.Subscribers != 0 || tot.Nodes != 0 || tot.Bases != 0 || tot.Residues != 0 {
+		t.Fatalf("plan totals %+v after last unregister, want fully drained", tot)
+	}
+}

@@ -187,12 +187,21 @@ type Options struct {
 	// them); async trades a slightly costlier read path for write-side
 	// isolation between shards. Use Bool to set it.
 	AsyncEpochs *bool
+	// SharedPlans hash-conses join-tree state across registered queries
+	// (docs/SERVING.md "Registration and plan sharing"): each shard keeps
+	// a plan store per sharing domain, and a query registering a subtree
+	// some live query already maintains adopts the canonical tables
+	// instead of duplicating them, with one patch fanning out to every
+	// subscriber. nil or true (the default) enables sharing; false keeps
+	// every session fully private. Both settings expose identical
+	// semantics (the difftest matrix diffs them). Use Bool to set it.
+	SharedPlans *bool
 	// Logger receives the server's structured log lines (obs.Logger).
 	// nil disables logging — every log site is nil-safe.
 	Logger *obs.Logger
 }
 
-// Bool boxes a bool for optional Options fields (AsyncEpochs).
+// Bool boxes a bool for optional Options fields (AsyncEpochs, SharedPlans).
 func Bool(v bool) *bool { return &v }
 
 func (o Options) withDefaults() Options {
@@ -424,6 +433,12 @@ type Server struct {
 	shards []*shard
 	async  bool // Options.AsyncEpochs resolved (nil → true)
 
+	// sharedPlans is Options.SharedPlans resolved (nil → true); plans
+	// holds each shard's two sharing domains (partitioned / fallback)
+	// when on. See plans.go.
+	sharedPlans bool
+	plans       []*planDomain
+
 	epoch    atomic.Int64
 	appended atomic.Int64
 	skipped  atomic.Int64
@@ -502,6 +517,7 @@ func newServer(master *relation.Database, opts Options, init serverInit, dl *dur
 	s.traces = opts.Traces
 	s.logger = opts.Logger
 	s.async = opts.AsyncEpochs == nil || *opts.AsyncEpochs
+	s.sharedPlans = opts.SharedPlans == nil || *opts.SharedPlans
 	s.epoch.Store(init.epoch)
 	s.frontier.Store(init.epoch)
 	s.appended.Store(init.epoch)
@@ -544,6 +560,9 @@ func newServer(master *relation.Database, opts Options, init serverInit, dl *dur
 		sh.watermark.Store(init.epoch)
 		s.m.shardEpoch.With(shardLabel(i)).Set(float64(init.epoch))
 		s.shards[i] = sh
+	}
+	if s.sharedPlans {
+		s.plans = newPlanDomains(len(s.shards))
 	}
 	s.wg.Add(1 + len(s.shards))
 	go s.writer()
@@ -776,7 +795,15 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 		if err != nil {
 			return fail(err)
 		}
-		sq.units = []*unit{{sq: sq, sess: sess, shard: s.fallbackShard(id), part: -1}}
+		key := id
+		if s.sharedPlans {
+			// Identical unpartitionable queries must land on the same
+			// shard to share state, so the designated owner is keyed by
+			// query text, not ID. Recovery re-registers the same text, so
+			// the assignment is stable across restarts.
+			key = sq.text
+		}
+		sq.units = []*unit{{sq: sq, sess: sess, shard: s.fallbackShard(key), part: -1}}
 	}
 
 	// Phase 3 — catch up and install. Replaying the entries drained since
@@ -858,10 +885,30 @@ func (s *Server) Register(cfg QueryConfig) (string, *View, error) {
 			u.publishVersion(cur, s.opts.DriftFraction) // seed the ring pre-install
 		}
 		sh := s.shards[u.shard]
+		if store := s.storeFor(u); store != nil {
+			// Adopt inline if the shard is provably quiescent at cur —
+			// always the case in coordinated mode, where whole rounds run
+			// under the stateMu we hold. A busy shard instead adopts at
+			// its first round strictly past cur (processTransitions),
+			// where the same state alignment holds. A failed Adopt (it
+			// errors only before touching any state) leaves the session
+			// on its private plan.
+			if sh.idle() && sh.watermark.Load() == cur {
+				if _, aerr := u.sess.Adopt(store); aerr == nil {
+					u.store = store
+				} else {
+					s.logger.Warn("serve.plan_adopt_failed",
+						"query", id, "shard", u.shard, "err", aerr.Error())
+				}
+			} else {
+				u.pendingStore = store
+			}
+		}
 		sh.umu.Lock()
 		sh.units = append(sh.units, u)
 		sh.umu.Unlock()
 	}
+	s.refreshPlanGauges()
 	s.qmu.Lock()
 	s.queries[id] = sq
 	s.m.queries.Set(float64(len(s.queries)))
@@ -896,9 +943,12 @@ func (s *Server) Unregister(id string) error {
 	for _, sh := range s.shards {
 		sh.umu.Lock()
 		keep := sh.units[:0]
+		var dropped []*unit
 		for _, u := range sh.units {
 			if u.sq != sq {
 				keep = append(keep, u)
+			} else {
+				dropped = append(dropped, u)
 			}
 		}
 		for i := len(keep); i < len(sh.units); i++ {
@@ -906,7 +956,25 @@ func (s *Server) Unregister(id string) error {
 		}
 		sh.units = keep
 		sh.umu.Unlock()
+		for _, u := range dropped {
+			if u.store == nil && u.pendingStore == nil {
+				continue
+			}
+			u.pendingStore = nil
+			if sh.idle() {
+				u.sess.ReleaseShared()
+				u.store = nil
+			} else {
+				// A round in flight may still step the unit from its
+				// snapshot (the unit stays a consistent store subscriber
+				// for that round); release at the next round top instead.
+				sh.umu.Lock()
+				sh.retired = append(sh.retired, u)
+				sh.umu.Unlock()
+			}
+		}
 	}
+	s.refreshPlanGauges()
 	return nil
 }
 

@@ -107,6 +107,17 @@ type shard struct {
 	q       []*round
 	qclosed bool
 
+	// applying marks a round in flight between next() handing it out and
+	// the end of that run-loop iteration, so Register/Unregister can tell
+	// an empty queue apart from a truly quiescent shard. Guarded by mu.
+	applying bool
+
+	// retired holds units stripped by Unregister while the shard was busy;
+	// their shared-plan subscriptions are released at the next round top
+	// (processTransitions), after the in-flight round that may still step
+	// them has finished. Guarded by umu.
+	retired []*unit
+
 	// watermark is the LSN through which every entry routed to this shard
 	// has been folded into its sessions.
 	watermark atomic.Int64
@@ -139,6 +150,7 @@ func (sh *shard) next() *round {
 	rd := sh.q[0]
 	sh.q[0] = nil
 	sh.q = sh.q[1:]
+	sh.applying = true
 	return rd
 }
 
@@ -196,6 +208,15 @@ type unit struct {
 	// Register installed it; queued rounds at or below it are skipped
 	// (async mode — their updates were replayed during catch-up).
 	installCut int64
+
+	// store is the shared plan store the unit's session is attached to
+	// (nil when sharing is off or the adopt failed); pendingStore defers
+	// the Adopt to the owning shard's first round past installCut when the
+	// shard was busy at install time. Both are handed off through umu:
+	// written by Register before the unit joins sh.units, then owned by
+	// the shard's loop.
+	store        *incremental.PlanStore
+	pendingStore *incremental.PlanStore
 
 	// ring holds the unit's recent published versions, ascending by stamp
 	// (async mode only; empty in coordinated mode).
@@ -279,16 +300,19 @@ func (sh *shard) run(s *Server) {
 		if gate := sh.gate.Load(); gate != nil {
 			(*gate)(sh.id)
 		}
+		sh.processTransitions(s, rd.cut)
 		units := sh.snapshotUnits()
 		routed := rd.routed[sh.id]
 		start := time.Now()
-		// Units share no mutable state (distinct sessions), so a shard with
-		// several queries fans out across them exactly as the PR 3 single
-		// writer did. Plain par.Do, not pool.Do: a session rebuild inside
-		// the patch borrows the pool itself, and pool workers must not
-		// block on nested pool waits.
-		_ = par.Do(s.opts.Parallelism, len(units), func(i int) error {
-			units[i].step(rd, routed)
+		// Units attached to the same plan store patch shared tables and
+		// step sequentially within one group; all other units share no
+		// mutable state (distinct sessions) and fan out exactly as the
+		// PR 3 single writer did. Plain par.Do, not pool.Do: a session
+		// rebuild inside the patch borrows the pool itself, and pool
+		// workers must not block on nested pool waits.
+		groups := planGroups(units)
+		_ = par.Do(s.opts.Parallelism, len(groups), func(i int) error {
+			stepGroup(groups[i], rd, routed)
 			return nil
 		})
 		sh.patch.ObserveSince(start)
@@ -319,6 +343,51 @@ func (sh *shard) run(s *Server) {
 			s.notify()
 			rd.wg.Done()
 		}
+		sh.mu.Lock()
+		sh.applying = false
+		sh.mu.Unlock()
+	}
+}
+
+// stepGroup applies one round to a group of units subscribed to the same
+// plan store (or to a singleton, where it is plain step). With several
+// subscribers, updates interleave one at a time across the whole group:
+// the store's lead/follower discipline requires every subscriber to sit at
+// the same position before the next update's deltas are computed, because
+// a partially-sharing session's private delta-joins read shared operand
+// tables, which therefore must not have advanced past the update at hand.
+func stepGroup(g []*unit, rd *round, routed []relation.Update) {
+	if len(g) == 1 {
+		g[0].step(rd, routed)
+		return
+	}
+	ups := rd.valid
+	if g[0].part >= 0 {
+		ups = routed
+	}
+	live := g[:0:0]
+	for _, u := range g {
+		if u.err == nil && rd.cut > u.installCut {
+			live = append(live, u)
+		}
+	}
+	if len(ups) == 0 || len(live) == 0 {
+		return
+	}
+	one := make([]relation.Update, 1)
+	for _, up := range ups {
+		one[0] = up
+		for _, u := range live {
+			if u.err != nil {
+				continue // a propagation error poisons the store; peers fail fast below
+			}
+			if err := u.sess.Apply(one); err != nil {
+				u.err = err
+			}
+		}
+	}
+	for _, u := range live {
+		u.refresh()
 	}
 }
 
@@ -352,6 +421,11 @@ func (u *unit) step(rd *round, routed []relation.Update) {
 func (u *unit) refresh() {
 	if u.err != nil {
 		return
+	}
+	if u.store != nil && !u.sess.Shared() {
+		// The session detached itself (bulk batch or automatic rebuild);
+		// stop grouping it with its former store mates.
+		u.store = nil
 	}
 	u.count = u.sess.Count()
 	u.res, u.err = u.sess.LS()

@@ -22,11 +22,11 @@ fi
 
 go run ./cmd/tsens bench "${args[@]}"
 
-echo "--- schema check: $OUT must match tsens-bench/v2 exactly"
-jq -e '.schema == "tsens-bench/v2"' "$OUT" >/dev/null \
+echo "--- schema check: $OUT must match tsens-bench/v3 exactly"
+jq -e '.schema == "tsens-bench/v3"' "$OUT" >/dev/null \
   || { echo "FAIL: schema field is $(jq -r .schema "$OUT")"; exit 1; }
 
-want_top='benchmarks date fast go gomaxprocs schema serve'
+want_top='benchmarks date fast go gomaxprocs schema serve serve_many_queries'
 got_top=$(jq -r 'keys | sort | join(" ")' "$OUT")
 [ "$got_top" = "$want_top" ] || { echo "FAIL: top-level keys '$got_top', want '$want_top'"; exit 1; }
 
@@ -39,10 +39,29 @@ want_serve='drain_round_p50_ms drain_round_p99_ms reads_per_sec ring_depth_max s
 got_serve=$(jq -r '.serve | keys | sort | join(" ")' "$OUT")
 [ "$got_serve" = "$want_serve" ] || { echo "FAIL: serve keys '$got_serve', want '$want_serve'"; exit 1; }
 
+want_many='ns_per_update ns_per_update_per_query plan_nodes_shared queries'
+jq -r '.serve_many_queries[] | keys | sort | join(" ")' "$OUT" | sort -u | while read -r got; do
+  [ "$got" = "$want_many" ] || { echo "FAIL: serve_many_queries keys '$got', want '$want_many'"; exit 1; }
+done
+
 jq -e '.benchmarks | length > 0' "$OUT" >/dev/null || { echo "FAIL: no benchmark entries"; exit 1; }
 jq -e '.serve.reads_per_sec > 0' "$OUT" >/dev/null || { echo "FAIL: serve scenario reported zero reads/sec"; exit 1; }
 jq -e '.serve.shard_epoch_min > 0' "$OUT" >/dev/null || { echo "FAIL: shard watermarks never advanced"; exit 1; }
 jq -e '.serve.ring_depth_max >= 1' "$OUT" >/dev/null || { echo "FAIL: no version ring was ever published"; exit 1; }
+jq -e '.serve_many_queries | length == 3' "$OUT" >/dev/null \
+  || { echo "FAIL: serve_many_queries must sweep exactly 1/16/128 queries"; exit 1; }
+# The sharing acceptance bar: the per-update drain cost with 128 heavily
+# overlapping queries must stay far below 128x the 1-query cost (the shared
+# subplan DAG patches each node once and fans the delta out via memos).
+# Observed ratio: ~26x on the full fixture, ~48x in -fast mode (the smaller
+# fixture shrinks the 1-query baseline, not the per-query overhead). A
+# broken sharing path lands at >=128x, so 96x fails loudly while leaving
+# 2x headroom for noisy CI machines.
+jq -e '(.serve_many_queries | sort_by(.queries)) as $m
+       | $m[-1].ns_per_update < 96 * $m[0].ns_per_update' "$OUT" >/dev/null \
+  || { echo "FAIL: 128-query per-update cost not << 128x the 1-query cost (sharing broken?)"; exit 1; }
+jq -e '.serve_many_queries[] | select(.queries > 1) | .plan_nodes_shared > 0' "$OUT" >/dev/null \
+  || { echo "FAIL: no shared plan nodes at >1 registered queries"; exit 1; }
 
 echo "bench trajectory OK: $(jq -r '.benchmarks | length' "$OUT") benchmarks, \
 $(jq -r '.serve.reads_per_sec | floor' "$OUT") reads/sec -> $OUT"
